@@ -1,0 +1,473 @@
+// Command fcdpm-bench regenerates every table and figure of the paper in
+// one shot, writing CSV series and a summary report under -out (default
+// ./out). It is the file-producing twin of the root bench_test.go harness.
+//
+// Artifacts:
+//
+//	fig2_stack_ivp.csv        Fig 2  — stack I-V-P characteristic
+//	fig3_efficiency.csv       Fig 3  — stack/system efficiency curves
+//	fig4_motivational.txt     §3.2   — motivational example
+//	fig7_load.csv             Fig 7a — camcorder load current profile
+//	fig7_asap.csv             Fig 7b — ASAP-DPM FC output profile
+//	fig7_fcdpm.csv            Fig 7c — FC-DPM FC output profile
+//	table2_exp1.txt           Table 2 — Experiment 1
+//	table3_exp2.txt           Table 3 — Experiment 2
+//	ablation_*.csv/.txt       DESIGN.md §5 ablations
+//	summary.txt               everything, concatenated
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"fcdpm/internal/exp"
+	"fcdpm/internal/report"
+	"fcdpm/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fcdpm-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	dir := "out"
+	seed := uint64(1)
+	if len(args) > 0 {
+		dir = args[0]
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	summary, err := os.Create(filepath.Join(dir, "summary.txt"))
+	if err != nil {
+		return err
+	}
+	defer summary.Close()
+	tee := io.MultiWriter(os.Stdout, summary)
+
+	steps := []struct {
+		name string
+		fn   func(string, uint64, io.Writer) error
+	}{
+		{"Fig 2", writeFig2},
+		{"Fig 3", writeFig3},
+		{"Fig 4 / §3.2", writeFig4},
+		{"Table 2", writeTable2},
+		{"Table 3", writeTable3},
+		{"Fig 7", writeFig7},
+		{"ablations", writeAblations},
+		{"extensions", writeExtensions},
+		{"SVG figures", writeSVGs},
+	}
+	for _, s := range steps {
+		if err := s.fn(dir, seed, tee); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+	}
+	fmt.Fprintf(tee, "\nall artifacts written to %s/\n", dir)
+	return nil
+}
+
+func writeCSV(path string, headers []string, rows [][]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	c := report.NewCSV(f, headers...)
+	for _, r := range rows {
+		c.Row(r...)
+	}
+	return c.Err()
+}
+
+func writeFig2(dir string, _ uint64, w io.Writer) error {
+	pts := exp.Fig2Series(80)
+	rows := make([][]float64, len(pts))
+	for i, p := range pts {
+		rows[i] = []float64{p.Ifc, p.Vfc, p.Power}
+	}
+	if err := writeCSV(filepath.Join(dir, "fig2_stack_ivp.csv"),
+		[]string{"ifc_a", "vfc_v", "power_w"}, rows); err != nil {
+		return err
+	}
+	var maxP, maxI float64
+	for _, p := range pts {
+		if p.Power > maxP {
+			maxP, maxI = p.Power, p.Ifc
+		}
+	}
+	fmt.Fprintf(w, "Fig 2: stack Voc = %.1f V, max power %.1f W at %.2f A -> fig2_stack_ivp.csv\n",
+		pts[0].Vfc, maxP, maxI)
+	return nil
+}
+
+func writeFig3(dir string, _ uint64, w io.Writer) error {
+	pts, err := exp.Fig3Series(80)
+	if err != nil {
+		return err
+	}
+	rows := make([][]float64, len(pts))
+	for i, p := range pts {
+		rows[i] = []float64{p.IF, p.StackEff, p.SystemProportional, p.LinearModel, p.SystemOnOff}
+	}
+	if err := writeCSV(filepath.Join(dir, "fig3_efficiency.csv"),
+		[]string{"if_a", "stack_eff", "system_prop_eff", "linear_model", "system_onoff_eff"}, rows); err != nil {
+		return err
+	}
+	lo, hi := pts[0], pts[len(pts)-1]
+	fmt.Fprintf(w, "Fig 3: system η (prop fan) %.3f @ %.2f A -> %.3f @ %.2f A; Eq 2 model 0.45-0.13·IF -> fig3_efficiency.csv\n",
+		lo.SystemProportional, lo.IF, hi.SystemProportional, hi.IF)
+	return nil
+}
+
+func writeFig4(dir string, _ uint64, w io.Writer) error {
+	m, err := exp.MotivationalExample()
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable("Fig 4 / §3.2 — motivational example", "Setting", "Fuel (A-s)", "Paper")
+	tab.AddRow("(a) Conv-DPM", fmt.Sprintf("%.2f", m.ConvFuel), "36 (w/ Ifc≈IF)")
+	tab.AddRow("(b) ASAP-DPM", fmt.Sprintf("%.2f", m.ASAPFuel), "16")
+	tab.AddRow("(c) FC-DPM", fmt.Sprintf("%.2f", m.FCDPMFuel), "13.45")
+	text := tab.String() + fmt.Sprintf(
+		"optimal IF=%.3f A (paper 0.53), Ifc=%.3f A (paper 0.448), saving vs ASAP=%s (paper 15.9%%), energy=%.0f J (paper 192)\n",
+		m.OptimalIF, m.OptimalIfc, report.Percent(m.SavingVsASAP), m.DeliveredEnergy)
+	if err := os.WriteFile(filepath.Join(dir, "fig4_motivational.txt"), []byte(text), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprint(w, text)
+	return nil
+}
+
+func comparisonText(title string, cmp *exp.Comparison, paper map[string]string) string {
+	tab := report.NewTable(title, "DPM policy", "Fuel (A-s)", "Avg Ifc (A)", "Normalized", "Paper")
+	for _, r := range cmp.Rows {
+		tab.AddRow(r.Name, fmt.Sprintf("%.1f", r.Fuel), fmt.Sprintf("%.4f", r.AvgRate),
+			report.Percent(r.Normalized), paper[r.Name])
+	}
+	return tab.String() + fmt.Sprintf("FC-DPM saving vs ASAP = %s, lifetime extension = %.2fx\n",
+		report.Percent(cmp.SavingVsASAP), cmp.LifetimeRatio)
+}
+
+func writeTable2(dir string, seed uint64, w io.Writer) error {
+	cmp, err := exp.Experiment1(seed)
+	if err != nil {
+		return err
+	}
+	text := comparisonText("Table 2 — Experiment 1 (camcorder MPEG trace)", cmp,
+		map[string]string{"Conv-DPM": "100%", "ASAP-DPM": "40.8%", "FC-DPM": "30.8%"})
+	if err := os.WriteFile(filepath.Join(dir, "table2_exp1.txt"), []byte(text), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, text)
+	return nil
+}
+
+func writeTable3(dir string, seed uint64, w io.Writer) error {
+	cmp, err := exp.Experiment2(seed + 1)
+	if err != nil {
+		return err
+	}
+	text := comparisonText("Table 3 — Experiment 2 (synthetic trace)", cmp,
+		map[string]string{"Conv-DPM": "100%", "ASAP-DPM": "49.1%", "FC-DPM": "41.5%"})
+	if err := os.WriteFile(filepath.Join(dir, "table3_exp2.txt"), []byte(text), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, text)
+	return nil
+}
+
+func writeFig7(dir string, seed uint64, w io.Writer) error {
+	fig, err := exp.Fig7(seed, 300)
+	if err != nil {
+		return err
+	}
+	loadRows := make([][]float64, len(fig.Load))
+	for i, p := range fig.Load {
+		loadRows[i] = []float64{p.T, p.Load}
+	}
+	if err := writeCSV(filepath.Join(dir, "fig7_load.csv"), []string{"t_s", "load_a"}, loadRows); err != nil {
+		return err
+	}
+	asapRows := make([][]float64, len(fig.ASAP))
+	for i, p := range fig.ASAP {
+		asapRows[i] = []float64{p.T, p.IF}
+	}
+	if err := writeCSV(filepath.Join(dir, "fig7_asap.csv"), []string{"t_s", "if_a"}, asapRows); err != nil {
+		return err
+	}
+	fcRows := make([][]float64, len(fig.FCDPM))
+	for i, p := range fig.FCDPM {
+		fcRows[i] = []float64{p.T, p.IF}
+	}
+	if err := writeCSV(filepath.Join(dir, "fig7_fcdpm.csv"), []string{"t_s", "if_a"}, fcRows); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nFig 7: 300 s profiles -> fig7_load.csv (%d pts), fig7_asap.csv (%d), fig7_fcdpm.csv (%d)\n",
+		len(fig.Load), len(fig.ASAP), len(fig.FCDPM))
+	return nil
+}
+
+func writeAblations(dir string, seed uint64, w io.Writer) error {
+	// Capacity sweep.
+	caps, err := exp.CapacitySweep(seed, []float64{1, 2, 3, 6, 12, 24, 60})
+	if err != nil {
+		return err
+	}
+	rows := make([][]float64, len(caps))
+	for i, p := range caps {
+		rows[i] = []float64{p.X, p.FCNormalized, p.SavingVsASAP}
+	}
+	if err := writeCSV(filepath.Join(dir, "ablation_capacity.csv"),
+		[]string{"cmax_as", "fc_vs_conv", "saving_vs_asap"}, rows); err != nil {
+		return err
+	}
+	// Beta sweep.
+	betas, err := exp.BetaSweep(seed, []float64{0, 0.05, 0.10, 0.13, 0.20, 0.30})
+	if err != nil {
+		return err
+	}
+	rows = make([][]float64, len(betas))
+	for i, p := range betas {
+		rows[i] = []float64{p.X, p.FCNormalized, p.SavingVsASAP}
+	}
+	if err := writeCSV(filepath.Join(dir, "ablation_beta.csv"),
+		[]string{"beta", "fc_vs_conv", "saving_vs_asap"}, rows); err != nil {
+		return err
+	}
+	// Predictor ablation.
+	preds, err := exp.PredictorAblation(seed)
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable("Ablation — idle predictors", "Predictor", "MAE", "RMSE", "FC-DPM vs Conv")
+	for _, r := range preds {
+		tab.AddRow(r.Predictor, fmt.Sprintf("%.2f", r.Accuracy.MAE),
+			fmt.Sprintf("%.2f", r.Accuracy.RMSE), report.Percent(r.FCNormalized))
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ablation_predictors.txt"), []byte(tab.String()), 0o644); err != nil {
+		return err
+	}
+	// Constant-eta ablation.
+	linear, constant, err := exp.ConstantEtaAblation(seed)
+	if err != nil {
+		return err
+	}
+	text := fmt.Sprintf("constant-eta ablation: linear-η saving vs ASAP = %s, constant-η = %s\n",
+		report.Percent(linear.SavingVsASAP), report.Percent(constant.SavingVsASAP))
+	if err := os.WriteFile(filepath.Join(dir, "ablation_constant_eta.txt"), []byte(text), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nablations -> ablation_capacity.csv, ablation_beta.csv, ablation_predictors.txt, ablation_constant_eta.txt\n")
+	fmt.Fprint(w, text)
+	return nil
+}
+
+// writeExtensions regenerates the beyond-paper artifacts: Experiment 3,
+// the offline DP oracle, the quantized-level sweep, the slew-rate
+// ablation, the aggregation ablation, and the hydrogen report.
+func writeExtensions(dir string, seed uint64, w io.Writer) error {
+	// Experiment 3 + sleep-policy comparison.
+	cmp3, err := exp.Experiment3(seed + 2)
+	if err != nil {
+		return err
+	}
+	text := comparisonText("Experiment 3 — heavy-tail idle workload (beyond paper)", cmp3, nil)
+	rows3, err := exp.Experiment3DPM(seed + 2)
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable("Sleep-policy comparison under FC-DPM", "Mode", "Sleeps", "Avg Ifc (A)", "Deficit (A-s)")
+	for _, r := range rows3 {
+		tab.AddRow(r.Mode, r.Sleeps, fmt.Sprintf("%.4f", r.FCRate), fmt.Sprintf("%.3f", r.Deficit))
+	}
+	text += tab.String()
+	if err := os.WriteFile(filepath.Join(dir, "experiment3.txt"), []byte(text), 0o644); err != nil {
+		return err
+	}
+
+	// Quantized levels.
+	qr, err := exp.QuantizedSweep(seed, []int{2, 3, 4, 8, 16})
+	if err != nil {
+		return err
+	}
+	rows := make([][]float64, len(qr))
+	for i, r := range qr {
+		rows[i] = []float64{float64(r.Levels), r.Fuel, r.FCNormalized, r.GapVsCont}
+	}
+	if err := writeCSV(filepath.Join(dir, "ablation_levels.csv"),
+		[]string{"levels", "fuel_as", "fc_vs_conv", "gap_vs_continuous"}, rows); err != nil {
+		return err
+	}
+
+	// Slew-rate ablation.
+	sr, err := exp.SlewAblation(seed, []float64{0, 0.5, 0.1, 0.05, 0.02})
+	if err != nil {
+		return err
+	}
+	rows = make([][]float64, len(sr))
+	for i, r := range sr {
+		rows[i] = []float64{r.RateAps, r.ASAPRate, r.ASAPDeficit, r.FCRate, r.FCDeficit}
+	}
+	if err := writeCSV(filepath.Join(dir, "ablation_slew.csv"),
+		[]string{"rate_aps", "asap_rate", "asap_deficit", "fc_rate", "fc_deficit"}, rows); err != nil {
+		return err
+	}
+
+	// Aggregation ablation.
+	ar, err := exp.AggregationAblation(seed, []int{1, 2, 4, 8})
+	if err != nil {
+		return err
+	}
+	rows = make([][]float64, len(ar))
+	for i, r := range ar {
+		rows[i] = []float64{float64(r.K), r.MaxDeferral, float64(r.Sleeps), r.FCRate}
+	}
+	if err := writeCSV(filepath.Join(dir, "ablation_aggregation.csv"),
+		[]string{"k", "max_deferral_s", "sleeps", "fc_rate"}, rows); err != nil {
+		return err
+	}
+
+	// Offline DP oracle + battery-aware contrast, summarized in text.
+	offline, online, err := exp.OfflineOracleDP(seed, 48)
+	if err != nil {
+		return err
+	}
+	ba, fc, err := exp.BatteryAwareAblation(seed)
+	if err != nil {
+		return err
+	}
+	summary := fmt.Sprintf(
+		"offline DP oracle: %.4f A; online FC-DPM: %.4f A (gap %s)\n"+
+			"battery-aware shaping: %.4f A vs FC-DPM %.4f A (%s more fuel)\n",
+		offline.AvgFuelRate(), online.AvgFuelRate(),
+		report.Percent(online.AvgFuelRate()/offline.AvgFuelRate()-1),
+		ba.AvgFuelRate(), fc.AvgFuelRate(),
+		report.Percent(ba.AvgFuelRate()/fc.AvgFuelRate()-1))
+	if err := os.WriteFile(filepath.Join(dir, "ablation_bounds.txt"), []byte(summary), 0o644); err != nil {
+		return err
+	}
+
+	// Hydrogen report.
+	cmp1, err := exp.Experiment1(seed)
+	if err != nil {
+		return err
+	}
+	hr, err := exp.Hydrogen(cmp1, 10)
+	if err != nil {
+		return err
+	}
+	htab := report.NewTable("Hydrogen accounting (10 g cartridge)", "Policy", "H2 (g)", "Life (h)", "End-to-end η")
+	for _, r := range hr {
+		htab.AddRow(r.Policy, fmt.Sprintf("%.3f", r.Grams), fmt.Sprintf("%.1f", r.LifetimeHours),
+			report.Percent(r.EndToEndEff))
+	}
+	if err := os.WriteFile(filepath.Join(dir, "hydrogen.txt"), []byte(htab.String()), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\nextensions -> experiment3.txt, ablation_levels.csv, ablation_slew.csv, ablation_aggregation.csv, ablation_bounds.txt, hydrogen.txt\n")
+	fmt.Fprint(w, summary)
+	return nil
+}
+
+// writeSVGs emits the three reproduced figures as standalone SVG documents.
+func writeSVGs(dir string, seed uint64, w io.Writer) error {
+	// Fig 2.
+	fig2 := exp.Fig2Series(80)
+	var ifc, vfc, pw []float64
+	for _, p := range fig2 {
+		ifc = append(ifc, p.Ifc)
+		vfc = append(vfc, p.Vfc)
+		pw = append(pw, p.Power)
+	}
+	c2 := report.NewSVGChart("Fig 2 — BCS 20W stack I-V-P characteristic", "stack current (A)", "V / W")
+	if err := c2.Line("Vfc (V)", ifc, vfc); err != nil {
+		return err
+	}
+	if err := c2.Line("P (W)", ifc, pw); err != nil {
+		return err
+	}
+	if err := renderSVG(filepath.Join(dir, "fig2.svg"), c2); err != nil {
+		return err
+	}
+
+	// Fig 3.
+	fig3, err := exp.Fig3Series(80)
+	if err != nil {
+		return err
+	}
+	var xs, a, b3, lin, cc []float64
+	for _, p := range fig3 {
+		xs = append(xs, p.IF)
+		a = append(a, p.StackEff)
+		b3 = append(b3, p.SystemProportional)
+		lin = append(lin, p.LinearModel)
+		cc = append(cc, p.SystemOnOff)
+	}
+	c3 := report.NewSVGChart("Fig 3 — efficiency vs FC system output current", "IF (A)", "efficiency")
+	for _, s := range []struct {
+		name string
+		ys   []float64
+	}{{"(a) stack", a}, {"(b) system, prop fan", b3}, {"Eq 2 linear model", lin}, {"(c) system, on/off fan", cc}} {
+		if err := c3.Line(s.name, xs, s.ys); err != nil {
+			return err
+		}
+	}
+	if err := renderSVG(filepath.Join(dir, "fig3.svg"), c3); err != nil {
+		return err
+	}
+
+	// Fig 7.
+	fig7, err := exp.Fig7(seed, 300)
+	if err != nil {
+		return err
+	}
+	c7 := report.NewSVGChart("Fig 7 — 300 s current profiles", "time (s)", "current (A)")
+	split := func(pts []sim.ProfilePoint, useIF bool) (txs, tys []float64) {
+		for _, p := range pts {
+			txs = append(txs, p.T)
+			if useIF {
+				tys = append(tys, p.IF)
+			} else {
+				tys = append(tys, p.Load)
+			}
+		}
+		return
+	}
+	lx, ly := split(fig7.Load, false)
+	if err := c7.Step("load", lx, ly); err != nil {
+		return err
+	}
+	ax, ay := split(fig7.ASAP, true)
+	if err := c7.Step("ASAP-DPM IF", ax, ay); err != nil {
+		return err
+	}
+	fx, fy := split(fig7.FCDPM, true)
+	if err := c7.Step("FC-DPM IF", fx, fy); err != nil {
+		return err
+	}
+	if err := renderSVG(filepath.Join(dir, "fig7.svg"), c7); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "SVG figures -> fig2.svg, fig3.svg, fig7.svg\n")
+	return nil
+}
+
+func renderSVG(path string, c *report.SVGChart) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.Render(f)
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchToolWritesAllArtifacts runs the full regeneration into a temp
+// directory and checks every promised artifact exists and is non-empty.
+func TestBenchToolWritesAllArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact regeneration")
+	}
+	dir := t.TempDir()
+	old := os.Stdout
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devNull
+	defer func() {
+		os.Stdout = old
+		devNull.Close()
+	}()
+	if err := run([]string{dir}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"fig2_stack_ivp.csv",
+		"fig3_efficiency.csv",
+		"fig4_motivational.txt",
+		"fig7_load.csv",
+		"fig7_asap.csv",
+		"fig7_fcdpm.csv",
+		"fig2.svg",
+		"fig3.svg",
+		"fig7.svg",
+		"table2_exp1.txt",
+		"table3_exp2.txt",
+		"ablation_capacity.csv",
+		"ablation_beta.csv",
+		"ablation_predictors.txt",
+		"ablation_constant_eta.txt",
+		"ablation_levels.csv",
+		"ablation_slew.csv",
+		"ablation_aggregation.csv",
+		"ablation_bounds.txt",
+		"experiment3.txt",
+		"hydrogen.txt",
+		"summary.txt",
+	}
+	for _, name := range want {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("%s missing: %v", name, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+	// Spot-check contents.
+	data, err := os.ReadFile(filepath.Join(dir, "table2_exp1.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"Conv-DPM", "ASAP-DPM", "FC-DPM", "40.8%"} {
+		if !strings.Contains(string(data), sub) {
+			t.Errorf("table2_exp1.txt missing %q", sub)
+		}
+	}
+	data, err = os.ReadFile(filepath.Join(dir, "fig2_stack_ivp.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "ifc_a,vfc_v,power_w") {
+		t.Error("fig2 CSV header wrong")
+	}
+}

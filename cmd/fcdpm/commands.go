@@ -1,0 +1,827 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"fcdpm/internal/config"
+	"fcdpm/internal/device"
+	"fcdpm/internal/exp"
+	"fcdpm/internal/fuelcell"
+	"fcdpm/internal/numeric"
+	"fcdpm/internal/policy"
+	"fcdpm/internal/report"
+	"fcdpm/internal/sim"
+	"fcdpm/internal/storage"
+	"fcdpm/internal/workload"
+)
+
+// outWriter opens the -out target, defaulting to stdout.
+func outWriter(path string) (io.Writer, func() error, error) {
+	if path == "" || path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+func cmdCurves(args []string) error {
+	fs := flag.NewFlagSet("curves", flag.ContinueOnError)
+	points := fs.Int("points", 60, "samples per curve")
+	dir := fs.String("out", "", "directory for CSV output (default: tables to stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fig2 := exp.Fig2Series(*points)
+	fig3, err := exp.Fig3Series(*points)
+	if err != nil {
+		return err
+	}
+	if *dir == "" {
+		tab := report.NewTable("Fig 2 — stack I-V-P", "Ifc (A)", "Vfc (V)", "P (W)")
+		for _, p := range fig2 {
+			tab.AddRow(fmt.Sprintf("%.3f", p.Ifc), fmt.Sprintf("%.2f", p.Vfc), fmt.Sprintf("%.2f", p.Power))
+		}
+		fmt.Print(tab)
+		tab3 := report.NewTable("\nFig 3 — efficiencies", "IF (A)", "stack", "sys prop", "Eq2", "sys on/off")
+		for _, p := range fig3 {
+			tab3.AddRow(fmt.Sprintf("%.3f", p.IF), report.Percent(p.StackEff),
+				report.Percent(p.SystemProportional), report.Percent(p.LinearModel),
+				report.Percent(p.SystemOnOff))
+		}
+		fmt.Print(tab3)
+		return nil
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	f2, err := os.Create(filepath.Join(*dir, "fig2_stack_ivp.csv"))
+	if err != nil {
+		return err
+	}
+	defer f2.Close()
+	c2 := report.NewCSV(f2, "ifc_a", "vfc_v", "power_w")
+	for _, p := range fig2 {
+		c2.Row(p.Ifc, p.Vfc, p.Power)
+	}
+	if err := c2.Err(); err != nil {
+		return err
+	}
+	f3, err := os.Create(filepath.Join(*dir, "fig3_efficiency.csv"))
+	if err != nil {
+		return err
+	}
+	defer f3.Close()
+	c3 := report.NewCSV(f3, "if_a", "stack_eff", "system_prop_eff", "linear_model", "system_onoff_eff")
+	for _, p := range fig3 {
+		c3.Row(p.IF, p.StackEff, p.SystemProportional, p.LinearModel, p.SystemOnOff)
+	}
+	if err := c3.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s and %s\n", filepath.Join(*dir, "fig2_stack_ivp.csv"), filepath.Join(*dir, "fig3_efficiency.csv"))
+	return nil
+}
+
+// makeTrace builds a trace from the -kind/-seed/-duration flags.
+func makeTrace(kind string, seed uint64, duration float64) (*workload.Trace, *device.Model, error) {
+	switch kind {
+	case "camcorder":
+		cfg := workload.DefaultCamcorderConfig()
+		cfg.Seed = seed
+		if duration > 0 {
+			cfg.Duration = duration
+		}
+		tr, err := workload.Camcorder(cfg)
+		return tr, device.Camcorder(), err
+	case "synthetic":
+		cfg := workload.DefaultSyntheticConfig()
+		cfg.Seed = seed
+		if duration > 0 {
+			cfg.Duration = duration
+		}
+		tr, err := workload.Synthetic(cfg)
+		return tr, device.Synthetic(), err
+	default:
+		return nil, nil, fmt.Errorf("unknown trace kind %q (want camcorder or synthetic)", kind)
+	}
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	kind := fs.String("kind", "camcorder", "trace kind: camcorder or synthetic")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	duration := fs.Float64("duration", 0, "trace duration in seconds (0 = paper default)")
+	format := fs.String("format", "csv", "output format: csv or json")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, _, err := makeTrace(*kind, *seed, *duration)
+	if err != nil {
+		return err
+	}
+	w, closeFn, err := outWriter(*out)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	switch *format {
+	case "csv":
+		return tr.WriteCSV(w)
+	case "json":
+		return tr.WriteJSON(w)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	polName := fs.String("policy", "fcdpm", "policy: conv, asap, fcdpm, or flat")
+	kind := fs.String("kind", "camcorder", "trace kind: camcorder or synthetic")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	duration := fs.Float64("duration", 0, "trace duration in seconds (0 = paper default)")
+	cmax := fs.Float64("cmax", 6, "storage capacity in A-s")
+	reserve := fs.Float64("reserve", 1, "initial/target storage charge in A-s")
+	flatIF := fs.Float64("flat", 0.5, "fixed output for -policy flat, A")
+	fuel := fs.Float64("fuel", 3600, "fuel budget for lifetime report, stack A-s")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, dev, err := makeTrace(*kind, *seed, *duration)
+	if err != nil {
+		return err
+	}
+	sys := fuelcell.PaperSystem()
+	var pol sim.Policy
+	switch *polName {
+	case "conv":
+		pol = policy.NewConv(sys)
+	case "asap":
+		pol = policy.NewASAP(sys)
+	case "fcdpm":
+		pol = policy.NewFCDPM(sys, dev)
+	case "flat":
+		pol = policy.NewFlat(sys, *flatIF)
+	default:
+		return fmt.Errorf("unknown policy %q", *polName)
+	}
+	res, err := sim.Run(sim.Config{
+		Sys: sys, Dev: dev,
+		Store:  storage.NewSuperCap(*cmax, *reserve),
+		Trace:  tr,
+		Policy: pol,
+	})
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable(fmt.Sprintf("%s over %s (seed %d)", res.Policy, tr.Name, *seed), "Metric", "Value")
+	tab.AddRow("slots", res.Slots)
+	tab.AddRow("sleep decisions", res.Sleeps)
+	tab.AddRow("duration (s)", fmt.Sprintf("%.1f", res.Duration))
+	tab.AddRow("fuel (stack A-s)", fmt.Sprintf("%.1f", res.Fuel))
+	tab.AddRow("avg stack current (A)", fmt.Sprintf("%.4f", res.AvgFuelRate()))
+	tab.AddRow("delivered energy (J)", fmt.Sprintf("%.0f", res.DeliveredEnergy))
+	tab.AddRow("load energy (J)", fmt.Sprintf("%.0f", res.LoadEnergy))
+	tab.AddRow("bled charge (A-s)", fmt.Sprintf("%.2f", res.Bled))
+	tab.AddRow("deficit charge (A-s)", fmt.Sprintf("%.3f", res.Deficit))
+	tab.AddRow("final storage (A-s)", fmt.Sprintf("%.2f", res.FinalCharge))
+	tab.AddRow(fmt.Sprintf("lifetime @ %.0f A-s fuel (s)", *fuel), fmt.Sprintf("%.0f", res.Lifetime(*fuel)))
+	fmt.Print(tab)
+	return nil
+}
+
+func cmdExp(args []string, which int) error {
+	fs := flag.NewFlagSet(fmt.Sprintf("exp%d", which), flag.ContinueOnError)
+	seed := fs.Uint64("seed", uint64(which), "trace seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var cmp *exp.Comparison
+	var err error
+	var paper map[string]string
+	var title string
+	if which == 1 {
+		cmp, err = exp.Experiment1(*seed)
+		paper = map[string]string{"Conv-DPM": "100%", "ASAP-DPM": "40.8%", "FC-DPM": "30.8%"}
+		title = "Table 2 — Experiment 1 (camcorder MPEG trace)"
+	} else {
+		cmp, err = exp.Experiment2(*seed)
+		paper = map[string]string{"Conv-DPM": "100%", "ASAP-DPM": "49.1%", "FC-DPM": "41.5%"}
+		title = "Table 3 — Experiment 2 (synthetic trace)"
+	}
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable(title, "DPM policy", "Fuel (A-s)", "Avg Ifc (A)", "Normalized", "Paper")
+	for _, r := range cmp.Rows {
+		tab.AddRow(r.Name, fmt.Sprintf("%.1f", r.Fuel), fmt.Sprintf("%.4f", r.AvgRate),
+			report.Percent(r.Normalized), paper[r.Name])
+	}
+	fmt.Print(tab)
+	fmt.Printf("FC-DPM saving vs ASAP-DPM: %s; lifetime extension: %.2fx\n",
+		report.Percent(cmp.SavingVsASAP), cmp.LifetimeRatio)
+	return nil
+}
+
+func cmdMotiv(args []string) error {
+	fs := flag.NewFlagSet("motiv", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := exp.MotivationalExample()
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable("§3.2 / Fig 4 — motivational example", "Setting", "Fuel (A-s)", "Paper")
+	tab.AddRow("(a) Conv-DPM", fmt.Sprintf("%.2f", m.ConvFuel), "36 (w/ Ifc≈IF)")
+	tab.AddRow("(b) ASAP-DPM", fmt.Sprintf("%.2f", m.ASAPFuel), "16")
+	tab.AddRow("(c) FC-DPM", fmt.Sprintf("%.2f", m.FCDPMFuel), "13.45")
+	fmt.Print(tab)
+	fmt.Printf("optimal IF = %.3f A, Ifc = %.3f A, saving vs ASAP = %s, vs Conv = %s, energy = %.0f J\n",
+		m.OptimalIF, m.OptimalIfc, report.Percent(m.SavingVsASAP),
+		report.Percent(m.SavingVsConv), m.DeliveredEnergy)
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	what := fs.String("what", "capacity", "sweep: capacity, beta, or rho")
+	seed := fs.Uint64("seed", 1, "trace seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var pts []exp.SweepPoint
+	var err error
+	var xName string
+	switch *what {
+	case "capacity":
+		pts, err = exp.CapacitySweep(*seed, []float64{1, 2, 3, 6, 12, 24, 60})
+		xName = "Cmax (A-s)"
+	case "beta":
+		pts, err = exp.BetaSweep(*seed, []float64{0, 0.05, 0.10, 0.13, 0.20, 0.30})
+		xName = "beta"
+	case "rho":
+		pts, err = exp.RhoSweep(*seed, []float64{0, 0.25, 0.5, 0.75, 1})
+		xName = "rho"
+	default:
+		return fmt.Errorf("unknown sweep %q", *what)
+	}
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable(fmt.Sprintf("%s sweep (Experiment 1 setup)", *what), xName, "FC-DPM vs Conv", "Saving vs ASAP")
+	for _, p := range pts {
+		tab.AddRow(p.X, report.Percent(p.FCNormalized), report.Percent(p.SavingVsASAP))
+	}
+	fmt.Print(tab)
+	return nil
+}
+
+func cmdOracle(args []string) error {
+	fs := flag.NewFlagSet("oracle", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "trace seed")
+	grid := fs.Int("grid", 48, "DP storage-grid intervals")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	offline, online, err := exp.OfflineOracleDP(*seed, *grid)
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable("Offline DP oracle vs online FC-DPM (Experiment 1 setup)",
+		"Policy", "Fuel (A-s)", "Avg Ifc (A)")
+	tab.AddRow(offline.Policy, fmt.Sprintf("%.1f", offline.Fuel), fmt.Sprintf("%.4f", offline.AvgFuelRate()))
+	tab.AddRow(online.Policy, fmt.Sprintf("%.1f", online.Fuel), fmt.Sprintf("%.4f", online.AvgFuelRate()))
+	fmt.Print(tab)
+	fmt.Printf("online prediction cost: %s above the offline bound\n",
+		report.Percent(online.AvgFuelRate()/offline.AvgFuelRate()-1))
+	return nil
+}
+
+func cmdHydrogen(args []string) error {
+	fs := flag.NewFlagSet("hydrogen", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "trace seed")
+	grams := fs.Float64("cartridge", 10, "H2 cartridge mass in grams")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cmp, err := exp.Experiment1(*seed)
+	if err != nil {
+		return err
+	}
+	rows, err := exp.Hydrogen(cmp, *grams)
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable(fmt.Sprintf("Hydrogen accounting (%.0f g cartridge, 20-cell stack)", *grams),
+		"Policy", "H2 (g)", "H2 (L STP)", "Cartridge life (h)", "End-to-end η")
+	for _, r := range rows {
+		tab.AddRow(r.Policy, fmt.Sprintf("%.3f", r.Grams), fmt.Sprintf("%.2f", r.LitresSTP),
+			fmt.Sprintf("%.1f", r.LifetimeHours), report.Percent(r.EndToEndEff))
+	}
+	fmt.Print(tab)
+	return nil
+}
+
+func cmdLevels(args []string) error {
+	fs := flag.NewFlagSet("levels", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "trace seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := exp.QuantizedSweep(*seed, []int{2, 3, 4, 8, 16})
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable("Discrete FC output levels (multi-level config of [11])",
+		"Levels", "Fuel (A-s)", "FC-DPM vs Conv", "Gap vs continuous")
+	for _, r := range rows {
+		name := fmt.Sprintf("%d", r.Levels)
+		if r.Levels == 0 {
+			name = "continuous"
+		}
+		tab.AddRow(name, fmt.Sprintf("%.1f", r.Fuel), report.Percent(r.FCNormalized),
+			report.Percent(r.GapVsCont))
+	}
+	fmt.Print(tab)
+	return nil
+}
+
+func cmdPlot(args []string) error {
+	fs := flag.NewFlagSet("plot", flag.ContinueOnError)
+	what := fs.String("what", "fig7", "chart: fig7, fig2, or fig3")
+	seed := fs.Uint64("seed", 1, "trace seed (fig7)")
+	window := fs.Float64("window", 300, "profile window in seconds (fig7)")
+	width := fs.Int("width", 96, "chart width in characters")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *what {
+	case "fig7":
+		fig, err := exp.Fig7(*seed, *window)
+		if err != nil {
+			return err
+		}
+		split := func(pts []sim.ProfilePoint, useIF bool) (xs, ys []float64) {
+			for _, p := range pts {
+				xs = append(xs, p.T)
+				if useIF {
+					ys = append(ys, p.IF)
+				} else {
+					ys = append(ys, p.Load)
+				}
+			}
+			return xs, ys
+		}
+		c := report.NewChart("Fig 7 — load and FC output current profiles", "time (s)", "current (A)")
+		c.Width = *width
+		lx, ly := split(fig.Load, false)
+		if err := c.Step("load", '.', lx, ly); err != nil {
+			return err
+		}
+		ax, ay := split(fig.ASAP, true)
+		if err := c.Step("ASAP IF", 'a', ax, ay); err != nil {
+			return err
+		}
+		fx, fy := split(fig.FCDPM, true)
+		if err := c.Step("FC-DPM IF", 'F', fx, fy); err != nil {
+			return err
+		}
+		return c.Render(os.Stdout)
+	case "fig2":
+		pts := exp.Fig2Series(80)
+		var xs, vs, ps []float64
+		for _, p := range pts {
+			xs = append(xs, p.Ifc)
+			vs = append(vs, p.Vfc)
+			ps = append(ps, p.Power)
+		}
+		c := report.NewChart("Fig 2 — stack I-V-P characteristic", "stack current (A)", "V / W")
+		c.Width = *width
+		if err := c.Line("Vfc (V)", 'v', xs, vs); err != nil {
+			return err
+		}
+		if err := c.Line("P (W)", 'p', xs, ps); err != nil {
+			return err
+		}
+		return c.Render(os.Stdout)
+	case "fig3":
+		pts, err := exp.Fig3Series(80)
+		if err != nil {
+			return err
+		}
+		var xs, a, b, lin, cc []float64
+		for _, p := range pts {
+			xs = append(xs, p.IF)
+			a = append(a, p.StackEff)
+			b = append(b, p.SystemProportional)
+			lin = append(lin, p.LinearModel)
+			cc = append(cc, p.SystemOnOff)
+		}
+		c := report.NewChart("Fig 3 — efficiency vs FC system output current", "IF (A)", "efficiency")
+		c.Width = *width
+		if err := c.Line("stack", 's', xs, a); err != nil {
+			return err
+		}
+		if err := c.Line("system prop-fan", 'b', xs, b); err != nil {
+			return err
+		}
+		if err := c.Line("Eq2 linear", 'l', xs, lin); err != nil {
+			return err
+		}
+		if err := c.Line("system on/off", 'c', xs, cc); err != nil {
+			return err
+		}
+		return c.Render(os.Stdout)
+	default:
+		return fmt.Errorf("unknown chart %q", *what)
+	}
+}
+
+func cmdRunFile(args []string) error {
+	fs := flag.NewFlagSet("runfile", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: fcdpm runfile <scenario.json>")
+	}
+	scen, err := config.LoadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cfg, err := scen.Build()
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	title := scen.Name
+	if title == "" {
+		title = fs.Arg(0)
+	}
+	tab := report.NewTable(fmt.Sprintf("scenario %q: %s over %s", title, res.Policy, cfg.Trace.Name),
+		"Metric", "Value")
+	tab.AddRow("slots", res.Slots)
+	tab.AddRow("sleep decisions", res.Sleeps)
+	tab.AddRow("duration (s)", fmt.Sprintf("%.1f", res.Duration))
+	tab.AddRow("fuel (stack A-s)", fmt.Sprintf("%.1f", res.Fuel))
+	tab.AddRow("avg stack current (A)", fmt.Sprintf("%.4f", res.AvgFuelRate()))
+	tab.AddRow("bled charge (A-s)", fmt.Sprintf("%.2f", res.Bled))
+	tab.AddRow("deficit charge (A-s)", fmt.Sprintf("%.3f", res.Deficit))
+	tab.AddRow("final storage (A-s)", fmt.Sprintf("%.2f", res.FinalCharge))
+	fmt.Print(tab)
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	kind := fs.String("kind", "camcorder", "trace kind: camcorder, synthetic, or heavytail")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	duration := fs.Float64("duration", 0, "trace duration in seconds (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var tr *workload.Trace
+	var err error
+	switch *kind {
+	case "heavytail":
+		cfg := workload.DefaultHeavyTailConfig()
+		cfg.Seed = *seed
+		if *duration > 0 {
+			cfg.Duration = *duration
+		}
+		tr, err = workload.HeavyTail(cfg)
+	default:
+		tr, _, err = makeTrace(*kind, *seed, *duration)
+	}
+	if err != nil {
+		return err
+	}
+	st := tr.Statistics()
+	tab := report.NewTable(fmt.Sprintf("trace statistics: %s", tr.Name), "Metric", "Value")
+	tab.AddRow("slots", st.Slots)
+	tab.AddRow("duration (s)", fmt.Sprintf("%.1f", st.Duration))
+	tab.AddRow("active duty cycle", report.Percent(st.ActiveDutyCycle))
+	tab.AddRow("idle mean/median (s)", fmt.Sprintf("%.2f / %.2f", st.Idle.Mean, st.Idle.Median))
+	tab.AddRow("idle min/max (s)", fmt.Sprintf("%.2f / %.2f", st.Idle.Min, st.Idle.Max))
+	tab.AddRow("idle stddev (s)", fmt.Sprintf("%.2f", st.Idle.Stddev))
+	tab.AddRow("idle p10/p90 (s)", fmt.Sprintf("%.2f / %.2f", st.Idle.P10, st.Idle.P90))
+	tab.AddRow("active mean (s)", fmt.Sprintf("%.2f", st.Active.Mean))
+	tab.AddRow("active current mean (A)", fmt.Sprintf("%.3f", st.ActiveCurrent.Mean))
+	fmt.Print(tab)
+	fmt.Println("\nidle-length distribution:")
+	h := numeric.NewHistogram(tr.IdleLengths(), 12, st.Idle.Min, st.Idle.Max+1e-9)
+	fmt.Print(h.Render(48))
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "trace seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	checks, err := exp.Conformance(*seed)
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable("Reproduction conformance suite", "Check", "Measured", "Band", "Paper", "Verdict")
+	for _, c := range checks {
+		verdict := "PASS"
+		if !c.Pass {
+			verdict = "FAIL"
+		}
+		tab.AddRow(c.Name, fmt.Sprintf("%.4g", c.Measured),
+			fmt.Sprintf("[%.4g, %.4g]", c.Lo, c.Hi), c.Paper, verdict)
+	}
+	fmt.Print(tab)
+	if !exp.Passed(checks) {
+		return fmt.Errorf("conformance suite failed")
+	}
+	fmt.Println("all checks passed")
+	return nil
+}
+
+func cmdAblate(args []string) error {
+	fs := flag.NewFlagSet("ablate", flag.ContinueOnError)
+	what := fs.String("what", "", "ablation: thermal, actuation, battery, aggregation, calibration, slew, mpc, timeout, storage, dpm")
+	seed := fs.Uint64("seed", 1, "trace seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *what {
+	case "thermal":
+		rows, err := exp.ThermalStressAblation(*seed)
+		if err != nil {
+			return err
+		}
+		tab := report.NewTable("Stack thermal stress (post-warm-up)", "Policy", "Mean (°C)", "Swing (°C)", "Cycles")
+		for _, r := range rows {
+			tab.AddRow(r.Policy, fmt.Sprintf("%.1f", r.Stress.Mean), fmt.Sprintf("%.1f", r.Stress.Swing), r.Stress.CycleCount)
+		}
+		fmt.Print(tab)
+	case "actuation":
+		rows, err := exp.ActuationAblation(*seed, []float64{0, 0.02, 0.05, 0.1, 0.2})
+		if err != nil {
+			return err
+		}
+		tab := report.NewTable("Actuation dead band", "ε (A)", "Set-point commands", "Avg Ifc (A)")
+		for _, r := range rows {
+			tab.AddRow(r.Epsilon, r.Setpoints, fmt.Sprintf("%.4f", r.FCRate))
+		}
+		fmt.Print(tab)
+	case "battery":
+		ba, fc, err := exp.BatteryAwareAblation(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("battery-aware shaping: %.4f A avg Ifc vs FC-DPM %.4f A (%s more fuel)\n",
+			ba.AvgFuelRate(), fc.AvgFuelRate(), report.Percent(ba.AvgFuelRate()/fc.AvgFuelRate()-1))
+	case "aggregation":
+		rows, err := exp.AggregationAblation(*seed, []int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		tab := report.NewTable("Idle aggregation ([6, 7])", "k", "Max deferral (s)", "Sleeps", "Avg Ifc (A)")
+		for _, r := range rows {
+			tab.AddRow(r.K, fmt.Sprintf("%.1f", r.MaxDeferral), r.Sleeps, fmt.Sprintf("%.4f", r.FCRate))
+		}
+		fmt.Print(tab)
+	case "calibration":
+		rows, err := exp.CalibrationUncertainty(*seed, 0.1)
+		if err != nil {
+			return err
+		}
+		tab := report.NewTable("±10% calibration box on (α, β)", "α", "β", "FC-DPM vs Conv", "Saving vs ASAP")
+		for _, r := range rows {
+			tab.AddRow(fmt.Sprintf("%.3f", r.Alpha), fmt.Sprintf("%.3f", r.Beta),
+				report.Percent(r.FCNormalized), report.Percent(r.SavingVsASAP))
+		}
+		fmt.Print(tab)
+	case "slew":
+		rows, err := exp.SlewAblation(*seed, []float64{0, 0.5, 0.1, 0.05, 0.02})
+		if err != nil {
+			return err
+		}
+		tab := report.NewTable("FC output slew-rate limit", "Rate (A/s)", "ASAP Ifc", "ASAP deficit", "FC-DPM Ifc", "FC-DPM deficit")
+		for _, r := range rows {
+			tab.AddRow(r.RateAps, fmt.Sprintf("%.4f", r.ASAPRate), fmt.Sprintf("%.2f", r.ASAPDeficit),
+				fmt.Sprintf("%.4f", r.FCRate), fmt.Sprintf("%.2f", r.FCDeficit))
+		}
+		fmt.Print(tab)
+	case "mpc":
+		rows, err := exp.MPCAblation(*seed, []int{1, 2, 3, 5})
+		if err != nil {
+			return err
+		}
+		tab := report.NewTable("Receding-horizon FC-DPM", "Horizon", "Avg Ifc (A)", "Deficit (A-s)")
+		for _, r := range rows {
+			tab.AddRow(r.Horizon, fmt.Sprintf("%.4f", r.FCRate), fmt.Sprintf("%.3f", r.Deficit))
+		}
+		fmt.Print(tab)
+	case "timeout":
+		pred, timeout, err := exp.TimeoutAblation(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("predictive %.4f A vs timeout(Tbe) %.4f A (dwell cost %s)\n",
+			pred.AvgFuelRate(), timeout.AvgFuelRate(),
+			report.Percent(timeout.AvgFuelRate()/pred.AvgFuelRate()-1))
+	case "storage":
+		super, liion, err := exp.StorageModelAblation(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("supercap FC-DPM %s of Conv; KiBaM Li-ion %s\n",
+			report.Percent(super.Row("FC-DPM").Normalized), report.Percent(liion.Row("FC-DPM").Normalized))
+	case "dpm":
+		modes, err := exp.DPMModeAblation(*seed)
+		if err != nil {
+			return err
+		}
+		tab := report.NewTable("Device-side DPM modes (FC-DPM source)", "Mode", "Avg Ifc (A)", "Sleeps")
+		for _, name := range []string{"predictive", "oracle-sleep", "always-sleep", "never-sleep"} {
+			r := modes[name].Row("FC-DPM")
+			tab.AddRow(name, fmt.Sprintf("%.4f", r.AvgRate), r.Sleeps)
+		}
+		fmt.Print(tab)
+	default:
+		return fmt.Errorf("unknown ablation %q", *what)
+	}
+	return nil
+}
+
+func cmdAdvise(args []string) error {
+	fs := flag.NewFlagSet("advise", flag.ContinueOnError)
+	kind := fs.String("kind", "camcorder", "trace kind: camcorder or synthetic")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, dev, err := makeTrace(*kind, *seed, 0)
+	if err != nil {
+		return err
+	}
+	sys := fuelcell.PaperSystem()
+	a, err := exp.Advise(sys, dev, tr)
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable(fmt.Sprintf("hybrid sizing advice — %s on %s", tr.Name, dev.Name), "Quantity", "Value")
+	tab.AddRow("peak load (A)", fmt.Sprintf("%.3f", a.PeakLoad))
+	tab.AddRow("DPM-average load (A)", fmt.Sprintf("%.3f", a.AvgLoad))
+	verdict := "yes"
+	if !a.RangeOK {
+		verdict = "NO — grow the stack or shrink the load"
+	}
+	tab.AddRow("FC range covers average?", verdict)
+	tab.AddRow("min storage for FC-DPM (A-s)", fmt.Sprintf("%.2f", a.StorageNeeded))
+	tab.AddRow("recommended Cmax (A-s)", fmt.Sprintf("%.2f", a.RecommendedCmax))
+	tab.AddRow("recommended reserve (A-s)", fmt.Sprintf("%.2f", a.RecommendedReserve))
+	fmt.Print(tab)
+	return nil
+}
+
+func cmdBatch(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("usage: fcdpm batch <scenario.json>...")
+	}
+	type outcome struct {
+		name string
+		res  *sim.Result
+		err  error
+	}
+	outs := make([]outcome, len(paths))
+	var wg sync.WaitGroup
+	for i, path := range paths {
+		wg.Add(1)
+		go func(i int, path string) {
+			defer wg.Done()
+			scen, err := config.LoadFile(path)
+			if err != nil {
+				outs[i] = outcome{name: path, err: err}
+				return
+			}
+			cfg, err := scen.Build()
+			if err != nil {
+				outs[i] = outcome{name: path, err: err}
+				return
+			}
+			name := scen.Name
+			if name == "" {
+				name = path
+			}
+			res, err := sim.Run(cfg)
+			outs[i] = outcome{name: name, res: res, err: err}
+		}(i, path)
+	}
+	wg.Wait()
+	tab := report.NewTable("batch results", "Scenario", "Policy", "Fuel (A-s)", "Avg Ifc (A)", "Deficit (A-s)")
+	var firstErr error
+	for _, o := range outs {
+		if o.err != nil {
+			tab.AddRow(o.name, "ERROR: "+o.err.Error(), "", "", "")
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			continue
+		}
+		tab.AddRow(o.name, o.res.Policy, fmt.Sprintf("%.1f", o.res.Fuel),
+			fmt.Sprintf("%.4f", o.res.AvgFuelRate()), fmt.Sprintf("%.3f", o.res.Deficit))
+	}
+	fmt.Print(tab)
+	return firstErr
+}
+
+func cmdRobust(args []string) error {
+	fs := flag.NewFlagSet("robust", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "base seed")
+	trials := fs.Int("trials", 20, "Monte-Carlo trials")
+	pct := fs.Float64("pct", 0.1, "relative perturbation of device/efficiency parameters")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r, err := exp.RobustnessStudy(*seed, *trials, *pct)
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable(fmt.Sprintf("Monte-Carlo robustness (±%.0f%% on device + efficiency, %d trials)",
+		*pct*100, r.Trials), "Metric", "Value")
+	tab.AddRow("FC-DPM wins", fmt.Sprintf("%d / %d", r.Wins, r.Trials))
+	tab.AddRow("saving vs ASAP mean ± std", fmt.Sprintf("%s ± %s",
+		report.Percent(r.Saving.Mean), report.Percent(r.Saving.Stddev)))
+	tab.AddRow("saving min / max", fmt.Sprintf("%s / %s",
+		report.Percent(r.Saving.Min), report.Percent(r.Saving.Max)))
+	tab.AddRow("FC-DPM vs Conv mean", report.Percent(r.FCNorm.Mean))
+	fmt.Print(tab)
+	return nil
+}
+
+func cmdCharge(args []string) error {
+	fs := flag.NewFlagSet("charge", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "trace seed")
+	window := fs.Float64("window", 120, "window in seconds")
+	width := fs.Int("width", 96, "chart width in characters")
+	polName := fs.String("policy", "fcdpm", "policy: conv, asap, or fcdpm")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, dev, err := makeTrace("camcorder", *seed, 0)
+	if err != nil {
+		return err
+	}
+	sys := fuelcell.PaperSystem()
+	var pol sim.Policy
+	switch *polName {
+	case "conv":
+		pol = policy.NewConv(sys)
+	case "asap":
+		pol = policy.NewASAP(sys)
+	case "fcdpm":
+		pol = policy.NewFCDPM(sys, dev)
+	default:
+		return fmt.Errorf("unknown policy %q", *polName)
+	}
+	res, err := sim.Run(sim.Config{
+		Sys: sys, Dev: dev,
+		Store:         storage.NewSuperCap(6, 1),
+		Trace:         tr,
+		Policy:        pol,
+		RecordProfile: true,
+	})
+	if err != nil {
+		return err
+	}
+	var ts, qs []float64
+	for _, p := range res.Charges {
+		if p.T > *window {
+			break
+		}
+		ts = append(ts, p.T)
+		qs = append(qs, p.Q)
+	}
+	c := report.NewChart(fmt.Sprintf("storage charge trajectory — %s (the Fig 4(c) cycle, live)", res.Policy),
+		"time (s)", "charge (A-s)")
+	c.Width = *width
+	if err := c.Step("charge", 'q', ts, qs); err != nil {
+		return err
+	}
+	return c.Render(os.Stdout)
+}

@@ -1,0 +1,109 @@
+// Command fcdpm is the command-line front end of the library: it generates
+// workload traces, dumps the fuel-cell characteristic curves, runs single
+// policy simulations, and reproduces the paper's experiments.
+//
+// Usage:
+//
+//	fcdpm curves   [-points N] [-out dir]
+//	fcdpm trace    [-kind camcorder|synthetic] [-seed N] [-duration S] [-format csv|json] [-out file]
+//	fcdpm run      [-policy conv|asap|fcdpm|flat] [-kind camcorder|synthetic] [-seed N] [-cmax A-s] [-reserve A-s] [-flat A]
+//	fcdpm exp1     [-seed N]
+//	fcdpm exp2     [-seed N]
+//	fcdpm motiv
+//	fcdpm sweep    [-what capacity|beta|rho] [-seed N]
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fcdpm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "curves":
+		return cmdCurves(rest)
+	case "trace":
+		return cmdTrace(rest)
+	case "run":
+		return cmdRun(rest)
+	case "exp1":
+		return cmdExp(rest, 1)
+	case "exp2":
+		return cmdExp(rest, 2)
+	case "motiv":
+		return cmdMotiv(rest)
+	case "sweep":
+		return cmdSweep(rest)
+	case "oracle":
+		return cmdOracle(rest)
+	case "hydrogen":
+		return cmdHydrogen(rest)
+	case "levels":
+		return cmdLevels(rest)
+	case "plot":
+		return cmdPlot(rest)
+	case "runfile":
+		return cmdRunFile(rest)
+	case "stats":
+		return cmdStats(rest)
+	case "verify":
+		return cmdVerify(rest)
+	case "ablate":
+		return cmdAblate(rest)
+	case "advise":
+		return cmdAdvise(rest)
+	case "batch":
+		return cmdBatch(rest)
+	case "robust":
+		return cmdRobust(rest)
+	case "charge":
+		return cmdCharge(rest)
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fcdpm <subcommand> [flags]
+
+subcommands:
+  curves   dump the FC stack I-V-P curve (Fig 2) and efficiency curves (Fig 3)
+  trace    generate a workload trace (camcorder MPEG or Exp 2 synthetic)
+  run      simulate one policy over a trace and report fuel/lifetime
+  exp1     reproduce Table 2 (Experiment 1, camcorder trace)
+  exp2     reproduce Table 3 (Experiment 2, synthetic trace)
+  motiv    reproduce the §3.2 / Fig 4 motivational example
+  sweep    run an ablation sweep (capacity, beta, or rho)
+  oracle   offline dynamic-programming lower bound vs online FC-DPM
+  hydrogen Table 2 in physical hydrogen terms (grams, litres, cartridge life)
+  levels   discrete FC output-level sweep (multi-level config of [11])
+  plot     ASCII chart of fig2, fig3, or fig7 in the terminal
+  runfile  run a JSON scenario file (see scenarios/ for examples)
+  stats    summary statistics of a generated trace
+  verify   run the reproduction conformance suite (paper vs measured)
+  ablate   run one ablation (thermal, actuation, battery, aggregation,
+           calibration, slew, mpc, timeout, storage, dpm)
+  advise   hybrid sizing advice for a workload/device pair
+  batch    run several JSON scenarios concurrently and tabulate them
+  robust   Monte-Carlo robustness of the FC-DPM saving under model
+           uncertainty
+  charge   ASCII plot of the storage charge trajectory under a policy
+
+run 'fcdpm <subcommand> -h' for flags.`)
+}

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDispatch(t *testing.T) {
+	ok := [][]string{
+		{"motiv"},
+		{"exp1", "-seed", "1"},
+		{"exp2", "-seed", "2"},
+		{"levels"},
+		{"hydrogen", "-cartridge", "5"},
+		{"sweep", "-what", "rho"},
+		{"curves", "-points", "8"},
+		{"stats", "-kind", "heavytail", "-duration", "120"},
+		{"verify"},
+		{"ablate", "-what", "battery"},
+		{"ablate", "-what", "timeout"},
+		{"advise", "-kind", "synthetic"},
+		{"charge", "-window", "40"},
+		{"run", "-policy", "asap", "-duration", "120"},
+		{"run", "-policy", "flat", "-flat", "0.5", "-duration", "120"},
+		{"help"},
+	}
+	// Silence stdout during the dispatch tests.
+	old := os.Stdout
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devNull
+	defer func() {
+		os.Stdout = old
+		devNull.Close()
+	}()
+	for _, args := range ok {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v) = %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	bad := [][]string{
+		{},
+		{"nope"},
+		{"trace", "-kind", "bogus"},
+		{"run", "-policy", "bogus"},
+		{"trace", "-format", "bogus"},
+		{"sweep", "-what", "bogus"},
+		{"ablate", "-what", "bogus"},
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestTraceToFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	if err := run([]string{"trace", "-kind", "synthetic", "-duration", "100", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "idle_s,active_s,active_current_a") {
+		t.Fatalf("missing CSV header: %q", string(data[:40]))
+	}
+	if len(strings.Split(strings.TrimSpace(string(data)), "\n")) < 3 {
+		t.Fatal("too few rows")
+	}
+}
+
+func TestCurvesToDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"curves", "-points", "10", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"fig2_stack_ivp.csv", "fig3_efficiency.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("%s not written: %v", f, err)
+		}
+	}
+}
+
+func TestJSONTraceRoundTripViaCLI(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	if err := run([]string{"trace", "-kind", "camcorder", "-duration", "60", "-format", "json", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"slots\"") {
+		t.Fatal("JSON trace missing slots field")
+	}
+}
+
+func TestRunFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	js := `{"name": "test", "trace": {"kind": "synthetic", "duration": 120}, "policy": {"kind": "asap"}}`
+	if err := os.WriteFile(path, []byte(js), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devNull
+	defer func() {
+		os.Stdout = old
+		devNull.Close()
+	}()
+	if err := run([]string{"runfile", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"runfile"}); err == nil {
+		t.Error("missing argument accepted")
+	}
+	if err := run([]string{"runfile", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestPlotCommands(t *testing.T) {
+	old := os.Stdout
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devNull
+	defer func() {
+		os.Stdout = old
+		devNull.Close()
+	}()
+	for _, what := range []string{"fig2", "fig3", "fig7"} {
+		if err := run([]string{"plot", "-what", what, "-window", "60"}); err != nil {
+			t.Errorf("plot %s: %v", what, err)
+		}
+	}
+	if err := run([]string{"plot", "-what", "bogus"}); err == nil {
+		t.Error("unknown chart accepted")
+	}
+}
+
+func TestBatchAndRobust(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	if err := os.WriteFile(a, []byte(`{"trace":{"kind":"synthetic","duration":120},"policy":{"kind":"asap"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte(`{"trace":{"kind":"synthetic","duration":120},"policy":{"kind":"fcdpm"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devNull
+	defer func() {
+		os.Stdout = old
+		devNull.Close()
+	}()
+	if err := run([]string{"batch", a, b}); err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if err := run([]string{"batch"}); err == nil {
+		t.Error("batch with no files accepted")
+	}
+	if err := run([]string{"batch", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("batch with missing file should surface the error")
+	}
+	if err := run([]string{"robust", "-trials", "4"}); err != nil {
+		t.Fatalf("robust: %v", err)
+	}
+}

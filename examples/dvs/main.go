@@ -1,0 +1,56 @@
+// DVS demonstrates the companion result of the authors' prior work [10]
+// on top of the fcdpm simulator: the processor speed that minimizes the
+// embedded system's energy is not the speed that minimizes fuel when the
+// FC system's efficiency declines with current.
+//
+// A periodic task runs at each voltage/frequency level of an XScale-class
+// processor; each level's load profile goes through the hybrid source
+// under both ASAP-DPM (load following) and FC-DPM (fuel-optimal flat
+// output), and the fuel optima are compared against the classic energy
+// optimum.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fcdpm/internal/dvs"
+	"fcdpm/internal/exp"
+)
+
+func main() {
+	proc := dvs.XScale600()
+	proc.LeakPower = 1.1 // enough leakage that racing to idle can pay
+	task := dvs.Task{Cycles: 3e8, Period: 4, Jobs: 100}
+
+	study, err := exp.RunDVSStudy(proc, task)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("task: %.0f Mcycles every %.0f s on %s (leak %.2f W)\n\n",
+		task.Cycles/1e6, task.Period, proc.Name, proc.LeakPower)
+	fmt.Println("level  freq(MHz)  exec(s)  load(A)  charge/period(A-s)  ASAP Ifc(A)  FC-DPM Ifc(A)")
+	for _, r := range study.Rows {
+		marks := ""
+		if r.Level == study.EnergyOptimal {
+			marks += "  <- energy optimum"
+		}
+		if r.Level == study.ASAPOptimal {
+			marks += "  <- ASAP fuel optimum"
+		}
+		if r.Level == study.FCOptimal {
+			marks += "  <- FC-DPM fuel optimum"
+		}
+		fmt.Printf("L%d     %6.0f     %5.2f    %5.3f        %6.3f          %.4f       %.4f%s\n",
+			r.Level, r.FreqMHz, r.ExecTime, r.LoadA, r.ChargePer, r.ASAPRate, r.FCRate, marks)
+	}
+
+	fmt.Println("\nReading the table:")
+	fmt.Printf("- classic DVS (minimize device energy) picks L%d\n", study.EnergyOptimal)
+	fmt.Printf("- under a load-following source, fuel is convex in current, so the\n")
+	fmt.Printf("  fuel optimum sits at L%d — at or below the energy optimum\n", study.ASAPOptimal)
+	fmt.Printf("- under FC-DPM the output is flat and only average charge matters,\n")
+	fmt.Printf("  so its optimum L%d coincides with the energy optimum, and its fuel\n", study.FCOptimal)
+	fmt.Printf("  is the lowest in every column — DPM and DVS compose cleanly\n")
+}

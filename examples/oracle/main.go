@@ -1,0 +1,83 @@
+// Oracle compares the online FC-DPM policy against two offline lower
+// bounds through the public API:
+//
+//  1. the flat-output bound (best single set point, exact for unlimited
+//     storage by convexity), and
+//  2. the true capacity-constrained optimum from dynamic programming over
+//     the storage state, replayed through the simulator.
+//
+// The gap between FC-DPM and bound 2 is the total cost of operating
+// online (prediction error + per-slot myopia); on the paper's workload it
+// is a fraction of a percent.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fcdpm"
+)
+
+func main() {
+	sys := fcdpm.PaperSystem()
+	dev := fcdpm.Camcorder()
+	trace, err := fcdpm.CamcorderTrace(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(p fcdpm.Policy) *fcdpm.Result {
+		res, err := fcdpm.Run(fcdpm.SimConfig{
+			Sys: sys, Dev: dev,
+			Store: fcdpm.NewSuperCap(6, 1), Trace: trace, Policy: p,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	// Online policy.
+	online := run(fcdpm.NewFCDPM(sys, dev))
+
+	// Bound 1: best flat output = total demanded charge / total time,
+	// learned from a dry run.
+	dry := run(fcdpm.NewConv(sys))
+	avgLoad := dry.LoadEnergy / (12 * dry.Duration)
+	flat := run(fcdpm.NewFlat(sys, avgLoad))
+
+	// Bound 2: offline DP. Build the slot list the way the simulator will
+	// execute it (every camcorder idle sleeps; transitions absorbed into
+	// charge-equivalent averages).
+	slots := make([]fcdpm.OptSlot, trace.Len())
+	for k, s := range trace.Slots {
+		ti := s.Idle
+		idleCharge := dev.IPD*dev.TauPD + dev.Islp*(ti-dev.TauPD)
+		taEff := dev.TauWU + dev.TauSR + s.Active + dev.TauRS
+		activeCharge := dev.IWU*dev.TauWU + s.ActiveCurrent*(dev.TauSR+s.Active+dev.TauRS)
+		slots[k] = fcdpm.OptSlot{
+			Ti: ti, IldI: idleCharge / ti,
+			Ta: taEff, IldA: activeCharge / taEff,
+		}
+	}
+	sched, err := fcdpm.SolveOffline(fcdpm.OfflineProblem{
+		Sys: sys, Cmax: 6, Slots: slots, Q0: 1, GridN: 48,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	offline := run(fcdpm.NewSchedule(sys, sched.Settings))
+
+	fmt.Println("policy                       avg Ifc (A)   vs offline DP")
+	for _, r := range []*fcdpm.Result{offline, flat, online} {
+		fmt.Printf("%-28s %.4f        %+.2f%%\n", r.Policy, r.AvgFuelRate(),
+			100*(r.AvgFuelRate()/offline.AvgFuelRate()-1))
+	}
+	fmt.Println("\nThe online policy's total cost of not knowing the future is the")
+	fmt.Println("last column of its row — prediction is nearly free here because")
+	fmt.Println("the active-period setting re-plans from actuals every slot (Fig 5).")
+	fmt.Printf("\nNote: Flat may appear to edge out the DP because it is allowed to end\n")
+	fmt.Printf("below its starting charge (it finished at %.2f A-s of the 1.00 it\n", flat.FinalCharge)
+	fmt.Println("started with); the DP and FC-DPM both return the storage to its")
+	fmt.Println("starting level, paying for every coulomb they use.")
+}

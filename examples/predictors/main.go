@@ -1,0 +1,60 @@
+// Predictors compares the idle-period predictors the DPM literature offers
+// — exponential average [1], regression [2], adaptive learning tree [3],
+// and simple baselines — on the camcorder MPEG trace, reporting both raw
+// prediction accuracy and the end-to-end fuel impact when each drives the
+// FC-DPM policy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fcdpm"
+)
+
+func main() {
+	trace, err := fcdpm.CamcorderTrace(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idle := trace.IdleLengths()
+	sys := fcdpm.PaperSystem()
+	dev := fcdpm.Camcorder()
+
+	type entry struct {
+		name string
+		mk   func() fcdpm.Predictor
+	}
+	entries := []entry{
+		{"exp-average ρ=0.25", func() fcdpm.Predictor { return fcdpm.NewExpAverage(0.25, 14) }},
+		{"exp-average ρ=0.50", func() fcdpm.Predictor { return fcdpm.NewExpAverage(0.5, 14) }},
+		{"exp-average ρ=0.75", func() fcdpm.Predictor { return fcdpm.NewExpAverage(0.75, 14) }},
+		{"last-value", func() fcdpm.Predictor { return fcdpm.NewLastValue(14) }},
+		{"regression w=5", func() fcdpm.Predictor { return fcdpm.NewRegressionPredictor(5, 14) }},
+		{"learning tree 8x2", func() fcdpm.Predictor { return fcdpm.NewTreePredictor(8, 2, 8, 20, 14) }},
+		{"markov chain L=8", func() fcdpm.Predictor { return fcdpm.NewMarkovPredictor(8, 8, 20, 14) }},
+	}
+
+	fmt.Println("predictor            MAE(s)  RMSE(s)  over-rate  FC-DPM fuel(A-s)")
+	for _, e := range entries {
+		acc := fcdpm.EvaluatePredictor(e.mk(), idle)
+		res, err := fcdpm.Run(fcdpm.SimConfig{
+			Sys: sys, Dev: dev,
+			Store:         fcdpm.NewSuperCap(6, 1),
+			Trace:         trace,
+			Policy:        fcdpm.NewFCDPM(sys, dev),
+			IdlePredictor: e.mk(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %5.2f   %5.2f    %5.1f%%     %8.1f\n",
+			e.name, acc.MAE, acc.RMSE, 100*acc.OverRate, res.Fuel)
+	}
+
+	fmt.Println("\nNote: the camcorder trace's idle periods are weakly correlated")
+	fmt.Println("(MPEG scene complexity drifts slowly), so simple predictors land")
+	fmt.Println("within a few percent of each other; the fuel optimizer is robust")
+	fmt.Println("to modest prediction error because it re-plans IF,a from actuals")
+	fmt.Println("at every active-period start (Fig 5).")
+}

@@ -1,0 +1,3 @@
+module fcdpm
+
+go 1.22

@@ -1,0 +1,318 @@
+// Package config loads simulation scenarios from JSON so experiments can
+// be described declaratively and run with `fcdpm runfile`. Every field has
+// a paper-faithful default; a minimal file like
+//
+//	{"trace": {"kind": "camcorder"}, "policy": {"kind": "fcdpm"}}
+//
+// reproduces the Experiment 1 FC-DPM run.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"fcdpm/internal/device"
+	"fcdpm/internal/fcopt"
+	"fcdpm/internal/fuelcell"
+	"fcdpm/internal/policy"
+	"fcdpm/internal/predict"
+	"fcdpm/internal/sim"
+	"fcdpm/internal/storage"
+	"fcdpm/internal/workload"
+)
+
+// Scenario is the JSON schema of one simulation run.
+type Scenario struct {
+	Name    string        `json:"name"`
+	System  SystemSpec    `json:"system"`
+	Device  DeviceSpec    `json:"device"`
+	Storage StorageSpec   `json:"storage"`
+	Trace   TraceSpec     `json:"trace"`
+	Policy  PolicySpec    `json:"policy"`
+	DPM     DPMSpec       `json:"dpm"`
+	Predict PredictorSpec `json:"predict"`
+	// SlewRate limits FC output changes, A/s (0 = ideal).
+	SlewRate float64 `json:"slewRate"`
+	// RecordProfile enables profile capture.
+	RecordProfile bool `json:"recordProfile"`
+}
+
+// SystemSpec describes the FC system; zero values mean "paper defaults".
+type SystemSpec struct {
+	VF        float64 `json:"vf"`
+	Zeta      float64 `json:"zeta"`
+	MinOutput float64 `json:"minOutput"`
+	MaxOutput float64 `json:"maxOutput"`
+	Alpha     float64 `json:"alpha"`
+	Beta      float64 `json:"beta"`
+	// ConstantEta, when positive, replaces the linear model with a flat
+	// efficiency (the [10, 11] configuration).
+	ConstantEta float64 `json:"constantEta"`
+}
+
+// DeviceSpec selects a device preset or overrides its parameters.
+type DeviceSpec struct {
+	// Kind is "camcorder" (default) or "synthetic".
+	Kind string `json:"kind"`
+	// TbeOverride, when positive, replaces the break-even time.
+	TbeOverride float64 `json:"tbeOverride"`
+}
+
+// StorageSpec describes the charge buffer.
+type StorageSpec struct {
+	// Kind is "supercap" (default) or "liion".
+	Kind string `json:"kind"`
+	// CapacityAs defaults to the paper's 6 A-s; InitialAs to 1 A-s.
+	CapacityAs float64 `json:"capacityAs"`
+	InitialAs  float64 `json:"initialAs"`
+	// KiBaM parameters for "liion" (defaults c=0.6, k=0.05).
+	WellFraction float64 `json:"wellFraction"`
+	RateConstant float64 `json:"rateConstant"`
+}
+
+// TraceSpec selects the workload.
+type TraceSpec struct {
+	// Kind is "camcorder" (default), "synthetic", or "file".
+	Kind string `json:"kind"`
+	// Seed drives the generators (default 1).
+	Seed uint64 `json:"seed"`
+	// Duration overrides the generator's default length, seconds.
+	Duration float64 `json:"duration"`
+	// File is a CSV or JSON trace path for kind "file" (format inferred
+	// from the extension).
+	File string `json:"file"`
+}
+
+// PolicySpec selects the source policy.
+type PolicySpec struct {
+	// Kind is "fcdpm" (default), "conv", "asap", "flat", or "quantized".
+	Kind string `json:"kind"`
+	// FlatIF is the fixed output for "flat" (default 0.5 A).
+	FlatIF float64 `json:"flatIF"`
+	// Levels is the grid size for "quantized" (default 8).
+	Levels int `json:"levels"`
+}
+
+// DPMSpec selects the device-side sleep policy.
+type DPMSpec struct {
+	// Mode is "predictive" (default), "never", "always", "oracle", or
+	// "timeout".
+	Mode string `json:"mode"`
+	// Timeout is the dwell for mode "timeout"; 0 means the break-even
+	// time.
+	Timeout float64 `json:"timeout"`
+}
+
+// PredictorSpec sets the prediction factors (paper: ρ = σ = 0.5).
+type PredictorSpec struct {
+	Rho         float64 `json:"rho"`
+	Sigma       float64 `json:"sigma"`
+	IdleInitial float64 `json:"idleInitial"`
+}
+
+// Load parses a scenario from JSON. Unknown fields are rejected so typos
+// fail loudly.
+func Load(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return &s, nil
+}
+
+// LoadFile parses a scenario from a file.
+func LoadFile(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Build assembles a runnable simulation configuration, applying paper
+// defaults for every unset field.
+func (s *Scenario) Build() (sim.Config, error) {
+	var cfg sim.Config
+	sys, err := s.buildSystem()
+	if err != nil {
+		return cfg, err
+	}
+	dev, err := s.buildDevice()
+	if err != nil {
+		return cfg, err
+	}
+	store, err := s.buildStorage()
+	if err != nil {
+		return cfg, err
+	}
+	trace, err := s.buildTrace()
+	if err != nil {
+		return cfg, err
+	}
+	pol, err := s.buildPolicy(sys, dev)
+	if err != nil {
+		return cfg, err
+	}
+	mode, err := s.buildDPM()
+	if err != nil {
+		return cfg, err
+	}
+	cfg = sim.Config{
+		Sys: sys, Dev: dev, Store: store, Trace: trace, Policy: pol,
+		DPM: mode, Timeout: s.DPM.Timeout,
+		SlewRate:      s.SlewRate,
+		RecordProfile: s.RecordProfile,
+	}
+	rho := defaultF(s.Predict.Rho, 0.5)
+	sigma := defaultF(s.Predict.Sigma, 0.5)
+	idleInit := defaultF(s.Predict.IdleInitial, dev.BreakEven())
+	cfg.IdlePredictor = predict.NewExpAverage(rho, idleInit)
+	if len(trace.Slots) > 0 {
+		cfg.ActivePredictor = predict.NewExpAverage(sigma, trace.Slots[0].Active)
+		cfg.CurrentPredictor = predict.NewExpAverage(sigma, trace.Slots[0].ActiveCurrent)
+	}
+	return cfg, nil
+}
+
+func defaultF(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+func (s *Scenario) buildSystem() (*fuelcell.System, error) {
+	vf := defaultF(s.System.VF, 12)
+	zeta := defaultF(s.System.Zeta, 37.5)
+	lo := defaultF(s.System.MinOutput, 0.1)
+	hi := defaultF(s.System.MaxOutput, 1.2)
+	var eff fuelcell.EfficiencyModel
+	if s.System.ConstantEta > 0 {
+		eff = fuelcell.ConstantEfficiency{Value: s.System.ConstantEta}
+	} else {
+		eff = fuelcell.LinearEfficiency{
+			Alpha: defaultF(s.System.Alpha, 0.45),
+			Beta:  defaultF(s.System.Beta, 0.13),
+		}
+	}
+	return fuelcell.NewSystem(vf, zeta, lo, hi, eff)
+}
+
+func (s *Scenario) buildDevice() (*device.Model, error) {
+	var dev *device.Model
+	switch strings.ToLower(s.Device.Kind) {
+	case "", "camcorder":
+		dev = device.Camcorder()
+	case "synthetic":
+		dev = device.Synthetic()
+	default:
+		return nil, fmt.Errorf("config: unknown device kind %q", s.Device.Kind)
+	}
+	if s.Device.TbeOverride > 0 {
+		dev.TbeOverride = s.Device.TbeOverride
+	}
+	return dev, dev.Validate()
+}
+
+func (s *Scenario) buildStorage() (storage.Storage, error) {
+	cmax := defaultF(s.Storage.CapacityAs, 6)
+	q0 := defaultF(s.Storage.InitialAs, 1)
+	switch strings.ToLower(s.Storage.Kind) {
+	case "", "supercap":
+		if cmax <= 0 {
+			return nil, fmt.Errorf("config: non-positive capacity %v", cmax)
+		}
+		return storage.NewSuperCap(cmax, q0), nil
+	case "liion":
+		return storage.NewLiIon(cmax,
+			defaultF(s.Storage.WellFraction, 0.6),
+			defaultF(s.Storage.RateConstant, 0.05), q0)
+	default:
+		return nil, fmt.Errorf("config: unknown storage kind %q", s.Storage.Kind)
+	}
+}
+
+func (s *Scenario) buildTrace() (*workload.Trace, error) {
+	switch strings.ToLower(s.Trace.Kind) {
+	case "", "camcorder":
+		cfg := workload.DefaultCamcorderConfig()
+		if s.Trace.Seed != 0 {
+			cfg.Seed = s.Trace.Seed
+		}
+		if s.Trace.Duration > 0 {
+			cfg.Duration = s.Trace.Duration
+		}
+		return workload.Camcorder(cfg)
+	case "synthetic":
+		cfg := workload.DefaultSyntheticConfig()
+		if s.Trace.Seed != 0 {
+			cfg.Seed = s.Trace.Seed
+		}
+		if s.Trace.Duration > 0 {
+			cfg.Duration = s.Trace.Duration
+		}
+		return workload.Synthetic(cfg)
+	case "file":
+		if s.Trace.File == "" {
+			return nil, fmt.Errorf("config: trace kind \"file\" needs a file path")
+		}
+		f, err := os.Open(s.Trace.File)
+		if err != nil {
+			return nil, fmt.Errorf("config: %w", err)
+		}
+		defer f.Close()
+		if strings.HasSuffix(strings.ToLower(s.Trace.File), ".json") {
+			return workload.ReadJSON(f)
+		}
+		return workload.ReadCSV(f)
+	default:
+		return nil, fmt.Errorf("config: unknown trace kind %q", s.Trace.Kind)
+	}
+}
+
+func (s *Scenario) buildPolicy(sys *fuelcell.System, dev *device.Model) (sim.Policy, error) {
+	switch strings.ToLower(s.Policy.Kind) {
+	case "", "fcdpm":
+		return policy.NewFCDPM(sys, dev), nil
+	case "conv":
+		return policy.NewConv(sys), nil
+	case "asap":
+		return policy.NewASAP(sys), nil
+	case "flat":
+		return policy.NewFlat(sys, defaultF(s.Policy.FlatIF, 0.5)), nil
+	case "quantized":
+		n := s.Policy.Levels
+		if n == 0 {
+			n = 8
+		}
+		if n < 2 {
+			return nil, fmt.Errorf("config: quantized policy needs >= 2 levels, got %d", n)
+		}
+		return policy.NewFCDPMQuantized(sys, dev, fcopt.UniformLevels(sys, n)), nil
+	default:
+		return nil, fmt.Errorf("config: unknown policy kind %q", s.Policy.Kind)
+	}
+}
+
+func (s *Scenario) buildDPM() (sim.DPMMode, error) {
+	switch strings.ToLower(s.DPM.Mode) {
+	case "", "predictive":
+		return sim.DPMPredictive, nil
+	case "never":
+		return sim.DPMNeverSleep, nil
+	case "always":
+		return sim.DPMAlwaysSleep, nil
+	case "oracle":
+		return sim.DPMOracle, nil
+	case "timeout":
+		return sim.DPMTimeout, nil
+	default:
+		return 0, fmt.Errorf("config: unknown DPM mode %q", s.DPM.Mode)
+	}
+}

@@ -1,0 +1,193 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fcdpm/internal/sim"
+)
+
+func TestMinimalScenarioUsesPaperDefaults(t *testing.T) {
+	s, err := Load(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Sys.VF != 12 || cfg.Sys.Zeta != 37.5 {
+		t.Errorf("system defaults wrong: %+v", cfg.Sys)
+	}
+	if cfg.Sys.MinOutput != 0.1 || cfg.Sys.MaxOutput != 1.2 {
+		t.Errorf("range defaults wrong")
+	}
+	if cfg.Dev.Name != "DVD camcorder" {
+		t.Errorf("device default = %q", cfg.Dev.Name)
+	}
+	if cfg.Store.Capacity() != 6 || cfg.Store.Charge() != 1 {
+		t.Errorf("storage defaults: cmax=%v q=%v", cfg.Store.Capacity(), cfg.Store.Charge())
+	}
+	if cfg.Policy.Name() != "FC-DPM" {
+		t.Errorf("policy default = %q", cfg.Policy.Name())
+	}
+	// The built config must actually run.
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fuel <= 0 {
+		t.Fatal("degenerate run")
+	}
+}
+
+func TestScenarioOverrides(t *testing.T) {
+	js := `{
+		"name": "custom",
+		"system": {"alpha": 0.5, "beta": 0.1, "maxOutput": 1.5},
+		"device": {"kind": "synthetic"},
+		"storage": {"kind": "liion", "capacityAs": 12, "initialAs": 3},
+		"trace": {"kind": "synthetic", "seed": 7, "duration": 300},
+		"policy": {"kind": "quantized", "levels": 4},
+		"dpm": {"mode": "timeout", "timeout": 8},
+		"slewRate": 0.5
+	}`
+	s, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Sys.MaxOutput != 1.5 {
+		t.Errorf("max output = %v", cfg.Sys.MaxOutput)
+	}
+	if cfg.Sys.Efficiency(0) != 0.5 {
+		t.Errorf("alpha not applied: %v", cfg.Sys.Efficiency(0))
+	}
+	if cfg.Dev.Name != "synthetic (Exp 2)" {
+		t.Errorf("device = %q", cfg.Dev.Name)
+	}
+	if cfg.Store.Capacity() != 12 || cfg.Store.Charge() != 3 {
+		t.Errorf("storage: %v/%v", cfg.Store.Charge(), cfg.Store.Capacity())
+	}
+	if cfg.Policy.Name() != "FC-DPM-q4" {
+		t.Errorf("policy = %q", cfg.Policy.Name())
+	}
+	if cfg.DPM != sim.DPMTimeout || cfg.Timeout != 8 {
+		t.Errorf("dpm = %v timeout %v", cfg.DPM, cfg.Timeout)
+	}
+	if cfg.SlewRate != 0.5 {
+		t.Errorf("slew = %v", cfg.SlewRate)
+	}
+	if _, err := sim.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstantEtaSystem(t *testing.T) {
+	s, err := Load(strings.NewReader(`{"system": {"constantEta": 0.37}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Sys.Efficiency(0.1) != 0.37 || cfg.Sys.Efficiency(1.2) != 0.37 {
+		t.Error("constant efficiency not applied")
+	}
+}
+
+func TestTraceFromFile(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "trace.csv")
+	csv := "idle_s,active_s,active_current_a\n10,3,1.2\n12,3,1.1\n"
+	if err := os.WriteFile(csvPath, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	js := `{"trace": {"kind": "file", "file": ` + quote(csvPath) + `}}`
+	s, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Trace.Len() != 2 {
+		t.Fatalf("trace slots = %d", cfg.Trace.Len())
+	}
+
+	jsonPath := filepath.Join(dir, "trace.json")
+	if err := os.WriteFile(jsonPath,
+		[]byte(`{"name":"t","slots":[{"idle":5,"active":2,"activeCurrent":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Load(strings.NewReader(`{"trace": {"kind": "file", "file": ` + quote(jsonPath) + `}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, err := s2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Trace.Len() != 1 {
+		t.Fatalf("json trace slots = %d", cfg2.Trace.Len())
+	}
+}
+
+func quote(s string) string { return `"` + strings.ReplaceAll(s, `\`, `\\`) + `"` }
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"polcy": {}}`)); err == nil {
+		t.Fatal("typo field accepted")
+	}
+	if _, err := Load(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []string{
+		`{"device": {"kind": "toaster"}}`,
+		`{"storage": {"kind": "flywheel"}}`,
+		`{"trace": {"kind": "nope"}}`,
+		`{"trace": {"kind": "file"}}`,
+		`{"trace": {"kind": "file", "file": "/nonexistent/x.csv"}}`,
+		`{"policy": {"kind": "nope"}}`,
+		`{"policy": {"kind": "quantized", "levels": 1}}`,
+		`{"dpm": {"mode": "nope"}}`,
+		`{"storage": {"capacityAs": -1}}`,
+	}
+	for _, js := range cases {
+		s, err := Load(strings.NewReader(js))
+		if err != nil {
+			t.Fatalf("Load(%s): %v", js, err)
+		}
+		if _, err := s.Build(); err == nil {
+			t.Errorf("Build accepted %s", js)
+		}
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	if err := os.WriteFile(path, []byte(`{"name": "from file"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "from file" {
+		t.Fatalf("name = %q", s.Name)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

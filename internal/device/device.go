@@ -1,0 +1,199 @@
+// Package device models the DPM-enabled embedded system: its power states
+// (RUN / STANDBY / SLEEP), the state-transition overheads, and the
+// break-even time that decides when sleeping pays off.
+//
+// The camcorder preset reproduces the paper's Fig 6 exactly; Synthetic
+// reproduces the Experiment 2 configuration.
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// State is an embedded-system power state.
+type State int
+
+// Power states of the DPM-enabled system (paper §3.1).
+const (
+	Run State = iota
+	Standby
+	Sleep
+)
+
+// String returns the paper's name for the state.
+func (s State) String() string {
+	switch s {
+	case Run:
+		return "RUN"
+	case Standby:
+		return "STANDBY"
+	case Sleep:
+		return "SLEEP"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Model describes a DPM-enabled embedded system powered at a regulated
+// voltage. All currents are amperes at voltage V; all durations seconds.
+// The RUN-mode current is task-dependent and carried by the workload trace,
+// not the model.
+type Model struct {
+	// Name identifies the model in reports.
+	Name string
+	// V is the supply voltage (12 V in the paper).
+	V float64
+	// Isdb and Islp are the STANDBY and SLEEP mode currents.
+	Isdb, Islp float64
+	// TauPD and IPD are the delay and current when entering SLEEP
+	// (power-down).
+	TauPD, IPD float64
+	// TauWU and IWU are the delay and current when exiting SLEEP
+	// (wake-up).
+	TauWU, IWU float64
+	// TauSR and TauRS are the STANDBY→RUN and RUN→STANDBY transition
+	// delays, performed at the RUN-mode current. The paper absorbs these
+	// into the active period (§3.3.2 assumption 2); the simulator models
+	// them as explicit RUN-current segments bracketing the active period.
+	TauSR, TauRS float64
+	// TbeOverride, when positive, fixes the DPM break-even time instead
+	// of the energy-derived value (Experiment 2 cites Tbe = 10 s from the
+	// survey [4]).
+	TbeOverride float64
+}
+
+// Validate reports whether the model is self-consistent.
+func (m *Model) Validate() error {
+	switch {
+	case m.V <= 0:
+		return fmt.Errorf("device: non-positive supply voltage %v", m.V)
+	case m.Isdb < 0 || m.Islp < 0 || m.IPD < 0 || m.IWU < 0:
+		return fmt.Errorf("device: negative mode current")
+	case m.TauPD < 0 || m.TauWU < 0 || m.TauSR < 0 || m.TauRS < 0:
+		return fmt.Errorf("device: negative transition delay")
+	case m.Islp >= m.Isdb:
+		return fmt.Errorf("device: SLEEP current %v not below STANDBY current %v", m.Islp, m.Isdb)
+	}
+	return nil
+}
+
+// BreakEven returns the DPM break-even time Tbe: the minimum idle duration
+// for which entering SLEEP saves energy over staying in STANDBY, never less
+// than the total transition delay. For an idle period of length T,
+// sleeping costs
+//
+//	IPD·τPD + IWU·τWU + Islp·(T − τPD − τWU)
+//
+// against STANDBY's Isdb·T; equating the two and flooring at τPD+τWU gives
+//
+//	Tbe = max(τPD+τWU, (IPD·τPD + IWU·τWU − Islp·(τPD+τWU)) / (Isdb − Islp))
+//
+// This reproduces both of the paper's quoted values: 1 s for the camcorder
+// and ~10 s for the Experiment 2 configuration. TbeOverride wins when set.
+func (m *Model) BreakEven() float64 {
+	if m.TbeOverride > 0 {
+		return m.TbeOverride
+	}
+	tau := m.TauPD + m.TauWU
+	denom := m.Isdb - m.Islp
+	if denom <= 0 {
+		return math.Inf(1) // sleeping never pays
+	}
+	te := (m.IPD*m.TauPD + m.IWU*m.TauWU - m.Islp*tau) / denom
+	return math.Max(tau, te)
+}
+
+// IdleCurrent returns the steady idle current for the chosen idle state.
+func (m *Model) IdleCurrent(sleeping bool) float64 {
+	if sleeping {
+		return m.Islp
+	}
+	return m.Isdb
+}
+
+// SleepEnergyCharge returns the total charge (A·s) consumed by an idle
+// period of length ti spent in SLEEP, including both transitions. When the
+// idle period is shorter than the transition time the device cannot
+// complete the round trip; the cost is the transition charge prorated over
+// ti (a modelling convenience — DPM policies never choose this region).
+func (m *Model) SleepEnergyCharge(ti float64) float64 {
+	tau := m.TauPD + m.TauWU
+	if ti <= tau {
+		if tau == 0 {
+			return 0
+		}
+		return (m.IPD*m.TauPD + m.IWU*m.TauWU) * ti / tau
+	}
+	return m.IPD*m.TauPD + m.IWU*m.TauWU + m.Islp*(ti-tau)
+}
+
+// StandbyEnergyCharge returns the charge consumed by an idle period of
+// length ti spent in STANDBY.
+func (m *Model) StandbyEnergyCharge(ti float64) float64 { return m.Isdb * ti }
+
+// Camcorder returns the paper's DVD-camcorder model (Fig 6):
+//
+//	RUN     14.65 W  (current carried by the trace: 1.2208 A @ 12 V)
+//	STANDBY  4.84 W  → 0.4033 A
+//	SLEEP    2.40 W  → 0.2000 A
+//	SLEEP↔STANDBY: 0.5 s at 0.40 A each way
+//	STANDBY→RUN: 1.5 s, RUN→STANDBY: 0.5 s, at RUN current
+//
+// Its energy break-even time evaluates to 1 s, matching the paper.
+func Camcorder() *Model {
+	return &Model{
+		Name:  "DVD camcorder",
+		V:     12,
+		Isdb:  4.84 / 12,
+		Islp:  2.40 / 12,
+		TauPD: 0.5, IPD: 0.40,
+		TauWU: 0.5, IWU: 0.40,
+		TauSR: 1.5, TauRS: 0.5,
+	}
+}
+
+// CamcorderRunCurrent is the camcorder's RUN-mode load current:
+// 14.65 W at 12 V.
+const CamcorderRunCurrent = 14.65 / 12.0
+
+// CamcorderActivePeriod is the fixed DVD-writing active-period length:
+// 16 MB buffer at 5.28 MB/s ≈ 3.03 s.
+const CamcorderActivePeriod = 16.0 / 5.28
+
+// Synthetic returns the Experiment 2 device: same mode currents as the
+// camcorder, but τPD = τWU = 1 s at IPD = IWU = 1.2 A, no explicit
+// STANDBY↔RUN transitions, and the survey break-even time Tbe = 10 s.
+func Synthetic() *Model {
+	return &Model{
+		Name:  "synthetic (Exp 2)",
+		V:     12,
+		Isdb:  4.84 / 12,
+		Islp:  2.40 / 12,
+		TauPD: 1, IPD: 1.2,
+		TauWU: 1, IWU: 1.2,
+		TbeOverride: 10,
+	}
+}
+
+// HDD returns a 2.5-inch hard-disk-drive model in the class the DPM
+// literature classically evaluates (IBM Travelstar-era figures, restated
+// as currents on the 12 V rail): active ~2.3 W, performance-idle ~0.95 W,
+// standby (spun down) ~0.23 W, with a costly multi-second spin-up. The
+// drive's "idle" (spinning, not transferring) maps to STANDBY and its
+// spun-down state to SLEEP; reads/writes are RUN-mode work carried by the
+// trace.
+//
+// Its energy break-even time evaluates to ≈ 16 s, the right order for
+// drives of that class.
+func HDD() *Model {
+	return &Model{
+		Name:  "2.5\" HDD",
+		V:     12,
+		Isdb:  0.95 / 12,
+		Islp:  0.23 / 12,
+		TauPD: 0.8, IPD: 1.0 / 12, // park + spin-down
+		TauWU: 2.2, IWU: 5.5 / 12, // spin-up surge
+		TauSR: 0.0, TauRS: 0.0,
+	}
+}

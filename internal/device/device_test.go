@@ -1,0 +1,194 @@
+package device
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCamcorderCurrents(t *testing.T) {
+	m := Camcorder()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Fig 6 powers at 12 V.
+	if math.Abs(m.Isdb*12-4.84) > 1e-9 {
+		t.Errorf("STANDBY power = %v W, want 4.84", m.Isdb*12)
+	}
+	if math.Abs(m.Islp*12-2.40) > 1e-9 {
+		t.Errorf("SLEEP power = %v W, want 2.40", m.Islp*12)
+	}
+	if math.Abs(CamcorderRunCurrent*12-14.65) > 1e-9 {
+		t.Errorf("RUN power = %v W, want 14.65", CamcorderRunCurrent*12)
+	}
+	if math.Abs(m.IPD*12-4.8) > 1e-6 {
+		t.Errorf("transition power = %v W, want ~4.8 (paper: 4.65-4.8 W @ 0.40 A)", m.IPD*12)
+	}
+}
+
+func TestCamcorderBreakEven(t *testing.T) {
+	// Paper §5.1: "the break-even time is Tbe = τPD + τWU = 1 s".
+	if got := Camcorder().BreakEven(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("camcorder Tbe = %v, want 1", got)
+	}
+}
+
+func TestSyntheticBreakEven(t *testing.T) {
+	// Paper §5.2: "the break-even time is 10 s".
+	if got := Synthetic().BreakEven(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("synthetic Tbe = %v, want 10 (override)", got)
+	}
+	// The energy-derived value should itself land near 10 s, which is why
+	// the paper could quote it: (1.2·1 + 1.2·1 − 0.2·2) / (0.4033 − 0.2) ≈ 9.84.
+	m := Synthetic()
+	m.TbeOverride = 0
+	if got := m.BreakEven(); math.Abs(got-9.84) > 0.05 {
+		t.Fatalf("energy-derived synthetic Tbe = %v, want ≈9.84", got)
+	}
+}
+
+func TestCamcorderActivePeriod(t *testing.T) {
+	// 16 MB at 5.28 MB/s ≈ 3.03 s (paper §5.1).
+	if math.Abs(CamcorderActivePeriod-3.03) > 0.01 {
+		t.Fatalf("active period = %v, want ≈3.03", CamcorderActivePeriod)
+	}
+}
+
+func TestBreakEvenFloorsAtTransitionTime(t *testing.T) {
+	m := &Model{
+		V: 12, Isdb: 1.0, Islp: 0.1,
+		TauPD: 2, IPD: 0.1, TauWU: 2, IWU: 0.1,
+	}
+	// Energy break-even would be tiny (transitions cost nothing extra),
+	// but the device physically needs 4 s to round-trip.
+	if got := m.BreakEven(); got != 4 {
+		t.Fatalf("Tbe = %v, want floor 4", got)
+	}
+}
+
+func TestBreakEvenNoSavings(t *testing.T) {
+	m := &Model{V: 12, Isdb: 0.2, Islp: 0.2, TauPD: 1, TauWU: 1}
+	if got := m.BreakEven(); !math.IsInf(got, 1) {
+		t.Fatalf("Tbe with Islp==Isdb = %v, want +Inf", got)
+	}
+}
+
+func TestIdleCurrent(t *testing.T) {
+	m := Camcorder()
+	if got := m.IdleCurrent(true); got != m.Islp {
+		t.Errorf("sleeping idle current = %v", got)
+	}
+	if got := m.IdleCurrent(false); got != m.Isdb {
+		t.Errorf("standby idle current = %v", got)
+	}
+}
+
+func TestSleepCheaperBeyondBreakEven(t *testing.T) {
+	for _, m := range []*Model{Camcorder(), Synthetic()} {
+		m := *m
+		m.TbeOverride = 0
+		tbe := m.BreakEven()
+		eps := 0.01 * tbe
+		if m.SleepEnergyCharge(tbe+eps) >= m.StandbyEnergyCharge(tbe+eps) {
+			t.Errorf("%s: sleeping past Tbe should be cheaper", m.Name)
+		}
+		if tau := m.TauPD + m.TauWU; tbe > tau {
+			if m.SleepEnergyCharge(tbe-eps) <= m.StandbyEnergyCharge(tbe-eps) {
+				t.Errorf("%s: sleeping before Tbe should be costlier", m.Name)
+			}
+		}
+	}
+}
+
+func TestSleepEnergyChargeShortIdle(t *testing.T) {
+	m := Camcorder()
+	// Idle shorter than the transition round trip: cost is prorated and
+	// continuous at the boundary.
+	tau := m.TauPD + m.TauWU
+	full := m.SleepEnergyCharge(tau)
+	half := m.SleepEnergyCharge(tau / 2)
+	if math.Abs(half-full/2) > 1e-9 {
+		t.Errorf("prorated transition charge: got %v, want %v", half, full/2)
+	}
+	just := m.SleepEnergyCharge(tau + 1e-9)
+	if math.Abs(just-full) > 1e-6 {
+		t.Errorf("discontinuity at tau: %v vs %v", just, full)
+	}
+}
+
+func TestSleepEnergyChargeZeroTransition(t *testing.T) {
+	m := &Model{V: 12, Isdb: 0.4, Islp: 0.2}
+	if got := m.SleepEnergyCharge(0); got != 0 {
+		t.Fatalf("zero idle zero transitions: %v", got)
+	}
+	if got := m.SleepEnergyCharge(10); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("pure sleep charge = %v, want 2", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Model{
+		{V: 0, Isdb: 0.4, Islp: 0.2},
+		{V: 12, Isdb: -0.4, Islp: 0.2},
+		{V: 12, Isdb: 0.4, Islp: 0.2, TauPD: -1},
+		{V: 12, Isdb: 0.2, Islp: 0.4}, // sleep above standby
+	}
+	for k := range bad {
+		if err := bad[k].Validate(); err == nil {
+			t.Errorf("case %d: invalid model accepted", k)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Run: "RUN", Standby: "STANDBY", Sleep: "SLEEP"} {
+		if got := s.String(); got != want {
+			t.Errorf("State %d = %q, want %q", int(s), got, want)
+		}
+	}
+	if got := State(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown state = %q", got)
+	}
+}
+
+// Property: for any idle length above the transition round trip, the sleep
+// charge equals transitions plus linear sleep tail — monotone increasing.
+func TestSleepEnergyMonotone(t *testing.T) {
+	m := Camcorder()
+	f := func(araw, braw float64) bool {
+		if math.IsNaN(araw) || math.IsNaN(braw) || math.IsInf(araw, 0) || math.IsInf(braw, 0) {
+			return true
+		}
+		a := math.Abs(math.Mod(araw, 100))
+		b := math.Abs(math.Mod(braw, 100))
+		if a > b {
+			a, b = b, a
+		}
+		return m.SleepEnergyCharge(a) <= m.SleepEnergyCharge(b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHDDPreset(t *testing.T) {
+	m := HDD()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Spin-up dominates: the break-even time is an order of magnitude
+	// above the transition time, landing in the tens of seconds that the
+	// disk-DPM literature reports.
+	tbe := m.BreakEven()
+	if tbe < 8 || tbe > 40 {
+		t.Fatalf("HDD Tbe = %v s, want O(10 s)", tbe)
+	}
+	if tbe <= m.TauPD+m.TauWU {
+		t.Fatal("HDD break-even should exceed the bare transition time")
+	}
+	// Sleeping a 60 s idle must beat standby.
+	if m.SleepEnergyCharge(60) >= m.StandbyEnergyCharge(60) {
+		t.Fatal("long idle should favour spin-down")
+	}
+}

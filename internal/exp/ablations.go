@@ -1,0 +1,248 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"fcdpm/internal/fuelcell"
+	"fcdpm/internal/policy"
+	"fcdpm/internal/predict"
+	"fcdpm/internal/sim"
+	"fcdpm/internal/storage"
+)
+
+// SweepPoint is one abscissa of an ablation sweep.
+type SweepPoint struct {
+	X            float64 // swept parameter value
+	SavingVsASAP float64 // FC-DPM fuel saving over ASAP-DPM at this point
+	FCNormalized float64 // FC-DPM fuel normalized to Conv-DPM
+}
+
+// CapacitySweep reruns Experiment 1 across storage capacities (in A-s),
+// quantifying how much buffer FC-DPM's flattening needs. The paper's
+// supercap is 6 A-s.
+func CapacitySweep(seed uint64, capacities []float64) ([]SweepPoint, error) {
+	return sweepParallel(capacities, func(cmax float64) (SweepPoint, error) {
+		if cmax <= 0 {
+			return SweepPoint{}, fmt.Errorf("exp: non-positive capacity %v", cmax)
+		}
+		sc, err := Experiment1Scenario(seed)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		// Start (and target) at the reserve operating point so FC-DPM has
+		// idle-charging headroom at every capacity; see ReserveCharge.
+		sc.Store = storage.NewSuperCap(cmax, math.Min(ReserveCharge, cmax/2))
+		cmp, err := sc.Compare(sc.Policies())
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		return SweepPoint{X: cmax, SavingVsASAP: cmp.SavingVsASAP,
+			FCNormalized: cmp.Row("FC-DPM").Normalized}, nil
+	})
+}
+
+// sweepParallel evaluates f at each abscissa concurrently, preserving
+// order. Each evaluation builds its own scenario, so nothing is shared.
+func sweepParallel(xs []float64, f func(x float64) (SweepPoint, error)) ([]SweepPoint, error) {
+	out := make([]SweepPoint, len(xs))
+	errs := make([]error, len(xs))
+	var wg sync.WaitGroup
+	for i, x := range xs {
+		wg.Add(1)
+		go func(i int, x float64) {
+			defer wg.Done()
+			out[i], errs[i] = f(x)
+		}(i, x)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// BetaSweep reruns Experiment 1 across efficiency slopes β (with α fixed at
+// the paper's 0.45). At β = 0 the fuel map is linear and flattening brings
+// nothing; the paper's measured β = 0.13 is where FC-DPM earns its keep.
+func BetaSweep(seed uint64, betas []float64) ([]SweepPoint, error) {
+	return sweepParallel(betas, func(beta float64) (SweepPoint, error) {
+		if beta < 0 {
+			return SweepPoint{}, fmt.Errorf("exp: negative beta %v", beta)
+		}
+		sys, err := fuelcell.NewSystem(12, 37.5, 0.1, 1.2, fuelcell.LinearEfficiency{Alpha: 0.45, Beta: beta})
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		sc, err := Experiment1Scenario(seed)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		sc.Sys = sys
+		cmp, err := sc.Compare(sc.Policies())
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		return SweepPoint{X: beta, SavingVsASAP: cmp.SavingVsASAP,
+			FCNormalized: cmp.Row("FC-DPM").Normalized}, nil
+	})
+}
+
+// RhoSweep reruns Experiment 1 across idle-prediction factors ρ (Eq 14).
+func RhoSweep(seed uint64, rhos []float64) ([]SweepPoint, error) {
+	return sweepParallel(rhos, func(rho float64) (SweepPoint, error) {
+		if rho < 0 || rho > 1 {
+			return SweepPoint{}, fmt.Errorf("exp: rho %v outside [0,1]", rho)
+		}
+		sc, err := Experiment1Scenario(seed)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		sc.IdlePred = expAvg(rho, 14)
+		cmp, err := sc.Compare(sc.Policies())
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		return SweepPoint{X: rho, SavingVsASAP: cmp.SavingVsASAP,
+			FCNormalized: cmp.Row("FC-DPM").Normalized}, nil
+	})
+}
+
+// PredictorRow is one line of the predictor ablation.
+type PredictorRow struct {
+	Predictor    string
+	Accuracy     predict.Accuracy // on the idle-period series
+	FCNormalized float64          // FC-DPM fuel normalized to Conv-DPM
+}
+
+// PredictorAblation runs Experiment 1's FC-DPM under different idle-period
+// predictors and reports both prediction accuracy and fuel impact.
+func PredictorAblation(seed uint64) ([]PredictorRow, error) {
+	sc, err := Experiment1Scenario(seed)
+	if err != nil {
+		return nil, err
+	}
+	idle := sc.Trace.IdleLengths()
+	preds := []func() predict.Predictor{
+		expAvg(0.5, 14),
+		func() predict.Predictor { return predict.NewLastValue(14) },
+		func() predict.Predictor { return predict.NewMovingAverage(5, 14) },
+		func() predict.Predictor { return predict.NewRegression(5, 14) },
+		func() predict.Predictor { return predict.NewTree(8, 2, 8, 20, 14) },
+		func() predict.Predictor { return predict.NewMarkov(8, 8, 20, 14) },
+		func() predict.Predictor { return predict.NewOracle(idle, 14) },
+	}
+	var out []PredictorRow
+	for _, mk := range preds {
+		sc, err := Experiment1Scenario(seed)
+		if err != nil {
+			return nil, err
+		}
+		sc.IdlePred = mk
+		cmp, err := sc.Compare(sc.Policies())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PredictorRow{
+			Predictor:    mk().Name(),
+			Accuracy:     predict.Evaluate(mk(), idle),
+			FCNormalized: cmp.Row("FC-DPM").Normalized,
+		})
+	}
+	return out, nil
+}
+
+// ConstantEtaAblation reruns Experiment 1 with the constant-efficiency
+// (on/off-fan, [10,11]) system. With a flat ηs the fuel map is linear, so
+// FC-DPM's flattening advantage over ASAP should collapse toward zero —
+// the structural reason the paper needed the PWM-PFM + variable-fan
+// configuration.
+func ConstantEtaAblation(seed uint64) (linear, constant *Comparison, err error) {
+	if linear, err = Experiment1(seed); err != nil {
+		return nil, nil, err
+	}
+	sysConst, err := fuelcell.NewSystem(12, 37.5, 0.1, 1.2, fuelcell.ConstantEfficiency{Value: 0.37})
+	if err != nil {
+		return nil, nil, err
+	}
+	sc, err := Experiment1Scenario(seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc.Sys = sysConst
+	constant, err = sc.Compare(sc.Policies())
+	if err != nil {
+		return nil, nil, err
+	}
+	return linear, constant, nil
+}
+
+// StorageModelAblation runs Experiment 1's FC-DPM on the ideal supercap
+// versus the KiBaM Li-ion model, exposing how battery non-linearities
+// (which the FC-DPM planner does not model) perturb the outcome.
+func StorageModelAblation(seed uint64) (super, liion *Comparison, err error) {
+	if super, err = Experiment1(seed); err != nil {
+		return nil, nil, err
+	}
+	batt, err := storage.NewLiIon(6, 0.6, 0.05, ReserveCharge)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc, err := Experiment1Scenario(seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc.Store = batt
+	liion, err = sc.Compare(sc.Policies())
+	if err != nil {
+		return nil, nil, err
+	}
+	return super, liion, nil
+}
+
+// DPMModeAblation reruns Experiment 1 under each device-side sleep policy.
+func DPMModeAblation(seed uint64) (map[string]*Comparison, error) {
+	out := make(map[string]*Comparison)
+	for _, mode := range []sim.DPMMode{sim.DPMPredictive, sim.DPMNeverSleep, sim.DPMAlwaysSleep, sim.DPMOracle} {
+		sc, err := Experiment1Scenario(seed)
+		if err != nil {
+			return nil, err
+		}
+		sc.DPM = mode
+		cmp, err := sc.Compare(sc.Policies())
+		if err != nil {
+			return nil, err
+		}
+		out[mode.String()] = cmp
+	}
+	return out, nil
+}
+
+// FlatOracle runs the offline best *fixed* FC output over the Experiment 1
+// trace — by convexity the capacity-unconstrained lower bound — and
+// returns it alongside FC-DPM for a gap analysis. The flat setting is the
+// total demanded charge divided by total time, computed from a Conv-DPM
+// dry run's load accounting.
+func FlatOracle(seed uint64) (flat *sim.Result, fcdpm *sim.Result, err error) {
+	sc, err := Experiment1Scenario(seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Dry run to learn total load charge and duration.
+	dry, err := sc.runOne(policy.NewConv(sc.Sys))
+	if err != nil {
+		return nil, nil, err
+	}
+	avgLoad := dry.LoadEnergy / (sc.Sys.VF * dry.Duration)
+	flatPol := policy.NewFlat(sc.Sys, avgLoad)
+	if flat, err = sc.runOne(flatPol); err != nil {
+		return nil, nil, err
+	}
+	if fcdpm, err = sc.runOne(policy.NewFCDPM(sc.Sys, sc.Dev)); err != nil {
+		return nil, nil, err
+	}
+	return flat, fcdpm, nil
+}

@@ -1,0 +1,235 @@
+// Package exp is the experiment harness: it wires systems, devices,
+// traces, predictors, and policies together to regenerate every table and
+// figure of the paper's evaluation (see DESIGN.md §4 for the index), plus
+// the ablation studies DESIGN.md §5 calls out.
+package exp
+
+import (
+	"fmt"
+
+	"fcdpm/internal/device"
+	"fcdpm/internal/fuelcell"
+	"fcdpm/internal/policy"
+	"fcdpm/internal/predict"
+	"fcdpm/internal/sim"
+	"fcdpm/internal/storage"
+	"fcdpm/internal/workload"
+)
+
+// PolicyRow is one line of a Table 2 / Table 3 style comparison.
+type PolicyRow struct {
+	Name       string
+	Fuel       float64 // stack A-s consumed
+	AvgRate    float64 // stack A (fuel / duration)
+	Normalized float64 // avg rate relative to Conv-DPM (the paper's metric)
+	Duration   float64
+	Bled       float64
+	Deficit    float64
+	Sleeps     int
+}
+
+// Comparison is the outcome of running all policies over one scenario.
+type Comparison struct {
+	Name string
+	Rows []PolicyRow
+	// SavingVsASAP is the fuel FC-DPM saves relative to ASAP-DPM
+	// (paper: 24.4 % in Exp 1, 15.5 % in Exp 2).
+	SavingVsASAP float64
+	// LifetimeRatio is ASAP's normalized fuel over FC-DPM's — the
+	// lifetime-extension factor (paper: 1.32 in Exp 1).
+	LifetimeRatio float64
+	// Results holds the raw simulation results keyed by policy name.
+	Results map[string]*sim.Result
+}
+
+// Row returns the row for the named policy, or nil.
+func (c *Comparison) Row(name string) *PolicyRow {
+	for i := range c.Rows {
+		if c.Rows[i].Name == name {
+			return &c.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Scenario bundles everything needed to run one policy comparison.
+type Scenario struct {
+	Name  string
+	Sys   *fuelcell.System
+	Dev   *device.Model
+	Store storage.Storage
+	Trace *workload.Trace
+	// Predictor factories (fresh state per run); nil gets sim defaults.
+	IdlePred, ActivePred, CurrentPred func() predict.Predictor
+	DPM                               sim.DPMMode
+	// TimeoutAdapter supplies per-slot timeouts under sim.DPMTimeout.
+	TimeoutAdapter sim.TimeoutAdapter
+	RecordProfile  bool
+}
+
+// Policies returns fresh instances of the paper's three policies for the
+// scenario.
+func (sc *Scenario) Policies() []sim.Policy {
+	return []sim.Policy{
+		policy.NewConv(sc.Sys),
+		policy.NewASAP(sc.Sys),
+		policy.NewFCDPM(sc.Sys, sc.Dev),
+	}
+}
+
+// runOne executes a single policy over the scenario.
+func (sc *Scenario) runOne(p sim.Policy) (*sim.Result, error) {
+	cfg := sim.Config{
+		Sys:            sc.Sys,
+		Dev:            sc.Dev,
+		Store:          sc.Store,
+		Trace:          sc.Trace,
+		Policy:         p,
+		DPM:            sc.DPM,
+		TimeoutAdapter: sc.TimeoutAdapter,
+		RecordProfile:  sc.RecordProfile,
+	}
+	if sc.IdlePred != nil {
+		cfg.IdlePredictor = sc.IdlePred()
+	}
+	if sc.ActivePred != nil {
+		cfg.ActivePredictor = sc.ActivePred()
+	}
+	if sc.CurrentPred != nil {
+		cfg.CurrentPredictor = sc.CurrentPred()
+	}
+	return sim.Run(cfg)
+}
+
+// Compare runs the given policies over the scenario and builds the
+// comparison table, normalizing against the first policy (Conv-DPM by
+// convention).
+func (sc *Scenario) Compare(policies []sim.Policy) (*Comparison, error) {
+	if len(policies) == 0 {
+		return nil, fmt.Errorf("exp: no policies to compare")
+	}
+	cmp := &Comparison{Name: sc.Name, Results: make(map[string]*sim.Result)}
+	var base *sim.Result
+	for _, p := range policies {
+		res, err := sc.runOne(p)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s / %s: %w", sc.Name, p.Name(), err)
+		}
+		if base == nil {
+			base = res
+		}
+		cmp.Results[res.Policy] = res
+		cmp.Rows = append(cmp.Rows, PolicyRow{
+			Name:       res.Policy,
+			Fuel:       res.Fuel,
+			AvgRate:    res.AvgFuelRate(),
+			Normalized: res.NormalizedFuel(base),
+			Duration:   res.Duration,
+			Bled:       res.Bled,
+			Deficit:    res.Deficit,
+			Sleeps:     res.Sleeps,
+		})
+	}
+	if asap, fc := cmp.Results["ASAP-DPM"], cmp.Results["FC-DPM"]; asap != nil && fc != nil {
+		a, f := asap.AvgFuelRate(), fc.AvgFuelRate()
+		if a > 0 {
+			cmp.SavingVsASAP = 1 - f/a
+		}
+		if f > 0 {
+			cmp.LifetimeRatio = a / f
+		}
+	}
+	return cmp, nil
+}
+
+// ReserveCharge is the initial (and per-slot target) storage charge used by
+// the experiment scenarios, in amp-seconds. The paper does not state the
+// supercapacitor's initial state; FC-DPM's per-slot charge balance steers
+// back to Cini(1) every slot (§3.3.1), so the initial state is also the
+// operating point. Starting the 6 A-s buffer nearly full would leave no
+// room for idle-period charging and degenerate FC-DPM to load following;
+// a low reserve (1 A-s ≈ 17 %) leaves the buffer free for the
+// charge-during-idle / discharge-during-active cycle of Fig 4(c) while
+// still covering clamping shortfalls. See EXPERIMENTS.md.
+const ReserveCharge = 1.0
+
+// scenarioStore returns the experiments' 100 mA-min supercapacitor at the
+// reserve operating point.
+func scenarioStore() storage.Storage {
+	return storage.NewSuperCap(storage.PaperSuperCap().Capacity(), ReserveCharge)
+}
+
+// frozen returns a predictor pinned at a constant — the paper's "no
+// prediction necessary" (fixed camcorder active period) and "Ild,a is
+// estimated as 1.2 A" (Exp 2) cases.
+func frozen(v float64) func() predict.Predictor {
+	return func() predict.Predictor { return predict.NewExpAverage(1, v) }
+}
+
+// expAvg returns an exponential-average predictor factory.
+func expAvg(rho, initial float64) func() predict.Predictor {
+	return func() predict.Predictor { return predict.NewExpAverage(rho, initial) }
+}
+
+// Experiment1Scenario builds the paper's Experiment 1: the 28-minute MPEG
+// encode/write camcorder trace, BCS 20 W system (linear ηs), 100 mA-min
+// supercapacitor, ρ = 0.5 idle prediction, fixed active period and current.
+func Experiment1Scenario(seed uint64) (*Scenario, error) {
+	cfg := workload.DefaultCamcorderConfig()
+	cfg.Seed = seed
+	trace, err := workload.Camcorder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mid := (cfg.MinIdle + cfg.MaxIdle) / 2
+	return &Scenario{
+		Name:        "Experiment 1 (camcorder MPEG trace)",
+		Sys:         fuelcell.PaperSystem(),
+		Dev:         device.Camcorder(),
+		Store:       scenarioStore(),
+		Trace:       trace,
+		IdlePred:    expAvg(0.5, mid),
+		ActivePred:  frozen(device.CamcorderActivePeriod),
+		CurrentPred: frozen(device.CamcorderRunCurrent),
+	}, nil
+}
+
+// Experiment1 reproduces Table 2.
+func Experiment1(seed uint64) (*Comparison, error) {
+	sc, err := Experiment1Scenario(seed)
+	if err != nil {
+		return nil, err
+	}
+	return sc.Compare(sc.Policies())
+}
+
+// Experiment2Scenario builds the paper's Experiment 2: the synthetic
+// uniform-random trace on the Exp 2 device (τ = 1 s transitions at 1.2 A,
+// Tbe = 10 s), ρ = σ = 0.5, active current estimated as 1.2 A.
+func Experiment2Scenario(seed uint64) (*Scenario, error) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Seed = seed
+	trace, err := workload.Synthetic(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Name:        "Experiment 2 (synthetic trace)",
+		Sys:         fuelcell.PaperSystem(),
+		Dev:         device.Synthetic(),
+		Store:       scenarioStore(),
+		Trace:       trace,
+		IdlePred:    expAvg(0.5, (cfg.IdleMin+cfg.IdleMax)/2),
+		ActivePred:  expAvg(0.5, (cfg.ActiveMin+cfg.ActiveMax)/2),
+		CurrentPred: frozen(1.2),
+	}, nil
+}
+
+// Experiment2 reproduces Table 3.
+func Experiment2(seed uint64) (*Comparison, error) {
+	sc, err := Experiment2Scenario(seed)
+	if err != nil {
+		return nil, err
+	}
+	return sc.Compare(sc.Policies())
+}

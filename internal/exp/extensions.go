@@ -1,0 +1,640 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"fcdpm/internal/device"
+	"fcdpm/internal/fcopt"
+	"fcdpm/internal/fuelcell"
+	"fcdpm/internal/numeric"
+	"fcdpm/internal/policy"
+	"fcdpm/internal/predict"
+	"fcdpm/internal/sim"
+	"fcdpm/internal/workload"
+)
+
+// QuantizedRow is one line of the output-level ablation.
+type QuantizedRow struct {
+	Levels       int     // 0 marks the continuous reference
+	Fuel         float64 // A-s over the Experiment 1 trace
+	FCNormalized float64 // vs Conv-DPM
+	GapVsCont    float64 // fractional fuel above the continuous policy
+}
+
+// QuantizedSweep runs Experiment 1's FC-DPM with discrete output-level
+// grids of increasing resolution (the multi-level configuration of [11])
+// against the continuous policy.
+func QuantizedSweep(seed uint64, levelCounts []int) ([]QuantizedRow, error) {
+	sc, err := Experiment1Scenario(seed)
+	if err != nil {
+		return nil, err
+	}
+	conv, err := sc.runOne(policy.NewConv(sc.Sys))
+	if err != nil {
+		return nil, err
+	}
+	cont, err := sc.runOne(policy.NewFCDPM(sc.Sys, sc.Dev))
+	if err != nil {
+		return nil, err
+	}
+	rows := []QuantizedRow{{
+		Levels:       0,
+		Fuel:         cont.Fuel,
+		FCNormalized: cont.NormalizedFuel(conv),
+	}}
+	for _, n := range levelCounts {
+		if n < 2 {
+			return nil, fmt.Errorf("exp: level count %d < 2", n)
+		}
+		p := policy.NewFCDPMQuantized(sc.Sys, sc.Dev, fcopt.UniformLevels(sc.Sys, n))
+		res, err := sc.runOne(p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, QuantizedRow{
+			Levels:       n,
+			Fuel:         res.Fuel,
+			FCNormalized: res.NormalizedFuel(conv),
+			GapVsCont:    res.Fuel/cont.Fuel - 1,
+		})
+	}
+	return rows, nil
+}
+
+// OfflineOracleDP solves the Experiment 1 trace offline with the
+// capacity-constrained dynamic program and replays the schedule through
+// the simulator, returning (offline, online FC-DPM) results. It is the
+// true lower bound, tightening the flat-output bound of FlatOracle.
+func OfflineOracleDP(seed uint64, gridN int) (offline, online *sim.Result, err error) {
+	sc, err := Experiment1Scenario(seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	dev := sc.Dev
+	tbe := dev.BreakEven()
+	slots := make([]fcopt.Slot, sc.Trace.Len())
+	for k, s := range sc.Trace.Slots {
+		// Mirror the simulator's segment structure with charge-equivalent
+		// average currents. All camcorder idles exceed Tbe, but handle
+		// the general case.
+		sleeping := s.Idle >= tbe
+		var ildI float64
+		if sleeping && s.Idle > 0 {
+			pd := minF(dev.TauPD, s.Idle)
+			ildI = (dev.IPD*pd + dev.Islp*(s.Idle-pd)) / s.Idle
+		} else {
+			ildI = dev.Isdb
+		}
+		taEff := dev.TauSR + s.Active + dev.TauRS
+		activeCharge := s.ActiveCurrent * taEff
+		if sleeping {
+			taEff += dev.TauWU
+			activeCharge += dev.IWU * dev.TauWU
+		}
+		slots[k] = fcopt.Slot{Ti: s.Idle, IldI: ildI, Ta: taEff, IldA: activeCharge / taEff}
+	}
+	sched, err := fcopt.SolveOffline(fcopt.OfflineProblem{
+		Sys:   sc.Sys,
+		Cmax:  sc.Store.Capacity(),
+		Slots: slots,
+		Q0:    sc.Store.Charge(),
+		GridN: gridN,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if offline, err = sc.runOne(policy.NewSchedule(sc.Sys, sched.Settings)); err != nil {
+		return nil, nil, err
+	}
+	if online, err = sc.runOne(policy.NewFCDPM(sc.Sys, sc.Dev)); err != nil {
+		return nil, nil, err
+	}
+	return offline, online, nil
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TimeoutAblation compares the predictive DPM against classic timeout DPM
+// (dwell = Tbe) under the FC-DPM source policy on Experiment 1.
+func TimeoutAblation(seed uint64) (predictive, timeout *sim.Result, err error) {
+	sc, err := Experiment1Scenario(seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if predictive, err = sc.runOne(policy.NewFCDPM(sc.Sys, sc.Dev)); err != nil {
+		return nil, nil, err
+	}
+	sc2, err := Experiment1Scenario(seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc2.DPM = sim.DPMTimeout
+	if timeout, err = sc2.runOne(policy.NewFCDPM(sc2.Sys, sc2.Dev)); err != nil {
+		return nil, nil, err
+	}
+	return predictive, timeout, nil
+}
+
+// HydrogenReport converts an Experiment 1 comparison into physical
+// hydrogen terms for a cartridge of the given H2 mass.
+type HydrogenReport struct {
+	Policy        string
+	Grams         float64 // H2 burned over the trace
+	LitresSTP     float64
+	LifetimeHours float64 // on the cartridge
+	EndToEndEff   float64 // delivered J / LHV J
+}
+
+// Hydrogen expands a comparison into hydrogen units using the 20-cell
+// stack conversion.
+func Hydrogen(cmp *Comparison, cartridgeGrams float64) ([]HydrogenReport, error) {
+	if cartridgeGrams <= 0 {
+		return nil, fmt.Errorf("exp: non-positive cartridge mass %v", cartridgeGrams)
+	}
+	h := fuelcell.PaperHydrogen()
+	out := make([]HydrogenReport, 0, len(cmp.Rows))
+	for _, row := range cmp.Rows {
+		res := cmp.Results[row.Name]
+		out = append(out, HydrogenReport{
+			Policy:        row.Name,
+			Grams:         h.Grams(res.Fuel),
+			LitresSTP:     h.LitresSTP(res.Fuel),
+			LifetimeHours: h.CartridgeLifetime(cartridgeGrams, res.AvgFuelRate()) / 3600,
+			EndToEndEff:   h.EndToEndEfficiency(res.DeliveredEnergy, res.Fuel),
+		})
+	}
+	return out, nil
+}
+
+// SeedSummary aggregates a metric across seeds.
+type SeedSummary struct {
+	Seeds        int
+	ASAPNorm     numeric.Summary
+	FCNorm       numeric.Summary
+	SavingVsASAP numeric.Summary
+}
+
+// MultiSeed reruns Experiment 1 (which == 1) or Experiment 2 (which == 2)
+// across n seeds and summarizes the normalized-fuel metrics, giving the
+// reproduction error bars the paper's single trace cannot. Seeds run
+// concurrently — each run owns its trace, storage clone, and policy state,
+// so the goroutines share nothing but their result slots.
+func MultiSeed(which int, n int) (*SeedSummary, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("exp: need at least one seed")
+	}
+	if which != 1 && which != 2 {
+		return nil, fmt.Errorf("exp: unknown experiment %d", which)
+	}
+	cmps := make([]*Comparison, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seed := uint64(i + 1)
+			if which == 1 {
+				cmps[i], errs[i] = Experiment1(seed)
+			} else {
+				cmps[i], errs[i] = Experiment2(seed)
+			}
+		}(i)
+	}
+	wg.Wait()
+	var asap, fc, saving []float64
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		asap = append(asap, cmps[i].Row("ASAP-DPM").Normalized)
+		fc = append(fc, cmps[i].Row("FC-DPM").Normalized)
+		saving = append(saving, cmps[i].SavingVsASAP)
+	}
+	return &SeedSummary{
+		Seeds:        n,
+		ASAPNorm:     numeric.Summarize(asap),
+		FCNorm:       numeric.Summarize(fc),
+		SavingVsASAP: numeric.Summarize(saving),
+	}, nil
+}
+
+// SlewRow is one point of the slew-rate ablation.
+type SlewRow struct {
+	RateAps     float64 // FC output slew limit, A/s (0 = ideal)
+	ASAPRate    float64 // avg stack current under ASAP-DPM
+	ASAPDeficit float64 // unmet load charge under ASAP-DPM, A-s
+	FCRate      float64 // avg stack current under FC-DPM
+	FCDeficit   float64 // unmet load charge under FC-DPM, A-s
+}
+
+// SlewAblation reruns Experiment 1 with FC output slew-rate limits. Real
+// fuel-flow controllers settle over seconds; load following pays for every
+// ramp (the storage covers tracking error, eventually browning out), while
+// FC-DPM's flat per-slot profile barely moves — a robustness advantage the
+// paper's ideal-source model does not surface.
+func SlewAblation(seed uint64, rates []float64) ([]SlewRow, error) {
+	out := make([]SlewRow, 0, len(rates))
+	for _, rate := range rates {
+		if rate < 0 {
+			return nil, fmt.Errorf("exp: negative slew rate %v", rate)
+		}
+		sc, err := Experiment1Scenario(seed)
+		if err != nil {
+			return nil, err
+		}
+		runWith := func(p sim.Policy) (*sim.Result, error) {
+			cfg := sim.Config{
+				Sys: sc.Sys, Dev: sc.Dev, Store: sc.Store, Trace: sc.Trace,
+				Policy: p, SlewRate: rate,
+			}
+			if sc.IdlePred != nil {
+				cfg.IdlePredictor = sc.IdlePred()
+			}
+			if sc.ActivePred != nil {
+				cfg.ActivePredictor = sc.ActivePred()
+			}
+			if sc.CurrentPred != nil {
+				cfg.CurrentPredictor = sc.CurrentPred()
+			}
+			return sim.Run(cfg)
+		}
+		asap, err := runWith(policy.NewASAP(sc.Sys))
+		if err != nil {
+			return nil, err
+		}
+		fc, err := runWith(policy.NewFCDPM(sc.Sys, sc.Dev))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SlewRow{
+			RateAps:     rate,
+			ASAPRate:    asap.AvgFuelRate(),
+			ASAPDeficit: asap.Deficit,
+			FCRate:      fc.AvgFuelRate(),
+			FCDeficit:   fc.Deficit,
+		})
+	}
+	return out, nil
+}
+
+// BatteryAwareAblation reproduces the paper's §1 claim that battery-aware
+// DPM strategies do not transfer to fuel cells: the battery-centric
+// shaping policy (max output when loaded, recharge-then-rest when idle)
+// against FC-DPM on the Experiment 1 setup.
+func BatteryAwareAblation(seed uint64) (batteryAware, fcdpm *sim.Result, err error) {
+	sc, err := Experiment1Scenario(seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if batteryAware, err = sc.runOne(policy.NewBatteryAware(sc.Sys)); err != nil {
+		return nil, nil, err
+	}
+	if fcdpm, err = sc.runOne(policy.NewFCDPM(sc.Sys, sc.Dev)); err != nil {
+		return nil, nil, err
+	}
+	return batteryAware, fcdpm, nil
+}
+
+// AggregationRow is one point of the idle-aggregation ([6, 7]) ablation.
+type AggregationRow struct {
+	K           int     // slots merged per group
+	MaxDeferral float64 // worst task-completion delay, s
+	Sleeps      int     // sleep transitions under FC-DPM
+	FCRate      float64 // avg stack current under FC-DPM
+}
+
+// AggregationAblation applies idle aggregation (task procrastination) to
+// the Experiment 1 trace at increasing factors and reruns FC-DPM: fewer,
+// longer idles amortize the sleep-transition overhead at the price of
+// task-completion latency.
+func AggregationAblation(seed uint64, ks []int) ([]AggregationRow, error) {
+	base, err := Experiment1Scenario(seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AggregationRow, 0, len(ks))
+	for _, k := range ks {
+		agg, err := workload.Aggregate(base.Trace, k)
+		if err != nil {
+			return nil, err
+		}
+		defer0, err := workload.MaxDeferral(base.Trace, k)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := Experiment1Scenario(seed)
+		if err != nil {
+			return nil, err
+		}
+		sc.Trace = agg
+		res, err := sc.runOne(policy.NewFCDPM(sc.Sys, sc.Dev))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AggregationRow{
+			K:           k,
+			MaxDeferral: defer0,
+			Sleeps:      res.Sleeps,
+			FCRate:      res.AvgFuelRate(),
+		})
+	}
+	return out, nil
+}
+
+// ActuationRow is one point of the dead-band ablation.
+type ActuationRow struct {
+	Epsilon   float64 // dead band, A (0 = plain FC-DPM)
+	Setpoints int     // FC set-point commands over the trace
+	FCRate    float64 // avg stack current
+}
+
+// ActuationAblation reruns Experiment 1's FC-DPM with actuation dead bands:
+// how much fuel does it cost to command the fuel-flow actuator less often?
+func ActuationAblation(seed uint64, epsilons []float64) ([]ActuationRow, error) {
+	out := make([]ActuationRow, 0, len(epsilons))
+	for _, eps := range epsilons {
+		if eps < 0 {
+			return nil, fmt.Errorf("exp: negative dead band %v", eps)
+		}
+		sc, err := Experiment1Scenario(seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sc.runOne(policy.NewFCDPMBanded(sc.Sys, sc.Dev, eps))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ActuationRow{
+			Epsilon:   eps,
+			Setpoints: res.SetpointChanges,
+			FCRate:    res.AvgFuelRate(),
+		})
+	}
+	return out, nil
+}
+
+// CalibrationRow is one corner of the efficiency-calibration uncertainty
+// study.
+type CalibrationRow struct {
+	Alpha, Beta  float64
+	FCNormalized float64 // FC-DPM vs Conv-DPM under the same (α, β)
+	SavingVsASAP float64
+}
+
+// CalibrationUncertainty propagates measurement uncertainty in the Eq 2
+// coefficients through Experiment 1: it reruns the comparison at the four
+// corners of a ±relErr box around (α = 0.45, β = 0.13) plus the centre.
+// The paper reports single measured values; this bounds how much the
+// conclusions depend on them.
+func CalibrationUncertainty(seed uint64, relErr float64) ([]CalibrationRow, error) {
+	if relErr < 0 || relErr >= 1 {
+		return nil, fmt.Errorf("exp: relative error %v outside [0, 1)", relErr)
+	}
+	const alpha0, beta0 = 0.45, 0.13
+	points := [][2]float64{
+		{alpha0, beta0},
+		{alpha0 * (1 - relErr), beta0 * (1 - relErr)},
+		{alpha0 * (1 - relErr), beta0 * (1 + relErr)},
+		{alpha0 * (1 + relErr), beta0 * (1 - relErr)},
+		{alpha0 * (1 + relErr), beta0 * (1 + relErr)},
+	}
+	out := make([]CalibrationRow, 0, len(points))
+	for _, p := range points {
+		sys, err := fuelcell.NewSystem(12, 37.5, 0.1, 1.2,
+			fuelcell.LinearEfficiency{Alpha: p[0], Beta: p[1]})
+		if err != nil {
+			return nil, err
+		}
+		sc, err := Experiment1Scenario(seed)
+		if err != nil {
+			return nil, err
+		}
+		sc.Sys = sys
+		cmp, err := sc.Compare(sc.Policies())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CalibrationRow{
+			Alpha: p[0], Beta: p[1],
+			FCNormalized: cmp.Row("FC-DPM").Normalized,
+			SavingVsASAP: cmp.SavingVsASAP,
+		})
+	}
+	return out, nil
+}
+
+// ThermalRow summarizes one policy's stack-temperature trajectory.
+type ThermalRow struct {
+	Policy string
+	Stress fuelcell.ThermalStress
+}
+
+// ThermalStressAblation integrates the lumped stack-temperature model over
+// each policy's Experiment 1 output profile. Flat profiles warm up once
+// and hold; load-following profiles cycle the stack thermally every slot —
+// the dominant PEM ageing mechanism, and a durability advantage of FC-DPM
+// that the paper's isothermal model cannot express.
+func ThermalStressAblation(seed uint64) ([]ThermalRow, error) {
+	sc, err := Experiment1Scenario(seed)
+	if err != nil {
+		return nil, err
+	}
+	sc.RecordProfile = true
+	cmp, err := sc.Compare(sc.Policies())
+	if err != nil {
+		return nil, err
+	}
+	th := fuelcell.PaperThermal()
+	out := make([]ThermalRow, 0, len(cmp.Rows))
+	for _, row := range cmp.Rows {
+		res := cmp.Results[row.Name]
+		ts := make([]float64, len(res.Profile))
+		ifs := make([]float64, len(res.Profile))
+		for i, p := range res.Profile {
+			ts[i] = p.T
+			ifs[i] = p.IF
+		}
+		traj, err := th.Trajectory(sc.Sys, ts, ifs, 1)
+		if err != nil {
+			return nil, err
+		}
+		// Skip the warm-up transient: stress over the second half.
+		out = append(out, ThermalRow{Policy: row.Name, Stress: fuelcell.Stress(traj[len(traj)/2:])})
+	}
+	return out, nil
+}
+
+// MPCRow is one point of the receding-horizon ablation.
+type MPCRow struct {
+	Horizon int
+	FCRate  float64
+	Deficit float64
+}
+
+// MPCAblation runs the receding-horizon FC-DPM variant at increasing
+// horizons on Experiment 1. On this workload the per-slot policy already
+// sits ~0.1 % from the clairvoyant optimum, so the expected (and measured)
+// result is "the horizon buys nothing" — an honest negative result
+// bounding what lookahead can contribute at the paper's storage scale.
+func MPCAblation(seed uint64, horizons []int) ([]MPCRow, error) {
+	out := make([]MPCRow, 0, len(horizons))
+	for _, h := range horizons {
+		if h < 1 {
+			return nil, fmt.Errorf("exp: horizon %d < 1", h)
+		}
+		sc, err := Experiment1Scenario(seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sc.runOne(policy.NewMPC(sc.Sys, sc.Dev, h))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MPCRow{Horizon: h, FCRate: res.AvgFuelRate(), Deficit: res.Deficit})
+	}
+	return out, nil
+}
+
+// Robustness is the Monte-Carlo model-uncertainty study: FC-DPM's saving
+// vs ASAP measured across trials that jointly perturb the device currents,
+// transition overheads, and efficiency coefficients by ±pct and redraw the
+// trace — the strongest form of "the conclusion does not hinge on any one
+// calibration number".
+type Robustness struct {
+	Trials int
+	Pct    float64
+	Saving numeric.Summary
+	FCNorm numeric.Summary
+	// Wins counts trials where FC-DPM strictly beat ASAP-DPM.
+	Wins int
+}
+
+// RobustnessStudy runs n perturbed Experiment 1 trials concurrently.
+func RobustnessStudy(seed uint64, n int, pct float64) (*Robustness, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("exp: need at least one trial")
+	}
+	if pct <= 0 || pct >= 0.5 {
+		return nil, fmt.Errorf("exp: perturbation %v outside (0, 0.5)", pct)
+	}
+	savings := make([]float64, n)
+	norms := make([]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := numeric.NewRNG(seed + uint64(i)*7919)
+			perturb := func(v float64) float64 { return v * (1 + pct*(2*rng.Float64()-1)) }
+
+			sc, err := Experiment1Scenario(seed + uint64(i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			// Perturb the device model.
+			dev := *sc.Dev
+			dev.Isdb = perturb(dev.Isdb)
+			dev.Islp = perturb(dev.Islp)
+			if dev.Islp >= dev.Isdb {
+				dev.Islp = dev.Isdb * 0.6
+			}
+			dev.IPD = perturb(dev.IPD)
+			dev.IWU = perturb(dev.IWU)
+			dev.TauPD = perturb(dev.TauPD)
+			dev.TauWU = perturb(dev.TauWU)
+			sc.Dev = &dev
+			// Perturb the efficiency coefficients.
+			sys, err := fuelcell.NewSystem(12, 37.5, 0.1, 1.2, fuelcell.LinearEfficiency{
+				Alpha: perturb(0.45),
+				Beta:  perturb(0.13),
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sc.Sys = sys
+			cmp, err := sc.Compare(sc.Policies())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			savings[i] = cmp.SavingVsASAP
+			norms[i] = cmp.Row("FC-DPM").Normalized
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	r := &Robustness{Trials: n, Pct: pct, Saving: numeric.Summarize(savings), FCNorm: numeric.Summarize(norms)}
+	for _, s := range savings {
+		if s > 0 {
+			r.Wins++
+		}
+	}
+	return r, nil
+}
+
+// BurstyPredictorStudy runs FC-DPM on the regime-switching workload under
+// each idle predictor. With correlated idles and a 10 s break-even time,
+// the sleep decision is exactly a regime-detection problem: predictors
+// that model history (Markov chain, last-value) beat the paper's
+// exponential average, which smears across regime boundaries — the
+// workload class where predictor choice finally matters end to end.
+func BurstyPredictorStudy(seed uint64) ([]PredictorRow, error) {
+	cfg := workload.DefaultBurstyConfig()
+	cfg.Seed = seed
+	trace, err := workload.Bursty(cfg)
+	if err != nil {
+		return nil, err
+	}
+	idle := trace.IdleLengths()
+	makeScenario := func() *Scenario {
+		return &Scenario{
+			Name:        "bursty predictor study",
+			Sys:         fuelcell.PaperSystem(),
+			Dev:         device.Synthetic(),
+			Store:       scenarioStore(),
+			Trace:       trace,
+			ActivePred:  expAvg(0.5, 3),
+			CurrentPred: frozen(1.2),
+		}
+	}
+	preds := []func() predict.Predictor{
+		expAvg(0.5, 10),
+		func() predict.Predictor { return predict.NewLastValue(10) },
+		func() predict.Predictor { return predict.NewMarkov(8, 2, 40, 10) },
+		func() predict.Predictor { return predict.NewTree(8, 2, 2, 40, 10) },
+		func() predict.Predictor { return predict.NewOracle(idle, 10) },
+	}
+	var out []PredictorRow
+	for _, mk := range preds {
+		sc := makeScenario()
+		sc.IdlePred = mk
+		conv, err := sc.runOne(policy.NewConv(sc.Sys))
+		if err != nil {
+			return nil, err
+		}
+		fc, err := sc.runOne(policy.NewFCDPM(sc.Sys, sc.Dev))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PredictorRow{
+			Predictor:    mk().Name(),
+			Accuracy:     predict.Evaluate(mk(), idle),
+			FCNormalized: fc.NormalizedFuel(conv),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,185 @@
+// Package fuelcell models the fuel-cell hybrid power source of Zhuo et al.
+// (DAC 2007): the FC stack polarization behaviour, the DC-DC converter, the
+// balance-of-plant controller (fans and purge solenoid), and the resulting
+// FC *system* efficiency and fuel-rate characteristics that the FC-DPM
+// optimizer consumes.
+//
+// Two levels of fidelity coexist:
+//
+//   - LinearEfficiency is the paper's measured characterization
+//     ηs(IF) ≈ α − β·IF (α = 0.45, β = 0.13) that every equation in the
+//     paper — and therefore the fcopt optimizer — is written against.
+//   - Stack + Converter + Controller form a physics-based chain (the
+//     Larminie–Dicks polarization form the paper cites) used to regenerate
+//     the measured curves of Figs 2 and 3 and for the sizing example.
+package fuelcell
+
+import (
+	"fmt"
+	"math"
+
+	"fcdpm/internal/numeric"
+)
+
+// StackParams parameterizes the Larminie–Dicks static polarization model of
+// an FC stack:
+//
+//	V(i) = Voc − A·ln(1 + i/i0) − R·i − M·(exp(N·i) − 1)
+//
+// where the three loss terms are activation, ohmic, and concentration
+// losses. All values describe the whole stack (cell values times Cells).
+type StackParams struct {
+	// Cells is the number of series cells (informational; the loss terms
+	// below are already stack-level).
+	Cells int
+	// Voc is the open-circuit stack voltage in volts.
+	Voc float64
+	// A is the activation (Tafel) slope in volts.
+	A float64
+	// I0 is the exchange-current scale in amperes.
+	I0 float64
+	// R is the ohmic area resistance of the stack in ohms.
+	R float64
+	// M and N parameterize the concentration-loss term (volts and 1/A).
+	M, N float64
+	// Zeta relates fuel energy rate to stack current: ΔE_Gibbs = ζ·Ifc
+	// (volts). The paper measures ζ ≈ 37.5 for its setup.
+	Zeta float64
+}
+
+// Validate reports whether the parameters describe a physically sensible
+// stack.
+func (p StackParams) Validate() error {
+	switch {
+	case p.Voc <= 0:
+		return fmt.Errorf("fuelcell: Voc must be positive, got %v", p.Voc)
+	case p.A < 0 || p.R < 0 || p.M < 0:
+		return fmt.Errorf("fuelcell: loss coefficients must be non-negative")
+	case p.I0 <= 0:
+		return fmt.Errorf("fuelcell: I0 must be positive, got %v", p.I0)
+	case p.Zeta <= 0:
+		return fmt.Errorf("fuelcell: Zeta must be positive, got %v", p.Zeta)
+	}
+	return nil
+}
+
+// Stack is an immutable FC stack model.
+type Stack struct {
+	p StackParams
+}
+
+// NewStack validates p and returns a stack model.
+func NewStack(p StackParams) (*Stack, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Stack{p: p}, nil
+}
+
+// BCS20W returns the stack model calibrated to the paper's BCS 20 W,
+// 20-cell room-temperature hydrogen stack (Fig 2): open-circuit voltage
+// 18.2 V and a maximum-power knee near 1.5 A.
+//
+// The paper publishes only the measured curve, not model parameters; these
+// coefficients were fitted to the anchor points the paper reports (see
+// DESIGN.md §2).
+func BCS20W() *Stack {
+	s, err := NewStack(StackParams{
+		Cells: 20,
+		Voc:   18.2,
+		A:     0.85,
+		I0:    0.02,
+		R:     0.60,
+		M:     3e-4,
+		N:     5.5,
+		Zeta:  37.5,
+	})
+	if err != nil {
+		panic(err) // fixed literal; cannot fail
+	}
+	return s
+}
+
+// Params returns a copy of the stack parameters.
+func (s *Stack) Params() StackParams { return s.p }
+
+// Voltage returns the stack terminal voltage at stack current ifc (amps).
+// Negative currents are treated as zero (open circuit); the model is valid
+// up to the concentration-limited collapse.
+func (s *Stack) Voltage(ifc float64) float64 {
+	if ifc <= 0 {
+		return s.p.Voc
+	}
+	v := s.p.Voc -
+		s.p.A*math.Log(1+ifc/s.p.I0) -
+		s.p.R*ifc -
+		s.p.M*(math.Exp(s.p.N*ifc)-1)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Power returns the stack output power V(ifc)·ifc in watts.
+func (s *Stack) Power(ifc float64) float64 { return s.Voltage(ifc) * ifc }
+
+// Efficiency returns the stack efficiency Vfc/ζ at stack current ifc —
+// the stack output power divided by the Gibbs free-energy rate ζ·Ifc
+// (paper §2.3). It follows the same trend as the stack voltage.
+func (s *Stack) Efficiency(ifc float64) float64 { return s.Voltage(ifc) / s.p.Zeta }
+
+// MaxPower returns the stack current and power at the maximum-power point,
+// which bounds the load-following range (paper Fig 2). It searches the
+// unimodal power curve with golden-section.
+func (s *Stack) MaxPower() (ifc, power float64) {
+	// Power is zero at both i=0 and at voltage collapse; find the collapse
+	// current first so the search bracket is sound.
+	hi := 0.1
+	for s.Voltage(hi) > 0 && hi < 1e3 {
+		hi *= 2
+	}
+	ifc = numeric.GoldenMin(func(i float64) float64 { return -s.Power(i) }, 0, hi, 1e-9)
+	return ifc, s.Power(ifc)
+}
+
+// CurrentForPower returns the stack current on the low-current (efficient)
+// side of the power curve that delivers the requested stack power, or an
+// error if the demand exceeds the maximum power capacity.
+func (s *Stack) CurrentForPower(watts float64) (float64, error) {
+	if watts < 0 {
+		return 0, fmt.Errorf("fuelcell: negative power demand %v", watts)
+	}
+	if watts == 0 {
+		return 0, nil
+	}
+	iMax, pMax := s.MaxPower()
+	if watts > pMax {
+		return 0, fmt.Errorf("fuelcell: demand %.2f W exceeds stack capacity %.2f W", watts, pMax)
+	}
+	root, err := numeric.Bisect(func(i float64) float64 { return s.Power(i) - watts }, 0, iMax, 1e-10)
+	if err != nil {
+		return 0, fmt.Errorf("fuelcell: power solve failed: %w", err)
+	}
+	return root, nil
+}
+
+// IVPoint is one sample of the stack I-V-P characteristic.
+type IVPoint struct {
+	Ifc   float64 // stack current, A
+	Vfc   float64 // stack voltage, V
+	Power float64 // stack power, W
+}
+
+// IVPCurve samples the stack characteristic at n evenly spaced currents in
+// [0, maxI], the series plotted in the paper's Fig 2.
+func (s *Stack) IVPCurve(maxI float64, n int) []IVPoint {
+	if n < 2 {
+		n = 2
+	}
+	pts := make([]IVPoint, n)
+	for k := 0; k < n; k++ {
+		i := maxI * float64(k) / float64(n-1)
+		pts[k] = IVPoint{Ifc: i, Vfc: s.Voltage(i), Power: s.Power(i)}
+	}
+	return pts
+}

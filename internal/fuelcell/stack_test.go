@@ -1,0 +1,162 @@
+package fuelcell
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBCS20WOpenCircuit(t *testing.T) {
+	s := BCS20W()
+	if got := s.Voltage(0); got != 18.2 {
+		t.Fatalf("open-circuit voltage = %v, want 18.2 (paper §2.1)", got)
+	}
+	if got := s.Voltage(-1); got != 18.2 {
+		t.Fatalf("negative current voltage = %v, want open-circuit 18.2", got)
+	}
+}
+
+func TestBCS20WVoltageMonotoneDecreasing(t *testing.T) {
+	s := BCS20W()
+	prev := s.Voltage(0)
+	for i := 0.01; i <= 1.6; i += 0.01 {
+		v := s.Voltage(i)
+		if v > prev {
+			t.Fatalf("voltage increased at i=%v: %v > %v", i, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestBCS20WMaxPower(t *testing.T) {
+	s := BCS20W()
+	ifc, p := s.MaxPower()
+	// Fig 2: maximum power capacity of the 20 W-class stack lies near the
+	// right edge of the plotted range (~1.4-1.5 A).
+	if ifc < 1.2 || ifc > 1.8 {
+		t.Errorf("max-power current = %v A, want in [1.2, 1.8]", ifc)
+	}
+	if p < 14 || p > 22 {
+		t.Errorf("max power = %v W, want ~20 W class", p)
+	}
+	// It is a genuine maximum.
+	if s.Power(ifc-0.05) > p || s.Power(ifc+0.05) > p {
+		t.Errorf("MaxPower is not a local max: P(%v)=%v", ifc, p)
+	}
+}
+
+func TestBCS20WPowerRisesThenFalls(t *testing.T) {
+	s := BCS20W()
+	iStar, _ := s.MaxPower()
+	if s.Power(0.1) >= s.Power(iStar/2) {
+		t.Error("power not increasing on the left branch")
+	}
+	if s.Power(iStar+0.3) >= s.Power(iStar) {
+		t.Error("power not decreasing past the knee")
+	}
+}
+
+func TestCurrentForPower(t *testing.T) {
+	s := BCS20W()
+	for _, want := range []float64{1, 5, 10, 15} {
+		i, err := s.CurrentForPower(want)
+		if err != nil {
+			t.Fatalf("CurrentForPower(%v): %v", want, err)
+		}
+		if got := s.Power(i); math.Abs(got-want) > 1e-6 {
+			t.Errorf("Power(CurrentForPower(%v)) = %v", want, got)
+		}
+	}
+}
+
+func TestCurrentForPowerEdgeCases(t *testing.T) {
+	s := BCS20W()
+	if i, err := s.CurrentForPower(0); err != nil || i != 0 {
+		t.Errorf("zero power: i=%v err=%v", i, err)
+	}
+	if _, err := s.CurrentForPower(-1); err == nil {
+		t.Error("negative power accepted")
+	}
+	if _, err := s.CurrentForPower(1e6); err == nil {
+		t.Error("excess power accepted")
+	}
+}
+
+func TestCurrentForPowerPicksEfficientBranch(t *testing.T) {
+	s := BCS20W()
+	iStar, _ := s.MaxPower()
+	i, err := s.CurrentForPower(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i >= iStar {
+		t.Errorf("solver picked the inefficient branch: i=%v >= knee %v", i, iStar)
+	}
+}
+
+func TestStackEfficiencyTracksVoltage(t *testing.T) {
+	s := BCS20W()
+	// ηstack = Vfc/ζ (paper §2.3): check the identity and the declining
+	// trend.
+	for _, i := range []float64{0.1, 0.5, 1.0} {
+		want := s.Voltage(i) / s.Params().Zeta
+		if got := s.Efficiency(i); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Efficiency(%v) = %v, want %v", i, got, want)
+		}
+	}
+	if s.Efficiency(1.0) >= s.Efficiency(0.1) {
+		t.Error("stack efficiency should decline with current")
+	}
+}
+
+func TestStackParamsValidate(t *testing.T) {
+	bad := []StackParams{
+		{Voc: 0, I0: 1, Zeta: 1},
+		{Voc: 10, I0: 0, Zeta: 1},
+		{Voc: 10, I0: 1, Zeta: 0},
+		{Voc: 10, I0: 1, Zeta: 1, A: -1},
+	}
+	for k, p := range bad {
+		if _, err := NewStack(p); err == nil {
+			t.Errorf("case %d: invalid params accepted", k)
+		}
+	}
+	if _, err := NewStack(BCS20W().Params()); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestIVPCurve(t *testing.T) {
+	s := BCS20W()
+	pts := s.IVPCurve(1.5, 16)
+	if len(pts) != 16 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0].Ifc != 0 || pts[0].Vfc != 18.2 {
+		t.Errorf("first point = %+v", pts[0])
+	}
+	if pts[15].Ifc != 1.5 {
+		t.Errorf("last current = %v", pts[15].Ifc)
+	}
+	for k := 1; k < len(pts); k++ {
+		if pts[k].Vfc > pts[k-1].Vfc {
+			t.Errorf("voltage not monotone at point %d", k)
+		}
+	}
+}
+
+// Property: voltage is non-negative and never exceeds open circuit.
+func TestStackVoltageBounds(t *testing.T) {
+	s := BCS20W()
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		i := math.Abs(math.Mod(raw, 10))
+		v := s.Voltage(i)
+		return v >= 0 && v <= 18.2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

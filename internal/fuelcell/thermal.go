@@ -1,0 +1,138 @@
+package fuelcell
+
+import (
+	"fmt"
+	"math"
+)
+
+// Thermal is a lumped thermal model of the FC stack: everything the fuel
+// brings in that does not leave as electricity heats the stack, and the
+// stack sheds heat to ambient through a (fan-assisted) conductance:
+//
+//	C_th·dT/dt = P_loss(IF) − H·(T − T_amb)
+//	P_loss(IF) = ζ·Ifc(IF) − VF·IF = VF·IF·(1/ηs − 1)
+//
+// Policies do not see temperature (the paper's efficiency model is
+// isothermal); Thermal is a post-hoc stress analysis: output profiles that
+// swing the current also cycle the stack thermally, and thermal cycling is
+// the dominant PEM membrane ageing mechanism. The ThermalStress experiment
+// compares the policies' temperature trajectories.
+type Thermal struct {
+	// Cth is the stack heat capacity in J/K (hundreds of J/K for a small
+	// 20-cell air-cooled stack).
+	Cth float64
+	// H is the heat conductance to ambient in W/K.
+	H float64
+	// Ambient is the surroundings temperature in °C.
+	Ambient float64
+}
+
+// PaperThermal returns parameters plausible for the BCS 20 W class stack:
+// ~0.4 kg of active graphite/membrane mass at ~1 J/(g·K) and a
+// fan-assisted conductance giving a ~35 °C rise at full load, for a
+// thermal time constant of ~400 s.
+func PaperThermal() Thermal {
+	return Thermal{Cth: 400, H: 1.0, Ambient: 25}
+}
+
+// Validate reports whether the parameters are physical.
+func (th Thermal) Validate() error {
+	if th.Cth <= 0 || th.H <= 0 {
+		return fmt.Errorf("fuelcell: non-positive thermal parameter (Cth=%v, H=%v)", th.Cth, th.H)
+	}
+	return nil
+}
+
+// LossPower returns the stack heat generation in watts at output iF.
+func (th Thermal) LossPower(sys *System, iF float64) float64 {
+	if iF <= 0 {
+		return 0
+	}
+	return sys.Zeta*sys.StackCurrent(iF) - sys.VF*iF
+}
+
+// SteadyTemp returns the equilibrium stack temperature at a constant
+// output iF.
+func (th Thermal) SteadyTemp(sys *System, iF float64) float64 {
+	return th.Ambient + th.LossPower(sys, iF)/th.H
+}
+
+// TempPoint is one sample of a temperature trajectory.
+type TempPoint struct {
+	T    float64 // time, s
+	Temp float64 // stack temperature, °C
+}
+
+// Trajectory integrates the stack temperature under a piecewise-constant
+// output profile given as (time, IF) steps: ifs[k] holds from ts[k] to
+// ts[k+1] (the final step holds for endHold seconds). The ODE is linear
+// within each step, so each segment is integrated exactly:
+//
+//	T(t) = T_ss + (T_0 − T_ss)·exp(−H·t/C_th).
+//
+// The trajectory starts at ambient.
+func (th Thermal) Trajectory(sys *System, ts, ifs []float64, endHold float64) ([]TempPoint, error) {
+	if err := th.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ts) != len(ifs) || len(ts) == 0 {
+		return nil, fmt.Errorf("fuelcell: thermal profile length mismatch (%d vs %d)", len(ts), len(ifs))
+	}
+	out := make([]TempPoint, 0, len(ts)+1)
+	temp := th.Ambient
+	tau := th.Cth / th.H
+	for k := range ts {
+		out = append(out, TempPoint{T: ts[k], Temp: temp})
+		var dur float64
+		if k+1 < len(ts) {
+			dur = ts[k+1] - ts[k]
+			if dur < 0 {
+				return nil, fmt.Errorf("fuelcell: thermal profile times not sorted at %d", k)
+			}
+		} else {
+			dur = endHold
+		}
+		tss := th.SteadyTemp(sys, ifs[k])
+		temp = tss + (temp-tss)*math.Exp(-dur/tau)
+	}
+	out = append(out, TempPoint{T: ts[len(ts)-1] + endHold, Temp: temp})
+	return out, nil
+}
+
+// ThermalStress summarizes a temperature trajectory for ageing comparison.
+type ThermalStress struct {
+	Mean, Min, Max float64
+	// Swing is max − min, the depth thermal-cycling damage scales with.
+	Swing float64
+	// CycleCount is the number of mean-crossing pairs — how often the
+	// stack is cycled through its mean temperature.
+	CycleCount int
+}
+
+// Stress computes the summary over a trajectory. An empty trajectory
+// yields a zero value.
+func Stress(traj []TempPoint) ThermalStress {
+	var s ThermalStress
+	if len(traj) == 0 {
+		return s
+	}
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	var sum float64
+	for _, p := range traj {
+		sum += p.Temp
+		s.Min = math.Min(s.Min, p.Temp)
+		s.Max = math.Max(s.Max, p.Temp)
+	}
+	s.Mean = sum / float64(len(traj))
+	s.Swing = s.Max - s.Min
+	crossings := 0
+	for k := 1; k < len(traj); k++ {
+		a := traj[k-1].Temp - s.Mean
+		b := traj[k].Temp - s.Mean
+		if a*b < 0 {
+			crossings++
+		}
+	}
+	s.CycleCount = crossings / 2
+	return s
+}

@@ -1,0 +1,132 @@
+package fuelcell
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLossPowerPositiveAndGrowing(t *testing.T) {
+	th := PaperThermal()
+	sys := PaperSystem()
+	if got := th.LossPower(sys, 0); got != 0 {
+		t.Fatalf("no-load loss = %v", got)
+	}
+	prev := 0.0
+	for _, iF := range []float64{0.1, 0.4, 0.8, 1.2} {
+		p := th.LossPower(sys, iF)
+		if p <= prev {
+			t.Fatalf("loss not increasing at %v: %v", iF, p)
+		}
+		prev = p
+	}
+	// Sanity: loss = VF·IF·(1/ηs − 1).
+	iF := 0.6
+	eta := sys.Efficiency(iF)
+	want := sys.VF * iF * (1/eta - 1)
+	if got := th.LossPower(sys, iF); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("loss = %v, want %v", got, want)
+	}
+}
+
+func TestSteadyTempPlausible(t *testing.T) {
+	th := PaperThermal()
+	sys := PaperSystem()
+	cold := th.SteadyTemp(sys, 0)
+	if cold != 25 {
+		t.Fatalf("no-load steady temp = %v, want ambient", cold)
+	}
+	hot := th.SteadyTemp(sys, 1.2)
+	// A small PEM stack runs warm but below boiling.
+	if hot < 40 || hot > 95 {
+		t.Fatalf("full-load steady temp = %v °C, implausible", hot)
+	}
+}
+
+func TestTrajectoryConvergesToSteady(t *testing.T) {
+	th := PaperThermal()
+	sys := PaperSystem()
+	// Hold 0.6 A for many thermal time constants.
+	traj, err := th.Trajectory(sys, []float64{0}, []float64{0.6}, 20*th.Cth/th.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := traj[len(traj)-1].Temp
+	if want := th.SteadyTemp(sys, 0.6); math.Abs(final-want) > 0.01 {
+		t.Fatalf("final temp = %v, want steady %v", final, want)
+	}
+	// Starts at ambient.
+	if traj[0].Temp != 25 {
+		t.Fatalf("initial temp = %v", traj[0].Temp)
+	}
+}
+
+func TestTrajectoryExactExponential(t *testing.T) {
+	th := PaperThermal()
+	sys := PaperSystem()
+	tau := th.Cth / th.H
+	traj, err := th.Trajectory(sys, []float64{0, tau}, []float64{1.0, 1.0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After exactly one time constant: T = Tss + (T0−Tss)/e.
+	tss := th.SteadyTemp(sys, 1.0)
+	want := tss + (25-tss)/math.E
+	if math.Abs(traj[1].Temp-want) > 1e-9 {
+		t.Fatalf("T(tau) = %v, want %v", traj[1].Temp, want)
+	}
+}
+
+func TestTrajectoryErrors(t *testing.T) {
+	th := PaperThermal()
+	sys := PaperSystem()
+	if _, err := th.Trajectory(sys, []float64{0, 1}, []float64{1}, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := th.Trajectory(sys, nil, nil, 0); err == nil {
+		t.Error("empty profile accepted")
+	}
+	if _, err := th.Trajectory(sys, []float64{1, 0}, []float64{1, 1}, 0); err == nil {
+		t.Error("unsorted times accepted")
+	}
+	bad := Thermal{Cth: 0, H: 1}
+	if _, err := bad.Trajectory(sys, []float64{0}, []float64{1}, 1); err == nil {
+		t.Error("invalid thermal parameters accepted")
+	}
+}
+
+func TestStressSummary(t *testing.T) {
+	traj := []TempPoint{{0, 30}, {1, 50}, {2, 30}, {3, 50}, {4, 30}}
+	s := Stress(traj)
+	if s.Min != 30 || s.Max != 50 || s.Swing != 20 {
+		t.Fatalf("stress = %+v", s)
+	}
+	if math.Abs(s.Mean-38) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.CycleCount != 2 {
+		t.Fatalf("cycles = %d, want 2", s.CycleCount)
+	}
+	if z := Stress(nil); z.CycleCount != 0 || z.Mean != 0 {
+		t.Fatalf("empty stress = %+v", z)
+	}
+}
+
+func TestFlatProfileNoCycling(t *testing.T) {
+	th := PaperThermal()
+	sys := PaperSystem()
+	ts := make([]float64, 50)
+	ifs := make([]float64, 50)
+	for k := range ts {
+		ts[k] = float64(k) * 10
+		ifs[k] = 0.5
+	}
+	traj, err := th.Trajectory(sys, ts, ifs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Stress(traj)
+	// Pure warm-up: monotone rise, no cycling after the mean crossing.
+	if s.CycleCount > 1 {
+		t.Fatalf("flat profile cycles %d times", s.CycleCount)
+	}
+}

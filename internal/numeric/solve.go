@@ -1,0 +1,98 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket is returned by Bisect when the supplied interval does not
+// bracket a sign change of the function.
+var ErrNoBracket = errors.New("numeric: interval does not bracket a root")
+
+// invPhi is 1/phi, the golden-section step ratio.
+const invPhi = 0.6180339887498949
+
+// GoldenMin minimizes a unimodal function f on [lo, hi] by golden-section
+// search and returns the abscissa of the minimum. tol is the absolute
+// interval tolerance; values below 1e-14 are raised to 1e-14.
+func GoldenMin(f func(float64) float64, lo, hi, tol float64) float64 {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if tol < 1e-14 {
+		tol = 1e-14
+	}
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}
+
+// Bisect finds a root of f in [lo, hi] to absolute tolerance tol. The
+// function must change sign over the interval, otherwise ErrNoBracket is
+// returned.
+func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if tol < 1e-14 {
+		tol = 1e-14
+	}
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, ErrNoBracket
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// AlmostEqual reports whether a and b agree to within tol absolutely or
+// relatively (whichever is looser), the standard comparison used by the
+// experiment assertions.
+func AlmostEqual(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	return d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -1,0 +1,100 @@
+package numeric
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N              int
+	Min, Max       float64
+	Mean, Stddev   float64
+	Median         float64
+	P10, P90       float64
+	Sum            float64
+	SumAbsDev      float64 // sum of |x - mean|
+	CoeffVariation float64 // stddev / |mean|, 0 when mean is 0
+}
+
+// Summarize computes descriptive statistics over xs. An empty sample yields
+// a zero Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	for _, x := range xs {
+		s.Sum += x
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+		s.SumAbsDev += math.Abs(d)
+	}
+	if s.N > 1 {
+		s.Stddev = math.Sqrt(ss / float64(s.N-1))
+	}
+	s.Median = Quantile(sorted, 0.5)
+	s.P10 = Quantile(sorted, 0.1)
+	s.P90 = Quantile(sorted, 0.9)
+	if s.Mean != 0 {
+		s.CoeffVariation = s.Stddev / math.Abs(s.Mean)
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an already sorted sample
+// using linear interpolation between order statistics. It panics on an empty
+// sample.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("numeric: Quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(sorted) {
+		return sorted[i]
+	}
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
+// MeanAbsError returns the mean absolute error between predictions and
+// actuals. The slices must have equal nonzero length.
+func MeanAbsError(pred, actual []float64) float64 {
+	if len(pred) != len(actual) || len(pred) == 0 {
+		panic("numeric: MeanAbsError length mismatch or empty")
+	}
+	var sum float64
+	for i := range pred {
+		sum += math.Abs(pred[i] - actual[i])
+	}
+	return sum / float64(len(pred))
+}
+
+// RootMeanSquareError returns the RMSE between predictions and actuals.
+func RootMeanSquareError(pred, actual []float64) float64 {
+	if len(pred) != len(actual) || len(pred) == 0 {
+		panic("numeric: RootMeanSquareError length mismatch or empty")
+	}
+	var sum float64
+	for i := range pred {
+		d := pred[i] - actual[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(pred)))
+}

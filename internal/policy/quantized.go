@@ -1,0 +1,144 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"fcdpm/internal/device"
+	"fcdpm/internal/fcopt"
+	"fcdpm/internal/fuelcell"
+	"fcdpm/internal/sim"
+)
+
+// FCDPMQuantized is FC-DPM for fuel-flow controllers that support only
+// discrete output levels (the multi-level configuration of [11]). Planning
+// uses the quantized slot optimizer; the active-period re-plan computes the
+// continuous Eq 13 value and snaps to the nearest level at or above it
+// (rounding up so the Cend target is not silently missed).
+type FCDPMQuantized struct {
+	sys    *fuelcell.System
+	dev    *device.Model
+	levels []float64
+
+	cmax, chargeTarget float64
+	ifi, ifa           float64
+	planErr            error
+}
+
+// NewFCDPMQuantized returns the quantized FC-DPM policy. The levels must
+// all lie within the system's load-following range; they are sorted
+// internally. It panics on an empty or out-of-range level set, which is a
+// construction error.
+func NewFCDPMQuantized(sys *fuelcell.System, dev *device.Model, levels []float64) *FCDPMQuantized {
+	if len(levels) == 0 {
+		panic("policy: quantized FC-DPM needs at least one level")
+	}
+	lv := make([]float64, len(levels))
+	copy(lv, levels)
+	sort.Float64s(lv)
+	for _, l := range lv {
+		if !sys.InRange(l) {
+			panic(fmt.Sprintf("policy: level %v outside load-following range", l))
+		}
+	}
+	return &FCDPMQuantized{sys: sys, dev: dev, levels: lv}
+}
+
+// Name implements sim.Policy.
+func (f *FCDPMQuantized) Name() string {
+	return fmt.Sprintf("FC-DPM-q%d", len(f.levels))
+}
+
+// Err returns the first planning failure, if any.
+func (f *FCDPMQuantized) Err() error { return f.planErr }
+
+// Reset implements sim.Policy.
+func (f *FCDPMQuantized) Reset(cmax, chargeTarget float64) {
+	f.cmax = cmax
+	f.chargeTarget = chargeTarget
+	f.ifi = f.levels[0]
+	f.ifa = f.levels[len(f.levels)-1]
+	f.planErr = nil
+}
+
+// snapUp returns the smallest level >= x, or the top level.
+func (f *FCDPMQuantized) snapUp(x float64) float64 {
+	for _, l := range f.levels {
+		if l >= x-1e-12 {
+			return l
+		}
+	}
+	return f.levels[len(f.levels)-1]
+}
+
+// PlanIdle implements sim.Policy using the quantized slot optimizer on the
+// predicted slot.
+func (f *FCDPMQuantized) PlanIdle(info sim.SlotInfo) {
+	var oh *fcopt.Overhead
+	if f.dev.TauPD != 0 || f.dev.TauWU != 0 {
+		oh = &fcopt.Overhead{
+			TauWU: f.dev.TauWU, IWU: f.dev.IWU,
+			TauPD: f.dev.TauPD, IPD: f.dev.IPD,
+		}
+	}
+	slot := fcopt.Slot{
+		Ti:       info.PredIdle,
+		IldI:     info.IdleLoad,
+		Ta:       info.PredActive + f.dev.TauSR + f.dev.TauRS,
+		IldA:     info.PredActiveCurrent,
+		Cini:     info.Charge,
+		Cend:     info.ChargeTarget,
+		Sleep:    info.Sleeping,
+		Overhead: oh,
+	}
+	set, err := fcopt.OptimizeQuantized(f.sys, f.cmax, slot, f.levels)
+	if err != nil {
+		if f.planErr == nil {
+			f.planErr = err
+		}
+		f.ifi = f.snapUp(info.IdleLoad)
+		f.ifa = f.snapUp(info.PredActiveCurrent)
+		return
+	}
+	f.ifi = set.IFi
+	f.ifa = set.IFa
+}
+
+// PlanActive implements sim.Policy: the continuous Eq 13 re-plan, snapped
+// up to the nearest level.
+func (f *FCDPMQuantized) PlanActive(info sim.SlotInfo) {
+	dur := info.ActualActive + f.dev.TauSR + f.dev.TauRS
+	charge := info.ActualActiveCurrent * dur
+	if info.Sleeping {
+		dur += f.dev.TauWU
+		charge += f.dev.IWU * f.dev.TauWU
+	}
+	if dur <= 0 {
+		return
+	}
+	f.ifa = f.snapUp((info.ChargeTarget + charge - info.Charge) / dur)
+}
+
+// SegmentPlan implements sim.Policy, splitting at storage boundaries like
+// the continuous policy. The hold level after a boundary is snapped (up
+// after an empty split so the load keeps being covered, down to the
+// nearest feasible level after a full split is unnecessary — the bleeder
+// handles the floor case, matching the continuous policy's behaviour).
+func (f *FCDPMQuantized) SegmentPlan(seg sim.Segment, charge float64) []sim.Piece {
+	if seg.Kind.IdlePhase() {
+		pieces := splitAtFull(f.sys, seg, charge, f.cmax, f.ifi)
+		return f.snapPieces(pieces)
+	}
+	pieces := splitAtEmpty(f.sys, seg, charge, f.ifa)
+	return f.snapPieces(pieces)
+}
+
+// snapPieces forces every piece current onto the level grid.
+func (f *FCDPMQuantized) snapPieces(pieces []sim.Piece) []sim.Piece {
+	for i := range pieces {
+		pieces[i].IF = f.snapUp(pieces[i].IF)
+	}
+	return pieces
+}
+
+var _ sim.Policy = (*FCDPMQuantized)(nil)

@@ -1,0 +1,111 @@
+package predict
+
+import "fmt"
+
+// Markov is a first-order Markov-chain predictor in the spirit of the
+// stochastic-control DPM literature [4, 5]: observations are quantized
+// into Levels bins over [Lo, Hi]; a transition-count matrix is learned
+// online; the prediction is the expected next value (the count-weighted
+// mean of bin centres) conditional on the current bin. Unseen rows fall
+// back to the marginal distribution, and a cold start to the initial
+// prediction.
+//
+// Where the adaptive learning Tree memorizes exact context patterns, the
+// Markov predictor captures one-step correlation with far fewer
+// parameters — the right tool when idle lengths form a drifting process
+// rather than a repeating pattern.
+type Markov struct {
+	Levels int
+	Lo, Hi float64
+
+	initial  float64
+	counts   [][]int // counts[i][j]: transitions bin i → bin j
+	marginal []int
+	cur      int // current bin; -1 before the first observation
+	total    int
+}
+
+// NewMarkov returns a Markov-chain predictor. levels must be at least 2
+// and hi > lo; it panics otherwise (construction errors).
+func NewMarkov(levels int, lo, hi, initial float64) *Markov {
+	if levels < 2 {
+		panic(fmt.Sprintf("predict: markov levels %d < 2", levels))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("predict: markov bounds [%v, %v] invalid", lo, hi))
+	}
+	m := &Markov{Levels: levels, Lo: lo, Hi: hi, initial: initial}
+	m.Reset()
+	return m
+}
+
+func (m *Markov) bin(v float64) int {
+	if v <= m.Lo {
+		return 0
+	}
+	if v >= m.Hi {
+		return m.Levels - 1
+	}
+	i := int(float64(m.Levels) * (v - m.Lo) / (m.Hi - m.Lo))
+	if i >= m.Levels {
+		i = m.Levels - 1
+	}
+	return i
+}
+
+func (m *Markov) centre(i int) float64 {
+	w := (m.Hi - m.Lo) / float64(m.Levels)
+	return m.Lo + (float64(i)+0.5)*w
+}
+
+// Predict implements Predictor.
+func (m *Markov) Predict() float64 {
+	var row []int
+	n := 0
+	if m.cur >= 0 {
+		row = m.counts[m.cur]
+		for _, c := range row {
+			n += c
+		}
+	}
+	if n == 0 {
+		// Unseen row (or cold start): fall back to the marginal.
+		row = m.marginal
+		n = m.total
+	}
+	if n == 0 {
+		return m.initial
+	}
+	var sum float64
+	for j, c := range row {
+		sum += float64(c) * m.centre(j)
+	}
+	return sum / float64(n)
+}
+
+// Observe implements Predictor.
+func (m *Markov) Observe(actual float64) {
+	b := m.bin(actual)
+	if m.cur >= 0 {
+		m.counts[m.cur][b]++
+	}
+	m.marginal[b]++
+	m.total++
+	m.cur = b
+}
+
+// Reset implements Predictor.
+func (m *Markov) Reset() {
+	m.counts = make([][]int, m.Levels)
+	for i := range m.counts {
+		m.counts[i] = make([]int, m.Levels)
+	}
+	m.marginal = make([]int, m.Levels)
+	m.cur = -1
+	m.total = 0
+}
+
+// Name implements Predictor.
+func (m *Markov) Name() string { return fmt.Sprintf("markov(L=%d)", m.Levels) }
+
+var _ Predictor = (*Markov)(nil)

@@ -1,0 +1,268 @@
+// Package predict implements the period predictors FC-DPM is built on.
+//
+// The paper uses the exponential-average predictor of Hwang & Wu [1] for
+// the idle period (Eq 14) and proposes the same form for the active period
+// (Eq 15) and average active current. The package also provides the
+// alternatives the paper's related-work section surveys — last-value,
+// sliding-window linear regression [2], and an adaptive learning tree [3] —
+// plus an oracle, so predictor choice can be ablated.
+package predict
+
+import (
+	"fmt"
+
+	"fcdpm/internal/numeric"
+)
+
+// Predictor forecasts the next value of a positive series (idle length,
+// active length, or active current) from past observations.
+type Predictor interface {
+	// Predict returns the forecast for the next value.
+	Predict() float64
+	// Observe feeds the actual value once it is known.
+	Observe(actual float64)
+	// Reset clears history back to the initial state.
+	Reset()
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// ExpAverage is the Hwang–Wu exponential-average predictor (paper Eq 14):
+//
+//	T'(k) = ρ·T'(k-1) + (1-ρ)·T(k-1)
+//
+// ρ weighs the previous *prediction*; 1-ρ weighs the previous *actual*.
+type ExpAverage struct {
+	Rho     float64
+	initial float64
+	pred    float64
+}
+
+// NewExpAverage returns an exponential-average predictor with factor rho in
+// [0, 1] and the given initial prediction. It panics on an out-of-range
+// rho, which is a construction error.
+func NewExpAverage(rho, initial float64) *ExpAverage {
+	if rho < 0 || rho > 1 {
+		panic(fmt.Sprintf("predict: rho %v outside [0,1]", rho))
+	}
+	return &ExpAverage{Rho: rho, initial: initial, pred: initial}
+}
+
+// Predict implements Predictor.
+func (e *ExpAverage) Predict() float64 { return e.pred }
+
+// Observe implements Predictor.
+func (e *ExpAverage) Observe(actual float64) {
+	e.pred = e.Rho*e.pred + (1-e.Rho)*actual
+}
+
+// Reset implements Predictor.
+func (e *ExpAverage) Reset() { e.pred = e.initial }
+
+// Name implements Predictor.
+func (e *ExpAverage) Name() string { return fmt.Sprintf("exp-average(ρ=%.2f)", e.Rho) }
+
+// LastValue predicts the previous observation (ρ = 0 exponential average).
+type LastValue struct {
+	initial float64
+	pred    float64
+}
+
+// NewLastValue returns a last-value predictor with the given initial
+// prediction.
+func NewLastValue(initial float64) *LastValue {
+	return &LastValue{initial: initial, pred: initial}
+}
+
+// Predict implements Predictor.
+func (l *LastValue) Predict() float64 { return l.pred }
+
+// Observe implements Predictor.
+func (l *LastValue) Observe(actual float64) { l.pred = actual }
+
+// Reset implements Predictor.
+func (l *LastValue) Reset() { l.pred = l.initial }
+
+// Name implements Predictor.
+func (l *LastValue) Name() string { return "last-value" }
+
+// Regression predicts by fitting a least-squares line through the last
+// Window observations and extrapolating one step — the regression-function
+// approach of Srivastava et al. [2]. With fewer than two observations it
+// falls back to the initial prediction or the single observation.
+type Regression struct {
+	Window  int
+	initial float64
+	hist    []float64
+}
+
+// NewRegression returns a sliding-window regression predictor. Window must
+// be at least 2.
+func NewRegression(window int, initial float64) *Regression {
+	if window < 2 {
+		panic(fmt.Sprintf("predict: regression window %d < 2", window))
+	}
+	return &Regression{Window: window, initial: initial}
+}
+
+// Predict implements Predictor.
+func (r *Regression) Predict() float64 {
+	n := len(r.hist)
+	switch n {
+	case 0:
+		return r.initial
+	case 1:
+		return r.hist[0]
+	}
+	// Fit y = a + b·x over x = 0..n-1, predict at x = n.
+	var sx, sy, sxx, sxy float64
+	for i, y := range r.hist {
+		x := float64(i)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return sy / fn
+	}
+	b := (fn*sxy - sx*sy) / den
+	a := (sy - b*sx) / fn
+	p := a + b*fn
+	if p < 0 {
+		return 0 // periods cannot be negative
+	}
+	return p
+}
+
+// Observe implements Predictor.
+func (r *Regression) Observe(actual float64) {
+	r.hist = append(r.hist, actual)
+	if len(r.hist) > r.Window {
+		r.hist = r.hist[1:]
+	}
+}
+
+// Reset implements Predictor.
+func (r *Regression) Reset() { r.hist = r.hist[:0] }
+
+// Name implements Predictor.
+func (r *Regression) Name() string { return fmt.Sprintf("regression(w=%d)", r.Window) }
+
+// MovingAverage predicts the mean of the last Window observations.
+type MovingAverage struct {
+	Window  int
+	initial float64
+	hist    []float64
+}
+
+// NewMovingAverage returns a moving-average predictor. Window must be
+// positive.
+func NewMovingAverage(window int, initial float64) *MovingAverage {
+	if window < 1 {
+		panic(fmt.Sprintf("predict: moving-average window %d < 1", window))
+	}
+	return &MovingAverage{Window: window, initial: initial}
+}
+
+// Predict implements Predictor.
+func (m *MovingAverage) Predict() float64 {
+	if len(m.hist) == 0 {
+		return m.initial
+	}
+	var sum float64
+	for _, v := range m.hist {
+		sum += v
+	}
+	return sum / float64(len(m.hist))
+}
+
+// Observe implements Predictor.
+func (m *MovingAverage) Observe(actual float64) {
+	m.hist = append(m.hist, actual)
+	if len(m.hist) > m.Window {
+		m.hist = m.hist[1:]
+	}
+}
+
+// Reset implements Predictor.
+func (m *MovingAverage) Reset() { m.hist = m.hist[:0] }
+
+// Name implements Predictor.
+func (m *MovingAverage) Name() string { return fmt.Sprintf("moving-average(w=%d)", m.Window) }
+
+// Oracle replays a known series — the perfect predictor, used to bound how
+// much of FC-DPM's gap to the offline optimum is prediction error.
+type Oracle struct {
+	series   []float64
+	pos      int
+	fallback float64
+}
+
+// NewOracle returns an oracle over the given series. fallback is returned
+// once the series is exhausted.
+func NewOracle(series []float64, fallback float64) *Oracle {
+	cp := make([]float64, len(series))
+	copy(cp, series)
+	return &Oracle{series: cp, fallback: fallback}
+}
+
+// Predict implements Predictor.
+func (o *Oracle) Predict() float64 {
+	if o.pos < len(o.series) {
+		return o.series[o.pos]
+	}
+	return o.fallback
+}
+
+// Observe implements Predictor; the oracle just advances.
+func (o *Oracle) Observe(float64) { o.pos++ }
+
+// Reset implements Predictor.
+func (o *Oracle) Reset() { o.pos = 0 }
+
+// Name implements Predictor.
+func (o *Oracle) Name() string { return "oracle" }
+
+// Accuracy reports how well a predictor tracks a series.
+type Accuracy struct {
+	MAE, RMSE float64
+	// OverRate is the fraction of predictions that exceeded the actual —
+	// relevant because over-predicting the idle period makes DPM sleep on
+	// slots where it should not.
+	OverRate float64
+}
+
+// Evaluate resets the predictor, streams the series through it, and
+// returns the prediction accuracy. It panics on an empty series.
+func Evaluate(p Predictor, series []float64) Accuracy {
+	if len(series) == 0 {
+		panic("predict: Evaluate on empty series")
+	}
+	p.Reset()
+	preds := make([]float64, len(series))
+	over := 0
+	for i, actual := range series {
+		preds[i] = p.Predict()
+		if preds[i] > actual {
+			over++
+		}
+		p.Observe(actual)
+	}
+	return Accuracy{
+		MAE:      numeric.MeanAbsError(preds, series),
+		RMSE:     numeric.RootMeanSquareError(preds, series),
+		OverRate: float64(over) / float64(len(series)),
+	}
+}
+
+// sanity check that all predictors satisfy the interface.
+var (
+	_ Predictor = (*ExpAverage)(nil)
+	_ Predictor = (*LastValue)(nil)
+	_ Predictor = (*Regression)(nil)
+	_ Predictor = (*MovingAverage)(nil)
+	_ Predictor = (*Oracle)(nil)
+)

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSVGChartRenders(t *testing.T) {
+	c := NewSVGChart("Fig 7 & friends", "t (s)", "I (A)")
+	if err := c.Step("load", []float64{0, 10, 20}, []float64{0.2, 1.2, 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Line("flat", []float64{0, 20}, []float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "Fig 7 &amp; friends", "t (s)", "I (A)",
+		"load", "flat", "#1f77b4", "#d62728",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two series → two polylines.
+	if n := strings.Count(out, "<polyline"); n != 2 {
+		t.Errorf("polylines = %d, want 2", n)
+	}
+}
+
+func TestSVGChartErrors(t *testing.T) {
+	c := NewSVGChart("", "", "")
+	if err := c.Line("bad", []float64{0, 1}, []float64{0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := c.Line("bad", nil, nil); err == nil {
+		t.Error("empty series accepted")
+	}
+	if err := c.Line("bad", []float64{2, 1}, []float64{0, 0}); err == nil {
+		t.Error("unsorted xs accepted")
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err == nil {
+		t.Error("empty chart rendered")
+	}
+}
+
+func TestSVGStepEmitsHorizontalRuns(t *testing.T) {
+	c := NewSVGChart("", "x", "y")
+	if err := c.Step("s", []float64{0, 10}, []float64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A step series with 2 points yields 3 polyline vertices (corner).
+	out := buf.String()
+	start := strings.Index(out, `points="`) + len(`points="`)
+	end := strings.Index(out[start:], `"`)
+	verts := strings.Fields(out[start : start+end])
+	if len(verts) != 3 {
+		t.Fatalf("step vertices = %d, want 3 (%v)", len(verts), verts)
+	}
+}
+
+func TestSVGConstantSeries(t *testing.T) {
+	c := NewSVGChart("", "", "")
+	if err := c.Line("c", []float64{5, 5.0000001}, []float64{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "polyline") {
+		t.Fatal("constant series not drawn")
+	}
+}
+
+func TestSVGNum(t *testing.T) {
+	cases := map[float64]string{0: "0", 150: "150", 1.25: "1.2", 0.5333: "0.53"}
+	for in, want := range cases {
+		if got := svgNum(in); got != want {
+			t.Errorf("svgNum(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"fcdpm/internal/device"
+	"fcdpm/internal/fuelcell"
+	"fcdpm/internal/workload"
+)
+
+func TestTimeoutModeReactiveSleep(t *testing.T) {
+	cfg := baseConfig(&followPolicy{fuelcell.PaperSystem()})
+	cfg.DPM = DPMTimeout
+	cfg.Timeout = 5
+	// Half the slots outlast the timeout, half do not.
+	cfg.Trace = &workload.Trace{Slots: []workload.Slot{
+		{Idle: 3, Active: 3, ActiveCurrent: 1.2},
+		{Idle: 10, Active: 3, ActiveCurrent: 1.2},
+		{Idle: 4, Active: 3, ActiveCurrent: 1.2},
+		{Idle: 20, Active: 3, ActiveCurrent: 1.2},
+	}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sleeps != 2 {
+		t.Fatalf("sleeps = %d, want 2 (only idles > 5 s)", res.Sleeps)
+	}
+	// Timeout dwell burns STANDBY fuel even on sleeping slots.
+	if res.FuelByKind[SegStandby] <= 0 {
+		t.Error("timeout mode must spend standby dwell")
+	}
+	if res.FuelByKind[SegSleep] <= 0 {
+		t.Error("long idles should reach sleep")
+	}
+}
+
+func TestTimeoutModeDuration(t *testing.T) {
+	cfg := baseConfig(&followPolicy{fuelcell.PaperSystem()})
+	cfg.DPM = DPMTimeout
+	cfg.Timeout = 4
+	cfg.Trace = workload.Periodic(1, 10, 3, 1.2)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idle 10 = 4 standby + 0.5 PD + 5.5 sleep; then WU 0.5 + SR 1.5 +
+	// active 3 + RS 0.5.
+	want := 10 + 0.5 + 1.5 + 3 + 0.5
+	if math.Abs(res.Duration-want) > 1e-9 {
+		t.Fatalf("duration = %v, want %v", res.Duration, want)
+	}
+}
+
+func TestTimeoutDefaultsToBreakEven(t *testing.T) {
+	cfg := baseConfig(&followPolicy{fuelcell.PaperSystem()})
+	cfg.DPM = DPMTimeout
+	// Camcorder Tbe = 1 s; idles of 0.8 s should never sleep, 2 s always.
+	cfg.Trace = workload.Periodic(3, 0.8, 3, 1.2)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sleeps != 0 {
+		t.Fatalf("sub-timeout idles slept %d times", res.Sleeps)
+	}
+	cfg.Trace = workload.Periodic(3, 2, 3, 1.2)
+	res, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sleeps != 3 {
+		t.Fatalf("post-timeout idles slept %d times, want 3", res.Sleeps)
+	}
+}
+
+func TestTimeoutCostsMoreThanOracle(t *testing.T) {
+	// The classic result: a timeout policy pays the dwell; the oracle
+	// sleeps immediately. Same trace, same source policy.
+	trace := workload.Periodic(20, 14, 3.03, device.CamcorderRunCurrent)
+	run := func(mode DPMMode) *Result {
+		cfg := baseConfig(&followPolicy{fuelcell.PaperSystem()})
+		cfg.Trace = trace
+		cfg.DPM = mode
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	timeout := run(DPMTimeout)
+	oracle := run(DPMOracle)
+	if timeout.AvgFuelRate() <= oracle.AvgFuelRate() {
+		t.Fatalf("timeout rate %v should exceed oracle %v",
+			timeout.AvgFuelRate(), oracle.AvgFuelRate())
+	}
+}
+
+func TestFuelBreakdownSumsToTotal(t *testing.T) {
+	cfg := baseConfig(&followPolicy{fuelcell.PaperSystem()})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range res.FuelByKind {
+		sum += v
+	}
+	if math.Abs(sum-res.Fuel) > 1e-9*math.Max(1, res.Fuel) {
+		t.Fatalf("breakdown sum %v != total %v", sum, res.Fuel)
+	}
+	// The camcorder trace sleeps every slot: expect fuel in sleep, wake,
+	// startup, active, shutdown, and power-down kinds.
+	for _, k := range []SegmentKind{SegPowerDown, SegSleep, SegWakeUp, SegStartup, SegActive, SegShutdown} {
+		if res.FuelByKind[k] <= 0 {
+			t.Errorf("no fuel recorded for %v", k)
+		}
+	}
+	if res.FuelByKind[SegStandby] != 0 {
+		t.Errorf("unexpected standby fuel %v on an always-sleeping trace", res.FuelByKind[SegStandby])
+	}
+}

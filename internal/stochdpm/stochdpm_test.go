@@ -1,0 +1,127 @@
+package stochdpm
+
+import (
+	"math"
+	"testing"
+
+	"fcdpm/internal/device"
+)
+
+func dev() *device.Model {
+	d := device.Synthetic() // Isdb 0.4033, Islp 0.2, τ=1 s at 1.2 A, Tbe≈10
+	d.TbeOverride = 0
+	return d
+}
+
+func TestExpectedChargeKnownCases(t *testing.T) {
+	d := dev()
+	// One idle of 20 s, timeout 5: 0.4033·5 + sleep(15).
+	want := d.Isdb*5 + d.SleepEnergyCharge(15)
+	if got := ExpectedCharge(d, 5, []float64{20}); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// Idle shorter than timeout: pure standby.
+	if got := ExpectedCharge(d, 5, []float64{3}); math.Abs(got-d.Isdb*3) > 1e-12 {
+		t.Fatalf("short idle cost = %v", got)
+	}
+	if got := ExpectedCharge(d, 5, nil); got != 0 {
+		t.Fatalf("empty samples cost = %v", got)
+	}
+}
+
+func TestOptimalTimeoutAllLongIdles(t *testing.T) {
+	d := dev()
+	// Every idle is enormous: sleeping immediately is optimal.
+	tau := OptimalTimeout(d, []float64{500, 600, 700})
+	if tau != 0 {
+		t.Fatalf("tau = %v, want 0 (sleep immediately)", tau)
+	}
+}
+
+func TestOptimalTimeoutAllShortIdles(t *testing.T) {
+	d := dev()
+	// Every idle far below break-even: never sleep (tau above max idle).
+	tau := OptimalTimeout(d, []float64{1, 2, 3})
+	if tau < 3 {
+		t.Fatalf("tau = %v, want >= max idle (never sleep)", tau)
+	}
+}
+
+func TestOptimalTimeoutBeatsBreakEvenOnMixture(t *testing.T) {
+	d := dev()
+	// Bimodal: many 2 s idles, some 60 s idles. The distribution-optimal
+	// timeout should cost no more than the worst-case Tbe timeout.
+	samples := make([]float64, 0, 100)
+	for i := 0; i < 80; i++ {
+		samples = append(samples, 2)
+	}
+	for i := 0; i < 20; i++ {
+		samples = append(samples, 60)
+	}
+	tauStar := OptimalTimeout(d, samples)
+	costStar := ExpectedCharge(d, tauStar, samples)
+	costTbe := ExpectedCharge(d, d.BreakEven(), samples)
+	if costStar > costTbe+1e-12 {
+		t.Fatalf("optimal timeout cost %v exceeds Tbe timeout cost %v", costStar, costTbe)
+	}
+	// With the short idles at 2 s, the optimum waits at least past them.
+	if tauStar < 2 {
+		t.Fatalf("tau = %v, should wait out the 2 s cluster", tauStar)
+	}
+}
+
+func TestOptimalTimeoutIsArgmin(t *testing.T) {
+	d := dev()
+	samples := []float64{1, 4, 7, 12, 30, 30, 45, 2, 9, 18}
+	tauStar := OptimalTimeout(d, samples)
+	costStar := ExpectedCharge(d, tauStar, samples)
+	for tau := 0.0; tau <= 50; tau += 0.25 {
+		if c := ExpectedCharge(d, tau, samples); c < costStar-1e-9 {
+			t.Fatalf("tau=%v cost %v beats 'optimal' %v (tau*=%v)", tau, c, costStar, tauStar)
+		}
+	}
+}
+
+func TestOptimalTimeoutEmpty(t *testing.T) {
+	d := dev()
+	if got := OptimalTimeout(d, nil); math.Abs(got-d.BreakEven()) > 1e-9 {
+		t.Fatalf("empty-sample timeout = %v, want Tbe", got)
+	}
+}
+
+func TestAdaptiveTimeoutLifecycle(t *testing.T) {
+	d := dev()
+	a, err := NewAdaptiveTimeout(d, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.NextTimeout()-d.BreakEven()) > 1e-9 {
+		t.Fatal("cold adapter should serve Tbe")
+	}
+	for i := 0; i < 60; i++ {
+		a.Observe(500) // long idles: learn to sleep immediately
+	}
+	if got := a.NextTimeout(); got != 0 {
+		t.Fatalf("after long idles timeout = %v, want 0", got)
+	}
+	a.Reset()
+	if math.Abs(a.NextTimeout()-d.BreakEven()) > 1e-9 {
+		t.Fatal("reset adapter should serve Tbe again")
+	}
+	// Window slides: flood with short idles, the long history ages out.
+	for i := 0; i < 60; i++ {
+		a.Observe(1)
+	}
+	if got := a.NextTimeout(); got < 1 {
+		t.Fatalf("after short idles timeout = %v, want never-sleep", got)
+	}
+}
+
+func TestAdaptiveTimeoutValidation(t *testing.T) {
+	if _, err := NewAdaptiveTimeout(nil, 10); err == nil {
+		t.Error("nil device accepted")
+	}
+	if _, err := NewAdaptiveTimeout(dev(), 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}

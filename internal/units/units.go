@@ -1,0 +1,108 @@
+// Package units provides typed physical quantities used throughout fcdpm.
+//
+// The simulator and optimizer work on raw float64 values internally for
+// speed; these types exist so that public API boundaries are unambiguous
+// about what a number means (amps vs. watts vs. amp-seconds) and so that
+// values print with sensible engineering notation.
+//
+// All quantities are SI: current in amperes, voltage in volts, power in
+// watts, charge in coulombs (amp-seconds), energy in joules, and time in
+// seconds. The paper reports charge in A-s and A-min; Charge has helpers
+// for both.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Current is an electric current in amperes.
+type Current float64
+
+// Voltage is an electric potential in volts.
+type Voltage float64
+
+// Power is a power in watts.
+type Power float64
+
+// Charge is an electric charge in coulombs (amp-seconds).
+type Charge float64
+
+// Energy is an energy in joules (watt-seconds).
+type Energy float64
+
+// Seconds is a duration in seconds. A plain float64 duration is used instead
+// of time.Duration because simulation timescales are fractional seconds and
+// the arithmetic is all floating point.
+type Seconds float64
+
+// Amps returns the current as a raw float64 in amperes.
+func (c Current) Amps() float64 { return float64(c) }
+
+// MilliAmps returns the current in milliamperes.
+func (c Current) MilliAmps() float64 { return float64(c) * 1e3 }
+
+// Volts returns the voltage as a raw float64 in volts.
+func (v Voltage) Volts() float64 { return float64(v) }
+
+// Watts returns the power as a raw float64 in watts.
+func (p Power) Watts() float64 { return float64(p) }
+
+// AmpSeconds returns the charge in amp-seconds (coulombs).
+func (q Charge) AmpSeconds() float64 { return float64(q) }
+
+// AmpMinutes returns the charge in amp-minutes, the unit the paper uses for
+// the supercapacitor capacity ("100 mA-min").
+func (q Charge) AmpMinutes() float64 { return float64(q) / 60 }
+
+// Joules returns the energy in joules.
+func (e Energy) Joules() float64 { return float64(e) }
+
+// Sec returns the duration in seconds as a raw float64.
+func (s Seconds) Sec() float64 { return float64(s) }
+
+// ChargeFromAmpMinutes builds a Charge from an amp-minute value.
+func ChargeFromAmpMinutes(aMin float64) Charge { return Charge(aMin * 60) }
+
+// PowerAt returns the power drawn by current c at voltage v.
+func PowerAt(c Current, v Voltage) Power { return Power(float64(c) * float64(v)) }
+
+// CurrentAt returns the current corresponding to power p at voltage v.
+// It panics if v is zero, since that is a construction error, not a runtime
+// condition.
+func CurrentAt(p Power, v Voltage) Current {
+	if v == 0 {
+		panic("units: CurrentAt with zero voltage")
+	}
+	return Current(float64(p) / float64(v))
+}
+
+// String formats the current with engineering units (A or mA).
+func (c Current) String() string {
+	a := float64(c)
+	if math.Abs(a) < 1 {
+		return fmt.Sprintf("%.1f mA", a*1e3)
+	}
+	return fmt.Sprintf("%.3f A", a)
+}
+
+// String formats the voltage in volts.
+func (v Voltage) String() string { return fmt.Sprintf("%.2f V", float64(v)) }
+
+// String formats the power with engineering units (W or mW).
+func (p Power) String() string {
+	w := float64(p)
+	if math.Abs(w) < 1 {
+		return fmt.Sprintf("%.1f mW", w*1e3)
+	}
+	return fmt.Sprintf("%.2f W", w)
+}
+
+// String formats the charge in amp-seconds.
+func (q Charge) String() string { return fmt.Sprintf("%.2f A-s", float64(q)) }
+
+// String formats the energy in joules.
+func (e Energy) String() string { return fmt.Sprintf("%.2f J", float64(e)) }
+
+// String formats the duration in seconds.
+func (s Seconds) String() string { return fmt.Sprintf("%.2f s", float64(s)) }

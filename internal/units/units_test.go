@@ -1,0 +1,104 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerAt(t *testing.T) {
+	p := PowerAt(Current(1.2), Voltage(12))
+	if got := p.Watts(); math.Abs(got-14.4) > 1e-12 {
+		t.Fatalf("PowerAt(1.2A, 12V) = %v W, want 14.4", got)
+	}
+}
+
+func TestCurrentAt(t *testing.T) {
+	c := CurrentAt(Power(14.65), Voltage(12))
+	if got := c.Amps(); math.Abs(got-14.65/12) > 1e-12 {
+		t.Fatalf("CurrentAt(14.65W, 12V) = %v A, want %v", got, 14.65/12)
+	}
+}
+
+func TestCurrentAtZeroVoltagePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CurrentAt(.., 0) did not panic")
+		}
+	}()
+	CurrentAt(Power(1), Voltage(0))
+}
+
+func TestChargeFromAmpMinutes(t *testing.T) {
+	q := ChargeFromAmpMinutes(0.1) // the paper's 100 mA-min supercap
+	if got := q.AmpSeconds(); got != 6 {
+		t.Fatalf("100 mA-min = %v A-s, want 6", got)
+	}
+	if got := q.AmpMinutes(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("round trip A-min = %v, want 0.1", got)
+	}
+}
+
+func TestMilliAmps(t *testing.T) {
+	if got := Current(0.4).MilliAmps(); math.Abs(got-400) > 1e-9 {
+		t.Fatalf("0.4 A = %v mA, want 400", got)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	cases := []struct {
+		got, wantSub string
+	}{
+		{Current(0.2).String(), "mA"},
+		{Current(1.3).String(), "A"},
+		{Voltage(12).String(), "V"},
+		{Power(0.5).String(), "mW"},
+		{Power(14.65).String(), "W"},
+		{Charge(6).String(), "A-s"},
+		{Energy(192).String(), "J"},
+		{Seconds(3.03).String(), "s"},
+	}
+	for _, c := range cases {
+		if !strings.Contains(c.got, c.wantSub) {
+			t.Errorf("%q does not contain %q", c.got, c.wantSub)
+		}
+	}
+}
+
+// Property: PowerAt and CurrentAt are inverses for any nonzero voltage.
+func TestPowerCurrentRoundTrip(t *testing.T) {
+	f := func(amps, volts float64) bool {
+		if volts == 0 || math.IsNaN(amps) || math.IsInf(amps, 0) ||
+			math.IsNaN(volts) || math.IsInf(volts, 0) {
+			return true
+		}
+		// Keep magnitudes in a sane range to avoid overflow artifacts.
+		amps = math.Mod(amps, 1e6)
+		volts = math.Mod(volts, 1e6)
+		if volts == 0 {
+			return true
+		}
+		p := PowerAt(Current(amps), Voltage(volts))
+		back := CurrentAt(p, Voltage(volts)).Amps()
+		return math.Abs(back-amps) <= 1e-9*math.Max(1, math.Abs(amps))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: amp-minute conversion round-trips.
+func TestAmpMinuteRoundTrip(t *testing.T) {
+	f := func(aMin float64) bool {
+		if math.IsNaN(aMin) || math.IsInf(aMin, 0) {
+			return true
+		}
+		aMin = math.Mod(aMin, 1e9)
+		back := ChargeFromAmpMinutes(aMin).AmpMinutes()
+		return math.Abs(back-aMin) <= 1e-9*math.Max(1, math.Abs(aMin))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package workload
+
+import "fmt"
+
+// Aggregate merges groups of k consecutive task slots into one slot each —
+// the idle-aggregation idea behind task procrastination [6] and multi-
+// device scheduling [7]: defer the active work of a group to its end so
+// the small idle gaps coalesce into one long idle period that is worth
+// sleeping through.
+//
+// The merged slot's idle period is the sum of the group's idles, its
+// active period the sum of the group's actives, and its current the
+// charge-weighted mean. A trailing partial group is merged the same way.
+// k = 1 returns a copy.
+func Aggregate(t *Trace, k int) (*Trace, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("workload: aggregation factor %d < 1", k)
+	}
+	out := &Trace{Name: fmt.Sprintf("%s (aggregated x%d)", t.Name, k)}
+	for start := 0; start < len(t.Slots); start += k {
+		end := start + k
+		if end > len(t.Slots) {
+			end = len(t.Slots)
+		}
+		var merged Slot
+		var charge float64
+		for _, s := range t.Slots[start:end] {
+			merged.Idle += s.Idle
+			merged.Active += s.Active
+			charge += s.ActiveCurrent * s.Active
+		}
+		if merged.Active > 0 {
+			merged.ActiveCurrent = charge / merged.Active
+		}
+		out.Slots = append(out.Slots, merged)
+	}
+	return out, nil
+}
+
+// MaxDeferral returns the worst-case completion delay Aggregate(t, k)
+// imposes on any task in the original trace: the last task of a group
+// finishes at the same time, but the first task of a group is pushed past
+// all the later idles and earlier actives of its group. Schedulers use
+// this to pick the largest k whose delay fits the application's slack.
+func MaxDeferral(t *Trace, k int) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("workload: aggregation factor %d < 1", k)
+	}
+	var worst float64
+	for start := 0; start < len(t.Slots); start += k {
+		end := start + k
+		if end > len(t.Slots) {
+			end = len(t.Slots)
+		}
+		group := t.Slots[start:end]
+		// Original finish time of task j (relative to group start):
+		// sum_{i<=j} (idle_i + active_i). Aggregated finish time:
+		// sum idles + sum_{i<=j} active_i. The deferral of task j is the
+		// sum of idles after j.
+		var idleAfter float64
+		for _, s := range group {
+			idleAfter += s.Idle
+		}
+		for _, s := range group {
+			idleAfter -= s.Idle
+			if idleAfter > worst {
+				worst = idleAfter
+			}
+		}
+	}
+	return worst, nil
+}

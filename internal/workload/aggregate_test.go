@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAggregateMergesGroups(t *testing.T) {
+	tr := &Trace{Slots: []Slot{
+		{Idle: 10, Active: 2, ActiveCurrent: 1.0},
+		{Idle: 8, Active: 4, ActiveCurrent: 1.3},
+		{Idle: 6, Active: 2, ActiveCurrent: 0.7},
+	}}
+	agg, err := Aggregate(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (group of 2 + trailing 1)", agg.Len())
+	}
+	first := agg.Slots[0]
+	if first.Idle != 18 || first.Active != 6 {
+		t.Fatalf("merged slot = %+v", first)
+	}
+	// Charge-weighted current: (1.0·2 + 1.3·4)/6 = 1.2.
+	if math.Abs(first.ActiveCurrent-1.2) > 1e-12 {
+		t.Fatalf("merged current = %v, want 1.2", first.ActiveCurrent)
+	}
+	// Totals preserved.
+	if math.Abs(agg.Duration()-tr.Duration()) > 1e-9 {
+		t.Fatal("duration changed")
+	}
+	var origCharge, aggCharge float64
+	for _, s := range tr.Slots {
+		origCharge += s.ActiveCurrent * s.Active
+	}
+	for _, s := range agg.Slots {
+		aggCharge += s.ActiveCurrent * s.Active
+	}
+	if math.Abs(origCharge-aggCharge) > 1e-9 {
+		t.Fatal("active charge changed")
+	}
+}
+
+func TestAggregateIdentity(t *testing.T) {
+	tr := Periodic(4, 10, 3, 1.2)
+	agg, err := Aggregate(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Len() != 4 {
+		t.Fatalf("len = %d", agg.Len())
+	}
+	for k := range tr.Slots {
+		if tr.Slots[k] != agg.Slots[k] {
+			t.Fatalf("slot %d changed under k=1", k)
+		}
+	}
+	if _, err := Aggregate(tr, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestMaxDeferral(t *testing.T) {
+	tr := &Trace{Slots: []Slot{
+		{Idle: 10, Active: 2, ActiveCurrent: 1},
+		{Idle: 8, Active: 2, ActiveCurrent: 1},
+		{Idle: 6, Active: 2, ActiveCurrent: 1},
+	}}
+	// k=1: no deferral.
+	d, err := MaxDeferral(tr, 1)
+	if err != nil || d != 0 {
+		t.Fatalf("k=1 deferral = %v, %v", d, err)
+	}
+	// k=3: the first task waits for the other two idles: 8 + 6 = 14.
+	d, err = MaxDeferral(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-14) > 1e-12 {
+		t.Fatalf("k=3 deferral = %v, want 14", d)
+	}
+	// k=2: first group's first task waits for idle2 = 8.
+	d, err = MaxDeferral(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-8) > 1e-12 {
+		t.Fatalf("k=2 deferral = %v, want 8", d)
+	}
+	if _, err := MaxDeferral(tr, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestAggregateDeferralMonotone(t *testing.T) {
+	cfg := DefaultCamcorderConfig()
+	cfg.Duration = 600
+	tr, err := Camcorder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, k := range []int{1, 2, 4, 8} {
+		d, err := MaxDeferral(tr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < prev {
+			t.Fatalf("deferral not monotone in k at %d: %v < %v", k, d, prev)
+		}
+		prev = d
+	}
+}

@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Event is one task request in an activity log: it arrives at Arrival
+// seconds, keeps the device active for Service seconds, and draws Current
+// amps while active — the raw form measured traces come in before they are
+// slotted.
+type Event struct {
+	Arrival float64 `json:"arrival"`
+	Service float64 `json:"service"`
+	Current float64 `json:"current"`
+}
+
+// FromEvents converts an activity log into the slot representation the
+// simulator consumes. Events are sorted by arrival; each slot's idle period
+// is the gap between the previous task's completion and the next arrival.
+// An event arriving before the previous task finishes is back-to-back work:
+// it starts immediately after (zero idle), matching how a request queue
+// drains.
+//
+// The optional leadIn is the idle time before the first arrival (0 if the
+// log starts with the device busy).
+func FromEvents(name string, events []Event, leadIn float64) (*Trace, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("workload: no events")
+	}
+	if leadIn < 0 {
+		return nil, fmt.Errorf("workload: negative lead-in %v", leadIn)
+	}
+	sorted := make([]Event, len(events))
+	copy(sorted, events)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Arrival < sorted[j].Arrival })
+
+	tr := &Trace{Name: name}
+	// busyUntil tracks when the device frees up.
+	busyUntil := sorted[0].Arrival - leadIn
+	for k, e := range sorted {
+		if e.Service <= 0 {
+			return nil, fmt.Errorf("workload: event %d has non-positive service %v", k, e.Service)
+		}
+		if e.Current < 0 {
+			return nil, fmt.Errorf("workload: event %d has negative current %v", k, e.Current)
+		}
+		idle := e.Arrival - busyUntil
+		start := e.Arrival
+		if idle < 0 {
+			// Queued behind the previous task.
+			idle = 0
+			start = busyUntil
+		}
+		tr.Slots = append(tr.Slots, Slot{Idle: idle, Active: e.Service, ActiveCurrent: e.Current})
+		busyUntil = start + e.Service
+	}
+	return tr, nil
+}

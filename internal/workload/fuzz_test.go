@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary CSV input never panics and that every
+// accepted trace validates and round-trips.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("idle_s,active_s,active_current_a\n10,3,1.2\n")
+	f.Add("idle_s,active_s,active_current_a\n")
+	f.Add("")
+	f.Add("idle_s,active_s,active_current_a\n-1,2,3\n")
+	f.Add("idle_s,active_s,active_current_a\n1e300,1e300,1e300\n")
+	f.Add("a,b\n1,2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted trace fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted trace fails to serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", back.Len(), tr.Len())
+		}
+	})
+}
+
+// FuzzReadJSON checks the JSON trace path the same way.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"name":"x","slots":[{"idle":1,"active":2,"activeCurrent":3}]}`)
+	f.Add(`{}`)
+	f.Add(`[]`)
+	f.Add(`{"slots":[{"idle":-1}]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted trace fails validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSON serializes the trace as indented JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadJSON parses a trace previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("workload: decode JSON trace: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// csvHeader is the column layout of the CSV trace format.
+var csvHeader = []string{"idle_s", "active_s", "active_current_a"}
+
+// WriteCSV serializes the trace as CSV with a header row. The trace name is
+// not preserved; use JSON for lossless round trips.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, s := range t.Slots {
+		rec := []string{
+			strconv.FormatFloat(s.Idle, 'g', -1, 64),
+			strconv.FormatFloat(s.Active, 'g', -1, 64),
+			strconv.FormatFloat(s.ActiveCurrent, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: read CSV trace: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("workload: empty CSV trace")
+	}
+	if rows[0][0] != csvHeader[0] {
+		return nil, fmt.Errorf("workload: missing CSV header, got %q", rows[0][0])
+	}
+	t := &Trace{Name: "csv"}
+	for k, row := range rows[1:] {
+		var s Slot
+		if s.Idle, err = strconv.ParseFloat(row[0], 64); err != nil {
+			return nil, fmt.Errorf("workload: row %d idle: %w", k+1, err)
+		}
+		if s.Active, err = strconv.ParseFloat(row[1], 64); err != nil {
+			return nil, fmt.Errorf("workload: row %d active: %w", k+1, err)
+		}
+		if s.ActiveCurrent, err = strconv.ParseFloat(row[2], 64); err != nil {
+			return nil, fmt.Errorf("workload: row %d current: %w", k+1, err)
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: row %d: %w", k+1, err)
+		}
+		t.Slots = append(t.Slots, s)
+	}
+	return t, nil
+}

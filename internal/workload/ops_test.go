@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConcat(t *testing.T) {
+	a := Periodic(2, 10, 3, 1)
+	b := Periodic(3, 5, 2, 0.8)
+	c := Concat("joined", a, b)
+	if c.Len() != 5 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if c.Slots[0].Idle != 10 || c.Slots[4].Idle != 5 {
+		t.Fatal("order broken")
+	}
+	if c.Name != "joined" {
+		t.Fatalf("name = %q", c.Name)
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	tr := Periodic(2, 10, 3, 1)
+	r := tr.Repeat(3)
+	if r.Len() != 6 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if r.Duration() != 3*tr.Duration() {
+		t.Fatalf("duration = %v", r.Duration())
+	}
+	if tr.Repeat(0).Len() != 0 {
+		t.Fatal("Repeat(0) should be empty")
+	}
+}
+
+func TestScaleTime(t *testing.T) {
+	tr := Periodic(2, 10, 4, 1.2)
+	s := tr.ScaleTime(0.5)
+	if s.Slots[0].Idle != 5 || s.Slots[0].Active != 2 {
+		t.Fatalf("scaled slot = %+v", s.Slots[0])
+	}
+	if s.Slots[0].ActiveCurrent != 1.2 {
+		t.Fatal("current should be unchanged")
+	}
+	// Original untouched.
+	if tr.Slots[0].Idle != 10 {
+		t.Fatal("original mutated")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive factor accepted")
+		}
+	}()
+	tr.ScaleTime(0)
+}
+
+func TestScaleCurrent(t *testing.T) {
+	tr := Periodic(2, 10, 4, 1.0)
+	s := tr.ScaleCurrent(1.25)
+	if s.Slots[1].ActiveCurrent != 1.25 {
+		t.Fatalf("scaled current = %v", s.Slots[1].ActiveCurrent)
+	}
+	if s.Slots[1].Idle != 10 {
+		t.Fatal("timing should be unchanged")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative factor accepted")
+		}
+	}()
+	tr.ScaleCurrent(-1)
+}
+
+func TestPerturbIdle(t *testing.T) {
+	tr := Periodic(100, 10, 3, 1)
+	p, err := tr.PerturbIdle(7, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for k, s := range p.Slots {
+		if s.Idle < 8-1e-9 || s.Idle > 12+1e-9 {
+			t.Fatalf("slot %d idle %v outside ±20%%", k, s.Idle)
+		}
+		if s.Idle != 10 {
+			changed++
+		}
+		if s.Active != 3 || s.ActiveCurrent != 1 {
+			t.Fatal("non-idle fields perturbed")
+		}
+	}
+	if changed < 90 {
+		t.Fatalf("only %d slots perturbed", changed)
+	}
+	// Deterministic per seed.
+	p2, _ := tr.PerturbIdle(7, 0.2)
+	for k := range p.Slots {
+		if p.Slots[k] != p2.Slots[k] {
+			t.Fatal("perturbation not deterministic")
+		}
+	}
+	if _, err := tr.PerturbIdle(1, 1.0); err == nil {
+		t.Fatal("frac=1 accepted")
+	}
+	if _, err := tr.PerturbIdle(1, -0.1); err == nil {
+		t.Fatal("negative frac accepted")
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	cfg := DefaultCamcorderConfig()
+	cfg.Duration = 300
+	tr, err := Camcorder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := tr.Shuffle(3)
+	if sh.Len() != tr.Len() {
+		t.Fatalf("len changed: %d vs %d", sh.Len(), tr.Len())
+	}
+	if math.Abs(sh.Duration()-tr.Duration()) > 1e-9 {
+		t.Fatal("duration changed")
+	}
+	// Same multiset of idle values.
+	count := func(tr *Trace) map[float64]int {
+		m := map[float64]int{}
+		for _, s := range tr.Slots {
+			m[s.Idle]++
+		}
+		return m
+	}
+	a, b := count(tr), count(sh)
+	if len(a) != len(b) {
+		t.Fatal("idle multiset changed")
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatal("idle multiset changed")
+		}
+	}
+	// Order actually changed (overwhelmingly likely for ~20 slots).
+	same := true
+	for k := range tr.Slots {
+		if tr.Slots[k] != sh.Slots[k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("shuffle left the order intact")
+	}
+}
+
+func TestFromEvents(t *testing.T) {
+	events := []Event{
+		{Arrival: 10, Service: 2, Current: 1.0},
+		{Arrival: 20, Service: 3, Current: 1.2},
+		{Arrival: 21, Service: 1, Current: 0.8}, // queued behind the previous
+	}
+	tr, err := FromEvents("log", events, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("slots = %d", tr.Len())
+	}
+	// First slot: lead-in idle of 10 s.
+	if tr.Slots[0].Idle != 10 || tr.Slots[0].Active != 2 {
+		t.Fatalf("slot 0 = %+v", tr.Slots[0])
+	}
+	// Second: idle from t=12 (prev completion) to t=20.
+	if tr.Slots[1].Idle != 8 || tr.Slots[1].Active != 3 {
+		t.Fatalf("slot 1 = %+v", tr.Slots[1])
+	}
+	// Third arrives at 21 while busy until 23: zero idle, queued.
+	if tr.Slots[2].Idle != 0 {
+		t.Fatalf("slot 2 = %+v, want zero idle", tr.Slots[2])
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromEventsSortsArrivals(t *testing.T) {
+	events := []Event{
+		{Arrival: 20, Service: 1, Current: 1},
+		{Arrival: 5, Service: 1, Current: 1},
+	}
+	tr, err := FromEvents("unsorted", events, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First slot corresponds to the t=5 arrival.
+	if tr.Slots[0].Idle != 5 {
+		t.Fatalf("slot 0 idle = %v", tr.Slots[0].Idle)
+	}
+	if tr.Slots[1].Idle != 14 { // from 6 to 20
+		t.Fatalf("slot 1 idle = %v", tr.Slots[1].Idle)
+	}
+}
+
+func TestFromEventsErrors(t *testing.T) {
+	if _, err := FromEvents("x", nil, 0); err == nil {
+		t.Error("empty log accepted")
+	}
+	if _, err := FromEvents("x", []Event{{Arrival: 1, Service: 0, Current: 1}}, 0); err == nil {
+		t.Error("zero service accepted")
+	}
+	if _, err := FromEvents("x", []Event{{Arrival: 1, Service: 1, Current: -1}}, 0); err == nil {
+		t.Error("negative current accepted")
+	}
+	if _, err := FromEvents("x", []Event{{Arrival: 1, Service: 1, Current: 1}}, -1); err == nil {
+		t.Error("negative lead-in accepted")
+	}
+}
