@@ -11,21 +11,29 @@
 //	fcdpm exp2     [-seed N]
 //	fcdpm motiv
 //	fcdpm sweep    [-what capacity|beta|rho] [-seed N]
+//	fcdpm faults   [-seed N] [-list]
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C / SIGTERM cancels the context; long runs (sweeps, batch
+	// scenarios) stop between slots instead of being killed mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "fcdpm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing subcommand")
@@ -55,7 +63,9 @@ func run(args []string) error {
 	case "plot":
 		return cmdPlot(rest)
 	case "runfile":
-		return cmdRunFile(rest)
+		return cmdRunFile(ctx, rest)
+	case "faults":
+		return cmdFaults(ctx, rest)
 	case "stats":
 		return cmdStats(rest)
 	case "verify":
@@ -104,6 +114,10 @@ subcommands:
   robust   Monte-Carlo robustness of the FC-DPM saving under model
            uncertainty
   charge   ASCII plot of the storage charge trajectory under a policy
+  faults   list fault classes and run the per-policy fault sweep
+           (fuel / survival under each fault class, with graceful
+           degradation through the FC-DPM -> ASAP -> Conv -> load-shed
+           fallback chain)
 
 run 'fcdpm <subcommand> -h' for flags.`)
 }

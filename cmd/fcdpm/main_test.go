@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -38,7 +39,7 @@ func TestRunDispatch(t *testing.T) {
 		devNull.Close()
 	}()
 	for _, args := range ok {
-		if err := run(args); err != nil {
+		if err := run(context.Background(), args); err != nil {
 			t.Errorf("run(%v) = %v", args, err)
 		}
 	}
@@ -55,7 +56,7 @@ func TestRunErrors(t *testing.T) {
 		{"ablate", "-what", "bogus"},
 	}
 	for _, args := range bad {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
 	}
@@ -64,7 +65,7 @@ func TestRunErrors(t *testing.T) {
 func TestTraceToFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "trace.csv")
-	if err := run([]string{"trace", "-kind", "synthetic", "-duration", "100", "-out", path}); err != nil {
+	if err := run(context.Background(), []string{"trace", "-kind", "synthetic", "-duration", "100", "-out", path}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -81,7 +82,7 @@ func TestTraceToFile(t *testing.T) {
 
 func TestCurvesToDir(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"curves", "-points", "10", "-out", dir}); err != nil {
+	if err := run(context.Background(), []string{"curves", "-points", "10", "-out", dir}); err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range []string{"fig2_stack_ivp.csv", "fig3_efficiency.csv"} {
@@ -94,7 +95,7 @@ func TestCurvesToDir(t *testing.T) {
 func TestJSONTraceRoundTripViaCLI(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "trace.json")
-	if err := run([]string{"trace", "-kind", "camcorder", "-duration", "60", "-format", "json", "-out", path}); err != nil {
+	if err := run(context.Background(), []string{"trace", "-kind", "camcorder", "-duration", "60", "-format", "json", "-out", path}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -123,13 +124,13 @@ func TestRunFile(t *testing.T) {
 		os.Stdout = old
 		devNull.Close()
 	}()
-	if err := run([]string{"runfile", path}); err != nil {
+	if err := run(context.Background(), []string{"runfile", path}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"runfile"}); err == nil {
+	if err := run(context.Background(), []string{"runfile"}); err == nil {
 		t.Error("missing argument accepted")
 	}
-	if err := run([]string{"runfile", filepath.Join(dir, "missing.json")}); err == nil {
+	if err := run(context.Background(), []string{"runfile", filepath.Join(dir, "missing.json")}); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -146,11 +147,11 @@ func TestPlotCommands(t *testing.T) {
 		devNull.Close()
 	}()
 	for _, what := range []string{"fig2", "fig3", "fig7"} {
-		if err := run([]string{"plot", "-what", what, "-window", "60"}); err != nil {
+		if err := run(context.Background(), []string{"plot", "-what", what, "-window", "60"}); err != nil {
 			t.Errorf("plot %s: %v", what, err)
 		}
 	}
-	if err := run([]string{"plot", "-what", "bogus"}); err == nil {
+	if err := run(context.Background(), []string{"plot", "-what", "bogus"}); err == nil {
 		t.Error("unknown chart accepted")
 	}
 }
@@ -175,16 +176,16 @@ func TestBatchAndRobust(t *testing.T) {
 		os.Stdout = old
 		devNull.Close()
 	}()
-	if err := run([]string{"batch", a, b}); err != nil {
+	if err := run(context.Background(), []string{"batch", a, b}); err != nil {
 		t.Fatalf("batch: %v", err)
 	}
-	if err := run([]string{"batch"}); err == nil {
+	if err := run(context.Background(), []string{"batch"}); err == nil {
 		t.Error("batch with no files accepted")
 	}
-	if err := run([]string{"batch", filepath.Join(dir, "missing.json")}); err == nil {
+	if err := run(context.Background(), []string{"batch", filepath.Join(dir, "missing.json")}); err == nil {
 		t.Error("batch with missing file should surface the error")
 	}
-	if err := run([]string{"robust", "-trials", "4"}); err != nil {
+	if err := run(context.Background(), []string{"robust", "-trials", "4"}); err != nil {
 		t.Fatalf("robust: %v", err)
 	}
 }

@@ -37,7 +37,10 @@ func main() {
 
 	fmt.Println("predictor            MAE(s)  RMSE(s)  over-rate  FC-DPM fuel(A-s)")
 	for _, e := range entries {
-		acc := fcdpm.EvaluatePredictor(e.mk(), idle)
+		acc, err := fcdpm.EvaluatePredictor(e.mk(), idle)
+		if err != nil {
+			log.Fatal(err)
+		}
 		res, err := fcdpm.Run(fcdpm.SimConfig{
 			Sys: sys, Dev: dev,
 			Store:         fcdpm.NewSuperCap(6, 1),

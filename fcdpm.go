@@ -31,9 +31,12 @@
 package fcdpm
 
 import (
+	"context"
+
 	"fcdpm/internal/device"
 	"fcdpm/internal/dvs"
 	"fcdpm/internal/exp"
+	"fcdpm/internal/fault"
 	"fcdpm/internal/fcopt"
 	"fcdpm/internal/fuelcell"
 	"fcdpm/internal/policy"
@@ -271,8 +274,8 @@ func NewMarkovPredictor(levels int, lo, hi, initial float64) Predictor {
 }
 
 // EvaluatePredictor streams a series through a predictor and reports
-// accuracy.
-func EvaluatePredictor(p Predictor, series []float64) PredictAccuracy {
+// accuracy. An empty series is an error.
+func EvaluatePredictor(p Predictor, series []float64) (PredictAccuracy, error) {
 	return predict.Evaluate(p, series)
 }
 
@@ -295,6 +298,34 @@ func OptimizeSlot(sys *System, cmax float64, s OptSlot) (OptSetting, error) {
 
 // Run executes a trace-driven simulation.
 func Run(cfg SimConfig) (*Result, error) { return sim.Run(cfg) }
+
+// RunContext is Run with cancellation: the simulation stops between slots
+// when ctx is done and returns a *sim.CanceledError.
+func RunContext(ctx context.Context, cfg SimConfig) (*Result, error) {
+	return sim.RunContext(ctx, cfg)
+}
+
+// Fault-injection types (the robustness subsystem).
+type (
+	// FaultKind names a fault class (stack dropout, capacity fade, ...).
+	FaultKind = fault.Kind
+	// FaultEvent is one timed fault on a schedule.
+	FaultEvent = fault.Event
+	// FaultSchedule is the set of faults injected into a run.
+	FaultSchedule = fault.Schedule
+	// FaultGenConfig parameterizes the deterministic schedule generator.
+	FaultGenConfig = fault.GenConfig
+	// RunEvent is one audit-log entry (fault transition, invariant trip,
+	// or policy fallback) of a supervised run.
+	RunEvent = sim.RunEvent
+	// SupervisorConfig tunes the graceful-degradation supervisor.
+	SupervisorConfig = sim.SupervisorConfig
+	// InvariantError reports a violated simulation invariant.
+	InvariantError = sim.InvariantError
+)
+
+// GenerateFaults draws a deterministic random fault schedule from a seed.
+func GenerateFaults(cfg FaultGenConfig) (*FaultSchedule, error) { return fault.Generate(cfg) }
 
 // Experiment1 reproduces the paper's Table 2 (camcorder MPEG trace).
 func Experiment1(seed uint64) (*Comparison, error) { return exp.Experiment1(seed) }

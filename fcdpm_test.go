@@ -97,7 +97,10 @@ func TestFacadePredictors(t *testing.T) {
 		NewRegressionPredictor(3, 14), NewTreePredictor(4, 1, 8, 20, 14),
 		NewMarkovPredictor(4, 8, 20, 14),
 	} {
-		acc := EvaluatePredictor(p, series)
+		acc, err := EvaluatePredictor(p, series)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
 		if acc.RMSE < 0 || math.IsNaN(acc.RMSE) {
 			t.Errorf("%s: bad RMSE %v", p.Name(), acc.RMSE)
 		}

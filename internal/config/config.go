@@ -11,10 +11,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 
 	"fcdpm/internal/device"
+	"fcdpm/internal/fault"
 	"fcdpm/internal/fcopt"
 	"fcdpm/internal/fuelcell"
 	"fcdpm/internal/policy"
@@ -23,6 +25,17 @@ import (
 	"fcdpm/internal/storage"
 	"fcdpm/internal/workload"
 )
+
+// ValidationError pinpoints the scenario field that failed validation.
+type ValidationError struct {
+	Field  string
+	Detail string
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("config: %s: %s", e.Field, e.Detail)
+}
 
 // Scenario is the JSON schema of one simulation run.
 type Scenario struct {
@@ -38,6 +51,44 @@ type Scenario struct {
 	SlewRate float64 `json:"slewRate"`
 	// RecordProfile enables profile capture.
 	RecordProfile bool `json:"recordProfile"`
+	// Faults injects a fault schedule into the run (see FaultsSpec).
+	Faults FaultsSpec `json:"faults"`
+	// Fallbacks names the graceful-degradation chain the supervisor walks
+	// when invariants trip (policy kinds, e.g. ["asap", "conv"]). The
+	// run's main policy heads the chain and load-shed is always appended.
+	Fallbacks []string `json:"fallbacks"`
+	// DeficitLimit overrides the supervisor's per-stage unmet-charge
+	// budget, A-s (0 = default).
+	DeficitLimit float64 `json:"deficitLimit"`
+}
+
+// FaultsSpec describes the injected faults: explicit events, randomly
+// drawn events, or both.
+type FaultsSpec struct {
+	// Events lists explicit fault events.
+	Events []FaultEventSpec `json:"events"`
+	// Random, when positive, draws that many additional seed-reproducible
+	// events over the trace duration.
+	Random int `json:"random"`
+	// Seed drives random event generation and the sensor-noise stream.
+	Seed uint64 `json:"seed"`
+	// Kinds restricts random event classes (names per `fcdpm faults`,
+	// e.g. "stack-dropout"); empty means all classes.
+	Kinds []string `json:"kinds"`
+}
+
+// FaultEventSpec is one explicit fault event.
+type FaultEventSpec struct {
+	// Kind is a fault-class name, e.g. "stack-dropout" (see `fcdpm
+	// faults` for the list).
+	Kind string `json:"kind"`
+	// Start is the onset in simulated seconds; Duration <= 0 means the
+	// fault is permanent.
+	Start    float64 `json:"start"`
+	Duration float64 `json:"duration"`
+	// Magnitude is the class-specific severity; 0 picks the class
+	// default.
+	Magnitude float64 `json:"magnitude"`
 }
 
 // SystemSpec describes the FC system; zero values mean "paper defaults".
@@ -135,10 +186,72 @@ func LoadFile(path string) (*Scenario, error) {
 	return Load(f)
 }
 
+// Validate checks every user-tunable numeric field before any model is
+// constructed, so malformed scenarios surface as *ValidationError instead
+// of reaching panicking constructors deeper in the stack.
+func (s *Scenario) Validate() error {
+	checkUnit := func(field string, v float64) error {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return &ValidationError{Field: field, Detail: fmt.Sprintf("%v outside [0, 1]", v)}
+		}
+		return nil
+	}
+	checkNonNeg := func(field string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return &ValidationError{Field: field, Detail: fmt.Sprintf("%v is not a non-negative finite number", v)}
+		}
+		return nil
+	}
+	if err := checkUnit("predict.rho", s.Predict.Rho); err != nil {
+		return err
+	}
+	if err := checkUnit("predict.sigma", s.Predict.Sigma); err != nil {
+		return err
+	}
+	if err := checkNonNeg("predict.idleInitial", s.Predict.IdleInitial); err != nil {
+		return err
+	}
+	if err := checkNonNeg("slewRate", s.SlewRate); err != nil {
+		return err
+	}
+	if err := checkNonNeg("deficitLimit", s.DeficitLimit); err != nil {
+		return err
+	}
+	if err := checkNonNeg("dpm.timeout", s.DPM.Timeout); err != nil {
+		return err
+	}
+	if err := checkNonNeg("policy.flatIF", s.Policy.FlatIF); err != nil {
+		return err
+	}
+	if err := checkNonNeg("storage.capacityAs", s.Storage.CapacityAs); err != nil {
+		return err
+	}
+	if err := checkNonNeg("storage.initialAs", s.Storage.InitialAs); err != nil {
+		return err
+	}
+	if s.Faults.Random < 0 {
+		return &ValidationError{Field: "faults.random", Detail: fmt.Sprintf("negative event count %d", s.Faults.Random)}
+	}
+	for i, e := range s.Faults.Events {
+		if _, err := fault.ParseKind(e.Kind); err != nil {
+			return &ValidationError{Field: fmt.Sprintf("faults.events[%d].kind", i), Detail: err.Error()}
+		}
+	}
+	for _, name := range s.Faults.Kinds {
+		if _, err := fault.ParseKind(name); err != nil {
+			return &ValidationError{Field: "faults.kinds", Detail: err.Error()}
+		}
+	}
+	return nil
+}
+
 // Build assembles a runnable simulation configuration, applying paper
 // defaults for every unset field.
 func (s *Scenario) Build() (sim.Config, error) {
 	var cfg sim.Config
+	if err := s.Validate(); err != nil {
+		return cfg, err
+	}
 	sys, err := s.buildSystem()
 	if err != nil {
 		return cfg, err
@@ -163,11 +276,23 @@ func (s *Scenario) Build() (sim.Config, error) {
 	if err != nil {
 		return cfg, err
 	}
+	faults, err := s.buildFaults(trace)
+	if err != nil {
+		return cfg, err
+	}
+	fallbacks, err := s.buildFallbacks(sys, dev)
+	if err != nil {
+		return cfg, err
+	}
 	cfg = sim.Config{
 		Sys: sys, Dev: dev, Store: store, Trace: trace, Policy: pol,
 		DPM: mode, Timeout: s.DPM.Timeout,
 		SlewRate:      s.SlewRate,
 		RecordProfile: s.RecordProfile,
+		Faults:        faults,
+		FaultSeed:     s.Faults.Seed,
+		Fallbacks:     fallbacks,
+		Supervisor:    sim.SupervisorConfig{DeficitLimit: s.DeficitLimit},
 	}
 	rho := defaultF(s.Predict.Rho, 0.5)
 	sigma := defaultF(s.Predict.Sigma, 0.5)
@@ -277,7 +402,11 @@ func (s *Scenario) buildTrace() (*workload.Trace, error) {
 }
 
 func (s *Scenario) buildPolicy(sys *fuelcell.System, dev *device.Model) (sim.Policy, error) {
-	switch strings.ToLower(s.Policy.Kind) {
+	return buildPolicyFrom(s.Policy, sys, dev)
+}
+
+func buildPolicyFrom(spec PolicySpec, sys *fuelcell.System, dev *device.Model) (sim.Policy, error) {
+	switch strings.ToLower(spec.Kind) {
 	case "", "fcdpm":
 		return policy.NewFCDPM(sys, dev), nil
 	case "conv":
@@ -285,9 +414,9 @@ func (s *Scenario) buildPolicy(sys *fuelcell.System, dev *device.Model) (sim.Pol
 	case "asap":
 		return policy.NewASAP(sys), nil
 	case "flat":
-		return policy.NewFlat(sys, defaultF(s.Policy.FlatIF, 0.5)), nil
+		return policy.NewFlat(sys, defaultF(spec.FlatIF, 0.5)), nil
 	case "quantized":
-		n := s.Policy.Levels
+		n := spec.Levels
 		if n == 0 {
 			n = 8
 		}
@@ -296,8 +425,65 @@ func (s *Scenario) buildPolicy(sys *fuelcell.System, dev *device.Model) (sim.Pol
 		}
 		return policy.NewFCDPMQuantized(sys, dev, fcopt.UniformLevels(sys, n)), nil
 	default:
-		return nil, fmt.Errorf("config: unknown policy kind %q", s.Policy.Kind)
+		return nil, fmt.Errorf("config: unknown policy kind %q", spec.Kind)
 	}
+}
+
+// buildFallbacks resolves the named degradation chain. Each name is a
+// policy kind; parameters beyond the kind use their defaults.
+func (s *Scenario) buildFallbacks(sys *fuelcell.System, dev *device.Model) ([]sim.Policy, error) {
+	var out []sim.Policy
+	for i, name := range s.Fallbacks {
+		p, err := buildPolicyFrom(PolicySpec{Kind: name}, sys, dev)
+		if err != nil {
+			return nil, fmt.Errorf("config: fallbacks[%d]: %w", i, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// buildFaults assembles the fault schedule: explicit events first, then
+// any requested random draw over the trace duration.
+func (s *Scenario) buildFaults(trace *workload.Trace) (*fault.Schedule, error) {
+	spec := s.Faults
+	if len(spec.Events) == 0 && spec.Random == 0 {
+		return nil, nil
+	}
+	sched := &fault.Schedule{}
+	for i, e := range spec.Events {
+		k, err := fault.ParseKind(e.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("config: faults.events[%d]: %w", i, err)
+		}
+		sched.Events = append(sched.Events, fault.Event{
+			Kind: k, Start: e.Start, Dur: e.Duration, Magnitude: e.Magnitude,
+		})
+	}
+	if spec.Random > 0 {
+		var kinds []fault.Kind
+		for _, name := range spec.Kinds {
+			k, err := fault.ParseKind(name)
+			if err != nil {
+				return nil, fmt.Errorf("config: faults.kinds: %w", err)
+			}
+			kinds = append(kinds, k)
+		}
+		gen, err := fault.Generate(fault.GenConfig{
+			Seed:    spec.Seed,
+			Horizon: trace.Statistics().Duration,
+			Events:  spec.Random,
+			Kinds:   kinds,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("config: faults: %w", err)
+		}
+		sched.Events = append(sched.Events, gen.Events...)
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, fmt.Errorf("config: faults: %w", err)
+	}
+	return sched, nil
 }
 
 func (s *Scenario) buildDPM() (sim.DPMMode, error) {

@@ -1,8 +1,10 @@
 package config
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -189,5 +191,86 @@ func TestLoadFile(t *testing.T) {
 	}
 	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+func TestValidateRejectsBadFields(t *testing.T) {
+	cases := []string{
+		`{"predict": {"rho": 1.5}}`,
+		`{"predict": {"rho": -0.1}}`,
+		`{"predict": {"sigma": 2}}`,
+		`{"predict": {"idleInitial": -1}}`,
+		`{"slewRate": -0.5}`,
+		`{"deficitLimit": -1}`,
+		`{"dpm": {"timeout": -3}}`,
+		`{"faults": {"random": -2}}`,
+		`{"faults": {"events": [{"kind": "meteor-strike"}]}}`,
+		`{"faults": {"random": 2, "kinds": ["nope"]}}`,
+		`{"fallbacks": ["asap", "nope"]}`,
+	}
+	for _, js := range cases {
+		s, err := Load(strings.NewReader(js))
+		if err != nil {
+			t.Fatalf("Load(%s): %v", js, err)
+		}
+		if _, err := s.Build(); err == nil {
+			t.Errorf("Build accepted %s", js)
+		}
+	}
+	var ve *ValidationError
+	s, _ := Load(strings.NewReader(`{"predict": {"rho": 1.5}}`))
+	if _, err := s.Build(); !errors.As(err, &ve) || ve.Field != "predict.rho" {
+		t.Fatalf("want *ValidationError on predict.rho, got %v", err)
+	}
+}
+
+func TestFaultSpecBuilds(t *testing.T) {
+	js := `{
+		"trace": {"kind": "synthetic", "duration": 400},
+		"fallbacks": ["asap", "conv"],
+		"deficitLimit": 0.8,
+		"faults": {
+			"seed": 9,
+			"events": [{"kind": "stack-dropout", "start": 100, "duration": 30}],
+			"random": 4,
+			"kinds": ["load-surge", "sensor-noise"]
+		}
+	}`
+	s, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Faults == nil || len(cfg.Faults.Events) != 5 {
+		t.Fatalf("fault schedule = %v", cfg.Faults)
+	}
+	if cfg.FaultSeed != 9 || len(cfg.Fallbacks) != 2 {
+		t.Fatalf("seed %d, fallbacks %d", cfg.FaultSeed, len(cfg.Fallbacks))
+	}
+	if cfg.Supervisor.DeficitLimit != 0.8 {
+		t.Fatalf("deficit limit %v", cfg.Supervisor.DeficitLimit)
+	}
+	// The whole config must run end to end under supervision.
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalPolicy == "" {
+		t.Fatal("final policy not reported")
+	}
+	// And byte-identically on a rebuild.
+	cfg2, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := sim.Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, res2) {
+		t.Fatal("rebuilt scenario produced different results")
 	}
 }

@@ -146,9 +146,13 @@ func PredictorAblation(seed uint64) ([]PredictorRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		acc, err := predict.Evaluate(mk(), idle)
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, PredictorRow{
 			Predictor:    mk().Name(),
-			Accuracy:     predict.Evaluate(mk(), idle),
+			Accuracy:     acc,
 			FCNormalized: cmp.Row("FC-DPM").Normalized,
 		})
 	}

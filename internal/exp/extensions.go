@@ -630,9 +630,13 @@ func BurstyPredictorStudy(seed uint64) ([]PredictorRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		acc, err := predict.Evaluate(mk(), idle)
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, PredictorRow{
 			Predictor:    mk().Name(),
-			Accuracy:     predict.Evaluate(mk(), idle),
+			Accuracy:     acc,
 			FCNormalized: fc.NormalizedFuel(conv),
 		})
 	}

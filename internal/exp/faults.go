@@ -1,0 +1,144 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"fcdpm/internal/device"
+	"fcdpm/internal/fault"
+	"fcdpm/internal/fuelcell"
+	"fcdpm/internal/policy"
+	"fcdpm/internal/predict"
+	"fcdpm/internal/sim"
+	"fcdpm/internal/workload"
+)
+
+// FaultRow is one (fault class, policy) cell of a fault sweep.
+type FaultRow struct {
+	Class       string
+	Policy      string
+	Fuel        float64
+	AvgRate     float64
+	Deficit     float64 // unmet load nobody decided to drop, A-s
+	Shed        float64 // load intentionally dropped by load-shed, A-s
+	Fallbacks   int
+	FinalPolicy string
+	Events      int // audit-log length (faults + invariants + fallbacks)
+	// Survived means the run completed with unplanned unmet load below
+	// 1 % of the total load charge — the service held through the fault,
+	// possibly on a fallback policy.
+	Survived bool
+}
+
+// FaultSweepResult is the per-policy fuel/survival matrix over the
+// canonical fault classes.
+type FaultSweepResult struct {
+	Scenario string
+	Schedule map[string]*fault.Schedule
+	Rows     []FaultRow
+}
+
+// ClassRows returns the rows of one fault class in policy order.
+func (r *FaultSweepResult) ClassRows(class string) []FaultRow {
+	var out []FaultRow
+	for _, row := range r.Rows {
+		if row.Class == class {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// canonicalFaults builds one representative schedule per fault class over
+// a trace of the given duration: onset at one third of the trace, lasting
+// a sixth of it, at the class's default severity. The nominal (no-fault)
+// schedule is included under "nominal" as the baseline row.
+func canonicalFaults(duration float64) (map[string]*fault.Schedule, []string) {
+	start, dur := duration/3, duration/6
+	sched := map[string]*fault.Schedule{"nominal": {}}
+	order := []string{"nominal"}
+	for _, k := range fault.Kinds() {
+		sched[k.String()] = &fault.Schedule{Events: []fault.Event{
+			{Kind: k, Start: start, Dur: dur},
+		}}
+		order = append(order, k.String())
+	}
+	return sched, order
+}
+
+// FaultSweep runs the paper's three policies over the Experiment 2
+// synthetic workload under each canonical fault class, with the standard
+// degradation chain (FC-DPM -> ASAP -> Conv -> load-shed, truncated for
+// policies already further down), and reports fuel and survival per cell.
+func FaultSweep(ctx context.Context, seed uint64) (*FaultSweepResult, error) {
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Seed = seed
+	trace, err := workload.Synthetic(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sys := fuelcell.PaperSystem()
+	dev := device.Synthetic()
+	schedules, order := canonicalFaults(trace.Statistics().Duration)
+	out := &FaultSweepResult{
+		Scenario: fmt.Sprintf("fault sweep over Experiment 2 synthetic trace (seed %d)", seed),
+		Schedule: schedules,
+	}
+	// Per-policy fallback chains: each policy degrades toward the
+	// simpler, more conservative stages below it.
+	runs := []struct {
+		mk        func() sim.Policy
+		fallbacks func() []sim.Policy
+	}{
+		{
+			mk: func() sim.Policy { return policy.NewFCDPM(sys, dev) },
+			fallbacks: func() []sim.Policy {
+				return []sim.Policy{policy.NewASAP(sys), policy.NewConv(sys)}
+			},
+		},
+		{
+			mk:        func() sim.Policy { return policy.NewASAP(sys) },
+			fallbacks: func() []sim.Policy { return []sim.Policy{policy.NewConv(sys)} },
+		},
+		{
+			mk:        func() sim.Policy { return policy.NewConv(sys) },
+			fallbacks: func() []sim.Policy { return nil },
+		},
+	}
+	for _, class := range order {
+		for _, r := range runs {
+			p := r.mk()
+			res, err := sim.RunContext(ctx, sim.Config{
+				Sys:        sys,
+				Dev:        dev,
+				Store:      scenarioStore(),
+				Trace:      trace,
+				Policy:     p,
+				Fallbacks:  r.fallbacks(),
+				Faults:     schedules[class],
+				FaultSeed:  seed,
+				Supervisor: sim.SupervisorConfig{Mode: sim.SuperviseOn},
+				IdlePredictor:    predict.NewExpAverage(0.5, (cfg.IdleMin+cfg.IdleMax)/2),
+				ActivePredictor:  predict.NewExpAverage(0.5, (cfg.ActiveMin+cfg.ActiveMax)/2),
+				CurrentPredictor: predict.NewExpAverage(1, 1.2),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("exp: fault sweep %s / %s: %w", class, p.Name(), err)
+			}
+			loadCharge := res.LoadEnergy / sys.VF
+			out.Rows = append(out.Rows, FaultRow{
+				Class:       class,
+				Policy:      res.Policy,
+				Fuel:        res.Fuel,
+				AvgRate:     res.AvgFuelRate(),
+				Deficit:     res.Deficit,
+				Shed:        res.Shed,
+				Fallbacks:   res.Fallbacks,
+				FinalPolicy: res.FinalPolicy,
+				Events:      len(res.Events),
+				Survived:    res.Deficit <= 0.01*loadCharge,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func TestFaultSweep(t *testing.T) {
+	res, err := FaultSweep(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nominal + 7 fault classes, 3 policies each.
+	if want := 8 * 3; len(res.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), want)
+	}
+	for _, r := range res.ClassRows("nominal") {
+		if r.Fallbacks != 0 || r.Deficit != 0 || r.Shed != 0 || !r.Survived {
+			t.Fatalf("nominal row not clean: %+v", r)
+		}
+	}
+	drop := res.ClassRows("stack-dropout")
+	if len(drop) != 3 {
+		t.Fatalf("dropout rows: %d", len(drop))
+	}
+	for _, r := range drop {
+		if r.FinalPolicy != "load-shed" {
+			t.Fatalf("a total dropout must end in load-shed: %+v", r)
+		}
+		if r.Shed <= 0 {
+			t.Fatalf("dropout without shed charge: %+v", r)
+		}
+	}
+	// The sweep is seed-reproducible.
+	res2, err := FaultSweep(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Rows, res2.Rows) {
+		t.Fatal("same seed produced different sweep rows")
+	}
+}
+
+func TestFaultSweepCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FaultSweep(ctx, 1); err == nil {
+		t.Fatal("canceled sweep returned no error")
+	}
+}

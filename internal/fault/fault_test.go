@@ -1,0 +1,208 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"fcdpm/internal/storage"
+)
+
+func TestStateComposition(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: StackDerate, Start: 10, Dur: 20, Magnitude: 0.5},
+		{Kind: LoadSurge, Start: 15, Dur: 10, Magnitude: 2},
+		{Kind: EfficiencyDegrade, Start: 0, Dur: 0, Magnitude: 0.2}, // permanent
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.StateAt(5)
+	if st.DeliveryScale != 1 || st.LoadScale != 1 {
+		t.Fatalf("unexpected derate/surge before onset: %+v", st)
+	}
+	if math.Abs(st.FuelScale-1/0.8) > 1e-12 {
+		t.Fatalf("permanent efficiency degrade missing: %+v", st)
+	}
+	st = s.StateAt(17)
+	if st.DeliveryScale != 0.5 || st.LoadScale != 2 {
+		t.Fatalf("overlap window wrong: %+v", st)
+	}
+	if got := s.StateAt(30); got.DeliveryScale != 1 {
+		t.Fatalf("derate did not clear at end: %+v", got)
+	}
+	if !s.StateAt(29.999).IsNominal() == false {
+		// 29.999 still inside derate window
+		t.Fatal("expected non-nominal just before boundary")
+	}
+}
+
+func TestDropoutZeroesDelivery(t *testing.T) {
+	s := &Schedule{Events: []Event{{Kind: StackDropout, Start: 0, Dur: 5}}}
+	if got := s.StateAt(1).DeliveryScale; got != 0 {
+		t.Fatalf("dropout delivery scale = %v, want 0", got)
+	}
+	if got := s.StateAt(5).DeliveryScale; got != 1 {
+		t.Fatalf("half-open interval: state at end should be nominal, got %v", got)
+	}
+}
+
+func TestBoundaries(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: StackDropout, Start: 10, Dur: 5},
+		{Kind: LoadSurge, Start: 10, Dur: 10, Magnitude: 1.5},
+		{Kind: CapacityFade, Start: 3, Dur: -1, Magnitude: 0.5}, // permanent
+	}}
+	want := []float64{3, 10, 15, 20}
+	if got := s.Boundaries(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("boundaries = %v, want %v", got, want)
+	}
+	in := NewInjector(s, 1)
+	if b := in.NextBoundary(10); b != 15 {
+		t.Fatalf("NextBoundary(10) = %v, want 15 (strictly after)", b)
+	}
+	if b := in.NextBoundary(20); !math.IsInf(b, 1) {
+		t.Fatalf("NextBoundary past all = %v, want +Inf", b)
+	}
+}
+
+func TestValidateRejectsBadEvents(t *testing.T) {
+	bad := []Event{
+		{Kind: Kind(99), Start: 0},
+		{Kind: StackDropout, Start: -1},
+		{Kind: StackDerate, Start: 0, Magnitude: 1.5},
+		{Kind: CapacityFade, Start: 0, Magnitude: -0.1},
+		{Kind: LoadSurge, Start: 0, Magnitude: -2},
+		{Kind: StackDropout, Start: math.NaN()},
+	}
+	for i, e := range bad {
+		s := &Schedule{Events: []Event{e}}
+		if err := s.Validate(); err == nil {
+			t.Errorf("event %d (%+v) validated", i, e)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Seed: 42, Horizon: 1000, Events: 12}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different schedules")
+	}
+	if len(a.Events) != 12 {
+		t.Fatalf("got %d events, want 12", len(a.Events))
+	}
+	cfg.Seed = 43
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	if _, err := Generate(GenConfig{Horizon: 0, Events: 1}); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	if _, err := Generate(GenConfig{Horizon: 10, Events: -1}); err == nil {
+		t.Fatal("negative event count accepted")
+	}
+}
+
+func TestFadeStore(t *testing.T) {
+	fs := NewFadeStore(storage.NewSuperCap(10, 8))
+	if fs.Capacity() != 10 || fs.Charge() != 8 {
+		t.Fatalf("nominal wrap wrong: cap %v charge %v", fs.Capacity(), fs.Charge())
+	}
+	fs.SetScale(0.5)
+	if fs.Capacity() != 5 {
+		t.Fatalf("faded capacity %v, want 5", fs.Capacity())
+	}
+	if fs.Charge() != 5 {
+		t.Fatalf("charge after fade %v, want clamped to 5", fs.Charge())
+	}
+	if fs.Lost != 3 {
+		t.Fatalf("lost charge %v, want 3", fs.Lost)
+	}
+	// Charging beyond the faded capacity bleeds.
+	fl := fs.Apply(2, 2) // +4 A-s into 0 A-s of room
+	if fl.Stored != 0 || math.Abs(fl.Bled-4) > 1e-12 {
+		t.Fatalf("overfull charge flow = %+v", fl)
+	}
+	// Partial room: recover then fill past the boundary.
+	fs.SetCharge(4)
+	fl = fs.Apply(1, 3) // +3 A-s into 1 A-s of room
+	if math.Abs(fl.Stored-1) > 1e-12 || math.Abs(fl.Bled-2) > 1e-12 {
+		t.Fatalf("boundary charge flow = %+v", fl)
+	}
+	if math.Abs(fs.Charge()-5) > 1e-12 {
+		t.Fatalf("charge %v, want 5", fs.Charge())
+	}
+	// Discharge below empty still reports deficit through the inner model.
+	fl = fs.Apply(-3, 2)
+	if math.Abs(fl.Deficit-1) > 1e-12 {
+		t.Fatalf("deficit flow = %+v", fl)
+	}
+	// Recovery: scale back up exposes capacity again but not lost charge.
+	fs.SetScale(1)
+	if fs.Capacity() != 10 || fs.Charge() != 0 {
+		t.Fatalf("recovery wrong: cap %v charge %v", fs.Capacity(), fs.Charge())
+	}
+}
+
+func TestInjectorDrain(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: StackDropout, Start: 10, Dur: 5},
+		{Kind: LoadSurge, Start: 2, Dur: 4, Magnitude: 1.5},
+	}}
+	in := NewInjector(s, 1)
+	tr := in.Drain(9)
+	if len(tr) != 2 || tr[0].Event.Kind != LoadSurge || !tr[0].On || tr[1].On {
+		t.Fatalf("drain(9) = %+v", tr)
+	}
+	tr = in.Drain(100)
+	if len(tr) != 2 || tr[0].Event.Kind != StackDropout || !tr[0].On || tr[1].On {
+		t.Fatalf("drain(100) = %+v", tr)
+	}
+	if tr := in.Drain(1e9); len(tr) != 0 {
+		t.Fatalf("drain after exhaustion = %+v", tr)
+	}
+}
+
+func TestNoisyDeterministic(t *testing.T) {
+	a := NewInjector(&Schedule{}, 7)
+	b := NewInjector(&Schedule{}, 7)
+	for i := 0; i < 100; i++ {
+		va, vb := a.Noisy(10, 0.3), b.Noisy(10, 0.3)
+		if va != vb {
+			t.Fatalf("draw %d differs: %v vs %v", i, va, vb)
+		}
+		if va < 0 {
+			t.Fatalf("negative noisy value %v", va)
+		}
+	}
+	if a.Noisy(5, 0) != 5 {
+		t.Fatal("zero sigma must be identity")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("round trip %v: got %v, %v", k, got, err)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Fatal("bad name accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"math"
+
+	"fcdpm/internal/numeric"
+)
+
+// Transition is one fault becoming active or clearing, for the run's
+// event log.
+type Transition struct {
+	T     float64
+	Event Event
+	// On is true at fault onset, false when it clears.
+	On bool
+}
+
+// Injector adapts a Schedule for a single simulation run: it answers
+// point-in-time state queries, locates the next instant the state can
+// change (so integration can split exactly at fault boundaries), draws
+// deterministic sensor noise, and emits onset/clear transitions for the
+// run's event log. An Injector is single-goroutine state; build a fresh
+// one per run.
+type Injector struct {
+	sched      *Schedule
+	boundaries []float64
+	rng        *numeric.RNG
+	// pending is the time-ordered transition list not yet drained.
+	pending []Transition
+}
+
+// NewInjector prepares a run-scoped injector over the schedule. seed
+// drives the sensor-noise stream (the schedule itself is already fully
+// deterministic).
+func NewInjector(sched *Schedule, seed uint64) *Injector {
+	in := &Injector{
+		sched:      sched,
+		boundaries: sched.Boundaries(),
+		rng:        numeric.NewRNG(seed),
+	}
+	if sched != nil {
+		for _, e := range sched.Events {
+			in.pending = append(in.pending, Transition{T: e.Start, Event: e, On: true})
+			if end := e.End(); !math.IsInf(end, 1) {
+				in.pending = append(in.pending, Transition{T: end, Event: e, On: false})
+			}
+		}
+		// Stable time order; equal instants keep schedule order.
+		for i := 1; i < len(in.pending); i++ {
+			for j := i; j > 0 && in.pending[j].T < in.pending[j-1].T; j-- {
+				in.pending[j], in.pending[j-1] = in.pending[j-1], in.pending[j]
+			}
+		}
+	}
+	return in
+}
+
+// StateAt returns the composed fault state at instant t.
+func (in *Injector) StateAt(t float64) State { return in.sched.StateAt(t) }
+
+// NextBoundary returns the first instant strictly after t at which the
+// fault state can change, or +Inf when none remains.
+func (in *Injector) NextBoundary(t float64) float64 {
+	for _, b := range in.boundaries {
+		if b > t {
+			return b
+		}
+	}
+	return math.Inf(1)
+}
+
+// Drain returns the transitions with onset/clear instants not after t, in
+// time order, removing them from the pending list. The simulator calls it
+// as time advances to populate the run's event log.
+func (in *Injector) Drain(t float64) []Transition {
+	n := 0
+	for n < len(in.pending) && in.pending[n].T <= t {
+		n++
+	}
+	out := in.pending[:n:n]
+	in.pending = in.pending[n:]
+	return out
+}
+
+// Noisy perturbs a sensed value with multiplicative Gaussian noise of the
+// given relative stddev, floored at zero (periods and currents cannot go
+// negative). The draw sequence is deterministic for a fixed seed and call
+// order.
+func (in *Injector) Noisy(v, sigma float64) float64 {
+	if sigma <= 0 || v == 0 {
+		return v
+	}
+	out := v * in.rng.Norm(1, sigma)
+	if out < 0 {
+		return 0
+	}
+	return out
+}

@@ -15,20 +15,20 @@ type Histogram struct {
 }
 
 // NewHistogram builds a histogram of xs with the given number of bins over
-// [lo, hi]. It panics on a non-positive bin count or an empty range —
-// construction errors.
-func NewHistogram(xs []float64, bins int, lo, hi float64) *Histogram {
+// [lo, hi]. A non-positive bin count or an empty range is an *InputError —
+// both can come straight from user-supplied trace statistics.
+func NewHistogram(xs []float64, bins int, lo, hi float64) (*Histogram, error) {
 	if bins < 1 {
-		panic(fmt.Sprintf("numeric: histogram bins %d < 1", bins))
+		return nil, &InputError{Fn: "NewHistogram", Detail: fmt.Sprintf("bins %d < 1", bins)}
 	}
-	if hi <= lo {
-		panic(fmt.Sprintf("numeric: histogram range [%v, %v] empty", lo, hi))
+	if hi <= lo || math.IsNaN(lo) || math.IsNaN(hi) {
+		return nil, &InputError{Fn: "NewHistogram", Detail: fmt.Sprintf("range [%v, %v] empty", lo, hi)}
 	}
 	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
 	for _, x := range xs {
 		h.Add(x)
 	}
-	return h
+	return h, nil
 }
 
 // Add records one value.

@@ -286,25 +286,34 @@ func TestSummarizeEmpty(t *testing.T) {
 
 func TestQuantile(t *testing.T) {
 	sorted := []float64{1, 2, 3, 4}
-	if q := Quantile(sorted, 0); q != 1 {
-		t.Fatalf("q0 = %v", q)
+	if q, err := Quantile(sorted, 0); err != nil || q != 1 {
+		t.Fatalf("q0 = %v, %v", q, err)
 	}
-	if q := Quantile(sorted, 1); q != 4 {
-		t.Fatalf("q1 = %v", q)
+	if q, err := Quantile(sorted, 1); err != nil || q != 4 {
+		t.Fatalf("q1 = %v, %v", q, err)
 	}
-	if q := Quantile(sorted, 0.5); math.Abs(q-2.5) > 1e-12 {
-		t.Fatalf("q0.5 = %v, want 2.5", q)
+	if q, err := Quantile(sorted, 0.5); err != nil || math.Abs(q-2.5) > 1e-12 {
+		t.Fatalf("q0.5 = %v, %v, want 2.5", q, err)
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Fatal("empty sample accepted")
 	}
 }
 
 func TestErrorMetrics(t *testing.T) {
 	pred := []float64{1, 2, 3}
 	actual := []float64{1, 3, 5}
-	if mae := MeanAbsError(pred, actual); math.Abs(mae-1) > 1e-12 {
-		t.Fatalf("MAE = %v, want 1", mae)
+	if mae, err := MeanAbsError(pred, actual); err != nil || math.Abs(mae-1) > 1e-12 {
+		t.Fatalf("MAE = %v, %v, want 1", mae, err)
 	}
-	if rmse := RootMeanSquareError(pred, actual); math.Abs(rmse-math.Sqrt(5.0/3)) > 1e-12 {
-		t.Fatalf("RMSE = %v", rmse)
+	if rmse, err := RootMeanSquareError(pred, actual); err != nil || math.Abs(rmse-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Fatalf("RMSE = %v, %v", rmse, err)
+	}
+	if _, err := MeanAbsError(pred, actual[:2]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := RootMeanSquareError(nil, nil); err == nil {
+		t.Fatal("empty sample accepted")
 	}
 }
 
@@ -321,7 +330,10 @@ func TestAlmostEqual(t *testing.T) {
 }
 
 func TestHistogram(t *testing.T) {
-	h := NewHistogram([]float64{0.5, 1.5, 1.6, 2.5, -1, 99}, 3, 0, 3)
+	h, err := NewHistogram([]float64{0.5, 1.5, 1.6, 2.5, -1, 99}, 3, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Bins: [0,1): {0.5, clamped -1} = 2; [1,2): {1.5, 1.6} = 2;
 	// [2,3): {2.5, clamped 99} = 2.
 	for i, want := range []int{2, 2, 2} {
@@ -349,7 +361,10 @@ func TestHistogram(t *testing.T) {
 }
 
 func TestHistogramEmpty(t *testing.T) {
-	h := NewHistogram(nil, 2, 0, 1)
+	h, err := NewHistogram(nil, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if h.Fraction(0) != 0 {
 		t.Fatal("empty fraction")
 	}
@@ -358,18 +373,13 @@ func TestHistogramEmpty(t *testing.T) {
 	}
 }
 
-func TestHistogramPanics(t *testing.T) {
-	for name, f := range map[string]func(){
-		"bins":  func() { NewHistogram(nil, 0, 0, 1) },
-		"range": func() { NewHistogram(nil, 2, 1, 1) },
+func TestHistogramRejectsBadConfig(t *testing.T) {
+	for name, f := range map[string]func() (*Histogram, error){
+		"bins":  func() (*Histogram, error) { return NewHistogram(nil, 0, 0, 1) },
+		"range": func() (*Histogram, error) { return NewHistogram(nil, 2, 1, 1) },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: bad histogram accepted", name)
-				}
-			}()
-			f()
-		}()
+		if _, err := f(); err == nil {
+			t.Errorf("%s: bad histogram accepted", name)
+		}
 	}
 }

@@ -1,9 +1,21 @@
 package numeric
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
+
+// InputError reports invalid arguments to a numeric routine — empty
+// samples, mismatched lengths, degenerate ranges. Routines on paths
+// reachable from user-supplied data return it instead of panicking.
+type InputError struct {
+	Fn     string // the routine that rejected its input
+	Detail string
+}
+
+// Error implements error.
+func (e *InputError) Error() string { return "numeric: " + e.Fn + ": " + e.Detail }
 
 // Summary holds basic descriptive statistics of a sample.
 type Summary struct {
@@ -42,9 +54,10 @@ func Summarize(xs []float64) Summary {
 	if s.N > 1 {
 		s.Stddev = math.Sqrt(ss / float64(s.N-1))
 	}
-	s.Median = Quantile(sorted, 0.5)
-	s.P10 = Quantile(sorted, 0.1)
-	s.P90 = Quantile(sorted, 0.9)
+	// The sample is non-empty here, so the quantile errors cannot fire.
+	s.Median, _ = Quantile(sorted, 0.5)
+	s.P10, _ = Quantile(sorted, 0.1)
+	s.P90, _ = Quantile(sorted, 0.9)
 	if s.Mean != 0 {
 		s.CoeffVariation = s.Stddev / math.Abs(s.Mean)
 	}
@@ -52,49 +65,52 @@ func Summarize(xs []float64) Summary {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of an already sorted sample
-// using linear interpolation between order statistics. It panics on an empty
-// sample.
-func Quantile(sorted []float64, q float64) float64 {
+// using linear interpolation between order statistics. An empty sample is
+// an *InputError.
+func Quantile(sorted []float64, q float64) (float64, error) {
 	if len(sorted) == 0 {
-		panic("numeric: Quantile of empty sample")
+		return 0, &InputError{Fn: "Quantile", Detail: "empty sample"}
 	}
 	if q <= 0 {
-		return sorted[0]
+		return sorted[0], nil
 	}
 	if q >= 1 {
-		return sorted[len(sorted)-1]
+		return sorted[len(sorted)-1], nil
 	}
 	pos := q * float64(len(sorted)-1)
 	i := int(pos)
 	frac := pos - float64(i)
 	if i+1 >= len(sorted) {
-		return sorted[i]
+		return sorted[i], nil
 	}
-	return sorted[i]*(1-frac) + sorted[i+1]*frac
+	return sorted[i]*(1-frac) + sorted[i+1]*frac, nil
 }
 
 // MeanAbsError returns the mean absolute error between predictions and
-// actuals. The slices must have equal nonzero length.
-func MeanAbsError(pred, actual []float64) float64 {
+// actuals. Mismatched or zero lengths are an *InputError.
+func MeanAbsError(pred, actual []float64) (float64, error) {
 	if len(pred) != len(actual) || len(pred) == 0 {
-		panic("numeric: MeanAbsError length mismatch or empty")
+		return 0, &InputError{Fn: "MeanAbsError",
+			Detail: fmt.Sprintf("length mismatch or empty (%d vs %d)", len(pred), len(actual))}
 	}
 	var sum float64
 	for i := range pred {
 		sum += math.Abs(pred[i] - actual[i])
 	}
-	return sum / float64(len(pred))
+	return sum / float64(len(pred)), nil
 }
 
 // RootMeanSquareError returns the RMSE between predictions and actuals.
-func RootMeanSquareError(pred, actual []float64) float64 {
+// Mismatched or zero lengths are an *InputError.
+func RootMeanSquareError(pred, actual []float64) (float64, error) {
 	if len(pred) != len(actual) || len(pred) == 0 {
-		panic("numeric: RootMeanSquareError length mismatch or empty")
+		return 0, &InputError{Fn: "RootMeanSquareError",
+			Detail: fmt.Sprintf("length mismatch or empty (%d vs %d)", len(pred), len(actual))}
 	}
 	var sum float64
 	for i := range pred {
 		d := pred[i] - actual[i]
 		sum += d * d
 	}
-	return math.Sqrt(sum / float64(len(pred)))
+	return math.Sqrt(sum / float64(len(pred))), nil
 }

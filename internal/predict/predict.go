@@ -236,10 +236,11 @@ type Accuracy struct {
 }
 
 // Evaluate resets the predictor, streams the series through it, and
-// returns the prediction accuracy. It panics on an empty series.
-func Evaluate(p Predictor, series []float64) Accuracy {
+// returns the prediction accuracy. An empty series — typically an empty or
+// filtered-out user trace — is an error, not a panic.
+func Evaluate(p Predictor, series []float64) (Accuracy, error) {
 	if len(series) == 0 {
-		panic("predict: Evaluate on empty series")
+		return Accuracy{}, fmt.Errorf("predict: Evaluate on empty series")
 	}
 	p.Reset()
 	preds := make([]float64, len(series))
@@ -251,11 +252,14 @@ func Evaluate(p Predictor, series []float64) Accuracy {
 		}
 		p.Observe(actual)
 	}
+	// Lengths match by construction, so the metric errors cannot fire.
+	mae, _ := numeric.MeanAbsError(preds, series)
+	rmse, _ := numeric.RootMeanSquareError(preds, series)
 	return Accuracy{
-		MAE:      numeric.MeanAbsError(preds, series),
-		RMSE:     numeric.RootMeanSquareError(preds, series),
+		MAE:      mae,
+		RMSE:     rmse,
 		OverRate: float64(over) / float64(len(series)),
-	}
+	}, nil
 }
 
 // sanity check that all predictors satisfy the interface.

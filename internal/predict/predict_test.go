@@ -153,9 +153,18 @@ func TestOracle(t *testing.T) {
 	}
 }
 
+func mustEval(t *testing.T, p Predictor, series []float64) Accuracy {
+	t.Helper()
+	acc, err := Evaluate(p, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acc
+}
+
 func TestOracleIsPerfect(t *testing.T) {
 	series := []float64{8, 12, 20, 9, 15, 11}
-	acc := Evaluate(NewOracle(series, 0), series)
+	acc := mustEval(t, NewOracle(series, 0), series)
 	if acc.MAE != 0 || acc.RMSE != 0 || acc.OverRate != 0 {
 		t.Fatalf("oracle accuracy = %+v, want perfect", acc)
 	}
@@ -170,20 +179,17 @@ func TestEvaluateOrdering(t *testing.T) {
 		x = x*6364136223846793005 + 1442695040888963407
 		series[i] = 14 + float64(x%600)/100 - 3 // 11..17
 	}
-	expAcc := Evaluate(NewExpAverage(0.5, 14), series)
-	lastAcc := Evaluate(NewLastValue(14), series)
+	expAcc := mustEval(t, NewExpAverage(0.5, 14), series)
+	lastAcc := mustEval(t, NewLastValue(14), series)
 	if expAcc.RMSE >= lastAcc.RMSE {
 		t.Errorf("exp-average RMSE %v should beat last-value %v on noise", expAcc.RMSE, lastAcc.RMSE)
 	}
 }
 
-func TestEvaluatePanicsOnEmpty(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("empty series accepted")
-		}
-	}()
-	Evaluate(NewLastValue(0), nil)
+func TestEvaluateErrorsOnEmpty(t *testing.T) {
+	if _, err := Evaluate(NewLastValue(0), nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
 }
 
 func TestTreeLearnsPeriodicPattern(t *testing.T) {
@@ -198,8 +204,8 @@ func TestTreeLearnsPeriodicPattern(t *testing.T) {
 		}
 	}
 	tree := NewTree(8, 2, 5, 25, 14)
-	treeAcc := Evaluate(tree, series)
-	expAcc := Evaluate(NewExpAverage(0.5, 14), series)
+	treeAcc := mustEval(t, tree, series)
+	expAcc := mustEval(t, NewExpAverage(0.5, 14), series)
 	if treeAcc.MAE >= expAcc.MAE {
 		t.Fatalf("tree MAE %v should beat exp-average %v on periodic input",
 			treeAcc.MAE, expAcc.MAE)
@@ -345,8 +351,8 @@ func TestMarkovBeatsExpAverageOnAlternation(t *testing.T) {
 			series[i] = 15
 		}
 	}
-	mAcc := Evaluate(NewMarkov(8, 0, 20, 10), series)
-	eAcc := Evaluate(NewExpAverage(0.5, 10), series)
+	mAcc := mustEval(t, NewMarkov(8, 0, 20, 10), series)
+	eAcc := mustEval(t, NewExpAverage(0.5, 10), series)
 	if mAcc.MAE >= eAcc.MAE {
 		t.Fatalf("markov MAE %v should beat exp-average %v on alternation", mAcc.MAE, eAcc.MAE)
 	}

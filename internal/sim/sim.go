@@ -7,10 +7,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"fcdpm/internal/device"
+	"fcdpm/internal/fault"
 	"fcdpm/internal/fuelcell"
 	"fcdpm/internal/predict"
 	"fcdpm/internal/storage"
@@ -208,6 +210,21 @@ type Config struct {
 	// barely notice — an FC-DPM advantage the paper's ideal-source model
 	// hides.
 	SlewRate float64
+	// Faults, when non-nil, injects the scheduled perturbations into the
+	// fuel-cell / storage / workload models mid-run. Integration splits
+	// exactly at fault boundaries, so results stay analytical and
+	// seed-reproducible.
+	Faults *fault.Schedule
+	// FaultSeed drives the sensor-noise stream of the fault injector.
+	FaultSeed uint64
+	// Fallbacks is the graceful-degradation chain the supervisor walks
+	// when invariants trip: Policy, then each fallback in order, then an
+	// implicit last-resort load-shed stage. Degradation is one-way.
+	Fallbacks []Policy
+	// Supervisor tunes the run-time watchdog (see SupervisorConfig). With
+	// the zero value, supervision arms automatically when Faults or
+	// Fallbacks are configured.
+	Supervisor SupervisorConfig
 }
 
 // validate checks the configuration.
@@ -226,6 +243,23 @@ func (c *Config) validate() error {
 	}
 	if err := c.Dev.Validate(); err != nil {
 		return err
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	for i, p := range c.Fallbacks {
+		if p == nil {
+			return fmt.Errorf("sim: nil fallback policy at index %d", i)
+		}
+	}
+	sup := c.Supervisor
+	if math.IsNaN(sup.DeficitLimit) || math.IsInf(sup.DeficitLimit, 0) || sup.DeficitLimit < 0 {
+		return fmt.Errorf("sim: bad supervisor deficit limit %v", sup.DeficitLimit)
+	}
+	if math.IsNaN(sup.Tolerance) || math.IsInf(sup.Tolerance, 0) || sup.Tolerance < 0 {
+		return fmt.Errorf("sim: bad supervisor tolerance %v", sup.Tolerance)
 	}
 	return c.Trace.Validate()
 }
@@ -268,6 +302,21 @@ type Result struct {
 	// each change exercises the fuel-flow actuator (valve, blower), so
 	// policies that re-command constantly age the plant faster.
 	SetpointChanges int
+	// Shed is load charge intentionally not served while the supervisor's
+	// last-resort load-shed stage was active (A-s). Deficit, by contrast,
+	// is unmet load that no stage decided to drop.
+	Shed float64
+	// Fallbacks counts supervisor policy downgrades; FinalPolicy names
+	// the policy active when the run ended (equal to Policy unless the
+	// run degraded).
+	Fallbacks   int
+	FinalPolicy string
+	// Events is the run audit log: fault onsets/clears, invariant
+	// violations, and fallbacks, in time order.
+	Events []RunEvent
+	// LostCharge is storage charge destroyed by capacity-fade faults
+	// (A-s).
+	LostCharge float64
 	// FinalCharge is the storage charge at the end of the run.
 	FinalCharge float64
 	// Profile and Charges are recorded when Config.RecordProfile is set.
@@ -321,16 +370,31 @@ func (r *Result) NormalizedFuel(baseline *Result) float64 {
 
 // Run executes the simulation and returns the result.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the simulation under a context: cancellation or
+// deadline expiry stops the run between slots with a CanceledError that
+// records the simulated time reached.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	s := newState(cfg)
 	for k, slot := range cfg.Trace.Slots {
+		if err := ctx.Err(); err != nil {
+			return nil, &CanceledError{T: s.t, Slot: k, Err: err}
+		}
 		if err := s.runSlot(k, slot); err != nil {
 			return nil, err
 		}
 	}
+	s.drainFaults()
 	s.res.FinalCharge = s.store.Charge()
+	s.res.FinalPolicy = s.pol.Name()
+	if s.fade != nil {
+		s.res.LostCharge = s.fade.Lost
+	}
 	return s.res, nil
 }
 
@@ -348,6 +412,20 @@ type state struct {
 	// lastIF tracks the FC output for slew-rate limiting; negative means
 	// "not yet set" (the first piece starts wherever it asks).
 	lastIF float64
+
+	// pol is the currently active policy; chain is the full degradation
+	// sequence [Config.Policy, fallbacks..., load-shed] and chainIdx the
+	// position of pol within it.
+	pol      Policy
+	chain    []Policy
+	chainIdx int
+	// tripDeficit accumulates unmet load since the last degradation; the
+	// supervisor falls back when it exceeds the deficit budget.
+	tripDeficit float64
+
+	// inj and fade are set only under fault injection.
+	inj  *fault.Injector
+	fade *fault.FadeStore
 }
 
 func newState(cfg Config) *state {
@@ -378,7 +456,17 @@ func newState(cfg Config) *state {
 	st.predIdle.Reset()
 	st.predActive.Reset()
 	st.predCurrent.Reset()
-	cfg.Policy.Reset(st.store.Capacity(), st.chargeTarget)
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		st.inj = fault.NewInjector(cfg.Faults, cfg.FaultSeed)
+		st.fade = fault.NewFadeStore(st.store)
+		st.store = st.fade
+	}
+	st.chain = make([]Policy, 0, len(cfg.Fallbacks)+2)
+	st.chain = append(st.chain, cfg.Policy)
+	st.chain = append(st.chain, cfg.Fallbacks...)
+	st.chain = append(st.chain, loadShed{sys: cfg.Sys})
+	st.pol = st.chain[0]
+	st.pol.Reset(st.store.Capacity(), st.chargeTarget)
 	return st
 }
 
@@ -436,7 +524,7 @@ func (s *state) runSlot(k int, slot workload.Slot) error {
 	if didSleep {
 		s.res.Sleeps++
 	}
-	s.cfg.Policy.PlanIdle(info)
+	s.pol.PlanIdle(info)
 
 	// Idle phase.
 	var idleSegs []Segment
@@ -480,7 +568,7 @@ func (s *state) runSlot(k int, slot workload.Slot) error {
 	info.ActualActive = slot.Active
 	info.ActualActiveCurrent = slot.ActiveCurrent
 	info.Charge = s.store.Charge()
-	s.cfg.Policy.PlanActive(info)
+	s.pol.PlanActive(info)
 
 	var activeSegs []Segment
 	if didSleep && dev.TauWU > 0 {
@@ -501,12 +589,22 @@ func (s *state) runSlot(k int, slot workload.Slot) error {
 		}
 	}
 
-	// Train the predictors on the realized slot.
-	s.predIdle.Observe(slot.Idle)
-	s.predActive.Observe(slot.Active)
-	s.predCurrent.Observe(slot.ActiveCurrent)
+	// Train the predictors on the realized slot. Under a sensor-noise
+	// fault the predictors (and the timeout learner) see corrupted
+	// measurements; the physical simulation above always uses the truth.
+	obsIdle, obsActive, obsCurrent := slot.Idle, slot.Active, slot.ActiveCurrent
+	if s.inj != nil {
+		if sigma := s.inj.StateAt(s.t).SensorSigma; sigma > 0 {
+			obsIdle = s.inj.Noisy(obsIdle, sigma)
+			obsActive = s.inj.Noisy(obsActive, sigma)
+			obsCurrent = s.inj.Noisy(obsCurrent, sigma)
+		}
+	}
+	s.predIdle.Observe(obsIdle)
+	s.predActive.Observe(obsActive)
+	s.predCurrent.Observe(obsCurrent)
 	if s.cfg.DPM == DPMTimeout && s.cfg.TimeoutAdapter != nil {
-		s.cfg.TimeoutAdapter.Observe(slot.Idle)
+		s.cfg.TimeoutAdapter.Observe(obsIdle)
 	}
 	if s.cfg.RecordSlots {
 		s.res.SlotLog = append(s.res.SlotLog, SlotRecord{
@@ -525,31 +623,48 @@ func (s *state) runSlot(k int, slot workload.Slot) error {
 	return nil
 }
 
-// applySegment integrates one segment under the policy's piece plan.
+// applySegment integrates one segment under the active policy's piece
+// plan. In supervised runs an invalid plan degrades to the next policy in
+// the chain and replans the same segment; invariant violations detected
+// after integration degrade for future segments. Unsupervised runs keep
+// the classic fail-fast behavior and return a typed *InvariantError.
 func (s *state) applySegment(seg Segment) error {
 	if seg.Dur <= 0 {
 		return nil
 	}
-	pieces := s.cfg.Policy.SegmentPlan(seg, s.store.Charge())
-	var total float64
-	for _, p := range pieces {
-		if p.Dur < 0 {
-			return fmt.Errorf("sim: negative piece duration %v from %s", p.Dur, s.cfg.Policy.Name())
+	for {
+		pieces := s.pol.SegmentPlan(seg, s.store.Charge())
+		inv := s.checkPieces(seg, pieces)
+		if inv == nil {
+			for _, p := range pieces {
+				if p.Dur == 0 {
+					continue
+				}
+				s.applyPiece(seg, p)
+			}
+			break
 		}
-		if p.IF < 0 || math.IsNaN(p.IF) || math.IsInf(p.IF, 0) {
-			return fmt.Errorf("sim: invalid piece current %v from %s", p.IF, s.cfg.Policy.Name())
+		if !s.supervised() {
+			return inv
 		}
-		total += p.Dur
+		s.logEvent(EventInvariant, inv.Detail)
+		if !s.degrade("invalid segment plan") {
+			// The last-resort stage itself misplanned; ride the segment
+			// out at zero output rather than looping.
+			s.integrateConst(seg, 0, seg.Dur)
+			break
+		}
 	}
-	if math.Abs(total-seg.Dur) > 1e-6*math.Max(1, seg.Dur) {
-		return fmt.Errorf("sim: policy %s pieces cover %v s of a %v s segment",
-			s.cfg.Policy.Name(), total, seg.Dur)
-	}
-	for _, p := range pieces {
-		if p.Dur == 0 {
-			continue
+	s.drainFaults()
+	if inv := s.postChecks(); inv != nil {
+		if !s.supervised() {
+			return inv
 		}
-		s.applyPiece(seg, p)
+		s.logEvent(EventInvariant, inv.Detail)
+		s.degrade("invariant " + inv.Check + " violated")
+	} else if s.supervised() && !s.shedding() && s.tripDeficit > s.deficitLimit() {
+		s.degrade(fmt.Sprintf("unmet load %.3g A-s exceeds budget %.3g A-s",
+			s.tripDeficit, s.deficitLimit()))
 	}
 	return nil
 }
@@ -583,20 +698,64 @@ func (s *state) applyPiece(seg Segment, p Piece) {
 }
 
 // integrateConst advances the simulation by dur seconds at a constant FC
-// output iF against the segment load.
+// output iF against the segment load. Under fault injection it splits the
+// interval exactly at fault boundaries so each step sees one composed
+// fault state and the analytical integration stays exact.
 func (s *state) integrateConst(seg Segment, iF, dur float64) {
+	if s.inj == nil {
+		s.integrateStep(seg, iF, dur, fault.Nominal())
+		return
+	}
+	for dur > 0 {
+		st := s.inj.StateAt(s.t)
+		step := dur
+		if next := s.inj.NextBoundary(s.t); next-s.t < step {
+			step = next - s.t
+			if step <= 0 || step < 1e-12*math.Max(1, s.t) {
+				// Floating-point guard: a boundary indistinguishable from
+				// the current instant cannot split the interval.
+				step = dur
+			}
+		}
+		if s.fade != nil {
+			s.fade.SetScale(st.CapacityScale)
+		}
+		s.integrateStep(seg, iF, step, st)
+		dur -= step
+	}
+}
+
+// integrateStep is one constant interval under one fault state: the FC
+// delivers the requested output capped by the derated stack ceiling, the
+// load is scaled by any active surge, and fuel cost is inflated by any
+// efficiency degradation.
+func (s *state) integrateStep(seg Segment, iF, dur float64, st fault.State) {
+	load := seg.Load * st.LoadScale
+	deliver := iF
+	if st.DeliveryScale < 1 {
+		if ceil := s.cfg.Sys.MaxOutput * st.DeliveryScale; deliver > ceil {
+			deliver = ceil
+		}
+	}
 	if s.cfg.RecordProfile {
-		s.res.Profile = append(s.res.Profile, ProfilePoint{T: s.t, Load: seg.Load, IF: iF})
+		s.res.Profile = append(s.res.Profile, ProfilePoint{T: s.t, Load: load, IF: deliver})
 		s.res.Charges = append(s.res.Charges, ChargePoint{T: s.t, Q: s.store.Charge()})
 	}
-	flow := s.store.Apply(iF-seg.Load, dur)
-	fuel := s.cfg.Sys.Fuel(iF, dur)
+	flow := s.store.Apply(deliver-load, dur)
+	fuel := s.cfg.Sys.Fuel(deliver, dur) * st.FuelScale
 	s.res.Fuel += fuel
 	s.res.FuelByKind[seg.Kind] += fuel
-	s.res.DeliveredEnergy += s.cfg.Sys.VF * iF * dur
-	s.res.LoadEnergy += s.cfg.Sys.VF * seg.Load * dur
+	s.res.DeliveredEnergy += s.cfg.Sys.VF * deliver * dur
+	s.res.LoadEnergy += s.cfg.Sys.VF * load * dur
 	s.res.Bled += flow.Bled
-	s.res.Deficit += flow.Deficit
+	if flow.Deficit > 0 {
+		if s.shedding() {
+			s.res.Shed += flow.Deficit
+		} else {
+			s.res.Deficit += flow.Deficit
+			s.tripDeficit += flow.Deficit
+		}
+	}
 	s.t += dur
 	s.res.Duration = s.t
 }

@@ -1,0 +1,97 @@
+// Fault-schedule fuzzing lives in the external test package: the sim
+// package imports workload, so an internal test file could not import sim
+// back without a cycle.
+package workload_test
+
+import (
+	"math"
+	"testing"
+
+	"fcdpm/internal/device"
+	"fcdpm/internal/fault"
+	"fcdpm/internal/fuelcell"
+	"fcdpm/internal/policy"
+	"fcdpm/internal/sim"
+	"fcdpm/internal/storage"
+	"fcdpm/internal/workload"
+)
+
+// FuzzFaultedRun composes a random fault schedule over a random synthetic
+// trace and runs the supervised simulator. The contract under fuzzing is:
+// the run either returns an error or a fully finite result — never a
+// panic, never NaN/Inf fuel, never negative charge accounting.
+func FuzzFaultedRun(f *testing.F) {
+	f.Add(uint64(1), uint64(2), 3, 300.0)
+	f.Add(uint64(7), uint64(7), 0, 600.0)
+	f.Add(uint64(42), uint64(9), 12, 120.0)
+	f.Add(uint64(0), uint64(0), 1, 30.0)
+	f.Fuzz(func(t *testing.T, traceSeed, faultSeed uint64, events int, duration float64) {
+		// Clamp the fuzzed knobs into the generators' valid domain; the
+		// point here is to stress the simulator, not the input parsers
+		// (config validation has its own tests).
+		if math.IsNaN(duration) || math.IsInf(duration, 0) {
+			duration = 300
+		}
+		duration = math.Min(math.Max(duration, 30), 3600)
+		if events < 0 {
+			events = -events
+		}
+		events %= 32
+
+		wcfg := workload.DefaultSyntheticConfig()
+		wcfg.Seed = traceSeed
+		wcfg.Duration = duration
+		trace, err := workload.Synthetic(wcfg)
+		if err != nil {
+			t.Fatalf("synthetic trace rejected valid config: %v", err)
+		}
+
+		sched := &fault.Schedule{}
+		if events > 0 {
+			sched, err = fault.Generate(fault.GenConfig{
+				Seed:    faultSeed,
+				Horizon: duration,
+				Events:  events,
+			})
+			if err != nil {
+				t.Fatalf("fault generator rejected valid config: %v", err)
+			}
+		}
+
+		sys := fuelcell.PaperSystem()
+		dev := device.Synthetic()
+		res, err := sim.Run(sim.Config{
+			Sys:    sys,
+			Dev:    dev,
+			Store:  storage.NewSuperCap(6, 3),
+			Trace:  trace,
+			Policy: policy.NewFCDPM(sys, dev),
+			Fallbacks: []sim.Policy{
+				policy.NewASAP(sys),
+				policy.NewConv(sys),
+			},
+			Faults:    sched,
+			FaultSeed: faultSeed,
+		})
+		if err != nil {
+			// A typed error is an acceptable outcome; a panic would have
+			// failed the fuzz run already.
+			return
+		}
+		for name, v := range map[string]float64{
+			"fuel":        res.Fuel,
+			"deficit":     res.Deficit,
+			"shed":        res.Shed,
+			"bled":        res.Bled,
+			"lost charge": res.LostCharge,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("%s not finite/non-negative: %v (trace seed %d, fault seed %d, %d events)",
+					name, v, traceSeed, faultSeed, events)
+			}
+		}
+		if res.FinalCharge < -1e-9 || math.IsNaN(res.FinalCharge) {
+			t.Fatalf("final charge invalid: %v", res.FinalCharge)
+		}
+	})
+}
