@@ -373,7 +373,7 @@ func BenchmarkSimulateSlotThroughput(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, err := Run(SimConfig{
-			Sys: sys, Dev: dev, Store: NewSuperCap(6, 1),
+			Sys: sys, Dev: dev, Store: MustSuperCap(6, 1),
 			Trace: trace, Policy: NewFCDPM(sys, dev),
 		})
 		if err != nil {

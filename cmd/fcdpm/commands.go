@@ -2,12 +2,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
-	"sync"
+	"time"
 
 	"fcdpm/internal/config"
 	"fcdpm/internal/device"
@@ -16,10 +17,33 @@ import (
 	"fcdpm/internal/numeric"
 	"fcdpm/internal/policy"
 	"fcdpm/internal/report"
+	"fcdpm/internal/runner"
 	"fcdpm/internal/sim"
 	"fcdpm/internal/storage"
 	"fcdpm/internal/workload"
 )
+
+// parseFlags parses args and classifies failures: -h/--help propagates
+// flag.ErrHelp (exit 0), anything else — an unknown flag, a malformed
+// value — is a usage error (exit 2).
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return usagef("%s: %v", fs.Name(), err)
+	}
+	return nil
+}
+
+// secondsFlag converts a -timeout style seconds value to a Duration;
+// zero or negative means "no deadline".
+func secondsFlag(s float64) time.Duration {
+	if s <= 0 {
+		return 0
+	}
+	return time.Duration(s * float64(time.Second))
+}
 
 // outWriter opens the -out target, defaulting to stdout.
 func outWriter(path string) (io.Writer, func() error, error) {
@@ -37,7 +61,7 @@ func cmdCurves(args []string) error {
 	fs := flag.NewFlagSet("curves", flag.ContinueOnError)
 	points := fs.Int("points", 60, "samples per curve")
 	dir := fs.String("out", "", "directory for CSV output (default: tables to stdout)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	fig2 := exp.Fig2Series(*points)
@@ -122,7 +146,7 @@ func cmdTrace(args []string) error {
 	duration := fs.Float64("duration", 0, "trace duration in seconds (0 = paper default)")
 	format := fs.String("format", "csv", "output format: csv or json")
 	out := fs.String("out", "", "output file (default stdout)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	tr, _, err := makeTrace(*kind, *seed, *duration)
@@ -154,7 +178,7 @@ func cmdRun(args []string) error {
 	reserve := fs.Float64("reserve", 1, "initial/target storage charge in A-s")
 	flatIF := fs.Float64("flat", 0.5, "fixed output for -policy flat, A")
 	fuel := fs.Float64("fuel", 3600, "fuel budget for lifetime report, stack A-s")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	tr, dev, err := makeTrace(*kind, *seed, *duration)
@@ -175,9 +199,13 @@ func cmdRun(args []string) error {
 	default:
 		return fmt.Errorf("unknown policy %q", *polName)
 	}
+	store, err := storage.NewSuperCap(*cmax, *reserve)
+	if err != nil {
+		return err
+	}
 	res, err := sim.Run(sim.Config{
 		Sys: sys, Dev: dev,
-		Store:  storage.NewSuperCap(*cmax, *reserve),
+		Store:  store,
 		Trace:  tr,
 		Policy: pol,
 	})
@@ -203,7 +231,7 @@ func cmdRun(args []string) error {
 func cmdExp(args []string, which int) error {
 	fs := flag.NewFlagSet(fmt.Sprintf("exp%d", which), flag.ContinueOnError)
 	seed := fs.Uint64("seed", uint64(which), "trace seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	var cmp *exp.Comparison
@@ -235,7 +263,7 @@ func cmdExp(args []string, which int) error {
 
 func cmdMotiv(args []string) error {
 	fs := flag.NewFlagSet("motiv", flag.ContinueOnError)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	m, err := exp.MotivationalExample()
@@ -257,7 +285,7 @@ func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	what := fs.String("what", "capacity", "sweep: capacity, beta, or rho")
 	seed := fs.Uint64("seed", 1, "trace seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	var pts []exp.SweepPoint
@@ -291,7 +319,7 @@ func cmdOracle(args []string) error {
 	fs := flag.NewFlagSet("oracle", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "trace seed")
 	grid := fs.Int("grid", 48, "DP storage-grid intervals")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	offline, online, err := exp.OfflineOracleDP(*seed, *grid)
@@ -312,7 +340,7 @@ func cmdHydrogen(args []string) error {
 	fs := flag.NewFlagSet("hydrogen", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "trace seed")
 	grams := fs.Float64("cartridge", 10, "H2 cartridge mass in grams")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	cmp, err := exp.Experiment1(*seed)
@@ -336,7 +364,7 @@ func cmdHydrogen(args []string) error {
 func cmdLevels(args []string) error {
 	fs := flag.NewFlagSet("levels", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "trace seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	rows, err := exp.QuantizedSweep(*seed, []int{2, 3, 4, 8, 16})
@@ -363,7 +391,7 @@ func cmdPlot(args []string) error {
 	seed := fs.Uint64("seed", 1, "trace seed (fig7)")
 	window := fs.Float64("window", 300, "profile window in seconds (fig7)")
 	width := fs.Int("width", 96, "chart width in characters")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	switch *what {
@@ -450,7 +478,7 @@ func cmdPlot(args []string) error {
 
 func cmdRunFile(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("runfile", flag.ContinueOnError)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -502,7 +530,7 @@ func cmdStats(args []string) error {
 	kind := fs.String("kind", "camcorder", "trace kind: camcorder, synthetic, or heavytail")
 	seed := fs.Uint64("seed", 1, "generator seed")
 	duration := fs.Float64("duration", 0, "trace duration in seconds (0 = default)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	var tr *workload.Trace
@@ -545,7 +573,7 @@ func cmdStats(args []string) error {
 func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "trace seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	checks, err := exp.Conformance(*seed)
@@ -573,7 +601,7 @@ func cmdAblate(args []string) error {
 	fs := flag.NewFlagSet("ablate", flag.ContinueOnError)
 	what := fs.String("what", "", "ablation: thermal, actuation, battery, aggregation, calibration, slew, mpc, timeout, storage, dpm")
 	seed := fs.Uint64("seed", 1, "trace seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	switch *what {
@@ -682,7 +710,7 @@ func cmdAdvise(args []string) error {
 	fs := flag.NewFlagSet("advise", flag.ContinueOnError)
 	kind := fs.String("kind", "camcorder", "trace kind: camcorder or synthetic")
 	seed := fs.Uint64("seed", 1, "generator seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	tr, dev, err := makeTrace(*kind, *seed, 0)
@@ -709,60 +737,128 @@ func cmdAdvise(args []string) error {
 	return nil
 }
 
-func cmdBatch(args []string) error {
+// batchRow is the JSON-serializable slice of a simulation result that
+// the batch table needs; it is also what lands in the checkpoint
+// journal, so resumed rows render identically to fresh ones.
+type batchRow struct {
+	Name    string  `json:"name"`
+	Policy  string  `json:"policy"`
+	Fuel    float64 `json:"fuel"`
+	AvgRate float64 `json:"avgRate"`
+	Deficit float64 `json:"deficit"`
+}
+
+func cmdBatch(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
-	if err := fs.Parse(args); err != nil {
+	workers := fs.Int("workers", 0, "concurrent scenarios (0: GOMAXPROCS)")
+	timeout := fs.Float64("timeout", 0, "per-scenario wall-clock deadline in seconds (0: none)")
+	retries := fs.Int("retries", 0, "retries per transiently failed scenario")
+	journal := fs.String("journal", "", "JSONL checkpoint file; a re-run with the same journal skips finished scenarios")
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	paths := fs.Args()
 	if len(paths) == 0 {
-		return fmt.Errorf("usage: fcdpm batch <scenario.json>...")
+		return usagef("usage: fcdpm batch [-workers N] [-timeout S] [-retries N] [-journal FILE] <scenario.json>...")
 	}
-	type outcome struct {
+	// Load every scenario up front: malformed files are usage problems,
+	// not run failures, and the first runner block found supplies pool
+	// defaults that explicit flags then override.
+	type loaded struct {
 		name string
-		res  *sim.Result
-		err  error
+		scen *config.Scenario
 	}
-	outs := make([]outcome, len(paths))
-	var wg sync.WaitGroup
+	scens := make([]loaded, len(paths))
+	var spec config.RunnerSpec
 	for i, path := range paths {
-		wg.Add(1)
-		go func(i int, path string) {
-			defer wg.Done()
-			scen, err := config.LoadFile(path)
-			if err != nil {
-				outs[i] = outcome{name: path, err: err}
-				return
-			}
-			cfg, err := scen.Build()
-			if err != nil {
-				outs[i] = outcome{name: path, err: err}
-				return
-			}
-			name := scen.Name
-			if name == "" {
-				name = path
-			}
-			res, err := sim.Run(cfg)
-			outs[i] = outcome{name: name, res: res, err: err}
-		}(i, path)
-	}
-	wg.Wait()
-	tab := report.NewTable("batch results", "Scenario", "Policy", "Fuel (A-s)", "Avg Ifc (A)", "Deficit (A-s)")
-	var firstErr error
-	for _, o := range outs {
-		if o.err != nil {
-			tab.AddRow(o.name, "ERROR: "+o.err.Error(), "", "", "")
-			if firstErr == nil {
-				firstErr = o.err
-			}
-			continue
+		scen, err := config.LoadFile(path)
+		if err != nil {
+			return err
 		}
-		tab.AddRow(o.name, o.res.Policy, fmt.Sprintf("%.1f", o.res.Fuel),
-			fmt.Sprintf("%.4f", o.res.AvgFuelRate()), fmt.Sprintf("%.3f", o.res.Deficit))
+		name := scen.Name
+		if name == "" {
+			name = path
+		}
+		scens[i] = loaded{name: name, scen: scen}
+		if spec == (config.RunnerSpec{}) {
+			spec = scen.Runner
+		}
+	}
+	setFlags := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	if !setFlags["workers"] && spec.Workers != 0 {
+		*workers = spec.Workers
+	}
+	if !setFlags["timeout"] && spec.TimeoutSec != 0 {
+		*timeout = spec.TimeoutSec
+	}
+	if !setFlags["retries"] && spec.Retries != 0 {
+		*retries = spec.Retries
+	}
+	if !setFlags["journal"] && spec.Journal != "" {
+		*journal = spec.Journal
+	}
+	tasks := make([]runner.Task[batchRow], 0, len(paths))
+	for i := range scens {
+		s := scens[i]
+		path := paths[i]
+		tasks = append(tasks, runner.Task[batchRow]{
+			ID:       runner.RunID("batch", "scenario="+path),
+			Scenario: path,
+			Run: func(ctx context.Context) (batchRow, error) {
+				cfg, err := s.scen.Build()
+				if err != nil {
+					return batchRow{}, fmt.Errorf("scenario %s: %w", s.name, err)
+				}
+				res, err := sim.RunContext(ctx, cfg)
+				if err != nil {
+					return batchRow{}, fmt.Errorf("scenario %s: %w", s.name, err)
+				}
+				return batchRow{
+					Name: s.name, Policy: res.Policy, Fuel: res.Fuel,
+					AvgRate: res.AvgFuelRate(), Deficit: res.Deficit,
+				}, nil
+			},
+		})
+	}
+	rep, runErr := runner.Run(ctx, runner.Options{
+		Workers: *workers,
+		Timeout: secondsFlag(*timeout),
+		Retries: *retries,
+		Journal: *journal,
+	}, tasks)
+	if rep == nil {
+		return runErr
+	}
+	tab := report.NewTable("batch results", "Scenario", "Policy", "Fuel (A-s)", "Avg Ifc (A)", "Deficit (A-s)", "Status")
+	for _, o := range rep.Outcomes {
+		switch o.Status {
+		case runner.StatusDone, runner.StatusResumed:
+			status := "done"
+			if o.Status == runner.StatusResumed {
+				status = "resumed"
+			}
+			r := o.Result
+			tab.AddRow(r.Name, r.Policy, fmt.Sprintf("%.1f", r.Fuel),
+				fmt.Sprintf("%.4f", r.AvgRate), fmt.Sprintf("%.3f", r.Deficit), status)
+		case runner.StatusFailed:
+			tab.AddRow(o.Scenario, "ERROR: "+o.Err.Error(), "", "", "", "failed")
+		default:
+			tab.AddRow(o.Scenario, "", "", "", "", string(o.Status))
+		}
 	}
 	fmt.Print(tab)
-	return firstErr
+	if rep.Resumed > 0 || rep.Interrupted > 0 {
+		fmt.Printf("\n%d of %d scenarios resumed from journal, %d interrupted\n",
+			rep.Resumed, len(rep.Outcomes), rep.Interrupted)
+	}
+	if runErr != nil {
+		if errors.Is(runErr, runner.ErrInterrupted) && *journal != "" {
+			fmt.Fprintf(os.Stderr, "batch interrupted; re-run the same command to resume from %s\n", *journal)
+		}
+		return runErr
+	}
+	return rep.FirstError()
 }
 
 func cmdRobust(args []string) error {
@@ -770,7 +866,7 @@ func cmdRobust(args []string) error {
 	seed := fs.Uint64("seed", 1, "base seed")
 	trials := fs.Int("trials", 20, "Monte-Carlo trials")
 	pct := fs.Float64("pct", 0.1, "relative perturbation of device/efficiency parameters")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	r, err := exp.RobustnessStudy(*seed, *trials, *pct)
@@ -795,7 +891,7 @@ func cmdCharge(args []string) error {
 	window := fs.Float64("window", 120, "window in seconds")
 	width := fs.Int("width", 96, "chart width in characters")
 	polName := fs.String("policy", "fcdpm", "policy: conv, asap, or fcdpm")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	tr, dev, err := makeTrace("camcorder", *seed, 0)
@@ -816,7 +912,7 @@ func cmdCharge(args []string) error {
 	}
 	res, err := sim.Run(sim.Config{
 		Sys: sys, Dev: dev,
-		Store:         storage.NewSuperCap(6, 1),
+		Store:         storage.MustSuperCap(6, 1),
 		Trace:         tr,
 		Policy:        pol,
 		RecordProfile: true,
@@ -857,7 +953,11 @@ func cmdFaults(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("faults", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "trace and sensor-noise seed")
 	list := fs.Bool("list", false, "only list the fault classes")
-	if err := fs.Parse(args); err != nil {
+	workers := fs.Int("workers", 0, "concurrent sweep cells (0: GOMAXPROCS)")
+	timeout := fs.Float64("timeout", 0, "per-cell wall-clock deadline in seconds (0: none)")
+	retries := fs.Int("retries", 0, "retries per transiently failed cell")
+	journal := fs.String("journal", "", "JSONL checkpoint file; a re-run with the same journal skips finished cells")
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	tab := report.NewTable("fault classes", "Class", "Effect")
@@ -868,8 +968,13 @@ func cmdFaults(ctx context.Context, args []string) error {
 	if *list {
 		return nil
 	}
-	res, err := exp.FaultSweep(ctx, *seed)
-	if err != nil {
+	res, err := exp.FaultSweepOpts(ctx, *seed, exp.FaultSweepOptions{
+		Workers:    *workers,
+		TimeoutSec: *timeout,
+		Retries:    *retries,
+		Journal:    *journal,
+	})
+	if err != nil && (res == nil || !errors.Is(err, runner.ErrInterrupted)) {
 		return err
 	}
 	fmt.Println()
@@ -886,5 +991,13 @@ func cmdFaults(ctx context.Context, args []string) error {
 	fmt.Println("\neach faulted run degrades through its fallback chain " +
 		"(FC-DPM -> ASAP -> Conv -> load-shed) when the supervisor trips; " +
 		"'survived' means unplanned unmet load stayed under 1 % of the load charge.")
+	if res.Resumed > 0 {
+		fmt.Printf("\n%d cells resumed from journal %s\n", res.Resumed, *journal)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fault sweep interrupted with %d cells pending; "+
+			"re-run with the same -journal to resume\n", res.Interrupted)
+		return err
+	}
 	return nil
 }

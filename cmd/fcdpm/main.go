@@ -11,32 +11,71 @@
 //	fcdpm exp2     [-seed N]
 //	fcdpm motiv
 //	fcdpm sweep    [-what capacity|beta|rho] [-seed N]
-//	fcdpm faults   [-seed N] [-list]
+//	fcdpm faults   [-seed N] [-list] [-workers N] [-timeout S] [-retries N] [-journal FILE]
+//	fcdpm batch    [-workers N] [-timeout S] [-retries N] [-journal FILE] <scenario.json>...
+//
+// Exit status: 0 on success, 1 on a run failure, 2 on command-line
+// usage errors, 3 when a batch or sweep was interrupted but left a
+// checkpoint journal it can resume from.
 package main
 
 import (
 	"context"
+	"errors"
+	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+
+	"fcdpm/internal/runner"
 )
+
+// usageError marks command-line misuse — unknown subcommand, malformed
+// flags, missing operands. main maps it to exit code 2 so scripts can
+// tell "you called me wrong" from "the run failed".
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...any) error {
+	return &usageError{msg: fmt.Sprintf(format, args...)}
+}
 
 func main() {
 	// Ctrl-C / SIGTERM cancels the context; long runs (sweeps, batch
 	// scenarios) stop between slots instead of being killed mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if err := run(ctx, os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "fcdpm:", err)
-		os.Exit(1)
+	err := run(ctx, os.Args[1:])
+	stop()
+	os.Exit(exitCode(err))
+}
+
+// exitCode reports err on stderr and maps it to the process exit
+// status: 0 success (including explicit -h/--help), 1 run failure,
+// 2 usage error, 3 interrupted-but-resumable batch. Run failures print
+// with %+v so a panic captured by the run engine shows its stack.
+func exitCode(err error) int {
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return 0
 	}
+	var ue *usageError
+	if errors.As(err, &ue) {
+		fmt.Fprintln(os.Stderr, "fcdpm:", err)
+		return 2
+	}
+	if errors.Is(err, runner.ErrInterrupted) {
+		fmt.Fprintln(os.Stderr, "fcdpm:", err)
+		return 3
+	}
+	fmt.Fprintf(os.Stderr, "fcdpm: %+v\n", err)
+	return 1
 }
 
 func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		usage()
-		return fmt.Errorf("missing subcommand")
+		return usagef("missing subcommand")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -75,7 +114,7 @@ func run(ctx context.Context, args []string) error {
 	case "advise":
 		return cmdAdvise(rest)
 	case "batch":
-		return cmdBatch(rest)
+		return cmdBatch(ctx, rest)
 	case "robust":
 		return cmdRobust(rest)
 	case "charge":
@@ -85,7 +124,7 @@ func run(ctx context.Context, args []string) error {
 		return nil
 	default:
 		usage()
-		return fmt.Errorf("unknown subcommand %q", cmd)
+		return usagef("unknown subcommand %q", cmd)
 	}
 }
 
@@ -110,14 +149,19 @@ subcommands:
   ablate   run one ablation (thermal, actuation, battery, aggregation,
            calibration, slew, mpc, timeout, storage, dpm)
   advise   hybrid sizing advice for a workload/device pair
-  batch    run several JSON scenarios concurrently and tabulate them
+  batch    run several JSON scenarios concurrently and tabulate them;
+           with -journal the batch checkpoints each finished scenario
+           and a re-run resumes where it was interrupted
   robust   Monte-Carlo robustness of the FC-DPM saving under model
            uncertainty
   charge   ASCII plot of the storage charge trajectory under a policy
   faults   list fault classes and run the per-policy fault sweep
            (fuel / survival under each fault class, with graceful
            degradation through the FC-DPM -> ASAP -> Conv -> load-shed
-           fallback chain)
+           fallback chain); supports -journal resume like batch
+
+exit status: 0 ok, 1 run failure, 2 usage error, 3 interrupted but
+resumable (re-run with the same -journal to continue).
 
 run 'fcdpm <subcommand> -h' for flags.`)
 }

@@ -59,7 +59,7 @@ func ExampleRun() {
 	run := func(p fcdpm.Policy) float64 {
 		res, err := fcdpm.Run(fcdpm.SimConfig{
 			Sys: sys, Dev: dev,
-			Store: fcdpm.NewSuperCap(6, 1), Trace: trace, Policy: p,
+			Store: fcdpm.MustSuperCap(6, 1), Trace: trace, Policy: p,
 		})
 		if err != nil {
 			panic(err)

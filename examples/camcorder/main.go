@@ -58,7 +58,7 @@ func writeProfile(path string, seed uint64) error {
 	}
 	res, err := fcdpm.Run(fcdpm.SimConfig{
 		Sys: sys, Dev: dev,
-		Store:         fcdpm.NewSuperCap(6, 1),
+		Store:         fcdpm.MustSuperCap(6, 1),
 		Trace:         trace,
 		Policy:        fcdpm.NewFCDPM(sys, dev),
 		RecordProfile: true,

@@ -29,7 +29,7 @@ func main() {
 	run := func(p fcdpm.Policy) *fcdpm.Result {
 		res, err := fcdpm.Run(fcdpm.SimConfig{
 			Sys: sys, Dev: dev,
-			Store: fcdpm.NewSuperCap(6, 1), Trace: trace, Policy: p,
+			Store: fcdpm.MustSuperCap(6, 1), Trace: trace, Policy: p,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -43,7 +43,7 @@ func main() {
 		}
 		res, err := fcdpm.Run(fcdpm.SimConfig{
 			Sys: sys, Dev: dev,
-			Store:         fcdpm.NewSuperCap(6, 1),
+			Store:         fcdpm.MustSuperCap(6, 1),
 			Trace:         trace,
 			Policy:        fcdpm.NewFCDPM(sys, dev),
 			IdlePredictor: e.mk(),

@@ -26,7 +26,7 @@ func main() {
 	// The hybrid source's charge buffer: the paper's 100 mA-min
 	// supercapacitor (6 A-s), held at a 1 A-s reserve so the FC-DPM
 	// policy can cycle charge through it.
-	newStore := func() fcdpm.Storage { return fcdpm.NewSuperCap(6, 1) }
+	newStore := func() fcdpm.Storage { return fcdpm.MustSuperCap(6, 1) }
 
 	policies := []fcdpm.Policy{
 		fcdpm.NewConv(sys),       // FC pinned at the top of its range

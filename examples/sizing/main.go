@@ -79,7 +79,7 @@ func main() {
 	for _, cmax := range []float64{2, 4, 6, 12} {
 		res, err := fcdpm.Run(fcdpm.SimConfig{
 			Sys: sys, Dev: dev,
-			Store:  fcdpm.NewSuperCap(cmax, cmax/6),
+			Store:  fcdpm.MustSuperCap(cmax, cmax/6),
 			Trace:  trace,
 			Policy: fcdpm.NewFCDPM(sys, dev),
 		})

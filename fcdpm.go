@@ -199,8 +199,12 @@ func NewChainEfficiency(s *Stack, c Converter, ctrl Controller) (*ChainEfficienc
 }
 
 // NewSuperCap returns an ideal supercapacitor with capacity cmax A-s
-// holding q0.
-func NewSuperCap(cmax, q0 float64) *SuperCapacitor { return storage.NewSuperCap(cmax, q0) }
+// holding q0, or a typed storage error for a non-positive capacity.
+func NewSuperCap(cmax, q0 float64) (*SuperCapacitor, error) { return storage.NewSuperCap(cmax, q0) }
+
+// MustSuperCap is NewSuperCap for compile-time-fixed parameters; it panics
+// on the error a literal capacity cannot produce.
+func MustSuperCap(cmax, q0 float64) *SuperCapacitor { return storage.MustSuperCap(cmax, q0) }
 
 // PaperSuperCap returns the experiments' 1 F / 100 mA-min supercapacitor,
 // full.
@@ -348,8 +352,9 @@ type (
 )
 
 // NewFCDPMQuantized returns FC-DPM restricted to discrete output levels
-// (the multi-level configuration of the authors' companion work [11]).
-func NewFCDPMQuantized(sys *System, dev *Device, levels []float64) Policy {
+// (the multi-level configuration of the authors' companion work [11]),
+// or a typed policy error for an empty or out-of-range level set.
+func NewFCDPMQuantized(sys *System, dev *Device, levels []float64) (Policy, error) {
 	return policy.NewFCDPMQuantized(sys, dev, levels)
 }
 

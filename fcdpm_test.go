@@ -1,7 +1,10 @@
 package fcdpm
 
 import (
+	"context"
+	"errors"
 	"math"
+	"path/filepath"
 	"testing"
 )
 
@@ -16,7 +19,7 @@ func TestFacadeQuickstart(t *testing.T) {
 	}
 	res, err := Run(SimConfig{
 		Sys: sys, Dev: dev,
-		Store:  NewSuperCap(6, 1),
+		Store:  MustSuperCap(6, 1),
 		Trace:  trace,
 		Policy: NewFCDPM(sys, dev),
 	})
@@ -41,7 +44,7 @@ func TestFacadePolicyOrdering(t *testing.T) {
 	run := func(p Policy) *Result {
 		res, err := Run(SimConfig{
 			Sys: sys, Dev: dev,
-			Store: NewSuperCap(6, 1), Trace: trace, Policy: p,
+			Store: MustSuperCap(6, 1), Trace: trace, Policy: p,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -145,6 +148,41 @@ func TestFacadeComponents(t *testing.T) {
 	}
 }
 
+// TestFacadeSweepResume interrupts a fault sweep before it starts and
+// then completes it against the same journal: the partial invocation
+// must surface ErrSweepInterrupted with the pending-cell count, and the
+// completion must not lose any rows.
+func TestFacadeSweepResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
+	opts := FaultSweepOptions{Journal: journal}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // interrupt before any cell runs
+	partial, err := FaultSweepOpts(ctx, 1, opts)
+	if !errors.Is(err, ErrSweepInterrupted) {
+		t.Fatalf("canceled sweep: err = %v, want ErrSweepInterrupted", err)
+	}
+	if partial == nil || partial.Interrupted == 0 {
+		t.Fatalf("partial result = %+v", partial)
+	}
+
+	full, err := FaultSweepOpts(context.Background(), 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Interrupted != 0 || len(full.Rows) == 0 {
+		t.Fatalf("resumed sweep incomplete: %d rows, %d interrupted",
+			len(full.Rows), full.Interrupted)
+	}
+	if len(full.ClassRows("nominal")) != 3 {
+		t.Fatalf("nominal class rows = %d, want 3", len(full.ClassRows("nominal")))
+	}
+	base := errors.New("flaky")
+	if !errors.Is(MarkRetryable(base), base) {
+		t.Fatal("MarkRetryable must wrap its argument")
+	}
+}
+
 func TestFacadeExtensions(t *testing.T) {
 	sys := PaperSystem()
 	dev := Camcorder()
@@ -161,7 +199,10 @@ func TestFacadeExtensions(t *testing.T) {
 	if qset.Fuel <= 0 {
 		t.Fatal("quantized setting degenerate")
 	}
-	qp := NewFCDPMQuantized(sys, dev, levels)
+	qp, err := NewFCDPMQuantized(sys, dev, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if qp.Name() != "FC-DPM-q5" {
 		t.Fatalf("quantized policy name = %q", qp.Name())
 	}
@@ -222,7 +263,7 @@ func TestFacadeExtensions(t *testing.T) {
 	// Battery-aware contrast policy runs.
 	res, err := Run(SimConfig{
 		Sys: sys, Dev: dev,
-		Store: NewSuperCap(6, 1), Trace: PeriodicTrace(5, 14, 3, 1.2),
+		Store: MustSuperCap(6, 1), Trace: PeriodicTrace(5, 14, 3, 1.2),
 		Policy: NewBatteryAware(sys),
 	})
 	if err != nil || res.Fuel <= 0 {

@@ -60,6 +60,25 @@ type Scenario struct {
 	// DeficitLimit overrides the supervisor's per-stage unmet-charge
 	// budget, A-s (0 = default).
 	DeficitLimit float64 `json:"deficitLimit"`
+	// Runner tunes the batch-orchestration engine when this scenario runs
+	// as part of a batch (`fcdpm batch`); single runs ignore it.
+	Runner RunnerSpec `json:"runner"`
+}
+
+// RunnerSpec tunes the run-orchestration engine for batch execution. Zero
+// values mean engine defaults (GOMAXPROCS workers, no deadline, no
+// retries, no journal). CLI flags override a scenario's runner block.
+type RunnerSpec struct {
+	// Workers bounds concurrently executing scenarios.
+	Workers int `json:"workers"`
+	// TimeoutSec is the per-run attempt deadline in seconds.
+	TimeoutSec float64 `json:"timeoutSec"`
+	// Retries re-attempts transiently failed runs with exponential
+	// backoff.
+	Retries int `json:"retries"`
+	// Journal is a JSONL checkpoint path; completed runs recorded there
+	// are skipped when the batch is re-invoked (crash-safe resume).
+	Journal string `json:"journal"`
 }
 
 // FaultsSpec describes the injected faults: explicit events, randomly
@@ -242,6 +261,15 @@ func (s *Scenario) Validate() error {
 			return &ValidationError{Field: "faults.kinds", Detail: err.Error()}
 		}
 	}
+	if s.Runner.Workers < 0 {
+		return &ValidationError{Field: "runner.workers", Detail: fmt.Sprintf("negative worker count %d", s.Runner.Workers)}
+	}
+	if err := checkNonNeg("runner.timeoutSec", s.Runner.TimeoutSec); err != nil {
+		return err
+	}
+	if s.Runner.Retries < 0 {
+		return &ValidationError{Field: "runner.retries", Detail: fmt.Sprintf("negative retry count %d", s.Runner.Retries)}
+	}
 	return nil
 }
 
@@ -350,10 +378,13 @@ func (s *Scenario) buildStorage() (storage.Storage, error) {
 	q0 := defaultF(s.Storage.InitialAs, 1)
 	switch strings.ToLower(s.Storage.Kind) {
 	case "", "supercap":
-		if cmax <= 0 {
-			return nil, fmt.Errorf("config: non-positive capacity %v", cmax)
+		// The constructor's typed ConfigError (e.g. non-positive capacity)
+		// flows through as the validation failure.
+		sc, err := storage.NewSuperCap(cmax, q0)
+		if err != nil {
+			return nil, &ValidationError{Field: "storage.capacity_as", Detail: err.Error()}
 		}
-		return storage.NewSuperCap(cmax, q0), nil
+		return sc, nil
 	case "liion":
 		return storage.NewLiIon(cmax,
 			defaultF(s.Storage.WellFraction, 0.6),
@@ -421,9 +452,14 @@ func buildPolicyFrom(spec PolicySpec, sys *fuelcell.System, dev *device.Model) (
 			n = 8
 		}
 		if n < 2 {
-			return nil, fmt.Errorf("config: quantized policy needs >= 2 levels, got %d", n)
+			return nil, &ValidationError{Field: "policy.levels",
+				Detail: fmt.Sprintf("quantized policy needs >= 2 levels, got %d", n)}
 		}
-		return policy.NewFCDPMQuantized(sys, dev, fcopt.UniformLevels(sys, n)), nil
+		q, err := policy.NewFCDPMQuantized(sys, dev, fcopt.UniformLevels(sys, n))
+		if err != nil {
+			return nil, &ValidationError{Field: "policy.levels", Detail: err.Error()}
+		}
+		return q, nil
 	default:
 		return nil, fmt.Errorf("config: unknown policy kind %q", spec.Kind)
 	}

@@ -207,6 +207,9 @@ func TestValidateRejectsBadFields(t *testing.T) {
 		`{"faults": {"events": [{"kind": "meteor-strike"}]}}`,
 		`{"faults": {"random": 2, "kinds": ["nope"]}}`,
 		`{"fallbacks": ["asap", "nope"]}`,
+		`{"runner": {"workers": -1}}`,
+		`{"runner": {"timeoutSec": -5}}`,
+		`{"runner": {"retries": -2}}`,
 	}
 	for _, js := range cases {
 		s, err := Load(strings.NewReader(js))
@@ -221,6 +224,21 @@ func TestValidateRejectsBadFields(t *testing.T) {
 	s, _ := Load(strings.NewReader(`{"predict": {"rho": 1.5}}`))
 	if _, err := s.Build(); !errors.As(err, &ve) || ve.Field != "predict.rho" {
 		t.Fatalf("want *ValidationError on predict.rho, got %v", err)
+	}
+}
+
+func TestRunnerSpecParses(t *testing.T) {
+	js := `{"runner": {"workers": 4, "timeoutSec": 60, "retries": 2, "journal": "/tmp/j.jsonl"}}`
+	s, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RunnerSpec{Workers: 4, TimeoutSec: 60, Retries: 2, Journal: "/tmp/j.jsonl"}
+	if s.Runner != want {
+		t.Fatalf("runner spec = %+v, want %+v", s.Runner, want)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid runner spec rejected: %v", err)
 	}
 }
 

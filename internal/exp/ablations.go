@@ -1,13 +1,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"sync"
 
 	"fcdpm/internal/fuelcell"
 	"fcdpm/internal/policy"
 	"fcdpm/internal/predict"
+	"fcdpm/internal/runner"
 	"fcdpm/internal/sim"
 	"fcdpm/internal/storage"
 )
@@ -24,16 +25,18 @@ type SweepPoint struct {
 // supercap is 6 A-s.
 func CapacitySweep(seed uint64, capacities []float64) ([]SweepPoint, error) {
 	return sweepParallel(capacities, func(cmax float64) (SweepPoint, error) {
-		if cmax <= 0 {
-			return SweepPoint{}, fmt.Errorf("exp: non-positive capacity %v", cmax)
-		}
 		sc, err := Experiment1Scenario(seed)
 		if err != nil {
 			return SweepPoint{}, err
 		}
 		// Start (and target) at the reserve operating point so FC-DPM has
 		// idle-charging headroom at every capacity; see ReserveCharge.
-		sc.Store = storage.NewSuperCap(cmax, math.Min(ReserveCharge, cmax/2))
+		// A non-positive capacity surfaces as the storage ConfigError.
+		store, err := storage.NewSuperCap(cmax, math.Min(ReserveCharge, cmax/2))
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		sc.Store = store
 		cmp, err := sc.Compare(sc.Policies())
 		if err != nil {
 			return SweepPoint{}, err
@@ -43,24 +46,31 @@ func CapacitySweep(seed uint64, capacities []float64) ([]SweepPoint, error) {
 	})
 }
 
-// sweepParallel evaluates f at each abscissa concurrently, preserving
-// order. Each evaluation builds its own scenario, so nothing is shared.
+// sweepParallel evaluates f at each abscissa on the run engine (bounded
+// workers, panic isolation), preserving order. Each evaluation builds its
+// own scenario, so nothing is shared.
 func sweepParallel(xs []float64, f func(x float64) (SweepPoint, error)) ([]SweepPoint, error) {
-	out := make([]SweepPoint, len(xs))
-	errs := make([]error, len(xs))
-	var wg sync.WaitGroup
+	tasks := make([]runner.Task[SweepPoint], len(xs))
 	for i, x := range xs {
-		wg.Add(1)
-		go func(i int, x float64) {
-			defer wg.Done()
-			out[i], errs[i] = f(x)
-		}(i, x)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		x := x
+		tasks[i] = runner.Task[SweepPoint]{
+			ID:  runner.RunID("ablation", fmt.Sprintf("i=%d", i), fmt.Sprintf("x=%g", x)),
+			Run: func(context.Context) (SweepPoint, error) { return f(x) },
 		}
+	}
+	rep, err := runner.Run(context.Background(), runner.Options{}, tasks)
+	if err != nil {
+		if rep != nil && rep.FirstError() != nil {
+			return nil, rep.FirstError()
+		}
+		return nil, err
+	}
+	if err := rep.FirstError(); err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, len(xs))
+	for i, o := range rep.Outcomes {
+		out[i] = o.Result
 	}
 	return out, nil
 }

@@ -74,7 +74,7 @@ func RunDVSStudy(proc *dvs.Processor, task dvs.Task) (*DVSStudy, error) {
 		run := func(p sim.Policy) (*sim.Result, error) {
 			return sim.Run(sim.Config{
 				Sys: sys, Dev: dev,
-				Store:  storage.NewSuperCap(6, 1),
+				Store:  storage.MustSuperCap(6, 1),
 				Trace:  trace,
 				Policy: p,
 			})

@@ -40,7 +40,7 @@ func Experiment4Scenario(seed uint64) (*Scenario, error) {
 		Name:        "Experiment 4 (HDD media player, beyond paper)",
 		Sys:         sys,
 		Dev:         device.HDD(),
-		Store:       storage.NewSuperCap(2, 0.4),
+		Store:       storage.MustSuperCap(2, 0.4),
 		Trace:       trace,
 		IdlePred:    expAvg(0.5, 20),
 		ActivePred:  expAvg(0.5, 1.5),

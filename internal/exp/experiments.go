@@ -156,7 +156,7 @@ const ReserveCharge = 1.0
 // scenarioStore returns the experiments' 100 mA-min supercapacitor at the
 // reserve operating point.
 func scenarioStore() storage.Storage {
-	return storage.NewSuperCap(storage.PaperSuperCap().Capacity(), ReserveCharge)
+	return storage.MustSuperCap(storage.PaperSuperCap().Capacity(), ReserveCharge)
 }
 
 // frozen returns a predictor pinned at a constant — the paper's "no

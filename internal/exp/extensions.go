@@ -1,8 +1,8 @@
 package exp
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"fcdpm/internal/device"
 	"fcdpm/internal/fcopt"
@@ -10,6 +10,7 @@ import (
 	"fcdpm/internal/numeric"
 	"fcdpm/internal/policy"
 	"fcdpm/internal/predict"
+	"fcdpm/internal/runner"
 	"fcdpm/internal/sim"
 	"fcdpm/internal/workload"
 )
@@ -47,7 +48,10 @@ func QuantizedSweep(seed uint64, levelCounts []int) ([]QuantizedRow, error) {
 		if n < 2 {
 			return nil, fmt.Errorf("exp: level count %d < 2", n)
 		}
-		p := policy.NewFCDPMQuantized(sc.Sys, sc.Dev, fcopt.UniformLevels(sc.Sys, n))
+		p, err := policy.NewFCDPMQuantized(sc.Sys, sc.Dev, fcopt.UniformLevels(sc.Sys, n))
+		if err != nil {
+			return nil, err
+		}
 		res, err := sc.runOne(p)
 		if err != nil {
 			return nil, err
@@ -182,9 +186,9 @@ type SeedSummary struct {
 
 // MultiSeed reruns Experiment 1 (which == 1) or Experiment 2 (which == 2)
 // across n seeds and summarizes the normalized-fuel metrics, giving the
-// reproduction error bars the paper's single trace cannot. Seeds run
-// concurrently — each run owns its trace, storage clone, and policy state,
-// so the goroutines share nothing but their result slots.
+// reproduction error bars the paper's single trace cannot. Seeds run on
+// the run engine (bounded workers, panic isolation) — each run owns its
+// trace, storage clone, and policy state, so tasks share nothing.
 func MultiSeed(which int, n int) (*SeedSummary, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("exp: need at least one seed")
@@ -192,30 +196,32 @@ func MultiSeed(which int, n int) (*SeedSummary, error) {
 	if which != 1 && which != 2 {
 		return nil, fmt.Errorf("exp: unknown experiment %d", which)
 	}
-	cmps := make([]*Comparison, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
+	tasks := make([]runner.Task[*Comparison], n)
 	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			seed := uint64(i + 1)
-			if which == 1 {
-				cmps[i], errs[i] = Experiment1(seed)
-			} else {
-				cmps[i], errs[i] = Experiment2(seed)
-			}
-		}(i)
-	}
-	wg.Wait()
-	var asap, fc, saving []float64
-	for i := 0; i < n; i++ {
-		if errs[i] != nil {
-			return nil, errs[i]
+		seed := uint64(i + 1)
+		tasks[i] = runner.Task[*Comparison]{
+			ID: runner.RunID("multiseed", fmt.Sprintf("exp=%d", which), fmt.Sprintf("seed=%d", seed)),
+			Run: func(context.Context) (*Comparison, error) {
+				if which == 1 {
+					return Experiment1(seed)
+				}
+				return Experiment2(seed)
+			},
 		}
-		asap = append(asap, cmps[i].Row("ASAP-DPM").Normalized)
-		fc = append(fc, cmps[i].Row("FC-DPM").Normalized)
-		saving = append(saving, cmps[i].SavingVsASAP)
+	}
+	rep, err := runner.Run(context.Background(), runner.Options{}, tasks)
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.FirstError(); err != nil {
+		return nil, err
+	}
+	var asap, fc, saving []float64
+	for _, o := range rep.Outcomes {
+		cmp := o.Result
+		asap = append(asap, cmp.Row("ASAP-DPM").Normalized)
+		fc = append(fc, cmp.Row("FC-DPM").Normalized)
+		saving = append(saving, cmp.SavingVsASAP)
 	}
 	return &SeedSummary{
 		Seeds:        n,
@@ -367,7 +373,11 @@ func ActuationAblation(seed uint64, epsilons []float64) ([]ActuationRow, error) 
 		if err != nil {
 			return nil, err
 		}
-		res, err := sc.runOne(policy.NewFCDPMBanded(sc.Sys, sc.Dev, eps))
+		banded, err := policy.NewFCDPMBanded(sc.Sys, sc.Dev, eps)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sc.runOne(banded)
 		if err != nil {
 			return nil, err
 		}
@@ -493,7 +503,11 @@ func MPCAblation(seed uint64, horizons []int) ([]MPCRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := sc.runOne(policy.NewMPC(sc.Sys, sc.Dev, h))
+		mpc, err := policy.NewMPC(sc.Sys, sc.Dev, h)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sc.runOne(mpc)
 		if err != nil {
 			return nil, err
 		}
@@ -516,7 +530,13 @@ type Robustness struct {
 	Wins int
 }
 
-// RobustnessStudy runs n perturbed Experiment 1 trials concurrently.
+// robustnessTrial is one perturbed trial's metrics.
+type robustnessTrial struct {
+	Saving float64
+	Norm   float64
+}
+
+// RobustnessStudy runs n perturbed Experiment 1 trials on the run engine.
 func RobustnessStudy(seed uint64, n int, pct float64) (*Robustness, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("exp: need at least one trial")
@@ -524,58 +544,60 @@ func RobustnessStudy(seed uint64, n int, pct float64) (*Robustness, error) {
 	if pct <= 0 || pct >= 0.5 {
 		return nil, fmt.Errorf("exp: perturbation %v outside (0, 0.5)", pct)
 	}
+	tasks := make([]runner.Task[robustnessTrial], n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = runner.Task[robustnessTrial]{
+			ID: runner.RunID("robustness", fmt.Sprintf("seed=%d", seed), fmt.Sprintf("trial=%d", i)),
+			Run: func(context.Context) (robustnessTrial, error) {
+				rng := numeric.NewRNG(seed + uint64(i)*7919)
+				perturb := func(v float64) float64 { return v * (1 + pct*(2*rng.Float64()-1)) }
+
+				sc, err := Experiment1Scenario(seed + uint64(i))
+				if err != nil {
+					return robustnessTrial{}, err
+				}
+				// Perturb the device model.
+				dev := *sc.Dev
+				dev.Isdb = perturb(dev.Isdb)
+				dev.Islp = perturb(dev.Islp)
+				if dev.Islp >= dev.Isdb {
+					dev.Islp = dev.Isdb * 0.6
+				}
+				dev.IPD = perturb(dev.IPD)
+				dev.IWU = perturb(dev.IWU)
+				dev.TauPD = perturb(dev.TauPD)
+				dev.TauWU = perturb(dev.TauWU)
+				sc.Dev = &dev
+				// Perturb the efficiency coefficients.
+				sys, err := fuelcell.NewSystem(12, 37.5, 0.1, 1.2, fuelcell.LinearEfficiency{
+					Alpha: perturb(0.45),
+					Beta:  perturb(0.13),
+				})
+				if err != nil {
+					return robustnessTrial{}, err
+				}
+				sc.Sys = sys
+				cmp, err := sc.Compare(sc.Policies())
+				if err != nil {
+					return robustnessTrial{}, err
+				}
+				return robustnessTrial{Saving: cmp.SavingVsASAP, Norm: cmp.Row("FC-DPM").Normalized}, nil
+			},
+		}
+	}
+	rep, err := runner.Run(context.Background(), runner.Options{}, tasks)
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.FirstError(); err != nil {
+		return nil, err
+	}
 	savings := make([]float64, n)
 	norms := make([]float64, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			rng := numeric.NewRNG(seed + uint64(i)*7919)
-			perturb := func(v float64) float64 { return v * (1 + pct*(2*rng.Float64()-1)) }
-
-			sc, err := Experiment1Scenario(seed + uint64(i))
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			// Perturb the device model.
-			dev := *sc.Dev
-			dev.Isdb = perturb(dev.Isdb)
-			dev.Islp = perturb(dev.Islp)
-			if dev.Islp >= dev.Isdb {
-				dev.Islp = dev.Isdb * 0.6
-			}
-			dev.IPD = perturb(dev.IPD)
-			dev.IWU = perturb(dev.IWU)
-			dev.TauPD = perturb(dev.TauPD)
-			dev.TauWU = perturb(dev.TauWU)
-			sc.Dev = &dev
-			// Perturb the efficiency coefficients.
-			sys, err := fuelcell.NewSystem(12, 37.5, 0.1, 1.2, fuelcell.LinearEfficiency{
-				Alpha: perturb(0.45),
-				Beta:  perturb(0.13),
-			})
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			sc.Sys = sys
-			cmp, err := sc.Compare(sc.Policies())
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			savings[i] = cmp.SavingVsASAP
-			norms[i] = cmp.Row("FC-DPM").Normalized
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	for i, o := range rep.Outcomes {
+		savings[i] = o.Result.Saving
+		norms[i] = o.Result.Norm
 	}
 	r := &Robustness{Trials: n, Pct: pct, Saving: numeric.Summarize(savings), FCNorm: numeric.Summarize(norms)}
 	for _, s := range savings {

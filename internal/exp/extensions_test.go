@@ -399,7 +399,7 @@ func TestAdviseCamcorder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sc2.Store = storage.NewSuperCap(a.RecommendedCmax, a.RecommendedReserve)
+	sc2.Store = storage.MustSuperCap(a.RecommendedCmax, a.RecommendedReserve)
 	cmp, err := sc2.Compare(sc2.Policies())
 	if err != nil {
 		t.Fatal(err)

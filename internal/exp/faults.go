@@ -2,13 +2,16 @@ package exp
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"fcdpm/internal/device"
 	"fcdpm/internal/fault"
 	"fcdpm/internal/fuelcell"
 	"fcdpm/internal/policy"
 	"fcdpm/internal/predict"
+	"fcdpm/internal/runner"
 	"fcdpm/internal/sim"
 	"fcdpm/internal/workload"
 )
@@ -36,6 +39,11 @@ type FaultSweepResult struct {
 	Scenario string
 	Schedule map[string]*fault.Schedule
 	Rows     []FaultRow
+	// Resumed counts rows restored from the checkpoint journal instead of
+	// re-simulated; Interrupted counts cells the batch was stopped before
+	// finishing (the sweep is partial and resumable).
+	Resumed     int
+	Interrupted int
 }
 
 // ClassRows returns the rows of one fault class in policy order.
@@ -66,11 +74,39 @@ func canonicalFaults(duration float64) (map[string]*fault.Schedule, []string) {
 	return sched, order
 }
 
+// FaultSweepOptions tunes how the sweep's cells are orchestrated by the
+// run engine. The zero value runs with the engine defaults: GOMAXPROCS
+// workers, no deadline, no retries, no journal.
+type FaultSweepOptions struct {
+	// Workers bounds concurrent cells.
+	Workers int
+	// TimeoutSec is the per-cell deadline in seconds (0: none).
+	TimeoutSec float64
+	// Retries re-attempts transiently failed cells.
+	Retries int
+	// Journal checkpoints each completed cell to this JSONL file; an
+	// interrupted sweep re-invoked with the same journal skips completed
+	// cells.
+	Journal string
+}
+
 // FaultSweep runs the paper's three policies over the Experiment 2
-// synthetic workload under each canonical fault class, with the standard
-// degradation chain (FC-DPM -> ASAP -> Conv -> load-shed, truncated for
-// policies already further down), and reports fuel and survival per cell.
+// synthetic workload under each canonical fault class with default
+// orchestration. See FaultSweepOpts for resumable/tuned sweeps.
 func FaultSweep(ctx context.Context, seed uint64) (*FaultSweepResult, error) {
+	return FaultSweepOpts(ctx, seed, FaultSweepOptions{})
+}
+
+// FaultSweepOpts runs the fault sweep on the run-orchestration engine:
+// each (class, policy) cell is one task, grouped per fault class for
+// circuit breaking, with the standard degradation chain (FC-DPM -> ASAP
+// -> Conv -> load-shed, truncated for policies already further down).
+// Cell order in the result is deterministic regardless of worker count.
+// When the context is canceled mid-sweep the partial result is returned
+// along with runner.ErrInterrupted; with a journal configured, re-running
+// the same sweep completes the missing cells without re-simulating the
+// finished ones.
+func FaultSweepOpts(ctx context.Context, seed uint64, opts FaultSweepOptions) (*FaultSweepResult, error) {
 	cfg := workload.DefaultSyntheticConfig()
 	cfg.Seed = seed
 	trace, err := workload.Synthetic(cfg)
@@ -105,40 +141,84 @@ func FaultSweep(ctx context.Context, seed uint64) (*FaultSweepResult, error) {
 			fallbacks: func() []sim.Policy { return nil },
 		},
 	}
+	var tasks []runner.Task[FaultRow]
 	for _, class := range order {
 		for _, r := range runs {
-			p := r.mk()
-			res, err := sim.RunContext(ctx, sim.Config{
-				Sys:        sys,
-				Dev:        dev,
-				Store:      scenarioStore(),
-				Trace:      trace,
-				Policy:     p,
-				Fallbacks:  r.fallbacks(),
-				Faults:     schedules[class],
-				FaultSeed:  seed,
-				Supervisor: sim.SupervisorConfig{Mode: sim.SuperviseOn},
-				IdlePredictor:    predict.NewExpAverage(0.5, (cfg.IdleMin+cfg.IdleMax)/2),
-				ActivePredictor:  predict.NewExpAverage(0.5, (cfg.ActiveMin+cfg.ActiveMax)/2),
-				CurrentPredictor: predict.NewExpAverage(1, 1.2),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("exp: fault sweep %s / %s: %w", class, p.Name(), err)
-			}
-			loadCharge := res.LoadEnergy / sys.VF
-			out.Rows = append(out.Rows, FaultRow{
-				Class:       class,
-				Policy:      res.Policy,
-				Fuel:        res.Fuel,
-				AvgRate:     res.AvgFuelRate(),
-				Deficit:     res.Deficit,
-				Shed:        res.Shed,
-				Fallbacks:   res.Fallbacks,
-				FinalPolicy: res.FinalPolicy,
-				Events:      len(res.Events),
-				Survived:    res.Deficit <= 0.01*loadCharge,
+			class, r := class, r
+			name := r.mk().Name()
+			tasks = append(tasks, runner.Task[FaultRow]{
+				ID: runner.RunID("faults", fmt.Sprintf("seed=%d", seed),
+					"class="+class, "policy="+name),
+				Scenario: class,
+				Run: func(ctx context.Context) (FaultRow, error) {
+					p := r.mk()
+					res, err := sim.RunContext(ctx, sim.Config{
+						Sys:              sys,
+						Dev:              dev,
+						Store:            scenarioStore(),
+						Trace:            trace,
+						Policy:           p,
+						Fallbacks:        r.fallbacks(),
+						Faults:           schedules[class],
+						FaultSeed:        seed,
+						Supervisor:       sim.SupervisorConfig{Mode: sim.SuperviseOn},
+						IdlePredictor:    predict.NewExpAverage(0.5, (cfg.IdleMin+cfg.IdleMax)/2),
+						ActivePredictor:  predict.NewExpAverage(0.5, (cfg.ActiveMin+cfg.ActiveMax)/2),
+						CurrentPredictor: predict.NewExpAverage(1, 1.2),
+					})
+					if err != nil {
+						return FaultRow{}, fmt.Errorf("exp: fault sweep %s / %s: %w", class, p.Name(), err)
+					}
+					loadCharge := res.LoadEnergy / sys.VF
+					return FaultRow{
+						Class:       class,
+						Policy:      res.Policy,
+						Fuel:        res.Fuel,
+						AvgRate:     res.AvgFuelRate(),
+						Deficit:     res.Deficit,
+						Shed:        res.Shed,
+						Fallbacks:   res.Fallbacks,
+						FinalPolicy: res.FinalPolicy,
+						Events:      len(res.Events),
+						Survived:    res.Deficit <= 0.01*loadCharge,
+					}, nil
+				},
 			})
 		}
 	}
-	return out, nil
+	rep, runErr := runner.Run(ctx, runner.Options{
+		Workers: opts.Workers,
+		Timeout: secondsToDuration(opts.TimeoutSec),
+		Retries: opts.Retries,
+		Journal: opts.Journal,
+	}, tasks)
+	if rep == nil {
+		return nil, runErr
+	}
+	for _, o := range rep.Outcomes {
+		switch o.Status {
+		case runner.StatusDone:
+			out.Rows = append(out.Rows, o.Result)
+		case runner.StatusResumed:
+			out.Rows = append(out.Rows, o.Result)
+			out.Resumed++
+		case runner.StatusFailed:
+			return nil, o.Err
+		case runner.StatusInterrupted:
+			out.Interrupted++
+		}
+	}
+	if runErr != nil && !errors.Is(runErr, runner.ErrInterrupted) {
+		return nil, runErr
+	}
+	return out, runErr
+}
+
+// secondsToDuration converts a seconds count (the unit scenario specs and
+// CLI flags use) to a time.Duration.
+func secondsToDuration(s float64) time.Duration {
+	if s <= 0 {
+		return 0
+	}
+	return time.Duration(s * float64(time.Second))
 }

@@ -119,7 +119,7 @@ func TestGenerateValidates(t *testing.T) {
 }
 
 func TestFadeStore(t *testing.T) {
-	fs := NewFadeStore(storage.NewSuperCap(10, 8))
+	fs := NewFadeStore(storage.MustSuperCap(10, 8))
 	if fs.Capacity() != 10 || fs.Charge() != 8 {
 		t.Fatalf("nominal wrap wrong: cap %v charge %v", fs.Capacity(), fs.Charge())
 	}

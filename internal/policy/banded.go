@@ -26,13 +26,14 @@ type FCDPMBanded struct {
 }
 
 // NewFCDPMBanded returns FC-DPM with an actuation dead band of epsilon
-// amps. It panics on a negative epsilon (a construction error); epsilon 0
-// degenerates to plain FC-DPM.
-func NewFCDPMBanded(sys *fuelcell.System, dev *device.Model, epsilon float64) *FCDPMBanded {
+// amps. A negative epsilon — the band arrives from scenario files and
+// flags — yields a *ConfigError; epsilon 0 degenerates to plain FC-DPM.
+func NewFCDPMBanded(sys *fuelcell.System, dev *device.Model, epsilon float64) (*FCDPMBanded, error) {
 	if epsilon < 0 {
-		panic(fmt.Sprintf("policy: negative dead band %v", epsilon))
+		return nil, &ConfigError{Policy: "FC-DPM-band", Param: "epsilon",
+			Detail: fmt.Sprintf("dead band %v is negative", epsilon)}
 	}
-	return &FCDPMBanded{inner: NewFCDPM(sys, dev), Epsilon: epsilon}
+	return &FCDPMBanded{inner: NewFCDPM(sys, dev), Epsilon: epsilon}, nil
 }
 
 // Name implements sim.Policy.

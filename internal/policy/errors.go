@@ -1,0 +1,20 @@
+package policy
+
+import "fmt"
+
+// ConfigError reports an invalid policy construction parameter. It is the
+// typed, recoverable form of what used to be a constructor panic: the
+// offending parameters arrive from scenario files and CLI flags, so they
+// are user input, not programming errors, and must surface through the
+// normal error chain (config validation, CLI exit codes) instead of
+// crashing the process.
+type ConfigError struct {
+	Policy string // policy being constructed, e.g. "FC-DPM-q"
+	Param  string // offending parameter, e.g. "levels"
+	Detail string // what is wrong with it
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("policy: %s: invalid %s: %s", e.Policy, e.Param, e.Detail)
+}

@@ -1,0 +1,10 @@
+package policy
+
+// must unwraps constructor results whose parameters are fixed literals in
+// the tests and therefore cannot fail.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -22,7 +22,7 @@ func TestPolicyDeviceStorageMatrix(t *testing.T) {
 
 	devices := []*device.Model{device.Camcorder(), device.Synthetic(), device.HDD()}
 	storages := []func() storage.Storage{
-		func() storage.Storage { return storage.NewSuperCap(6, 1) },
+		func() storage.Storage { return storage.MustSuperCap(6, 1) },
 		func() storage.Storage {
 			b, err := storage.NewLiIon(6, 0.6, 0.05, 1)
 			if err != nil {
@@ -35,9 +35,9 @@ func TestPolicyDeviceStorageMatrix(t *testing.T) {
 		func() sim.Policy { return NewConv(sys) },
 		func() sim.Policy { return NewASAP(sys) },
 		func() sim.Policy { return NewFCDPM(sys, device.Camcorder()) },
-		func() sim.Policy { return NewFCDPMQuantized(sys, device.Camcorder(), fcopt.UniformLevels(sys, 6)) },
-		func() sim.Policy { return NewFCDPMBanded(sys, device.Camcorder(), 0.05) },
-		func() sim.Policy { return NewMPC(sys, device.Camcorder(), 2) },
+		func() sim.Policy { return must(NewFCDPMQuantized(sys, device.Camcorder(), fcopt.UniformLevels(sys, 6))) },
+		func() sim.Policy { return must(NewFCDPMBanded(sys, device.Camcorder(), 0.05)) },
+		func() sim.Policy { return must(NewMPC(sys, device.Camcorder(), 2)) },
 		func() sim.Policy { return NewFlat(sys, 0.5) },
 		func() sim.Policy { return NewBatteryAware(sys) },
 	}

@@ -31,13 +31,15 @@ type MPC struct {
 
 // NewMPC returns a receding-horizon FC-DPM with the given horizon (≥ 1
 // slots; 1 degenerates to per-slot planning through the DP) and storage
-// grid resolution (0 selects a fast 24-interval grid). It panics on a
-// non-positive horizon.
-func NewMPC(sys *fuelcell.System, dev *device.Model, horizon int) *MPC {
+// grid resolution (0 selects a fast 24-interval grid). A non-positive
+// horizon — it arrives from scenario files and flags — yields a
+// *ConfigError.
+func NewMPC(sys *fuelcell.System, dev *device.Model, horizon int) (*MPC, error) {
 	if horizon < 1 {
-		panic(fmt.Sprintf("policy: MPC horizon %d < 1", horizon))
+		return nil, &ConfigError{Policy: "FC-DPM-mpc", Param: "horizon",
+			Detail: fmt.Sprintf("%d < 1", horizon)}
 	}
-	return &MPC{inner: NewFCDPM(sys, dev), Horizon: horizon, GridN: 24}
+	return &MPC{inner: NewFCDPM(sys, dev), Horizon: horizon, GridN: 24}, nil
 }
 
 // Name implements sim.Policy.

@@ -27,21 +27,22 @@ type FCDPMQuantized struct {
 
 // NewFCDPMQuantized returns the quantized FC-DPM policy. The levels must
 // all lie within the system's load-following range; they are sorted
-// internally. It panics on an empty or out-of-range level set, which is a
-// construction error.
-func NewFCDPMQuantized(sys *fuelcell.System, dev *device.Model, levels []float64) *FCDPMQuantized {
+// internally. An empty or out-of-range level set — level grids arrive
+// from scenario files and flags — yields a *ConfigError.
+func NewFCDPMQuantized(sys *fuelcell.System, dev *device.Model, levels []float64) (*FCDPMQuantized, error) {
 	if len(levels) == 0 {
-		panic("policy: quantized FC-DPM needs at least one level")
+		return nil, &ConfigError{Policy: "FC-DPM-q", Param: "levels", Detail: "need at least one output level"}
 	}
 	lv := make([]float64, len(levels))
 	copy(lv, levels)
 	sort.Float64s(lv)
 	for _, l := range lv {
 		if !sys.InRange(l) {
-			panic(fmt.Sprintf("policy: level %v outside load-following range", l))
+			return nil, &ConfigError{Policy: "FC-DPM-q", Param: "levels",
+				Detail: fmt.Sprintf("level %v outside the load-following range", l)}
 		}
 	}
-	return &FCDPMQuantized{sys: sys, dev: dev, levels: lv}
+	return &FCDPMQuantized{sys: sys, dev: dev, levels: lv}, nil
 }
 
 // Name implements sim.Policy.

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -17,7 +18,7 @@ func runPolicy(t *testing.T, p sim.Policy, trace *workload.Trace) *sim.Result {
 	res, err := sim.Run(sim.Config{
 		Sys:    fuelcell.PaperSystem(),
 		Dev:    device.Camcorder(),
-		Store:  storage.NewSuperCap(6, 1),
+		Store:  storage.MustSuperCap(6, 1),
 		Trace:  trace,
 		Policy: p,
 	})
@@ -31,7 +32,7 @@ func TestQuantizedPolicyRuns(t *testing.T) {
 	sys := fuelcell.PaperSystem()
 	dev := device.Camcorder()
 	trace := workload.Periodic(30, 14, 3.03, device.CamcorderRunCurrent)
-	q := NewFCDPMQuantized(sys, dev, fcopt.UniformLevels(sys, 8))
+	q := must(NewFCDPMQuantized(sys, dev, fcopt.UniformLevels(sys, 8)))
 	res := runPolicy(t, q, trace)
 	if q.Err() != nil {
 		t.Fatalf("planning errors: %v", q.Err())
@@ -51,8 +52,8 @@ func TestQuantizedApproachesContinuous(t *testing.T) {
 	dev := device.Camcorder()
 	trace := workload.Periodic(40, 14, 3.03, device.CamcorderRunCurrent)
 	cont := runPolicy(t, NewFCDPM(sys, dev), trace)
-	coarse := runPolicy(t, NewFCDPMQuantized(sys, dev, fcopt.UniformLevels(sys, 3)), trace)
-	fine := runPolicy(t, NewFCDPMQuantized(sys, dev, fcopt.UniformLevels(sys, 64)), trace)
+	coarse := runPolicy(t, must(NewFCDPMQuantized(sys, dev, fcopt.UniformLevels(sys, 3))), trace)
+	fine := runPolicy(t, must(NewFCDPMQuantized(sys, dev, fcopt.UniformLevels(sys, 64))), trace)
 	// Finer grids close the gap to the continuous policy.
 	gapCoarse := coarse.Fuel - cont.Fuel
 	gapFine := fine.Fuel - cont.Fuel
@@ -72,7 +73,7 @@ func TestQuantizedApproachesContinuous(t *testing.T) {
 
 func TestQuantizedSnapUp(t *testing.T) {
 	sys := fuelcell.PaperSystem()
-	q := NewFCDPMQuantized(sys, device.Camcorder(), []float64{0.1, 0.5, 1.2})
+	q := must(NewFCDPMQuantized(sys, device.Camcorder(), []float64{0.1, 0.5, 1.2}))
 	cases := []struct{ in, want float64 }{
 		{0.05, 0.1}, {0.1, 0.1}, {0.3, 0.5}, {0.5, 0.5}, {0.9, 1.2}, {1.3, 1.2},
 	}
@@ -83,24 +84,25 @@ func TestQuantizedSnapUp(t *testing.T) {
 	}
 }
 
-func TestQuantizedConstructorPanics(t *testing.T) {
+func TestQuantizedConstructorErrors(t *testing.T) {
+	// Level grids are user input (scenario files, flags): bad ones must
+	// come back as typed ConfigErrors, not panics.
 	sys := fuelcell.PaperSystem()
-	t.Run("empty", func(t *testing.T) {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("empty level set accepted")
+	for name, levels := range map[string][]float64{
+		"empty":        nil,
+		"out of range": {2},
+	} {
+		t.Run(name, func(t *testing.T) {
+			_, err := NewFCDPMQuantized(sys, device.Camcorder(), levels)
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("err = %v, want *ConfigError", err)
 			}
-		}()
-		NewFCDPMQuantized(sys, device.Camcorder(), nil)
-	})
-	t.Run("out of range", func(t *testing.T) {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("out-of-range level accepted")
+			if ce.Param != "levels" {
+				t.Fatalf("ConfigError = %+v, want Param levels", ce)
 			}
-		}()
-		NewFCDPMQuantized(sys, device.Camcorder(), []float64{2})
-	})
+		})
+	}
 }
 
 func TestSchedulePolicyReplaysSettings(t *testing.T) {
@@ -191,7 +193,7 @@ func TestBandedReducesActuation(t *testing.T) {
 		t.Fatal(err)
 	}
 	plain := runPolicy(t, NewFCDPM(sys, dev), trace)
-	banded := runPolicy(t, NewFCDPMBanded(sys, dev, 0.05), trace)
+	banded := runPolicy(t, must(NewFCDPMBanded(sys, dev, 0.05)), trace)
 	if banded.SetpointChanges >= plain.SetpointChanges {
 		t.Fatalf("dead band did not reduce actuation: %d vs %d",
 			banded.SetpointChanges, plain.SetpointChanges)
@@ -210,26 +212,25 @@ func TestBandedZeroEpsilonMatchesPlain(t *testing.T) {
 	dev := device.Camcorder()
 	trace := workload.Periodic(20, 14, 3.03, device.CamcorderRunCurrent)
 	plain := runPolicy(t, NewFCDPM(sys, dev), trace)
-	banded := runPolicy(t, NewFCDPMBanded(sys, dev, 0), trace)
+	banded := runPolicy(t, must(NewFCDPMBanded(sys, dev, 0)), trace)
 	if math.Abs(plain.Fuel-banded.Fuel) > 1e-9 {
 		t.Fatalf("epsilon=0 band changed fuel: %v vs %v", banded.Fuel, plain.Fuel)
 	}
 }
 
-func TestBandedPanicsOnNegativeEpsilon(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("negative epsilon accepted")
-		}
-	}()
-	NewFCDPMBanded(fuelcell.PaperSystem(), device.Camcorder(), -1)
+func TestBandedRejectsNegativeEpsilon(t *testing.T) {
+	_, err := NewFCDPMBanded(fuelcell.PaperSystem(), device.Camcorder(), -1)
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *ConfigError", err)
+	}
 }
 
 func TestMPCPolicyBasics(t *testing.T) {
 	sys := fuelcell.PaperSystem()
 	dev := device.Camcorder()
 	trace := workload.Periodic(15, 14, 3.03, device.CamcorderRunCurrent)
-	m := NewMPC(sys, dev, 3)
+	m := must(NewMPC(sys, dev, 3))
 	if m.Name() != "FC-DPM-mpc3" {
 		t.Fatalf("name = %q", m.Name())
 	}
@@ -247,11 +248,10 @@ func TestMPCPolicyBasics(t *testing.T) {
 	}
 }
 
-func TestMPCPanicsOnBadHorizon(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("horizon 0 accepted")
-		}
-	}()
-	NewMPC(fuelcell.PaperSystem(), device.Camcorder(), 0)
+func TestMPCRejectsBadHorizon(t *testing.T) {
+	_, err := NewMPC(fuelcell.PaperSystem(), device.Camcorder(), 0)
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *ConfigError", err)
+	}
 }

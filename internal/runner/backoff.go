@@ -1,0 +1,45 @@
+package runner
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// Backoff defaults.
+const (
+	// DefaultBackoffBase is the delay before the first retry.
+	DefaultBackoffBase = 100 * time.Millisecond
+	// DefaultBackoffMax caps the exponential growth.
+	DefaultBackoffMax = 5 * time.Second
+)
+
+// backoffDelay returns the sleep before retry number `retry` (1-based) of
+// the identified task: base·2^(retry-1), capped at max, plus up to 50 %
+// deterministic jitter derived from the task ID and retry index. Hashed
+// jitter decorrelates sibling retries without any global randomness, so
+// a re-run of the same batch backs off identically — determinism is a
+// repo-wide invariant.
+func backoffDelay(base, max time.Duration, id string, retry int) time.Duration {
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	d := base
+	for i := 1; i < retry && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d + time.Duration(float64(d)*0.5*jitterFraction(id, retry))
+}
+
+// jitterFraction hashes (id, retry) into [0, 1).
+func jitterFraction(id string, retry int) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte{byte(retry), byte(retry >> 8), byte(retry >> 16), byte(retry >> 24)})
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}

@@ -1,0 +1,57 @@
+package runner
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	base, max := 100*time.Millisecond, 2*time.Second
+	prev := time.Duration(0)
+	for retry := 1; retry <= 10; retry++ {
+		d := backoffDelay(base, max, "task", retry)
+		raw := base << (retry - 1)
+		if raw > max {
+			raw = max
+		}
+		// Delay is raw plus up to 50% jitter, never less than raw.
+		if d < raw || d > raw+raw/2 {
+			t.Errorf("retry %d: delay %v outside [%v, %v]", retry, d, raw, raw+raw/2)
+		}
+		if retry <= 3 && d <= prev {
+			t.Errorf("retry %d: delay %v not growing past %v", retry, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestBackoffDeterministic(t *testing.T) {
+	// Same (id, retry) must always produce the same delay — batch re-runs
+	// back off identically (repo-wide determinism invariant) — while
+	// different IDs decorrelate.
+	a1 := backoffDelay(0, 0, "sweep/a", 2)
+	a2 := backoffDelay(0, 0, "sweep/a", 2)
+	b := backoffDelay(0, 0, "sweep/b", 2)
+	if a1 != a2 {
+		t.Errorf("same inputs gave %v then %v", a1, a2)
+	}
+	if a1 == b {
+		t.Errorf("distinct IDs gave identical jitter %v (hash collision?)", a1)
+	}
+}
+
+func TestJitterFractionRange(t *testing.T) {
+	for retry := 1; retry <= 100; retry++ {
+		f := jitterFraction("some/task", retry)
+		if f < 0 || f >= 1 {
+			t.Fatalf("jitterFraction(retry=%d) = %v, want [0,1)", retry, f)
+		}
+	}
+}
+
+func TestBackoffZeroValuesUseDefaults(t *testing.T) {
+	d := backoffDelay(0, 0, "x", 1)
+	if d < DefaultBackoffBase || d > DefaultBackoffBase+DefaultBackoffBase/2 {
+		t.Errorf("zero-value delay %v outside default base envelope", d)
+	}
+}

@@ -1,0 +1,468 @@
+// Package runner is the resilient run-orchestration engine behind every
+// batch entry point (fault sweeps, ablations, scenario batches, figure
+// generation): a bounded worker pool with per-run deadlines, panic
+// isolation, retry with exponential backoff, per-scenario circuit
+// breakers, bounded admission with explicit load shedding, graceful
+// drain on cancellation, and a crash-safe checkpoint journal keyed by
+// deterministic run IDs so an interrupted sweep resumes instead of
+// restarting.
+//
+// The simulator (internal/sim) makes a *single* run survive injected
+// faults; this package applies the same rigor one layer up, around the
+// fleet of runs: one panicking or hanging run never takes down its
+// siblings, a systematically broken scenario stops consuming workers,
+// and a SIGTERM mid-batch loses no completed work.
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Options tunes the engine. The zero value is a sensible default:
+// GOMAXPROCS workers, no per-run deadline, no retries, blocking
+// admission, breakers at 3 consecutive failures, no journal.
+type Options struct {
+	// Workers bounds concurrent runs (default: GOMAXPROCS).
+	Workers int
+	// Timeout is the per-attempt deadline; 0 means none. An attempt that
+	// exceeds it fails with a retryable deadline error — the run function
+	// must honor its context for the worker to come back.
+	Timeout time.Duration
+	// Retries is how many times a failed attempt is re-run, applied only
+	// to retryable failures (MarkRetryable, Retryable() bool, attempt
+	// deadlines). 0 means fail fast.
+	Retries int
+	// BackoffBase and BackoffMax shape the exponential retry backoff
+	// (defaults 100 ms and 5 s); jitter is deterministic per task ID.
+	BackoffBase, BackoffMax time.Duration
+	// Queue bounds the admission queue (default: 2×Workers).
+	Queue int
+	// ShedOverflow makes Submit reject (ErrShed) instead of block when
+	// the queue is full — explicit load shedding for callers that would
+	// rather drop work than build unbounded backlog.
+	ShedOverflow bool
+	// BreakerThreshold opens a scenario's circuit breaker after that many
+	// consecutive task failures (default 3); negative disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is the open interval before a half-open probe is
+	// admitted (default 30 s).
+	BreakerCooldown time.Duration
+	// Journal, when non-empty, checkpoints every completed run to this
+	// JSONL file and skips already-journaled IDs on submit — crash-safe
+	// resume for interrupted sweeps.
+	Journal string
+	// Clock substitutes a fake time source in tests.
+	Clock Clock
+}
+
+// withDefaults resolves the zero-value fields.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Queue <= 0 {
+		o.Queue = 2 * o.Workers
+	}
+	if o.Clock == nil {
+		o.Clock = realClock{}
+	}
+	return o
+}
+
+// Task is one unit of work. ID must be unique within the batch and
+// deterministic across invocations (see RunID) — it is the journal key.
+// Scenario groups tasks for circuit breaking: repeated failures within a
+// scenario stop that scenario's remaining tasks, never its siblings'.
+type Task[R any] struct {
+	ID       string
+	Scenario string
+	Run      func(ctx context.Context) (R, error)
+}
+
+// Status classifies how a task resolved.
+type Status string
+
+// Task resolutions.
+const (
+	// StatusDone: ran to completion this invocation.
+	StatusDone Status = "done"
+	// StatusResumed: skipped, result restored from the journal.
+	StatusResumed Status = "resumed"
+	// StatusFailed: all attempts failed; Err holds a *RunError.
+	StatusFailed Status = "failed"
+	// StatusShed: rejected at admission (queue full, ShedOverflow).
+	StatusShed Status = "shed"
+	// StatusBreakerOpen: rejected because the scenario's breaker was open.
+	StatusBreakerOpen Status = "breaker-open"
+	// StatusInterrupted: the batch context was canceled before or during
+	// the run; with a journal, re-invoking resumes it.
+	StatusInterrupted Status = "interrupted"
+)
+
+// Outcome is one task's resolution, in submission order in the report.
+type Outcome[R any] struct {
+	ID       string
+	Scenario string
+	Status   Status
+	Result   R
+	Err      error
+	// Attempts counts executions this invocation (0 for resumed/shed/
+	// breaker-open/never-started tasks).
+	Attempts int
+}
+
+// Report aggregates a batch.
+type Report[R any] struct {
+	Outcomes []Outcome[R]
+	// Counters by resolution.
+	Done, Resumed, Failed, Shed, BreakerSkipped, Interrupted int
+}
+
+// Resumable reports whether re-invoking the batch would make progress:
+// something was interrupted or skipped by an open breaker.
+func (r *Report[R]) Resumable() bool { return r.Interrupted > 0 }
+
+// FirstError returns the first failed outcome's error, or nil.
+func (r *Report[R]) FirstError() error {
+	for i := range r.Outcomes {
+		if r.Outcomes[i].Status == StatusFailed {
+			return r.Outcomes[i].Err
+		}
+	}
+	return nil
+}
+
+// Pool is the streaming face of the engine: Submit tasks, then Drain for
+// the report. For a known task set, use Run.
+type Pool[R any] struct {
+	ctx   context.Context
+	opts  Options
+	queue chan poolItem[R]
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	outcomes []Outcome[R]
+	breakers map[string]*breaker
+	closed   bool
+
+	jmu     sync.Mutex
+	journal *journal
+	jerr    error
+}
+
+// poolItem pairs a task with its outcome slot.
+type poolItem[R any] struct {
+	index int
+	task  Task[R]
+}
+
+// NewPool starts the workers. The context governs the whole batch:
+// cancel it and in-flight runs are asked to stop (their ctx), queued
+// tasks resolve as interrupted, and Drain returns ErrInterrupted.
+func NewPool[R any](ctx context.Context, opts Options) (*Pool[R], error) {
+	opts = opts.withDefaults()
+	p := &Pool[R]{
+		ctx:      ctx,
+		opts:     opts,
+		queue:    make(chan poolItem[R], opts.Queue),
+		breakers: make(map[string]*breaker),
+	}
+	if opts.Journal != "" {
+		j, err := openJournal(opts.Journal)
+		if err != nil {
+			return nil, err
+		}
+		p.journal = j
+	}
+	for i := 0; i < opts.Workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for it := range p.queue {
+				p.execute(it)
+			}
+		}()
+	}
+	return p, nil
+}
+
+// reserve appends a pending outcome slot and returns its index.
+func (p *Pool[R]) reserve(t Task[R]) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.outcomes = append(p.outcomes, Outcome[R]{ID: t.ID, Scenario: t.Scenario})
+	return len(p.outcomes) - 1
+}
+
+// resolve fills a reserved outcome slot.
+func (p *Pool[R]) resolve(index int, status Status, result R, err error, attempts int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	o := &p.outcomes[index]
+	o.Status, o.Result, o.Err, o.Attempts = status, result, err, attempts
+}
+
+// Submit admits one task. Every submitted task gets exactly one outcome
+// in the final report, whatever happens: journal hits resolve
+// immediately as resumed, a full queue under ShedOverflow resolves as
+// shed (and returns ErrShed), cancellation resolves as interrupted (and
+// returns the context error).
+func (p *Pool[R]) Submit(t Task[R]) error {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if t.Run == nil {
+		return fmt.Errorf("runner: task %s has no run function", t.ID)
+	}
+	index := p.reserve(t)
+	var zero R
+	if p.journal != nil {
+		p.jmu.Lock()
+		rec, ok := p.journal.lookup(t.ID)
+		p.jmu.Unlock()
+		if ok {
+			var res R
+			if err := json.Unmarshal(rec.Result, &res); err == nil {
+				p.resolve(index, StatusResumed, res, nil, 0)
+				return nil
+			}
+			// Undecodable checkpoint (schema drift): fall through and
+			// re-run rather than resurrect a stale shape.
+		}
+	}
+	it := poolItem[R]{index: index, task: t}
+	if p.opts.ShedOverflow {
+		select {
+		case p.queue <- it:
+			return nil
+		case <-p.ctx.Done():
+			p.resolve(index, StatusInterrupted, zero, p.ctx.Err(), 0)
+			return p.ctx.Err()
+		default:
+			p.resolve(index, StatusShed, zero, ErrShed, 0)
+			return ErrShed
+		}
+	}
+	select {
+	case p.queue <- it:
+		return nil
+	case <-p.ctx.Done():
+		p.resolve(index, StatusInterrupted, zero, p.ctx.Err(), 0)
+		return p.ctx.Err()
+	}
+}
+
+// Drain closes admission, waits for in-flight work, and returns the
+// report. The error is ErrInterrupted when the batch was cut short (the
+// report still describes every submitted task), or a journal I/O error
+// if checkpointing failed.
+func (p *Pool[R]) Drain() (*Report[R], error) {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+
+	rep := &Report[R]{}
+	p.mu.Lock()
+	rep.Outcomes = append(rep.Outcomes, p.outcomes...)
+	p.mu.Unlock()
+	for i := range rep.Outcomes {
+		switch rep.Outcomes[i].Status {
+		case StatusDone:
+			rep.Done++
+		case StatusResumed:
+			rep.Resumed++
+		case StatusFailed:
+			rep.Failed++
+		case StatusShed:
+			rep.Shed++
+		case StatusBreakerOpen:
+			rep.BreakerSkipped++
+		case StatusInterrupted:
+			rep.Interrupted++
+		}
+	}
+	p.jmu.Lock()
+	jerr := p.jerr
+	p.jmu.Unlock()
+	if jerr != nil {
+		return rep, jerr
+	}
+	if rep.Interrupted > 0 {
+		return rep, ErrInterrupted
+	}
+	return rep, nil
+}
+
+// breakerFor returns (possibly creating) the scenario's breaker, or nil
+// when breaking is disabled or the task carries no scenario.
+func (p *Pool[R]) breakerFor(scenario string) *breaker {
+	if p.opts.BreakerThreshold < 0 || scenario == "" {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, ok := p.breakers[scenario]
+	if !ok {
+		b = newBreaker(p.opts.BreakerThreshold, p.opts.BreakerCooldown, p.opts.Clock)
+		p.breakers[scenario] = b
+	}
+	return b
+}
+
+// execute runs one task through admission control, the attempt loop, and
+// checkpointing.
+func (p *Pool[R]) execute(it poolItem[R]) {
+	t := it.task
+	var zero R
+	if err := p.ctx.Err(); err != nil {
+		p.resolve(it.index, StatusInterrupted, zero, err, 0)
+		return
+	}
+	brk := p.breakerFor(t.Scenario)
+	if brk != nil && !brk.admit() {
+		p.resolve(it.index, StatusBreakerOpen, zero,
+			fmt.Errorf("runner: scenario %s: %w", t.Scenario, ErrBreakerOpen), 0)
+		return
+	}
+
+	var lastErr error
+	attempts := 0
+	for attempt := 1; attempt <= 1+p.opts.Retries; attempt++ {
+		attempts = attempt
+		res, err := p.attempt(t)
+		if err == nil {
+			if brk != nil {
+				brk.success()
+			}
+			p.checkpoint(t, res, attempts)
+			p.resolve(it.index, StatusDone, res, nil, attempts)
+			return
+		}
+		lastErr = err
+		if p.ctx.Err() != nil {
+			// Parent cancellation, not a task fault: don't trip the
+			// breaker, don't retry — report interrupted so the batch is
+			// resumable.
+			p.resolve(it.index, StatusInterrupted, zero,
+				fmt.Errorf("runner: task %s interrupted: %w", t.ID, err), attempts)
+			return
+		}
+		if attempt <= p.opts.Retries && Retryable(err) {
+			delay := backoffDelay(p.opts.BackoffBase, p.opts.BackoffMax, t.ID, attempt)
+			if p.opts.Clock.Sleep(p.ctx, delay) != nil {
+				p.resolve(it.index, StatusInterrupted, zero,
+					fmt.Errorf("runner: task %s interrupted during backoff: %w", t.ID, lastErr), attempts)
+				return
+			}
+			continue
+		}
+		break
+	}
+	if brk != nil {
+		brk.failure()
+	}
+	runErr := &RunError{ID: t.ID, Scenario: t.Scenario, Attempts: attempts, Err: lastErr}
+	var pc *panicCapture
+	if errors.As(lastErr, &pc) {
+		runErr.PanicValue, runErr.Stack = pc.value, pc.stack
+	}
+	p.resolve(it.index, StatusFailed, zero, runErr, attempts)
+}
+
+// attempt executes the run function once under the per-attempt deadline,
+// converting panics and deadline expiries into typed errors.
+func (p *Pool[R]) attempt(t Task[R]) (R, error) {
+	ctx := p.ctx
+	var cancel context.CancelFunc
+	if p.opts.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, p.opts.Timeout)
+		defer cancel()
+	}
+	res, err := protect(ctx, t.Run)
+	if err != nil && p.opts.Timeout > 0 &&
+		p.ctx.Err() == nil && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		err = &attemptTimeoutError{id: t.ID, timeout: p.opts.Timeout.Seconds(), err: err}
+	}
+	return res, err
+}
+
+// panicCapture carries a recovered panic and its stack out of protect.
+type panicCapture struct {
+	value any
+	stack string
+}
+
+func (p *panicCapture) Error() string { return fmt.Sprintf("panic: %v", p.value) }
+
+// protect invokes fn, converting a panic into a *panicCapture error so
+// one exploding run cannot take down its worker or siblings.
+func protect[R any](ctx context.Context, fn func(context.Context) (R, error)) (res R, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicCapture{value: r, stack: string(debug.Stack())}
+		}
+	}()
+	return fn(ctx)
+}
+
+// checkpoint journals a completed run; I/O errors are remembered and
+// surfaced by Drain (the in-memory result is still good).
+func (p *Pool[R]) checkpoint(t Task[R], res R, attempts int) {
+	if p.journal == nil {
+		return
+	}
+	raw, err := json.Marshal(res)
+	if err == nil {
+		p.jmu.Lock()
+		defer p.jmu.Unlock()
+		err = p.journal.append(journalRecord{ID: t.ID, Scenario: t.Scenario, Attempts: attempts, Result: raw})
+		if err == nil {
+			return
+		}
+		if p.jerr == nil {
+			p.jerr = err
+		}
+		return
+	}
+	p.jmu.Lock()
+	defer p.jmu.Unlock()
+	if p.jerr == nil {
+		p.jerr = fmt.Errorf("runner: journal marshal %s: %w", t.ID, err)
+	}
+}
+
+// Run executes a fixed task set through a fresh pool and reports every
+// task in submission order. Shed and interrupted tasks still appear in
+// the report; the error mirrors Drain's.
+func Run[R any](ctx context.Context, opts Options, tasks []Task[R]) (*Report[R], error) {
+	p, err := NewPool[R](ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range tasks {
+		// Submit records the outcome (shed / interrupted) itself; keep
+		// going so every task is accounted for in the report.
+		switch err := p.Submit(t); {
+		case err == nil, errors.Is(err, ErrShed):
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		default:
+			p.Drain()
+			return nil, err
+		}
+	}
+	return p.Drain()
+}

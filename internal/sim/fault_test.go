@@ -37,7 +37,7 @@ func faultConfig(sched *fault.Schedule) sim.Config {
 	return sim.Config{
 		Sys:    sys,
 		Dev:    dev,
-		Store:  storage.NewSuperCap(6, 3),
+		Store:  storage.MustSuperCap(6, 3),
 		Trace:  faultTrace(60),
 		Policy: policy.NewFCDPM(sys, dev),
 		Fallbacks: []sim.Policy{
@@ -163,7 +163,7 @@ func TestNominalFaultPathMatchesPlain(t *testing.T) {
 func TestChargeBalanceInvariantAlwaysOn(t *testing.T) {
 	cfg := faultConfig(nil)
 	cfg.Fallbacks = nil
-	cfg.Store = brokenStore{SuperCap: storage.NewSuperCap(6, 3)}
+	cfg.Store = brokenStore{SuperCap: storage.MustSuperCap(6, 3)}
 	_, err := sim.Run(cfg)
 	var inv *sim.InvariantError
 	if !errors.As(err, &inv) {

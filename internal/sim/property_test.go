@@ -41,7 +41,7 @@ func TestEnergyBalanceProperty(t *testing.T) {
 		cfg := Config{
 			Sys:    sys,
 			Dev:    device.Camcorder(),
-			Store:  storage.NewSuperCap(6, q0),
+			Store:  storage.MustSuperCap(6, q0),
 			Trace:  tr,
 			Policy: pol,
 			DPM:    DPMMode(rng.Intn(5)),
@@ -97,7 +97,7 @@ func TestChargeBoundsProperty(t *testing.T) {
 		cfg := Config{
 			Sys:           sys,
 			Dev:           device.Synthetic(),
-			Store:         storage.NewSuperCap(4, rng.Uniform(0, 4)),
+			Store:         storage.MustSuperCap(4, rng.Uniform(0, 4)),
 			Trace:         tr,
 			Policy:        &maxPolicy{sys},
 			RecordProfile: true,

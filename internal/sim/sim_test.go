@@ -271,7 +271,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestStorageNotMutated(t *testing.T) {
-	store := storage.NewSuperCap(6, 3)
+	store := storage.MustSuperCap(6, 3)
 	cfg := baseConfig(&maxPolicy{fuelcell.PaperSystem()})
 	cfg.Store = store
 	if _, err := Run(cfg); err != nil {

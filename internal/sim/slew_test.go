@@ -100,7 +100,7 @@ func (p *flatPolicy) SegmentPlan(seg Segment, charge float64) []Piece {
 }
 
 // smallStore returns a 1 A-s supercap starting at 0.5.
-func smallStore() storage.Storage { return storage.NewSuperCap(1, 0.5) }
+func smallStore() storage.Storage { return storage.MustSuperCap(1, 0.5) }
 
 func TestSlewRampProfileIsMonotone(t *testing.T) {
 	cfg := baseConfig(&followPolicy{fuelcell.PaperSystem()})

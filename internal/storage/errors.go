@@ -1,0 +1,21 @@
+package storage
+
+import "fmt"
+
+// ConfigError reports an invalid storage construction parameter — the
+// typed, recoverable form of what used to be a constructor panic.
+// Capacities and initial charges arrive from scenario files and CLI
+// flags, so they are user input and must surface through config
+// validation and the CLI error chain rather than crash the process.
+// (Panics remain for true programming errors, e.g. integrating over a
+// negative duration.)
+type ConfigError struct {
+	Kind   string // storage model, e.g. "supercap", "liion"
+	Param  string // offending parameter, e.g. "capacity"
+	Detail string // what is wrong with it
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("storage: %s: invalid %s: %s", e.Kind, e.Param, e.Detail)
+}

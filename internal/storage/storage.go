@@ -58,21 +58,32 @@ type SuperCap struct {
 }
 
 // NewSuperCap returns a supercapacitor with capacity cmax amp-seconds,
-// initially holding q0. It panics on a non-positive capacity, which is a
-// construction error.
-func NewSuperCap(cmax, q0 float64) *SuperCap {
+// initially holding q0. A non-positive capacity — capacities arrive from
+// scenario files and CLI flags — yields a *ConfigError.
+func NewSuperCap(cmax, q0 float64) (*SuperCap, error) {
 	if cmax <= 0 {
-		panic(fmt.Sprintf("storage: non-positive capacity %v", cmax))
+		return nil, &ConfigError{Kind: "supercap", Param: "capacity",
+			Detail: fmt.Sprintf("%v is not positive", cmax)}
 	}
 	s := &SuperCap{cmax: cmax}
 	s.SetCharge(q0)
+	return s, nil
+}
+
+// MustSuperCap is NewSuperCap for compile-time-fixed parameters; it panics
+// on the error a literal capacity cannot produce.
+func MustSuperCap(cmax, q0 float64) *SuperCap {
+	s, err := NewSuperCap(cmax, q0)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
 
 // PaperSuperCap returns the experiment's 1 F supercapacitor: "equivalent to
 // 100 mA-min capacity when voltage is 12 V" = 6 A-s. It starts full, as a
 // freshly charged buffer would.
-func PaperSuperCap() *SuperCap { return NewSuperCap(6, 6) }
+func PaperSuperCap() *SuperCap { return MustSuperCap(6, 6) }
 
 // Capacity implements Storage.
 func (s *SuperCap) Capacity() float64 { return s.cmax }

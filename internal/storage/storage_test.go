@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -17,7 +18,7 @@ func TestPaperSuperCap(t *testing.T) {
 }
 
 func TestSuperCapChargeDischarge(t *testing.T) {
-	s := NewSuperCap(10, 5)
+	s := MustSuperCap(10, 5)
 	f := s.Apply(0.5, 4) // +2 A-s
 	if f.Stored != 2 || f.Bled != 0 || f.Deficit != 0 {
 		t.Fatalf("charge flow = %+v", f)
@@ -35,7 +36,7 @@ func TestSuperCapChargeDischarge(t *testing.T) {
 }
 
 func TestSuperCapOverflowBleeds(t *testing.T) {
-	s := NewSuperCap(10, 9)
+	s := MustSuperCap(10, 9)
 	f := s.Apply(1, 5) // +5 into 1 A-s of room
 	if f.Stored != 1 || f.Bled != 4 {
 		t.Fatalf("flow = %+v, want Stored=1 Bled=4", f)
@@ -46,7 +47,7 @@ func TestSuperCapOverflowBleeds(t *testing.T) {
 }
 
 func TestSuperCapUnderflowDeficit(t *testing.T) {
-	s := NewSuperCap(10, 2)
+	s := MustSuperCap(10, 2)
 	f := s.Apply(-1, 5) // -5 from 2 A-s
 	if f.Stored != -2 || f.Deficit != 3 {
 		t.Fatalf("flow = %+v, want Stored=-2 Deficit=3", f)
@@ -57,7 +58,7 @@ func TestSuperCapUnderflowDeficit(t *testing.T) {
 }
 
 func TestSuperCapZeroCurrent(t *testing.T) {
-	s := NewSuperCap(10, 5)
+	s := MustSuperCap(10, 5)
 	f := s.Apply(0, 100)
 	if f != (Flow{}) || s.Charge() != 5 {
 		t.Fatalf("idle should be a no-op: %+v, q=%v", f, s.Charge())
@@ -65,7 +66,7 @@ func TestSuperCapZeroCurrent(t *testing.T) {
 }
 
 func TestSuperCapSetChargeClamps(t *testing.T) {
-	s := NewSuperCap(10, 0)
+	s := MustSuperCap(10, 0)
 	s.SetCharge(-5)
 	if s.Charge() != 0 {
 		t.Errorf("negative SetCharge gave %v", s.Charge())
@@ -76,27 +77,41 @@ func TestSuperCapSetChargeClamps(t *testing.T) {
 	}
 }
 
-func TestSuperCapPanics(t *testing.T) {
-	t.Run("capacity", func(t *testing.T) {
+func TestSuperCapBadConfig(t *testing.T) {
+	// A non-positive capacity is user input (scenario files, flags): it
+	// must come back as a typed ConfigError, not a panic.
+	for _, cmax := range []float64{0, -3} {
+		_, err := NewSuperCap(cmax, 0)
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Fatalf("NewSuperCap(%v, 0) err = %v, want *ConfigError", cmax, err)
+		}
+		if ce.Kind != "supercap" || ce.Param != "capacity" {
+			t.Fatalf("ConfigError = %+v", ce)
+		}
+	}
+	t.Run("must panics", func(t *testing.T) {
 		defer func() {
 			if recover() == nil {
-				t.Fatal("non-positive capacity accepted")
+				t.Fatal("MustSuperCap accepted a non-positive capacity")
 			}
 		}()
-		NewSuperCap(0, 0)
+		MustSuperCap(0, 0)
 	})
-	t.Run("duration", func(t *testing.T) {
+	t.Run("negative duration still panics", func(t *testing.T) {
+		// Integrating over a negative dt is a programming error, not
+		// configuration; the panic stays.
 		defer func() {
 			if recover() == nil {
 				t.Fatal("negative duration accepted")
 			}
 		}()
-		NewSuperCap(1, 0).Apply(1, -1)
+		MustSuperCap(1, 0).Apply(1, -1)
 	})
 }
 
 func TestSuperCapClone(t *testing.T) {
-	s := NewSuperCap(10, 5)
+	s := MustSuperCap(10, 5)
 	c := s.Clone()
 	c.Apply(1, 3)
 	if s.Charge() != 5 {
@@ -108,7 +123,7 @@ func TestSuperCapClone(t *testing.T) {
 }
 
 func TestTimeToFullEmpty(t *testing.T) {
-	s := NewSuperCap(10, 4)
+	s := MustSuperCap(10, 4)
 	if got := TimeToFull(s, 2); got != 3 {
 		t.Errorf("TimeToFull = %v, want 3", got)
 	}
@@ -134,7 +149,7 @@ func TestSuperCapConservation(t *testing.T) {
 		q0 := math.Abs(math.Mod(q0raw, 10))
 		i := math.Mod(iraw, 5)
 		dt := math.Abs(math.Mod(dtraw, 100))
-		s := NewSuperCap(10, q0)
+		s := MustSuperCap(10, q0)
 		before := s.Charge()
 		fl := s.Apply(i, dt)
 		after := s.Charge()

@@ -63,7 +63,7 @@ func FuzzFaultedRun(f *testing.F) {
 		res, err := sim.Run(sim.Config{
 			Sys:    sys,
 			Dev:    dev,
-			Store:  storage.NewSuperCap(6, 3),
+			Store:  storage.MustSuperCap(6, 3),
 			Trace:  trace,
 			Policy: policy.NewFCDPM(sys, dev),
 			Fallbacks: []sim.Policy{

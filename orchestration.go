@@ -1,0 +1,56 @@
+package fcdpm
+
+import (
+	"context"
+
+	"fcdpm/internal/exp"
+	"fcdpm/internal/runner"
+)
+
+// This file exposes the resilient run-orchestration engine behind the
+// library's batch entry points: bounded workers, per-run deadlines,
+// retry with backoff, per-scenario circuit breakers, and a crash-safe
+// checkpoint journal that makes interrupted sweeps resumable.
+
+// ErrSweepInterrupted is returned (wrapped) by batch entry points when
+// the context was canceled mid-sweep: the partial result is still
+// returned, and re-running with the same journal completes the missing
+// cells without re-simulating the finished ones. Test with errors.Is.
+var ErrSweepInterrupted = runner.ErrInterrupted
+
+// RunError wraps a task failure from the orchestration engine with its
+// run ID, attempt count, and — when the task panicked — the recovered
+// value and goroutine stack. Format with %+v to see the stack.
+type RunError = runner.RunError
+
+// MarkRetryable wraps err so the orchestration engine's retry policy
+// treats it as transient. Unwrapped errors fail fast.
+func MarkRetryable(err error) error { return runner.MarkRetryable(err) }
+
+// FaultSweepOptions tunes how a fault sweep's cells are orchestrated:
+// worker count, per-cell deadline, retries, and the checkpoint journal
+// path. The zero value uses engine defaults (GOMAXPROCS workers, no
+// deadline, no retries, no journal).
+type FaultSweepOptions = exp.FaultSweepOptions
+
+// FaultSweepResult is the per-policy fuel/survival matrix over the
+// canonical fault classes, plus resume accounting.
+type FaultSweepResult = exp.FaultSweepResult
+
+// FaultRow is one (fault class, policy) cell of a fault sweep.
+type FaultRow = exp.FaultRow
+
+// FaultSweep runs the paper's three policies over the Experiment 2
+// synthetic workload under each canonical fault class with default
+// orchestration.
+func FaultSweep(ctx context.Context, seed uint64) (*FaultSweepResult, error) {
+	return exp.FaultSweep(ctx, seed)
+}
+
+// FaultSweepOpts is FaultSweep with explicit orchestration options.
+// When ctx is canceled mid-sweep it returns the partial result along
+// with ErrSweepInterrupted; re-running with the same options.Journal
+// resumes where it stopped.
+func FaultSweepOpts(ctx context.Context, seed uint64, opts FaultSweepOptions) (*FaultSweepResult, error) {
+	return exp.FaultSweepOpts(ctx, seed, opts)
+}
