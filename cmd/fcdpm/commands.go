@@ -750,10 +750,7 @@ type batchRow struct {
 
 func cmdBatch(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
-	workers := fs.Int("workers", 0, "concurrent scenarios (0: GOMAXPROCS)")
-	timeout := fs.Float64("timeout", 0, "per-scenario wall-clock deadline in seconds (0: none)")
-	retries := fs.Int("retries", 0, "retries per transiently failed scenario")
-	journal := fs.String("journal", "", "JSONL checkpoint file; a re-run with the same journal skips finished scenarios")
+	pf := addPoolFlags(fs, "scenario").addJournal(fs, "scenario")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -761,72 +758,42 @@ func cmdBatch(ctx context.Context, args []string) error {
 	if len(paths) == 0 {
 		return usagef("usage: fcdpm batch [-workers N] [-timeout S] [-retries N] [-journal FILE] <scenario.json>...")
 	}
-	// Load every scenario up front: malformed files are usage problems,
-	// not run failures, and the first runner block found supplies pool
-	// defaults that explicit flags then override.
-	type loaded struct {
-		name string
-		scen *config.Scenario
+	// Load and validate every scenario up front: malformed files are
+	// caller problems, not run failures, and the first runner block found
+	// supplies pool defaults that explicit flags then override.
+	scens, spec, err := config.LoadFiles(paths)
+	if err != nil {
+		return err
 	}
-	scens := make([]loaded, len(paths))
-	var spec config.RunnerSpec
-	for i, path := range paths {
-		scen, err := config.LoadFile(path)
-		if err != nil {
-			return err
-		}
+	pf.overlay(fs, spec)
+	tasks := make([]runner.Task[batchRow], 0, len(paths))
+	for i := range scens {
+		scen := scens[i]
+		path := paths[i]
 		name := scen.Name
 		if name == "" {
 			name = path
 		}
-		scens[i] = loaded{name: name, scen: scen}
-		if spec == (config.RunnerSpec{}) {
-			spec = scen.Runner
-		}
-	}
-	setFlags := map[string]bool{}
-	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
-	if !setFlags["workers"] && spec.Workers != 0 {
-		*workers = spec.Workers
-	}
-	if !setFlags["timeout"] && spec.TimeoutSec != 0 {
-		*timeout = spec.TimeoutSec
-	}
-	if !setFlags["retries"] && spec.Retries != 0 {
-		*retries = spec.Retries
-	}
-	if !setFlags["journal"] && spec.Journal != "" {
-		*journal = spec.Journal
-	}
-	tasks := make([]runner.Task[batchRow], 0, len(paths))
-	for i := range scens {
-		s := scens[i]
-		path := paths[i]
 		tasks = append(tasks, runner.Task[batchRow]{
 			ID:       runner.RunID("batch", "scenario="+path),
 			Scenario: path,
 			Run: func(ctx context.Context) (batchRow, error) {
-				cfg, err := s.scen.Build()
+				cfg, err := scen.Build()
 				if err != nil {
-					return batchRow{}, fmt.Errorf("scenario %s: %w", s.name, err)
+					return batchRow{}, fmt.Errorf("scenario %s: %w", name, err)
 				}
 				res, err := sim.RunContext(ctx, cfg)
 				if err != nil {
-					return batchRow{}, fmt.Errorf("scenario %s: %w", s.name, err)
+					return batchRow{}, fmt.Errorf("scenario %s: %w", name, err)
 				}
 				return batchRow{
-					Name: s.name, Policy: res.Policy, Fuel: res.Fuel,
+					Name: name, Policy: res.Policy, Fuel: res.Fuel,
 					AvgRate: res.AvgFuelRate(), Deficit: res.Deficit,
 				}, nil
 			},
 		})
 	}
-	rep, runErr := runner.Run(ctx, runner.Options{
-		Workers: *workers,
-		Timeout: secondsFlag(*timeout),
-		Retries: *retries,
-		Journal: *journal,
-	}, tasks)
+	rep, runErr := runner.Run(ctx, pf.options(), tasks)
 	if rep == nil {
 		return runErr
 	}
@@ -853,8 +820,8 @@ func cmdBatch(ctx context.Context, args []string) error {
 			rep.Resumed, len(rep.Outcomes), rep.Interrupted)
 	}
 	if runErr != nil {
-		if errors.Is(runErr, runner.ErrInterrupted) && *journal != "" {
-			fmt.Fprintf(os.Stderr, "batch interrupted; re-run the same command to resume from %s\n", *journal)
+		if errors.Is(runErr, runner.ErrInterrupted) && *pf.journal != "" {
+			fmt.Fprintf(os.Stderr, "batch interrupted; re-run the same command to resume from %s\n", *pf.journal)
 		}
 		return runErr
 	}
@@ -953,10 +920,7 @@ func cmdFaults(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("faults", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "trace and sensor-noise seed")
 	list := fs.Bool("list", false, "only list the fault classes")
-	workers := fs.Int("workers", 0, "concurrent sweep cells (0: GOMAXPROCS)")
-	timeout := fs.Float64("timeout", 0, "per-cell wall-clock deadline in seconds (0: none)")
-	retries := fs.Int("retries", 0, "retries per transiently failed cell")
-	journal := fs.String("journal", "", "JSONL checkpoint file; a re-run with the same journal skips finished cells")
+	pf := addPoolFlags(fs, "cell").addJournal(fs, "cell")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -968,12 +932,7 @@ func cmdFaults(ctx context.Context, args []string) error {
 	if *list {
 		return nil
 	}
-	res, err := exp.FaultSweepOpts(ctx, *seed, exp.FaultSweepOptions{
-		Workers:    *workers,
-		TimeoutSec: *timeout,
-		Retries:    *retries,
-		Journal:    *journal,
-	})
+	res, err := exp.FaultSweepOpts(ctx, *seed, pf.sweepOptions())
 	if err != nil && (res == nil || !errors.Is(err, runner.ErrInterrupted)) {
 		return err
 	}
@@ -992,7 +951,7 @@ func cmdFaults(ctx context.Context, args []string) error {
 		"(FC-DPM -> ASAP -> Conv -> load-shed) when the supervisor trips; " +
 		"'survived' means unplanned unmet load stayed under 1 % of the load charge.")
 	if res.Resumed > 0 {
-		fmt.Printf("\n%d cells resumed from journal %s\n", res.Resumed, *journal)
+		fmt.Printf("\n%d cells resumed from journal %s\n", res.Resumed, *pf.journal)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fault sweep interrupted with %d cells pending; "+

@@ -13,6 +13,8 @@
 //	fcdpm sweep    [-what capacity|beta|rho] [-seed N]
 //	fcdpm faults   [-seed N] [-list] [-workers N] [-timeout S] [-retries N] [-journal FILE]
 //	fcdpm batch    [-workers N] [-timeout S] [-retries N] [-journal FILE] <scenario.json>...
+//	fcdpm serve    [-addr HOST:PORT] [-workers N] [-queue N] [-timeout S] [-retries N] [-cache-mb N] [-cache-dir DIR] [-drain S]
+//	fcdpm version  [-json]
 //
 // Exit status: 0 on success, 1 on a run failure, 2 on command-line
 // usage errors, 3 when a batch or sweep was interrupted but left a
@@ -115,6 +117,10 @@ func run(ctx context.Context, args []string) error {
 		return cmdAdvise(rest)
 	case "batch":
 		return cmdBatch(ctx, rest)
+	case "serve":
+		return cmdServe(ctx, rest)
+	case "version":
+		return cmdVersion(rest)
 	case "robust":
 		return cmdRobust(rest)
 	case "charge":
@@ -154,6 +160,11 @@ subcommands:
            and a re-run resumes where it was interrupted
   robust   Monte-Carlo robustness of the FC-DPM saving under model
            uncertainty
+  serve    run the simulation service: an HTTP/JSON API that executes
+           scenario specs on a shared bounded pool, streams progress as
+           NDJSON, and answers repeated scenarios byte-identically from
+           a content-addressed result cache (see README "Serving")
+  version  print the build identity (module version, VCS revision, Go)
   charge   ASCII plot of the storage charge trajectory under a policy
   faults   list fault classes and run the per-policy fault sweep
            (fuel / survival under each fault class, with graceful

@@ -1,0 +1,118 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustKey(t *testing.T, js string) string {
+	t.Helper()
+	s, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatalf("load %s: %v", js, err)
+	}
+	key, err := s.CacheKey("test-engine")
+	if err != nil {
+		t.Fatalf("key %s: %v", js, err)
+	}
+	return key
+}
+
+func TestCacheKeyEquivalentSpecs(t *testing.T) {
+	// The same simulation spelled three ways: omitted defaults, explicit
+	// defaults, and mixed selector casing must content-address alike.
+	a := mustKey(t, `{}`)
+	b := mustKey(t, `{"trace":{"kind":"camcorder","seed":1,"duration":1680},
+		"policy":{"kind":"fcdpm"},"storage":{"kind":"supercap","capacityAs":6,"initialAs":1},
+		"system":{"vf":12,"zeta":37.5,"minOutput":0.1,"maxOutput":1.2,"alpha":0.45,"beta":0.13},
+		"device":{"kind":"camcorder"},"dpm":{"mode":"predictive"},
+		"predict":{"rho":0.5,"sigma":0.5}}`)
+	c := mustKey(t, `{"trace":{"kind":"Camcorder"},"policy":{"kind":"FCDPM"}}`)
+	if a != b || a != c {
+		t.Fatalf("equivalent specs diverged: %s / %s / %s", a, b, c)
+	}
+}
+
+func TestCacheKeyIgnoresRunnerBlock(t *testing.T) {
+	a := mustKey(t, `{"trace":{"kind":"synthetic"}}`)
+	b := mustKey(t, `{"trace":{"kind":"synthetic"},"runner":{"workers":7,"retries":2,"journal":"x.jsonl"}}`)
+	if a != b {
+		t.Fatal("orchestration tuning leaked into the cache key")
+	}
+}
+
+func TestCacheKeyIgnoresInertFields(t *testing.T) {
+	// flatIF only parameterizes the "flat" policy; under fcdpm it is inert.
+	a := mustKey(t, `{"policy":{"kind":"fcdpm"}}`)
+	b := mustKey(t, `{"policy":{"kind":"fcdpm","flatIF":0.9}}`)
+	if a != b {
+		t.Fatal("inert policy parameter leaked into the cache key")
+	}
+	// An empty fault block's seed cannot matter.
+	c := mustKey(t, `{"faults":{"seed":99}}`)
+	d := mustKey(t, `{}`)
+	if c != d {
+		t.Fatal("inert fault seed leaked into the cache key")
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	base := mustKey(t, `{"trace":{"kind":"synthetic","seed":1}}`)
+	for name, js := range map[string]string{
+		"seed":    `{"trace":{"kind":"synthetic","seed":2}}`,
+		"policy":  `{"trace":{"kind":"synthetic","seed":1},"policy":{"kind":"asap"}}`,
+		"name":    `{"name":"other","trace":{"kind":"synthetic","seed":1}}`,
+		"storage": `{"trace":{"kind":"synthetic","seed":1},"storage":{"capacityAs":12}}`,
+		"faults": `{"trace":{"kind":"synthetic","seed":1},
+			"faults":{"events":[{"kind":"stack-dropout","start":100,"duration":50}]}}`,
+	} {
+		if mustKey(t, js) == base {
+			t.Errorf("%s change did not move the cache key", name)
+		}
+	}
+	// And the engine tag itself is part of the address.
+	s, err := Load(strings.NewReader(`{"trace":{"kind":"synthetic","seed":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := s.CacheKey("other-engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == base {
+		t.Error("engine tag did not move the cache key")
+	}
+}
+
+func TestCanonicalRejectsInvalid(t *testing.T) {
+	s, err := Load(strings.NewReader(`{"predict":{"rho":1.5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Canonical(); err == nil {
+		t.Fatal("invalid spec canonicalized")
+	}
+	if _, err := s.CacheKey("e"); err == nil {
+		t.Fatal("invalid spec keyed")
+	}
+}
+
+func TestNormalizedDoesNotMutateReceiver(t *testing.T) {
+	s, err := Load(strings.NewReader(`{"trace":{"kind":"Synthetic"},"fallbacks":["ASAP"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Trace.Kind != "Synthetic" || s.Fallbacks[0] != "ASAP" {
+		t.Fatal("receiver mutated by Normalized")
+	}
+	if n.Trace.Kind != "synthetic" || n.Fallbacks[0] != "asap" {
+		t.Fatalf("copy not normalized: %+v", n)
+	}
+	if n.Trace.Seed != 2 {
+		t.Fatalf("synthetic default seed not resolved: %d", n.Trace.Seed)
+	}
+}

@@ -1,0 +1,43 @@
+package config
+
+import (
+	"fmt"
+	"io"
+)
+
+// LoadValidated parses a scenario and validates it in one step. It is
+// the shared admission path: the CLI batch commands and the HTTP server
+// both reject a bad spec here, before any simulation state exists.
+func LoadValidated(r io.Reader) (*Scenario, error) {
+	s, err := Load(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// LoadFiles loads and validates every scenario file up front — a
+// malformed or invalid file is a caller problem, not a run failure —
+// and returns, alongside the scenarios, the first non-zero Runner block
+// found, which supplies pool defaults that explicit flags override.
+func LoadFiles(paths []string) ([]*Scenario, RunnerSpec, error) {
+	scens := make([]*Scenario, len(paths))
+	var spec RunnerSpec
+	for i, path := range paths {
+		s, err := LoadFile(path)
+		if err != nil {
+			return nil, RunnerSpec{}, err
+		}
+		if err := s.Validate(); err != nil {
+			return nil, RunnerSpec{}, fmt.Errorf("%s: %w", path, err)
+		}
+		scens[i] = s
+		if spec == (RunnerSpec{}) {
+			spec = s.Runner
+		}
+	}
+	return scens, spec, nil
+}

@@ -1,0 +1,22 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// StableJSON encodes v deterministically: struct fields in declaration
+// order, map keys sorted, no HTML escaping, no trailing newline. Two
+// calls over equal values yield byte-identical output — the property the
+// serving subsystem's content-addressed result cache relies on to return
+// repeated reports byte-for-byte.
+func StableJSON(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, fmt.Errorf("report: stable encode: %w", err)
+	}
+	return bytes.TrimRight(buf.Bytes(), "\n"), nil
+}

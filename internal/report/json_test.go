@@ -1,0 +1,50 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestStableJSONDeterministic(t *testing.T) {
+	// Maps are the dangerous case: iteration order is randomized, so a
+	// naive encoder would emit different bytes run to run.
+	m := map[string]float64{}
+	for _, k := range []string{"zeta", "alpha", "mu", "beta", "omega", "kappa"} {
+		m[k] = float64(len(k))
+	}
+	first, err := StableJSON(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		again, err := StableJSON(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("iteration %d: %s != %s", i, again, first)
+		}
+	}
+	if bytes.HasSuffix(first, []byte("\n")) {
+		t.Fatal("trailing newline survived")
+	}
+}
+
+func TestStableJSONNoHTMLEscape(t *testing.T) {
+	b, err := StableJSON(map[string]string{"chain": "FC-DPM -> ASAP & Conv <shed>"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte(`\u003c`)) || bytes.Contains(b, []byte(`\u0026`)) {
+		t.Fatalf("HTML escaping applied: %s", b)
+	}
+	if !bytes.Contains(b, []byte("FC-DPM -> ASAP & Conv <shed>")) {
+		t.Fatalf("payload mangled: %s", b)
+	}
+}
+
+func TestStableJSONError(t *testing.T) {
+	if _, err := StableJSON(func() {}); err == nil {
+		t.Fatal("unencodable value accepted")
+	}
+}

@@ -58,8 +58,46 @@ type Options struct {
 	// JSONL file and skips already-journaled IDs on submit — crash-safe
 	// resume for interrupted sweeps.
 	Journal string
+	// OnEvent, when set, observes the task lifecycle: one PhaseStart
+	// notification per attempt and one PhaseResolve per task. Callbacks
+	// run synchronously on worker (and submitter) goroutines — they must
+	// be fast, concurrency-safe, and must not call back into the pool.
+	OnEvent func(TaskEvent)
+	// StreamOutcomes drops per-task outcome retention: Drain's report
+	// carries only the counters, and results reach the caller through the
+	// task functions and OnEvent. Long-lived pools (services) need this —
+	// an outcome slice that only grows is a leak when the pool never
+	// drains.
+	StreamOutcomes bool
 	// Clock substitutes a fake time source in tests.
 	Clock Clock
+}
+
+// EventPhase classifies an OnEvent notification.
+type EventPhase string
+
+// Lifecycle phases.
+const (
+	// PhaseStart: an attempt is about to execute.
+	PhaseStart EventPhase = "start"
+	// PhaseResolve: the task reached its final status.
+	PhaseResolve EventPhase = "resolve"
+)
+
+// TaskEvent is one lifecycle notification delivered to Options.OnEvent.
+type TaskEvent struct {
+	// ID and Scenario identify the task.
+	ID, Scenario string
+	// Phase is PhaseStart or PhaseResolve.
+	Phase EventPhase
+	// Attempt is the 1-based attempt number on start events and the total
+	// attempts made on resolve events (0 when the task never executed:
+	// resumed, shed, breaker-open).
+	Attempt int
+	// Status is the final status; set only on resolve events.
+	Status Status
+	// Err is the failure cause on failed/shed/interrupted resolutions.
+	Err error
 }
 
 // withDefaults resolves the zero-value fields.
@@ -147,14 +185,27 @@ type Pool[R any] struct {
 	queue chan poolItem[R]
 	wg    sync.WaitGroup
 
+	// sendMu serializes queue sends against the close in Drain, so a
+	// Submit racing a Drain (a long-lived pool shutting down under
+	// traffic) gets ErrClosed instead of a send-on-closed-channel panic.
+	// Submitters hold the read side across the closed-check and the send;
+	// Drain takes the write side to flip closed and close the channel.
+	sendMu sync.RWMutex
+
 	mu       sync.Mutex
 	outcomes []Outcome[R]
+	counts   counters
 	breakers map[string]*breaker
 	closed   bool
 
 	jmu     sync.Mutex
 	journal *journal
 	jerr    error
+}
+
+// counters tallies resolutions by status.
+type counters struct {
+	done, resumed, failed, shed, breakerSkipped, interrupted int
 }
 
 // poolItem pairs a task with its outcome slot.
@@ -193,20 +244,45 @@ func NewPool[R any](ctx context.Context, opts Options) (*Pool[R], error) {
 	return p, nil
 }
 
-// reserve appends a pending outcome slot and returns its index.
+// reserve appends a pending outcome slot and returns its index, or -1
+// when the pool streams outcomes instead of retaining them.
 func (p *Pool[R]) reserve(t Task[R]) int {
+	if p.opts.StreamOutcomes {
+		return -1
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.outcomes = append(p.outcomes, Outcome[R]{ID: t.ID, Scenario: t.Scenario})
 	return len(p.outcomes) - 1
 }
 
-// resolve fills a reserved outcome slot.
-func (p *Pool[R]) resolve(index int, status Status, result R, err error, attempts int) {
+// resolve records a task's final status: counter, outcome slot (unless
+// streaming), and the PhaseResolve notification.
+func (p *Pool[R]) resolve(index int, t Task[R], status Status, result R, err error, attempts int) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	o := &p.outcomes[index]
-	o.Status, o.Result, o.Err, o.Attempts = status, result, err, attempts
+	switch status {
+	case StatusDone:
+		p.counts.done++
+	case StatusResumed:
+		p.counts.resumed++
+	case StatusFailed:
+		p.counts.failed++
+	case StatusShed:
+		p.counts.shed++
+	case StatusBreakerOpen:
+		p.counts.breakerSkipped++
+	case StatusInterrupted:
+		p.counts.interrupted++
+	}
+	if index >= 0 {
+		o := &p.outcomes[index]
+		o.Status, o.Result, o.Err, o.Attempts = status, result, err, attempts
+	}
+	p.mu.Unlock()
+	if p.opts.OnEvent != nil {
+		p.opts.OnEvent(TaskEvent{ID: t.ID, Scenario: t.Scenario,
+			Phase: PhaseResolve, Attempt: attempts, Status: status, Err: err})
+	}
 }
 
 // Submit admits one task. Every submitted task gets exactly one outcome
@@ -215,14 +291,19 @@ func (p *Pool[R]) resolve(index int, status Status, result R, err error, attempt
 // shed (and returns ErrShed), cancellation resolves as interrupted (and
 // returns the context error).
 func (p *Pool[R]) Submit(t Task[R]) error {
+	if t.Run == nil {
+		return fmt.Errorf("runner: task %s has no run function", t.ID)
+	}
+	// Hold the send guard from the closed-check through the send: Drain
+	// cannot close the queue in the gap, so a racing Submit resolves to
+	// ErrClosed instead of panicking on a closed channel.
+	p.sendMu.RLock()
+	defer p.sendMu.RUnlock()
 	p.mu.Lock()
 	closed := p.closed
 	p.mu.Unlock()
 	if closed {
 		return ErrClosed
-	}
-	if t.Run == nil {
-		return fmt.Errorf("runner: task %s has no run function", t.ID)
 	}
 	index := p.reserve(t)
 	var zero R
@@ -233,7 +314,7 @@ func (p *Pool[R]) Submit(t Task[R]) error {
 		if ok {
 			var res R
 			if err := json.Unmarshal(rec.Result, &res); err == nil {
-				p.resolve(index, StatusResumed, res, nil, 0)
+				p.resolve(index, t, StatusResumed, res, nil, 0)
 				return nil
 			}
 			// Undecodable checkpoint (schema drift): fall through and
@@ -246,10 +327,10 @@ func (p *Pool[R]) Submit(t Task[R]) error {
 		case p.queue <- it:
 			return nil
 		case <-p.ctx.Done():
-			p.resolve(index, StatusInterrupted, zero, p.ctx.Err(), 0)
+			p.resolve(index, t, StatusInterrupted, zero, p.ctx.Err(), 0)
 			return p.ctx.Err()
 		default:
-			p.resolve(index, StatusShed, zero, ErrShed, 0)
+			p.resolve(index, t, StatusShed, zero, ErrShed, 0)
 			return ErrShed
 		}
 	}
@@ -257,7 +338,7 @@ func (p *Pool[R]) Submit(t Task[R]) error {
 	case p.queue <- it:
 		return nil
 	case <-p.ctx.Done():
-		p.resolve(index, StatusInterrupted, zero, p.ctx.Err(), 0)
+		p.resolve(index, t, StatusInterrupted, zero, p.ctx.Err(), 0)
 		return p.ctx.Err()
 	}
 }
@@ -267,34 +348,22 @@ func (p *Pool[R]) Submit(t Task[R]) error {
 // report still describes every submitted task), or a journal I/O error
 // if checkpointing failed.
 func (p *Pool[R]) Drain() (*Report[R], error) {
+	p.sendMu.Lock()
 	p.mu.Lock()
 	if !p.closed {
 		p.closed = true
 		close(p.queue)
 	}
 	p.mu.Unlock()
+	p.sendMu.Unlock()
 	p.wg.Wait()
 
 	rep := &Report[R]{}
 	p.mu.Lock()
 	rep.Outcomes = append(rep.Outcomes, p.outcomes...)
+	rep.Done, rep.Resumed, rep.Failed = p.counts.done, p.counts.resumed, p.counts.failed
+	rep.Shed, rep.BreakerSkipped, rep.Interrupted = p.counts.shed, p.counts.breakerSkipped, p.counts.interrupted
 	p.mu.Unlock()
-	for i := range rep.Outcomes {
-		switch rep.Outcomes[i].Status {
-		case StatusDone:
-			rep.Done++
-		case StatusResumed:
-			rep.Resumed++
-		case StatusFailed:
-			rep.Failed++
-		case StatusShed:
-			rep.Shed++
-		case StatusBreakerOpen:
-			rep.BreakerSkipped++
-		case StatusInterrupted:
-			rep.Interrupted++
-		}
-	}
 	p.jmu.Lock()
 	jerr := p.jerr
 	p.jmu.Unlock()
@@ -329,12 +398,12 @@ func (p *Pool[R]) execute(it poolItem[R]) {
 	t := it.task
 	var zero R
 	if err := p.ctx.Err(); err != nil {
-		p.resolve(it.index, StatusInterrupted, zero, err, 0)
+		p.resolve(it.index, t, StatusInterrupted, zero, err, 0)
 		return
 	}
 	brk := p.breakerFor(t.Scenario)
 	if brk != nil && !brk.admit() {
-		p.resolve(it.index, StatusBreakerOpen, zero,
+		p.resolve(it.index, t, StatusBreakerOpen, zero,
 			fmt.Errorf("runner: scenario %s: %w", t.Scenario, ErrBreakerOpen), 0)
 		return
 	}
@@ -343,13 +412,17 @@ func (p *Pool[R]) execute(it poolItem[R]) {
 	attempts := 0
 	for attempt := 1; attempt <= 1+p.opts.Retries; attempt++ {
 		attempts = attempt
+		if p.opts.OnEvent != nil {
+			p.opts.OnEvent(TaskEvent{ID: t.ID, Scenario: t.Scenario,
+				Phase: PhaseStart, Attempt: attempt})
+		}
 		res, err := p.attempt(t)
 		if err == nil {
 			if brk != nil {
 				brk.success()
 			}
 			p.checkpoint(t, res, attempts)
-			p.resolve(it.index, StatusDone, res, nil, attempts)
+			p.resolve(it.index, t, StatusDone, res, nil, attempts)
 			return
 		}
 		lastErr = err
@@ -357,14 +430,14 @@ func (p *Pool[R]) execute(it poolItem[R]) {
 			// Parent cancellation, not a task fault: don't trip the
 			// breaker, don't retry — report interrupted so the batch is
 			// resumable.
-			p.resolve(it.index, StatusInterrupted, zero,
+			p.resolve(it.index, t, StatusInterrupted, zero,
 				fmt.Errorf("runner: task %s interrupted: %w", t.ID, err), attempts)
 			return
 		}
 		if attempt <= p.opts.Retries && Retryable(err) {
 			delay := backoffDelay(p.opts.BackoffBase, p.opts.BackoffMax, t.ID, attempt)
 			if p.opts.Clock.Sleep(p.ctx, delay) != nil {
-				p.resolve(it.index, StatusInterrupted, zero,
+				p.resolve(it.index, t, StatusInterrupted, zero,
 					fmt.Errorf("runner: task %s interrupted during backoff: %w", t.ID, lastErr), attempts)
 				return
 			}
@@ -380,7 +453,7 @@ func (p *Pool[R]) execute(it poolItem[R]) {
 	if errors.As(lastErr, &pc) {
 		runErr.PanicValue, runErr.Stack = pc.value, pc.stack
 	}
-	p.resolve(it.index, StatusFailed, zero, runErr, attempts)
+	p.resolve(it.index, t, StatusFailed, zero, runErr, attempts)
 }
 
 // attempt executes the run function once under the per-attempt deadline,

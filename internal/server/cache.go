@@ -1,0 +1,177 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"sync/atomic"
+)
+
+// resultCache is the content-addressed result store: rendered report
+// bytes keyed by the scenario's canonical hash (see config.CacheKey).
+// The memory tier is a size-bounded LRU; the optional disk tier persists
+// every stored report with the same fsync+atomic-rename discipline as
+// the runner's checkpoint journal, so a cached report survives a crash
+// at any instant and a restarted server keeps its hits.
+type resultCache struct {
+	mu     sync.Mutex
+	max    int64 // memory-tier byte bound; <= 0 disables the memory tier
+	size   int64
+	ll     *list.List // front = most recently used
+	byKey  map[string]*list.Element
+	dir    string // disk tier root; empty disables it
+	hits   atomic.Int64
+	misses atomic.Int64
+	// diskHits counts hits served by the disk tier (included in hits);
+	// diskErrs counts disk writes/reads that failed (the memory tier and
+	// the response are unaffected).
+	diskHits atomic.Int64
+	diskErrs atomic.Int64
+}
+
+// cacheEntry is one memory-tier resident.
+type cacheEntry struct {
+	key   string
+	bytes []byte
+}
+
+// keyPattern is the only shape a content address can take; it doubles as
+// the path-traversal guard for the disk tier.
+var keyPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+func newResultCache(maxBytes int64, dir string) (*resultCache, error) {
+	c := &resultCache{max: maxBytes, ll: list.New(), byKey: make(map[string]*list.Element), dir: dir}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: cache dir: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// get returns the report stored under key. A memory miss falls through
+// to the disk tier and, on a hit there, repopulates memory.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		b := el.Value.(*cacheEntry).bytes
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return b, true
+	}
+	c.mu.Unlock()
+	if c.dir != "" && keyPattern.MatchString(key) {
+		b, err := os.ReadFile(c.diskPath(key))
+		if err == nil {
+			c.insert(key, b)
+			c.hits.Add(1)
+			c.diskHits.Add(1)
+			return b, true
+		}
+		if !os.IsNotExist(err) {
+			c.diskErrs.Add(1)
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// put stores the report under key in both tiers. The disk write is
+// atomic (temp + fsync + rename) and its failure only surfaces in the
+// stats — the memory tier and the caller's bytes are already good.
+func (c *resultCache) put(key string, b []byte) {
+	c.insert(key, b)
+	if c.dir == "" || !keyPattern.MatchString(key) {
+		return
+	}
+	if err := atomicWriteFile(c.diskPath(key), b); err != nil {
+		c.diskErrs.Add(1)
+	}
+}
+
+// insert adds (or refreshes) a memory-tier entry and evicts from the LRU
+// tail until the byte bound holds again.
+func (c *resultCache) insert(key string, b []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.size += int64(len(b)) - int64(len(e.bytes))
+		e.bytes = b
+		c.ll.MoveToFront(el)
+	} else {
+		c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, bytes: b})
+		c.size += int64(len(b))
+	}
+	for c.size > c.max && c.ll.Len() > 1 {
+		el := c.ll.Back()
+		e := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.byKey, e.key)
+		c.size -= int64(len(e.bytes))
+	}
+}
+
+func (c *resultCache) diskPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// cacheStats is the /v1/stats cache section.
+type cacheStats struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	DiskHits int64 `json:"diskHits"`
+	DiskErrs int64 `json:"diskErrs"`
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"maxBytes"`
+}
+
+func (c *resultCache) stats() cacheStats {
+	c.mu.Lock()
+	entries, size := c.ll.Len(), c.size
+	c.mu.Unlock()
+	return cacheStats{
+		Hits: c.hits.Load(), Misses: c.misses.Load(),
+		DiskHits: c.diskHits.Load(), DiskErrs: c.diskErrs.Load(),
+		Entries: entries, Bytes: size, MaxBytes: c.max,
+	}
+}
+
+// atomicWriteFile writes b to path through a temp file, fsync, and
+// rename, then best-effort syncs the directory — the same crash-safety
+// discipline the runner journal uses.
+func atomicWriteFile(path string, b []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".cache-*")
+	if err != nil {
+		return fmt.Errorf("server: cache temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: cache write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: cache fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("server: cache close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("server: cache rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := newResultCache(100, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(i int) string { return fmt.Sprintf("%064d", i) }
+	blob := bytes.Repeat([]byte("x"), 40)
+	c.put(key(1), blob)
+	c.put(key(2), blob)
+	// Touch 1 so 2 is the eviction victim.
+	if _, ok := c.get(key(1)); !ok {
+		t.Fatal("key 1 missing before eviction")
+	}
+	c.put(key(3), blob) // 120 bytes > 100: evict LRU (key 2)
+	if _, ok := c.get(key(2)); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.get(key(1)); !ok {
+		t.Fatal("recently-used entry evicted")
+	}
+	if _, ok := c.get(key(3)); !ok {
+		t.Fatal("fresh entry evicted")
+	}
+	st := c.stats()
+	if st.Entries != 2 || st.Bytes != 80 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+}
+
+func TestCacheOversizeEntryStillServes(t *testing.T) {
+	c, _ := newResultCache(10, "")
+	k := fmt.Sprintf("%064d", 1)
+	big := bytes.Repeat([]byte("y"), 50)
+	c.put(k, big)
+	// A single entry larger than the bound is kept (the bound evicts
+	// down to one resident, never to zero).
+	if b, ok := c.get(k); !ok || !bytes.Equal(b, big) {
+		t.Fatal("oversize entry not retained")
+	}
+}
+
+func TestCacheDiskTierGuardsKeys(t *testing.T) {
+	dir := t.TempDir()
+	c, err := newResultCache(0, dir) // memory tier disabled
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A traversal-shaped key must never touch the filesystem.
+	c.put("../escape", []byte("nope"))
+	if _, err := os.Stat(filepath.Join(filepath.Dir(dir), "escape.json")); err == nil {
+		t.Fatal("path traversal escaped the cache dir")
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Fatalf("unexpected files for invalid key: %v", entries)
+	}
+
+	valid := fmt.Sprintf("%064x", 0xabc)
+	c.put(valid, []byte(`{"ok":true}`))
+	if b, ok := c.get(valid); !ok || !bytes.Equal(b, []byte(`{"ok":true}`)) {
+		t.Fatal("disk round-trip failed with memory tier disabled")
+	}
+	if st := c.stats(); st.DiskHits != 1 {
+		t.Fatalf("disk hit not counted: %+v", st)
+	}
+}
+
+func TestAtomicWriteFileReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.json")
+	if err := atomicWriteFile(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := atomicWriteFile(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "v2" {
+		t.Fatalf("replace: %q %v", b, err)
+	}
+	// No temp litter.
+	files, _ := filepath.Glob(filepath.Join(dir, ".cache-*"))
+	if len(files) != 0 {
+		t.Fatalf("temp files left behind: %v", files)
+	}
+}
+
+func TestEventLogTailAndClose(t *testing.T) {
+	l := newEventLog()
+	got := make(chan Event, 16)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			line, ok := l.next(context.Background(), i)
+			if !ok {
+				close(got)
+				return
+			}
+			var e Event
+			if err := json.Unmarshal(line, &e); err != nil {
+				t.Errorf("bad line: %v", err)
+				return
+			}
+			got <- e
+		}
+	}()
+	l.append(Event{Kind: "a", Job: "j"})
+	l.append(Event{Kind: "b", Job: "j"})
+	l.close()
+	wg.Wait()
+	var kinds []string
+	for e := range got {
+		kinds = append(kinds, e.Kind)
+	}
+	if len(kinds) != 2 || kinds[0] != "a" || kinds[1] != "b" {
+		t.Fatalf("tailed %v", kinds)
+	}
+	// Appends after close are dropped, and snapshots see the final state.
+	l.append(Event{Kind: "late"})
+	if n := len(l.snapshot()); n != 2 {
+		t.Fatalf("post-close append leaked: %d lines", n)
+	}
+}
+
+func TestEventLogContextCancelUnblocks(t *testing.T) {
+	l := newEventLog()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := l.next(ctx, 0)
+		done <- ok
+	}()
+	cancel()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("canceled reader got a line")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled reader stayed blocked")
+	}
+}

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"fcdpm/internal/report"
+)
+
+// Event is one NDJSON line of a job's progress stream: submission,
+// per-attempt starts, replayed simulator audit events, per-cell sweep
+// progress, and the final resolution. Seq is a dense 0-based index, so a
+// client that reconnects can detect gaps; Ts is wall time.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Ts   string `json:"ts"`
+	Kind string `json:"kind"`
+	// Job is the owning job ID; Cell names the sweep cell, when any.
+	Job  string `json:"job"`
+	Cell string `json:"cell,omitempty"`
+	// Attempt is the 1-based engine attempt for "attempt" events.
+	Attempt int `json:"attempt,omitempty"`
+	// Status is the resolution for "cell" and "resolved" events.
+	Status string `json:"status,omitempty"`
+	// Cached marks results served from the content-addressed cache.
+	Cached bool `json:"cached,omitempty"`
+	// T is the simulated time of a replayed audit event, seconds.
+	T float64 `json:"t,omitempty"`
+	// Detail carries the human-readable remainder.
+	Detail string `json:"detail,omitempty"`
+}
+
+// eventLog is an append-only, broadcast-on-append line log. Writers
+// append marshaled events; any number of readers tail it concurrently,
+// each at its own cursor, blocking for new lines until the log closes.
+type eventLog struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	lines  [][]byte
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	l := &eventLog{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// append marshals e (stamping Seq and Ts), stores the line, and wakes
+// every tailing reader. Appends after close are dropped.
+func (l *eventLog) append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	e.Seq = len(l.lines)
+	e.Ts = time.Now().UTC().Format(time.RFC3339Nano)
+	line, err := report.StableJSON(e)
+	if err != nil {
+		// An Event is always encodable; guard anyway so a future field
+		// cannot wedge the stream.
+		return
+	}
+	l.lines = append(l.lines, line)
+	l.cond.Broadcast()
+}
+
+// close ends the stream: tailing readers drain what is buffered and
+// return.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	l.cond.Broadcast()
+}
+
+// next returns line i, blocking until it exists, the log closes, or ctx
+// is done. The second result is false when no more lines will come.
+func (l *eventLog) next(ctx context.Context, i int) ([]byte, bool) {
+	// A context expiry must wake the cond-waiters, who cannot select.
+	stop := context.AfterFunc(ctx, func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		l.cond.Broadcast()
+	})
+	defer stop()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if i < len(l.lines) {
+			return l.lines[i], true
+		}
+		if l.closed || ctx.Err() != nil {
+			return nil, false
+		}
+		l.cond.Wait()
+	}
+}
+
+// snapshot returns the lines buffered so far, for non-blocking reads.
+func (l *eventLog) snapshot() [][]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([][]byte, len(l.lines))
+	copy(out, l.lines)
+	return out
+}

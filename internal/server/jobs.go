@@ -1,0 +1,430 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"fcdpm/internal/config"
+	"fcdpm/internal/report"
+	"fcdpm/internal/runner"
+	"fcdpm/internal/sim"
+)
+
+// jobKind separates single runs from sweeps.
+type jobKind string
+
+const (
+	jobRun   jobKind = "run"
+	jobSweep jobKind = "sweep"
+)
+
+// jobStatus is a job's lifecycle state as reported over the API.
+type jobStatus string
+
+const (
+	jobQueued jobStatus = "queued"
+	jobDone   jobStatus = "done"
+	jobFailed jobStatus = "failed"
+	jobShed   jobStatus = "shed"
+)
+
+// runReport is the JSON body served for one completed run. It is
+// rendered exactly once with report.StableJSON and the rendered bytes
+// are what the cache stores — a cache hit is byte-identical to the run
+// that populated it.
+type runReport struct {
+	Name   string `json:"name"`
+	Key    string `json:"key"`
+	Engine string `json:"engine"`
+	Policy string `json:"policy"`
+	// FinalPolicy differs from Policy when the supervisor degraded.
+	FinalPolicy string  `json:"finalPolicy"`
+	Slots       int     `json:"slots"`
+	Sleeps      int     `json:"sleeps"`
+	DurationS   float64 `json:"durationS"`
+	// FuelAs is the paper's objective: stack charge consumed, A-s.
+	FuelAs        float64  `json:"fuelAs"`
+	AvgIfcA       float64  `json:"avgIfcA"`
+	DeliveredJ    float64  `json:"deliveredJ"`
+	LoadJ         float64  `json:"loadJ"`
+	BledAs        float64  `json:"bledAs"`
+	DeficitAs     float64  `json:"deficitAs"`
+	ShedAs        float64  `json:"shedAs"`
+	FinalChargeAs float64  `json:"finalChargeAs"`
+	Fallbacks     int      `json:"fallbacks"`
+	Events        []string `json:"events,omitempty"`
+}
+
+// renderRunReport builds and stably encodes the response body for one
+// completed simulation.
+func renderRunReport(name, key, engine string, res *sim.Result) ([]byte, error) {
+	rr := runReport{
+		Name: name, Key: key, Engine: engine,
+		Policy: res.Policy, FinalPolicy: res.FinalPolicy,
+		Slots: res.Slots, Sleeps: res.Sleeps,
+		DurationS: res.Duration, FuelAs: res.Fuel, AvgIfcA: res.AvgFuelRate(),
+		DeliveredJ: res.DeliveredEnergy, LoadJ: res.LoadEnergy,
+		BledAs: res.Bled, DeficitAs: res.Deficit, ShedAs: res.Shed,
+		FinalChargeAs: res.FinalCharge, Fallbacks: res.Fallbacks,
+	}
+	for _, ev := range res.Events {
+		rr.Events = append(rr.Events, ev.String())
+	}
+	return report.StableJSON(rr)
+}
+
+// cellState is one sweep scenario's progress, embedded in the sweep
+// report once every cell resolves.
+type cellState struct {
+	Name   string `json:"name"`
+	Key    string `json:"key"`
+	Status string `json:"status"`
+	Cached bool   `json:"cached,omitempty"`
+	Err    string `json:"error,omitempty"`
+}
+
+// job is one accepted unit of API work: a single run or a whole sweep.
+// Its event log streams progress; done closes when the job resolves.
+type job struct {
+	id     string
+	kind   jobKind
+	key    string // content address; run jobs only
+	name   string
+	events *eventLog
+	done   chan struct{}
+
+	mu       sync.Mutex
+	status   jobStatus
+	report   []byte // rendered response body, valid once status == jobDone
+	errMsg   string
+	httpCode int
+	// Sweep bookkeeping: cells in submission order, count still pending.
+	cells     []cellState
+	remaining int
+	finished  bool
+}
+
+// setReport stashes the rendered bytes for the resolve event to publish.
+func (j *job) setReport(b []byte) {
+	j.mu.Lock()
+	j.report = b
+	j.mu.Unlock()
+}
+
+// finish resolves the job exactly once: records the outcome, appends the
+// terminal event, closes the stream and the done channel.
+func (j *job) finish(status jobStatus, body []byte, errMsg string, httpCode int, cached bool) {
+	j.mu.Lock()
+	if j.finished {
+		j.mu.Unlock()
+		return
+	}
+	j.finished = true
+	j.status = status
+	j.report = body
+	j.errMsg = errMsg
+	j.httpCode = httpCode
+	j.mu.Unlock()
+	j.events.append(Event{
+		Kind: "resolved", Job: j.id, Status: string(status),
+		Cached: cached, Detail: errMsg,
+	})
+	j.events.close()
+	close(j.done)
+}
+
+// outcome snapshots the resolved state for response writing.
+func (j *job) outcome() (status jobStatus, body []byte, errMsg string, httpCode int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status, j.report, j.errMsg, j.httpCode
+}
+
+// registry owns every job the server has accepted: lookup by ID,
+// coalescing of identical in-flight runs by content address, and a
+// bounded retention of completed jobs so the map cannot grow without
+// bound under sustained traffic.
+type registry struct {
+	mu       sync.Mutex
+	seq      int
+	jobs     map[string]*job
+	inflight map[string]*job // cache key → unfinished run job
+	// finished is a FIFO of completed job IDs; the oldest are forgotten
+	// once more than retain have completed.
+	finished []string
+	retain   int
+}
+
+func newRegistry(retain int) *registry {
+	if retain <= 0 {
+		retain = 512
+	}
+	return &registry{
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+		retain:   retain,
+	}
+}
+
+// newJob allocates and registers a job with a fresh sequential ID.
+func (r *registry) newJob(kind jobKind, key, name string) *job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	j := &job{
+		id:     fmt.Sprintf("%s-%06d", kind, r.seq),
+		kind:   kind,
+		key:    key,
+		name:   name,
+		status: jobQueued,
+		events: newEventLog(),
+		done:   make(chan struct{}),
+	}
+	r.jobs[j.id] = j
+	return j
+}
+
+// leaseRun returns the unfinished run job already computing key (second
+// result true), or registers a fresh one (false) that the caller must
+// submit. Coalescing means ten identical concurrent POSTs cost one
+// simulation.
+func (r *registry) leaseRun(key, name string) (*job, bool) {
+	r.mu.Lock()
+	if j, ok := r.inflight[key]; ok {
+		r.mu.Unlock()
+		return j, true
+	}
+	r.mu.Unlock()
+	j := r.newJob(jobRun, key, name)
+	r.mu.Lock()
+	// Re-check under the lock: a racing lease may have won registration.
+	if prior, ok := r.inflight[key]; ok {
+		// Drop the orphan; its sequence number stays burned — a gap is
+		// harmless, a reused ID would collide.
+		delete(r.jobs, j.id)
+		r.mu.Unlock()
+		return prior, true
+	}
+	r.inflight[key] = j
+	r.mu.Unlock()
+	return j, false
+}
+
+// lookup returns the job by ID, if retained.
+func (r *registry) lookup(id string) (*job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// complete moves a finished job out of the coalescing map and into the
+// bounded retention window, evicting the oldest completed job beyond it.
+func (r *registry) complete(j *job) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if j.kind == jobRun && r.inflight[j.key] == j {
+		delete(r.inflight, j.key)
+	}
+	r.finished = append(r.finished, j.id)
+	for len(r.finished) > r.retain {
+		delete(r.jobs, r.finished[0])
+		r.finished = r.finished[1:]
+	}
+}
+
+// counts reports registry occupancy for /v1/stats.
+func (r *registry) counts() (active, retained int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	retained = len(r.finished)
+	active = len(r.jobs) - retained
+	return active, retained
+}
+
+// taskRef routes a runner.TaskEvent back to its job (and sweep cell).
+type taskRef struct {
+	job  *job
+	cell int // cell index for sweep tasks; -1 for single runs
+}
+
+// runTask builds the pool task body for one scenario: build the sim
+// config, run it under the task context, render the stable report,
+// populate the cache, and replay the audit log into the job's stream.
+func (s *Server) runTask(j *job, ref taskRef, spec *config.Scenario, key, name string) func(context.Context) (struct{}, error) {
+	return func(ctx context.Context) (struct{}, error) {
+		cfg, err := spec.Build()
+		if err != nil {
+			return struct{}{}, err
+		}
+		res, err := sim.RunContext(ctx, cfg)
+		if err != nil {
+			return struct{}{}, err
+		}
+		body, err := renderRunReport(name, key, s.engine, res)
+		if err != nil {
+			return struct{}{}, err
+		}
+		s.cache.put(key, body)
+		for _, ev := range res.Events {
+			j.events.append(Event{
+				Kind: "sim", Job: j.id, Cell: cellName(j, ref.cell),
+				T: ev.T, Detail: string(ev.Kind) + ": " + ev.Detail,
+			})
+		}
+		if ref.cell < 0 {
+			// Cell bytes live in the cache (the sweep report embeds only
+			// per-cell status and content address); single runs serve the
+			// body directly.
+			j.setReport(body)
+		}
+		return struct{}{}, nil
+	}
+}
+
+// cellName returns the cell's display name, or "" for single runs.
+func cellName(j *job, cell int) string {
+	if cell < 0 {
+		return ""
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if cell < len(j.cells) {
+		return j.cells[cell].Name
+	}
+	return ""
+}
+
+// onTaskEvent is the runner.Options.OnEvent hook: it maps pool lifecycle
+// notifications onto job progress and resolution. It runs on worker and
+// submitter goroutines and must stay quick.
+func (s *Server) onTaskEvent(e runner.TaskEvent) {
+	v, ok := s.taskJobs.Load(e.ID)
+	if !ok {
+		return
+	}
+	ref := v.(taskRef)
+	j := ref.job
+	switch e.Phase {
+	case runner.PhaseStart:
+		j.events.append(Event{
+			Kind: "attempt", Job: j.id, Cell: cellName(j, ref.cell),
+			Attempt: e.Attempt,
+		})
+	case runner.PhaseResolve:
+		s.taskJobs.Delete(e.ID)
+		s.inflightTasks.Add(-1)
+		errMsg := ""
+		if e.Err != nil {
+			errMsg = e.Err.Error()
+		}
+		if ref.cell >= 0 {
+			s.cellResolved(j, ref.cell, e.Status, errMsg)
+			return
+		}
+		switch e.Status {
+		case runner.StatusDone:
+			j.mu.Lock()
+			body := j.report
+			j.mu.Unlock()
+			s.runsDone.Add(1)
+			j.finish(jobDone, body, "", 200, false)
+		case runner.StatusShed:
+			s.runsShed.Add(1)
+			j.finish(jobShed, nil, "admission queue full, run shed", 503, false)
+		case runner.StatusBreakerOpen:
+			s.runsFailed.Add(1)
+			j.finish(jobFailed, nil, "scenario circuit breaker open", 503, false)
+		case runner.StatusInterrupted:
+			s.runsFailed.Add(1)
+			j.finish(jobFailed, nil, "run interrupted by shutdown", 503, false)
+		default: // StatusFailed (StatusResumed cannot happen: no journal)
+			s.runsFailed.Add(1)
+			j.finish(jobFailed, nil, errMsg, 500, false)
+		}
+		s.reg.complete(j)
+	}
+}
+
+// cellResolved records one sweep cell's resolution and, when it is the
+// last, finalizes the sweep job.
+func (s *Server) cellResolved(j *job, cell int, status runner.Status, errMsg string) {
+	s.cellDone(j, cell, status, false, errMsg)
+}
+
+// cellDone is the single place a sweep cell resolves — from the pool
+// (via cellResolved) or synchronously on a cache hit (cached == true).
+func (s *Server) cellDone(j *job, cell int, status runner.Status, cached bool, errMsg string) {
+	j.mu.Lock()
+	if cell >= len(j.cells) || j.finished {
+		j.mu.Unlock()
+		return
+	}
+	c := &j.cells[cell]
+	c.Status = string(status)
+	c.Cached = cached
+	c.Err = errMsg
+	name := c.Name
+	j.remaining--
+	last := j.remaining == 0
+	j.mu.Unlock()
+
+	switch status {
+	case runner.StatusDone:
+		s.runsDone.Add(1)
+	case runner.StatusShed:
+		s.runsShed.Add(1)
+	default:
+		s.runsFailed.Add(1)
+	}
+	j.events.append(Event{
+		Kind: "cell", Job: j.id, Cell: name,
+		Status: string(status), Cached: cached, Detail: errMsg,
+	})
+	if last {
+		s.finalizeSweep(j)
+	}
+}
+
+// sweepReport is the JSON body served for a completed sweep.
+type sweepReport struct {
+	ID     string      `json:"id"`
+	Name   string      `json:"name"`
+	Engine string      `json:"engine"`
+	Cells  []cellState `json:"cells"`
+	Done   int         `json:"done"`
+	Cached int         `json:"cached"`
+	Failed int         `json:"failed"`
+}
+
+// finalizeSweep renders the aggregate report and resolves the job.
+func (s *Server) finalizeSweep(j *job) {
+	j.mu.Lock()
+	sr := sweepReport{ID: j.id, Name: j.name, Engine: s.engine,
+		Cells: append([]cellState(nil), j.cells...)}
+	j.mu.Unlock()
+	for _, c := range sr.Cells {
+		switch {
+		case c.Status == string(runner.StatusDone) && c.Cached:
+			sr.Done++
+			sr.Cached++
+		case c.Status == string(runner.StatusDone):
+			sr.Done++
+		default:
+			sr.Failed++
+		}
+	}
+	body, err := report.StableJSON(sr)
+	status, code, errMsg := jobDone, 200, ""
+	if err != nil {
+		status, code, errMsg, body = jobFailed, 500, err.Error(), nil
+	} else if sr.Failed > 0 {
+		// The sweep completed but not every cell did; the report still
+		// serves, the status says so.
+		status = jobFailed
+		errMsg = fmt.Sprintf("%d of %d cells failed", sr.Failed, len(sr.Cells))
+	}
+	j.finish(status, body, errMsg, code, false)
+	s.reg.complete(j)
+}

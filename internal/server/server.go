@@ -1,0 +1,572 @@
+// Package server turns the simulator into a long-running service:
+// an HTTP/JSON API that validates scenario specs, executes them on a
+// shared bounded runner pool, streams per-run progress and supervisor
+// audit events as NDJSON, and serves repeated scenarios byte-identically
+// from a content-addressed result cache keyed by the canonical spec hash
+// and the engine build — see DESIGN.md §8.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fcdpm/internal/config"
+	"fcdpm/internal/report"
+	"fcdpm/internal/runner"
+	"fcdpm/internal/version"
+)
+
+// Serving defaults.
+const (
+	// DefaultAddr binds loopback only; serving is an operator tool, not
+	// an internet face.
+	DefaultAddr = "127.0.0.1:8080"
+	// DefaultCacheBytes bounds the in-memory result cache (64 MiB).
+	DefaultCacheBytes = 64 << 20
+	// DefaultDrainTimeout bounds how long shutdown waits for in-flight
+	// runs before force-canceling them.
+	DefaultDrainTimeout = 30 * time.Second
+	// maxBodyBytes bounds a request body (scenario specs are small).
+	maxBodyBytes = 8 << 20
+	// maxSweepCells bounds one sweep request.
+	maxSweepCells = 4096
+)
+
+// Options tunes the service. The zero value serves on DefaultAddr with
+// a GOMAXPROCS-wide pool, a 64 MiB memory cache, and no disk tier.
+type Options struct {
+	// Addr is the listen address (default DefaultAddr).
+	Addr string
+	// Workers and Queue size the shared runner pool (runner.Options).
+	Workers, Queue int
+	// RunTimeout is the per-attempt simulation deadline; 0 means none.
+	RunTimeout time.Duration
+	// Retries re-runs retryable failures (default 0: fail fast).
+	Retries int
+	// DrainTimeout bounds graceful shutdown (default DefaultDrainTimeout).
+	DrainTimeout time.Duration
+	// CacheBytes bounds the memory result cache (default
+	// DefaultCacheBytes); negative disables the memory tier.
+	CacheBytes int64
+	// CacheDir, when set, persists every cached report to disk with the
+	// journal's fsync+atomic-rename discipline, surviving restarts.
+	CacheDir string
+	// RetainJobs bounds how many completed jobs stay queryable (default
+	// 512).
+	RetainJobs int
+	// Logf receives operational log lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Addr == "" {
+		o.Addr = DefaultAddr
+	}
+	// Mirror the pool's sizing defaults so /v1/stats reports real values.
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Queue <= 0 {
+		o.Queue = 2 * o.Workers
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = DefaultCacheBytes
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = DefaultDrainTimeout
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Server is the simulation service: a shared runner pool, a job
+// registry, and the content-addressed result cache behind an
+// http.Handler.
+type Server struct {
+	opts     Options
+	engine   string
+	started  time.Time
+	cache    *resultCache
+	reg      *registry
+	pool     *runner.Pool[struct{}]
+	poolStop context.CancelFunc
+	mux      *http.ServeMux
+
+	// taskJobs maps in-flight pool task IDs to their taskRef.
+	taskJobs sync.Map
+
+	// Run accounting for /v1/stats.
+	runsSubmitted, runsDone, runsFailed, runsShed atomic.Int64
+	runsCoalesced, inflightTasks                  atomic.Int64
+	draining                                      atomic.Bool
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New builds a Server. The pool gets its own context — deliberately not
+// the serve context — so that shutdown *drains* in-flight runs instead
+// of canceling them; Close force-cancels only after DrainTimeout.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	cache, err := newResultCache(opts.CacheBytes, opts.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:    opts,
+		engine:  version.Engine(),
+		started: time.Now(),
+		cache:   cache,
+		reg:     newRegistry(opts.RetainJobs),
+	}
+	poolCtx, cancel := context.WithCancel(context.Background())
+	s.poolStop = cancel
+	pool, err := runner.NewPool[struct{}](poolCtx, runner.Options{
+		Workers: opts.Workers, Queue: opts.Queue,
+		Timeout: opts.RunTimeout, Retries: opts.Retries,
+		ShedOverflow: true, StreamOutcomes: true,
+		OnEvent: s.onTaskEvent,
+	})
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	s.pool = pool
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/runs", s.handleRunPost)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepPost)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+}
+
+// writeJSON emits v stably encoded. Errors past the header are lost to
+// the wire, as always.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := report.StableJSON(v)
+	if err != nil {
+		http.Error(w, `{"error":"encode failure"}`, 500)
+		return
+	}
+	writeBody(w, code, b)
+}
+
+func writeBody(w http.ResponseWriter, code int, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)+1))
+	w.WriteHeader(code)
+	w.Write(b)
+	w.Write([]byte("\n"))
+}
+
+// apiError is every non-2xx body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeSpec reads and validates one scenario spec from the body.
+func decodeSpec(w http.ResponseWriter, r *http.Request) (*config.Scenario, bool) {
+	spec, err := config.LoadValidated(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeErr(w, 400, "invalid scenario: %v", err)
+		return nil, false
+	}
+	return spec, true
+}
+
+// handleRunPost accepts one scenario. Cache hit → the stored bytes,
+// verbatim. Miss → coalesce with any identical in-flight run or submit
+// a fresh pool task; respond when it resolves (or immediately with 202
+// under ?async=1).
+func (s *Server) handleRunPost(w http.ResponseWriter, r *http.Request) {
+	spec, ok := decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	key, err := spec.CacheKey(s.engine)
+	if err != nil {
+		writeErr(w, 400, "invalid scenario: %v", err)
+		return
+	}
+	w.Header().Set("X-Fcdpm-Key", key)
+	if body, ok := s.cache.get(key); ok {
+		w.Header().Set("X-Fcdpm-Cache", "hit")
+		writeBody(w, 200, body)
+		return
+	}
+	if s.draining.Load() {
+		writeErr(w, 503, "draining")
+		return
+	}
+	name := spec.Name
+	if name == "" {
+		name = "run"
+	}
+	j, coalesced := s.reg.leaseRun(key, name)
+	if coalesced {
+		s.runsCoalesced.Add(1)
+	} else {
+		s.runsSubmitted.Add(1)
+		j.events.append(Event{Kind: "accepted", Job: j.id, Detail: "key " + key})
+		s.submitRun(j, taskRef{job: j, cell: -1}, spec, key, name)
+	}
+	if isAsync(r) {
+		writeJSON(w, 202, map[string]string{
+			"id": j.id, "key": key, "status": string(jobQueued),
+			"events": "/v1/runs/" + j.id + "/events",
+		})
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		writeErr(w, 499, "client went away")
+		return
+	}
+	s.writeOutcome(w, j, coalesced)
+}
+
+// submitRun registers the task→job route and hands the pool the work.
+// Shed/interrupted submissions resolve through onTaskEvent; only a
+// closed pool refuses without an event, handled here.
+func (s *Server) submitRun(j *job, ref taskRef, spec *config.Scenario, key, name string) {
+	id := j.id
+	if ref.cell >= 0 {
+		id = fmt.Sprintf("%s/%04d", j.id, ref.cell)
+	}
+	s.taskJobs.Store(id, ref)
+	s.inflightTasks.Add(1)
+	err := s.pool.Submit(runner.Task[struct{}]{
+		ID:       id,
+		Scenario: key,
+		Run:      s.runTask(j, ref, spec, key, name),
+	})
+	if errors.Is(err, runner.ErrClosed) {
+		s.taskJobs.Delete(id)
+		s.inflightTasks.Add(-1)
+		if ref.cell >= 0 {
+			s.cellDone(j, ref.cell, runner.StatusInterrupted, false, "draining")
+			return
+		}
+		s.runsFailed.Add(1)
+		j.finish(jobFailed, nil, "draining", 503, false)
+		s.reg.complete(j)
+	}
+}
+
+// writeOutcome renders a resolved run job.
+func (s *Server) writeOutcome(w http.ResponseWriter, j *job, coalesced bool) {
+	status, body, errMsg, code := j.outcome()
+	if status == jobDone {
+		tag := "miss"
+		if coalesced {
+			tag = "coalesced"
+		}
+		w.Header().Set("X-Fcdpm-Cache", tag)
+		writeBody(w, code, body)
+		return
+	}
+	writeErr(w, code, "%s", errMsg)
+}
+
+func isAsync(r *http.Request) bool {
+	v := r.URL.Query().Get("async")
+	return v == "1" || v == "true"
+}
+
+// sweepRequest is the POST /v1/sweeps body.
+type sweepRequest struct {
+	Name      string            `json:"name"`
+	Scenarios []json.RawMessage `json:"scenarios"`
+}
+
+// handleSweepPost validates every cell up front (a sweep with a bad
+// cell is rejected whole), resolves cached cells immediately, submits
+// the rest, and returns 202 — sweep results are fetched by ID or
+// streamed.
+func (s *Server) handleSweepPost(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, 400, "invalid sweep request: %v", err)
+		return
+	}
+	if len(req.Scenarios) == 0 {
+		writeErr(w, 400, "sweep has no scenarios")
+		return
+	}
+	if len(req.Scenarios) > maxSweepCells {
+		writeErr(w, 400, "sweep exceeds %d cells", maxSweepCells)
+		return
+	}
+	specs := make([]*config.Scenario, len(req.Scenarios))
+	keys := make([]string, len(req.Scenarios))
+	for i, raw := range req.Scenarios {
+		spec, err := config.LoadValidated(bytes.NewReader(raw))
+		if err != nil {
+			writeErr(w, 400, "scenario %d: %v", i, err)
+			return
+		}
+		key, err := spec.CacheKey(s.engine)
+		if err != nil {
+			writeErr(w, 400, "scenario %d: %v", i, err)
+			return
+		}
+		specs[i], keys[i] = spec, key
+	}
+	if s.draining.Load() {
+		writeErr(w, 503, "draining")
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "sweep"
+	}
+	j := s.reg.newJob(jobSweep, "", name)
+	j.cells = make([]cellState, len(specs))
+	j.remaining = len(specs)
+	for i, spec := range specs {
+		cn := spec.Name
+		if cn == "" {
+			cn = fmt.Sprintf("cell-%04d", i)
+		}
+		j.cells[i] = cellState{Name: cn, Key: keys[i], Status: "queued"}
+	}
+	j.events.append(Event{
+		Kind: "accepted", Job: j.id,
+		Detail: fmt.Sprintf("%d cells", len(specs)),
+	})
+	for i, spec := range specs {
+		if _, ok := s.cache.get(keys[i]); ok {
+			s.cellDone(j, i, runner.StatusDone, true, "")
+			continue
+		}
+		s.runsSubmitted.Add(1)
+		s.submitRun(j, taskRef{job: j, cell: i}, spec, keys[i], j.cells[i].Name)
+	}
+	writeJSON(w, 202, map[string]any{
+		"id": j.id, "cells": len(keys), "status": string(jobQueued),
+		"events": "/v1/sweeps/" + j.id + "/events",
+	})
+}
+
+// handleJobGet reports a job: the stable report body once done, a
+// status document while pending, the failure otherwise.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.reg.lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, 404, "unknown job")
+		return
+	}
+	select {
+	case <-j.done:
+	default:
+		st := map[string]any{"id": j.id, "status": string(jobQueued)}
+		if j.kind == jobSweep {
+			j.mu.Lock()
+			st["remaining"] = j.remaining
+			st["cells"] = len(j.cells)
+			j.mu.Unlock()
+		}
+		writeJSON(w, 200, st)
+		return
+	}
+	if j.kind == jobRun && j.key != "" {
+		w.Header().Set("X-Fcdpm-Key", j.key)
+	}
+	status, body, errMsg, code := j.outcome()
+	if body != nil {
+		writeBody(w, code, body)
+		return
+	}
+	writeErr(w, code, "%s: %s", status, errMsg)
+}
+
+// handleJobEvents tails the job's event log as NDJSON until the job
+// resolves or the client disconnects. Flushes per line, so progress is
+// observable live.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.reg.lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, 404, "unknown job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(200)
+	fl, _ := w.(http.Flusher)
+	for i := 0; ; i++ {
+		line, ok := j.events.next(r.Context(), i)
+		if !ok {
+			return
+		}
+		w.Write(line)
+		w.Write([]byte("\n"))
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+}
+
+// healthz is the liveness document: build identity and uptime.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, 200, map[string]any{
+		"status":  status,
+		"engine":  s.engine,
+		"build":   version.Get(),
+		"uptimeS": time.Since(s.started).Seconds(),
+	})
+}
+
+// statsPayload is the /v1/stats document.
+type statsPayload struct {
+	Pool  poolStatsDoc `json:"pool"`
+	Runs  runStatsDoc  `json:"runs"`
+	Cache cacheStats   `json:"cache"`
+	Jobs  jobStatsDoc  `json:"jobs"`
+}
+
+type poolStatsDoc struct {
+	Workers  int   `json:"workers"`
+	Queue    int   `json:"queue"`
+	Inflight int64 `json:"inflight"`
+}
+
+type runStatsDoc struct {
+	Submitted int64 `json:"submitted"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Shed      int64 `json:"shed"`
+	Coalesced int64 `json:"coalesced"`
+}
+
+type jobStatsDoc struct {
+	Active   int `json:"active"`
+	Retained int `json:"retained"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	active, retained := s.reg.counts()
+	writeJSON(w, 200, statsPayload{
+		Pool: poolStatsDoc{
+			Workers:  s.opts.Workers,
+			Queue:    s.opts.Queue,
+			Inflight: s.inflightTasks.Load(),
+		},
+		Runs: runStatsDoc{
+			Submitted: s.runsSubmitted.Load(),
+			Done:      s.runsDone.Load(),
+			Failed:    s.runsFailed.Load(),
+			Shed:      s.runsShed.Load(),
+			Coalesced: s.runsCoalesced.Load(),
+		},
+		Cache: s.cache.stats(),
+		Jobs:  jobStatsDoc{Active: active, Retained: retained},
+	})
+}
+
+// Close drains the service: admission stops, in-flight runs finish
+// (bounded by DrainTimeout, then force-canceled). A forced drain
+// returns an error wrapping runner.ErrInterrupted so callers keep the
+// exit-code discipline (3: interrupted).
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		done := make(chan error, 1)
+		go func() {
+			_, err := s.pool.Drain()
+			done <- err
+		}()
+		var err error
+		select {
+		case err = <-done:
+		case <-time.After(s.opts.DrainTimeout):
+			s.opts.Logf("fcdpm serve: drain timeout after %s, canceling in-flight runs", s.opts.DrainTimeout)
+			s.poolStop()
+			err = <-done
+		}
+		s.poolStop()
+		if err != nil {
+			s.closeErr = fmt.Errorf("server: drain: %w", err)
+		}
+	})
+	return s.closeErr
+}
+
+// Serve runs the service until ctx is canceled (SIGTERM/SIGINT in the
+// CLI), then shuts down gracefully: the listener closes, in-flight
+// requests and runs drain, the cache's disk tier is already durable. A
+// clean drain returns nil; a forced one wraps runner.ErrInterrupted.
+func Serve(ctx context.Context, opts Options) error {
+	s, err := New(opts)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		s.Close()
+		return fmt.Errorf("server: listen: %w", err)
+	}
+	s.opts.Logf("fcdpm serve: listening on http://%s (engine %s)", ln.Addr(), s.engine)
+	hs := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		s.Close()
+		return fmt.Errorf("server: %w", err)
+	case <-ctx.Done():
+	}
+	s.opts.Logf("fcdpm serve: draining (admission closed, in-flight runs finishing)")
+	// Pool drain and HTTP shutdown proceed together: handlers blocked on
+	// pending jobs resolve as workers finish, which lets Shutdown return.
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- s.Close() }()
+	shutCtx, cancel := context.WithTimeout(context.Background(),
+		s.opts.DrainTimeout+5*time.Second)
+	defer cancel()
+	herr := hs.Shutdown(shutCtx)
+	cerr := <-drainErr
+	if cerr != nil {
+		return cerr
+	}
+	if herr != nil {
+		return fmt.Errorf("server: shutdown forced: %w (%v)", runner.ErrInterrupted, herr)
+	}
+	s.opts.Logf("fcdpm serve: drained cleanly")
+	return nil
+}

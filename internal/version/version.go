@@ -1,0 +1,92 @@
+// Package version reports what build of fcdpm is running: the module
+// version and the VCS revision baked in by the Go toolchain. The serving
+// subsystem folds this into its result-cache keys, so a report computed
+// by one engine build is never served as the answer for another.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// Info describes the running build.
+type Info struct {
+	// Module is the main module path ("fcdpm").
+	Module string `json:"module"`
+	// Version is the module version ("(devel)" for source builds).
+	Version string `json:"version"`
+	// Revision is the VCS commit hash, when the build carried one.
+	Revision string `json:"revision,omitempty"`
+	// Time is the VCS commit time (RFC 3339), when known.
+	Time string `json:"time,omitempty"`
+	// Modified reports a dirty worktree at build time.
+	Modified bool `json:"modified,omitempty"`
+	// Go is the toolchain version that produced the binary.
+	Go string `json:"go"`
+}
+
+// get reads the build info once; the result never changes in-process.
+var get = sync.OnceValue(func() Info {
+	info := Info{Module: "fcdpm", Version: "(devel)"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Path != "" {
+		info.Module = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	info.Go = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+})
+
+// Get returns the build description of the running binary.
+func Get() Info { return get() }
+
+// String renders the build for humans: "fcdpm (devel) rev 1a2b3c4d+dirty
+// (go1.22)".
+func (i Info) String() string {
+	s := fmt.Sprintf("%s %s", i.Module, i.Version)
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if i.Modified {
+			s += "+dirty"
+		}
+	}
+	if i.Go != "" {
+		s += fmt.Sprintf(" (%s)", i.Go)
+	}
+	return s
+}
+
+// Engine is the compact build tag folded into content-addressed result
+// cache keys: identical scenario specs evaluated by different engine
+// builds must hash to different addresses.
+func Engine() string {
+	i := Get()
+	tag := i.Version
+	if i.Revision != "" {
+		tag += "@" + i.Revision
+		if i.Modified {
+			tag += "+dirty"
+		}
+	}
+	return tag
+}

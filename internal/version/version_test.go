@@ -1,0 +1,33 @@
+package version
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGetStable(t *testing.T) {
+	a, b := Get(), Get()
+	if a != b {
+		t.Fatalf("Get not stable: %+v vs %+v", a, b)
+	}
+	if a.Module == "" || a.Version == "" {
+		t.Fatalf("missing module/version: %+v", a)
+	}
+}
+
+func TestStringAndEngine(t *testing.T) {
+	i := Info{Module: "fcdpm", Version: "v1.2.3",
+		Revision: "0123456789abcdef0123", Modified: true, Go: "go1.22"}
+	s := i.String()
+	for _, want := range []string{"fcdpm v1.2.3", "rev 0123456789ab", "+dirty", "go1.22"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if e := Engine(); e == "" {
+		t.Fatal("Engine() empty")
+	}
+	if Engine() != Engine() {
+		t.Fatal("Engine not stable")
+	}
+}

@@ -1,0 +1,142 @@
+package fcdpm
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fcdpm/internal/runner"
+)
+
+// TestMarkRetryableRoundTrip drives the facade's retry marker through
+// the engine: a marked failure is re-attempted until it succeeds, an
+// unmarked one fails fast, and the failure surfaces as a *RunError with
+// its attempt count.
+func TestMarkRetryableRoundTrip(t *testing.T) {
+	calls := 0
+	rep, err := runner.Run(context.Background(), runner.Options{
+		Workers: 1, Retries: 3, BackoffBase: time.Microsecond, BackoffMax: time.Microsecond,
+	}, []runner.Task[int]{
+		{ID: "flaky", Run: func(context.Context) (int, error) {
+			calls++
+			if calls < 3 {
+				return 0, MarkRetryable(errors.New("transient"))
+			}
+			return 42, nil
+		}},
+		{ID: "fatal", Run: func(context.Context) (int, error) {
+			return 0, errors.New("deterministic")
+		}},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Done != 1 || rep.Failed != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	for _, o := range rep.Outcomes {
+		switch o.ID {
+		case "flaky":
+			if o.Status != runner.StatusDone || o.Result != 42 || o.Attempts != 3 {
+				t.Fatalf("flaky outcome: %+v", o)
+			}
+		case "fatal":
+			if o.Attempts != 1 {
+				t.Fatalf("unmarked error was retried: %+v", o)
+			}
+			var re *RunError
+			if !errors.As(o.Err, &re) || re.Attempts != 1 {
+				t.Fatalf("failure not a *RunError: %v", o.Err)
+			}
+		}
+	}
+}
+
+// TestFaultSweepOptsPassthrough verifies the facade forwards its
+// orchestration options: the sweep journals under the given path, and a
+// re-run resumes every cell instead of re-simulating any.
+func TestFaultSweepOptsPassthrough(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
+	first, err := FaultSweepOpts(context.Background(), 3, FaultSweepOptions{
+		Workers: 2, Journal: journal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Rows) == 0 || first.Resumed != 0 {
+		t.Fatalf("first pass: %d rows, %d resumed", len(first.Rows), first.Resumed)
+	}
+	second, err := FaultSweepOpts(context.Background(), 3, FaultSweepOptions{
+		Workers: 2, Journal: journal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Resumed != len(second.Rows) {
+		t.Fatalf("re-run resumed %d of %d cells", second.Resumed, len(second.Rows))
+	}
+	// Journaled rows must carry the same physics as fresh ones.
+	if len(second.Rows) != len(first.Rows) {
+		t.Fatalf("row count drifted: %d vs %d", len(second.Rows), len(first.Rows))
+	}
+	for i := range first.Rows {
+		if first.Rows[i] != second.Rows[i] {
+			t.Fatalf("row %d drifted across resume:\n%+v\n%+v", i, first.Rows[i], second.Rows[i])
+		}
+	}
+}
+
+// TestErrSweepInterruptedIdentity pins the facade alias to the engine
+// sentinel — the CLI's exit-code-3 contract depends on errors.Is
+// working across the boundary.
+func TestErrSweepInterruptedIdentity(t *testing.T) {
+	if !errors.Is(ErrSweepInterrupted, runner.ErrInterrupted) {
+		t.Fatal("ErrSweepInterrupted lost its identity")
+	}
+	wrapped := &RunError{ID: "x", Err: runner.ErrInterrupted}
+	if !errors.Is(wrapped, ErrSweepInterrupted) {
+		t.Fatal("wrapped interruption not detected through the facade alias")
+	}
+}
+
+// TestServeFacade boots the service through the facade, hits /healthz,
+// and drains it by canceling the context — the library-level version of
+// the CLI's SIGTERM path.
+func TestServeFacade(t *testing.T) {
+	if Build().Go == "" {
+		t.Fatal("Build() missing toolchain")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- Serve(ctx, ServeOptions{Addr: "127.0.0.1:38471", Workers: 1})
+	}()
+	// Wait for the listener, then check liveness.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get("http://127.0.0.1:38471/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Fatalf("healthz: %d", resp.StatusCode)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("service never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not drain")
+	}
+}

@@ -1,0 +1,34 @@
+package fcdpm
+
+import (
+	"context"
+
+	"fcdpm/internal/server"
+	"fcdpm/internal/version"
+)
+
+// This file exposes the serving subsystem: the long-running simulation
+// service behind `fcdpm serve` (see DESIGN.md §8).
+
+// ServeOptions tunes the simulation service: listen address, pool
+// sizing, per-run deadlines, the content-addressed result cache, and
+// the graceful-drain budget. The zero value serves on 127.0.0.1:8080
+// with a GOMAXPROCS-wide pool and a 64 MiB memory cache.
+type ServeOptions = server.Options
+
+// Serve runs the simulation service until ctx is canceled, then drains
+// gracefully: in-flight runs finish, new admissions are shed, and the
+// cache's disk tier (when configured) stays durable. A clean drain
+// returns nil; a drain that exceeded its budget returns an error
+// wrapping ErrSweepInterrupted, preserving the CLI exit-code contract.
+func Serve(ctx context.Context, opts ServeOptions) error {
+	return server.Serve(ctx, opts)
+}
+
+// BuildInfo identifies the running build: module version, VCS revision,
+// dirty flag, and toolchain. The service reports it from /healthz and
+// pins every cache key to it, so two builds never share addresses.
+type BuildInfo = version.Info
+
+// Build returns this binary's BuildInfo.
+func Build() BuildInfo { return version.Get() }
