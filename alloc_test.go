@@ -1,0 +1,83 @@
+package fcdpm
+
+// Allocation-budget pins for the hot paths. These are hard gates, not
+// benchmarks: the zero-allocation steady state of the simulation core is
+// an API guarantee (SimRunner + RecordFuelOnly), and testing.AllocsPerRun
+// catches any accidental per-run allocation the day it is introduced.
+
+import "testing"
+
+// newThroughputRunner builds the benchmark configuration: FC-DPM over the
+// camcorder trace at the fuel-only record level.
+func newThroughputRunner(t testing.TB) *SimRunner {
+	sys := PaperSystem()
+	dev := Camcorder()
+	trace, err := CamcorderTrace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewSimRunner(SimConfig{
+		Sys: sys, Dev: dev, Store: MustSuperCap(6, 1),
+		Trace: trace, Policy: NewFCDPM(sys, dev),
+		Record: RecordFuelOnly,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSimRunSteadyStateZeroAllocs(t *testing.T) {
+	r := newThroughputRunner(t)
+	// Warm-up run: lazily grown buffers (idle-length history, event log
+	// capacity) settle on the first pass.
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SimRunner.Run allocates %v times per steady-state run at RecordFuelOnly, want 0", allocs)
+	}
+}
+
+func TestSimRunnerResultsStayIdentical(t *testing.T) {
+	// The arena reuse must not leak state between runs: every repeat is
+	// the same simulation, so its totals must match the first bit for bit.
+	r := newThroughputRunner(t)
+	first, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fuel, deficit, final := first.Fuel, first.Deficit, first.FinalCharge
+	for i := 0; i < 3; i++ {
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Fuel != fuel || res.Deficit != deficit || res.FinalCharge != final {
+			t.Fatalf("run %d diverged: fuel %v/%v deficit %v/%v final %v/%v",
+				i, res.Fuel, fuel, res.Deficit, deficit, res.FinalCharge, final)
+		}
+	}
+}
+
+func TestOptimizeSlotZeroAllocs(t *testing.T) {
+	sys := PaperSystem()
+	slot := OptSlot{
+		Ti: 14, IldI: 0.2, Ta: 3.03, IldA: 1.22, Cini: 1, Cend: 1,
+		Sleep:    true,
+		Overhead: &OptOverhead{TauWU: 0.5, IWU: 0.4, TauPD: 0.5, IPD: 0.4},
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := OptimizeSlot(sys, 6, slot); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("OptimizeSlot allocates %v times per call, want 0", allocs)
+	}
+}

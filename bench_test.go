@@ -8,7 +8,9 @@ package fcdpm
 //	go test -bench=. -benchmem
 //
 // doubles as the reproduction harness. cmd/fcdpm-bench writes the same
-// artifacts to CSV files.
+// artifacts to CSV files; performance regressions are gated separately by
+// `fcdpm bench` (internal/perf, DESIGN.md §9), which runs a small stable
+// suite repeatedly and compares BENCH_*.json artifacts across commits.
 
 import (
 	"fmt"
@@ -33,6 +35,7 @@ func once(name string, f func()) {
 // BenchmarkFig2StackCurve regenerates the stack I-V-P characteristic
 // (Fig 2).
 func BenchmarkFig2StackCurve(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts := exp.Fig2Series(60)
 		if len(pts) == 0 {
@@ -51,6 +54,7 @@ func BenchmarkFig2StackCurve(b *testing.B) {
 
 // BenchmarkFig3Efficiency regenerates the three efficiency curves (Fig 3).
 func BenchmarkFig3Efficiency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Fig3Series(60); err != nil {
 			b.Fatal(err)
@@ -75,6 +79,7 @@ func BenchmarkFig3Efficiency(b *testing.B) {
 
 // BenchmarkFig4Motivational regenerates the §3.2 / Fig 4 worked example.
 func BenchmarkFig4Motivational(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.MotivationalExample(); err != nil {
 			b.Fatal(err)
@@ -153,6 +158,7 @@ func BenchmarkTable3Exp2(b *testing.B) {
 
 // BenchmarkFig7Profiles regenerates the 300 s current profiles (Fig 7).
 func BenchmarkFig7Profiles(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Fig7(1, 300); err != nil {
 			b.Fatal(err)
@@ -191,6 +197,7 @@ func BenchmarkFig7Profiles(b *testing.B) {
 
 // BenchmarkAblationCapacity sweeps the storage capacity.
 func BenchmarkAblationCapacity(b *testing.B) {
+	b.ReportAllocs()
 	caps := []float64{1, 3, 6, 12, 24, 60}
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.CapacitySweep(1, caps); err != nil {
@@ -214,6 +221,7 @@ func BenchmarkAblationCapacity(b *testing.B) {
 
 // BenchmarkAblationBeta sweeps the efficiency slope β.
 func BenchmarkAblationBeta(b *testing.B) {
+	b.ReportAllocs()
 	betas := []float64{0, 0.05, 0.13, 0.20, 0.30}
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.BetaSweep(1, betas); err != nil {
@@ -237,6 +245,7 @@ func BenchmarkAblationBeta(b *testing.B) {
 
 // BenchmarkAblationPredictors compares idle-period predictors.
 func BenchmarkAblationPredictors(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.PredictorAblation(1); err != nil {
 			b.Fatal(err)
@@ -262,6 +271,7 @@ func BenchmarkAblationPredictors(b *testing.B) {
 // BenchmarkAblationConstantEta reruns Exp 1 under the flat-ηs configuration
 // of [10, 11].
 func BenchmarkAblationConstantEta(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := exp.ConstantEtaAblation(1); err != nil {
 			b.Fatal(err)
@@ -282,6 +292,7 @@ func BenchmarkAblationConstantEta(b *testing.B) {
 // BenchmarkAblationStorageModel contrasts the ideal supercap with the KiBaM
 // Li-ion model.
 func BenchmarkAblationStorageModel(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := exp.StorageModelAblation(1); err != nil {
 			b.Fatal(err)
@@ -300,6 +311,7 @@ func BenchmarkAblationStorageModel(b *testing.B) {
 
 // BenchmarkAblationDPMMode compares device-side sleep policies.
 func BenchmarkAblationDPMMode(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.DPMModeAblation(1); err != nil {
 			b.Fatal(err)
@@ -324,6 +336,7 @@ func BenchmarkAblationDPMMode(b *testing.B) {
 // BenchmarkAblationFlatOracle measures FC-DPM's gap to the offline flat
 // bound.
 func BenchmarkAblationFlatOracle(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := exp.FlatOracle(1); err != nil {
 			b.Fatal(err)
@@ -361,7 +374,9 @@ func BenchmarkOptimizeSlot(b *testing.B) {
 }
 
 // BenchmarkSimulateSlotThroughput measures raw simulation throughput in
-// slots/op over the camcorder trace.
+// slots/op over the camcorder trace, on the steady-state fast path: a
+// reused SimRunner at the fuel-only record level (zero allocations per
+// run once warm).
 func BenchmarkSimulateSlotThroughput(b *testing.B) {
 	sys := PaperSystem()
 	dev := Camcorder()
@@ -369,14 +384,18 @@ func BenchmarkSimulateSlotThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	r, err := NewSimRunner(SimConfig{
+		Sys: sys, Dev: dev, Store: MustSuperCap(6, 1),
+		Trace: trace, Policy: NewFCDPM(sys, dev),
+		Record: RecordFuelOnly,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := Run(SimConfig{
-			Sys: sys, Dev: dev, Store: MustSuperCap(6, 1),
-			Trace: trace, Policy: NewFCDPM(sys, dev),
-		})
-		if err != nil {
+		if _, err := r.Run(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -385,6 +404,7 @@ func BenchmarkSimulateSlotThroughput(b *testing.B) {
 
 // BenchmarkStackCurrent measures the Eq 4 fuel map.
 func BenchmarkStackCurrent(b *testing.B) {
+	b.ReportAllocs()
 	sys := PaperSystem()
 	var sink float64
 	for i := 0; i < b.N; i++ {
@@ -396,6 +416,7 @@ func BenchmarkStackCurrent(b *testing.B) {
 // BenchmarkAblationQuantizedLevels sweeps discrete FC output-level counts
 // (the multi-level configuration of [11]).
 func BenchmarkAblationQuantizedLevels(b *testing.B) {
+	b.ReportAllocs()
 	counts := []int{2, 3, 4, 8, 16}
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.QuantizedSweep(1, counts); err != nil {
@@ -425,6 +446,7 @@ func BenchmarkAblationQuantizedLevels(b *testing.B) {
 // BenchmarkAblationOfflineDP measures the dynamic-programming offline
 // oracle and FC-DPM's gap to it.
 func BenchmarkAblationOfflineDP(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := exp.OfflineOracleDP(1, 48); err != nil {
 			b.Fatal(err)
@@ -445,6 +467,7 @@ func BenchmarkAblationOfflineDP(b *testing.B) {
 // BenchmarkAblationTimeoutDPM compares classic timeout DPM to the paper's
 // predictive DPM under the FC-DPM source policy.
 func BenchmarkAblationTimeoutDPM(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := exp.TimeoutAblation(1); err != nil {
 			b.Fatal(err)
@@ -464,6 +487,7 @@ func BenchmarkAblationTimeoutDPM(b *testing.B) {
 
 // BenchmarkHydrogenReport converts Table 2 into physical hydrogen terms.
 func BenchmarkHydrogenReport(b *testing.B) {
+	b.ReportAllocs()
 	cmp, err := exp.Experiment1(1)
 	if err != nil {
 		b.Fatal(err)
@@ -492,6 +516,7 @@ func BenchmarkHydrogenReport(b *testing.B) {
 
 // BenchmarkMultiSeed reports cross-seed reproduction error bars.
 func BenchmarkMultiSeed(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.MultiSeed(1, 5); err != nil {
 			b.Fatal(err)
@@ -514,6 +539,7 @@ func BenchmarkMultiSeed(b *testing.B) {
 // BenchmarkAblationSlewRate measures both policies under FC fuel-flow
 // slew-rate limits.
 func BenchmarkAblationSlewRate(b *testing.B) {
+	b.ReportAllocs()
 	rates := []float64{0, 0.5, 0.1, 0.02}
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.SlewAblation(1, rates); err != nil {
@@ -538,6 +564,7 @@ func BenchmarkAblationSlewRate(b *testing.B) {
 
 // BenchmarkDVSStudy runs the prior-work [10] DVS companion study.
 func BenchmarkDVSStudy(b *testing.B) {
+	b.ReportAllocs()
 	proc := dvs.XScale600()
 	proc.LeakPower = 1.1
 	task := dvs.Task{Cycles: 3e8, Period: 4, Jobs: 50}
@@ -568,6 +595,7 @@ func BenchmarkDVSStudy(b *testing.B) {
 // BenchmarkAblationBatteryAware quantifies the paper's §1 claim that
 // battery-aware shaping does not transfer to fuel cells.
 func BenchmarkAblationBatteryAware(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := exp.BatteryAwareAblation(1); err != nil {
 			b.Fatal(err)
@@ -588,6 +616,7 @@ func BenchmarkAblationBatteryAware(b *testing.B) {
 // BenchmarkAblationAggregation measures idle aggregation (task
 // procrastination, [6, 7]) under FC-DPM.
 func BenchmarkAblationAggregation(b *testing.B) {
+	b.ReportAllocs()
 	ks := []int{1, 2, 4, 8}
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.AggregationAblation(1, ks); err != nil {
@@ -613,6 +642,7 @@ func BenchmarkAblationAggregation(b *testing.B) {
 // the three source policies plus the sleep-policy comparison where
 // reactive timeout beats history-based prediction.
 func BenchmarkExperiment3HeavyTail(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Experiment3(3); err != nil {
 			b.Fatal(err)
@@ -643,6 +673,7 @@ func BenchmarkExperiment3HeavyTail(b *testing.B) {
 // BenchmarkAblationActuation measures the dead-band policy: set-point
 // commands vs fuel.
 func BenchmarkAblationActuation(b *testing.B) {
+	b.ReportAllocs()
 	eps := []float64{0, 0.02, 0.05, 0.1, 0.2}
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.ActuationAblation(1, eps); err != nil {
@@ -667,6 +698,7 @@ func BenchmarkAblationActuation(b *testing.B) {
 // BenchmarkAblationCalibration propagates ±10 % calibration error in
 // (α, β) through Table 2.
 func BenchmarkAblationCalibration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.CalibrationUncertainty(1, 0.1); err != nil {
 			b.Fatal(err)
@@ -690,6 +722,7 @@ func BenchmarkAblationCalibration(b *testing.B) {
 
 // BenchmarkExperiment4HDD runs the disk-platform generality check.
 func BenchmarkExperiment4HDD(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Experiment4(4); err != nil {
 			b.Fatal(err)
@@ -709,6 +742,7 @@ func BenchmarkExperiment4HDD(b *testing.B) {
 // BenchmarkAblationThermalStress integrates the lumped stack-temperature
 // model over each policy's output profile.
 func BenchmarkAblationThermalStress(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.ThermalStressAblation(1); err != nil {
 			b.Fatal(err)
@@ -734,6 +768,7 @@ func BenchmarkAblationThermalStress(b *testing.B) {
 // documented negative result that lookahead buys nothing at the paper's
 // storage scale.
 func BenchmarkAblationMPC(b *testing.B) {
+	b.ReportAllocs()
 	horizons := []int{1, 3, 5}
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.MPCAblation(1, horizons); err != nil {
@@ -757,6 +792,7 @@ func BenchmarkAblationMPC(b *testing.B) {
 
 // BenchmarkConformance runs the full paper-vs-measured conformance suite.
 func BenchmarkConformance(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		checks, err := exp.Conformance(1)
 		if err != nil {
@@ -782,6 +818,7 @@ func BenchmarkConformance(b *testing.B) {
 // BenchmarkBurstyPredictors runs the regime-switching predictor study —
 // the workload class where predictor choice finally matters end to end.
 func BenchmarkBurstyPredictors(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.BurstyPredictorStudy(4); err != nil {
 			b.Fatal(err)
@@ -805,6 +842,7 @@ func BenchmarkBurstyPredictors(b *testing.B) {
 
 // BenchmarkRobustness runs the Monte-Carlo model-uncertainty study.
 func BenchmarkRobustness(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.RobustnessStudy(1, 10, 0.1); err != nil {
 			b.Fatal(err)

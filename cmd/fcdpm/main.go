@@ -13,7 +13,8 @@
 //	fcdpm sweep    [-what capacity|beta|rho] [-seed N]
 //	fcdpm faults   [-seed N] [-list] [-workers N] [-timeout S] [-retries N] [-journal FILE]
 //	fcdpm batch    [-workers N] [-timeout S] [-retries N] [-journal FILE] <scenario.json>...
-//	fcdpm serve    [-addr HOST:PORT] [-workers N] [-queue N] [-timeout S] [-retries N] [-cache-mb N] [-cache-dir DIR] [-drain S]
+//	fcdpm serve    [-addr HOST:PORT] [-workers N] [-queue N] [-timeout S] [-retries N] [-cache-mb N] [-cache-dir DIR] [-drain S] [-pprof]
+//	fcdpm bench    [-out DIR] [-repeat N] [-short] [-compare] [-threshold F]
 //	fcdpm version  [-json]
 //
 // Exit status: 0 on success, 1 on a run failure, 2 on command-line
@@ -119,6 +120,8 @@ func run(ctx context.Context, args []string) error {
 		return cmdBatch(ctx, rest)
 	case "serve":
 		return cmdServe(ctx, rest)
+	case "bench":
+		return cmdBench(rest)
 	case "version":
 		return cmdVersion(rest)
 	case "robust":
@@ -164,6 +167,9 @@ subcommands:
            scenario specs on a shared bounded pool, streams progress as
            NDJSON, and answers repeated scenarios byte-identically from
            a content-addressed result cache (see README "Serving")
+  bench    run the benchmark-regression suite, write a BENCH_*.json
+           artifact, and (with -compare) fail on throughput regression
+           against the latest stored artifact
   version  print the build identity (module version, VCS revision, Go)
   charge   ASCII plot of the storage charge trajectory under a policy
   faults   list fault classes and run the per-policy fault sweep

@@ -23,6 +23,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	cacheMB := fs.Int64("cache-mb", 64, "memory result-cache bound in MiB (negative disables)")
 	cacheDir := fs.String("cache-dir", "", "disk result-cache directory; cached reports survive restarts (empty: memory only)")
 	drain := fs.Float64("drain", 30, "graceful-shutdown drain budget in seconds")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes runtime internals; keep off in untrusted networks)")
 	pf := addPoolFlags(fs, "run")
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -41,6 +42,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		DrainTimeout: secondsFlag(*drain),
 		CacheBytes:   *cacheMB << 20,
 		CacheDir:     *cacheDir,
+		EnablePprof:  *pprofOn,
 		Logf:         logger.Printf,
 	})
 }

@@ -134,6 +134,24 @@ type (
 	DPMMode = sim.DPMMode
 	// ProfilePoint is one step of a recorded current profile (Fig 7).
 	ProfilePoint = sim.ProfilePoint
+	// SimRunner is a reusable simulation arena: allocate once with
+	// NewSimRunner, call Run repeatedly with zero steady-state
+	// allocations (sweeps, benchmarks, services).
+	SimRunner = sim.Runner
+	// RecordLevel selects how much per-run detail a simulation records.
+	RecordLevel = sim.RecordLevel
+)
+
+// Recording levels for SimConfig.Record.
+const (
+	// RecordAuto derives the level from the legacy RecordProfile /
+	// RecordSlots booleans.
+	RecordAuto = sim.RecordAuto
+	// RecordFuelOnly records scalar totals only — the zero-allocation
+	// fast path for sweeps that never read Profile/Charges/SlotLog.
+	RecordFuelOnly = sim.RecordFuelOnly
+	// RecordFull records the Fig 7 profiles and the per-slot audit log.
+	RecordFull = sim.RecordFull
 )
 
 // Experiment-harness types.
@@ -308,6 +326,12 @@ func Run(cfg SimConfig) (*Result, error) { return sim.Run(cfg) }
 func RunContext(ctx context.Context, cfg SimConfig) (*Result, error) {
 	return sim.RunContext(ctx, cfg)
 }
+
+// NewSimRunner validates cfg and allocates a reusable simulation arena.
+// Repeated Run calls reuse every buffer, so steady-state runs are
+// allocation-free at RecordFuelOnly; the returned Result aliases the
+// runner's buffers and is only valid until the next Run.
+func NewSimRunner(cfg SimConfig) (*SimRunner, error) { return sim.NewRunner(cfg) }
 
 // Fault-injection types (the robustness subsystem).
 type (

@@ -50,12 +50,21 @@ func CapacitySweep(seed uint64, capacities []float64) ([]SweepPoint, error) {
 // workers, panic isolation), preserving order. Each evaluation builds its
 // own scenario, so nothing is shared.
 func sweepParallel(xs []float64, f func(x float64) (SweepPoint, error)) ([]SweepPoint, error) {
-	tasks := make([]runner.Task[SweepPoint], len(xs))
-	for i, x := range xs {
-		x := x
-		tasks[i] = runner.Task[SweepPoint]{
-			ID:  runner.RunID("ablation", fmt.Sprintf("i=%d", i), fmt.Sprintf("x=%g", x)),
-			Run: func(context.Context) (SweepPoint, error) { return f(x) },
+	return fanOut("ablation", xs, f)
+}
+
+// fanOut evaluates f at each input concurrently on the run engine (bounded
+// workers, panic isolation) and returns the rows in input order, so sweep
+// tables stay deterministic regardless of completion order. Inputs must
+// not share mutable state across evaluations — build a fresh scenario (or
+// share only read-only ones) inside f.
+func fanOut[T, R any](name string, inputs []T, f func(in T) (R, error)) ([]R, error) {
+	tasks := make([]runner.Task[R], len(inputs))
+	for i, in := range inputs {
+		in := in
+		tasks[i] = runner.Task[R]{
+			ID:  runner.RunID(name, fmt.Sprintf("i=%d", i)),
+			Run: func(context.Context) (R, error) { return f(in) },
 		}
 	}
 	rep, err := runner.Run(context.Background(), runner.Options{}, tasks)
@@ -68,7 +77,7 @@ func sweepParallel(xs []float64, f func(x float64) (SweepPoint, error)) ([]Sweep
 	if err := rep.FirstError(); err != nil {
 		return nil, err
 	}
-	out := make([]SweepPoint, len(xs))
+	out := make([]R, len(inputs))
 	for i, o := range rep.Outcomes {
 		out[i] = o.Result
 	}
@@ -145,28 +154,26 @@ func PredictorAblation(seed uint64) ([]PredictorRow, error) {
 		func() predict.Predictor { return predict.NewMarkov(8, 8, 20, 14) },
 		func() predict.Predictor { return predict.NewOracle(idle, 14) },
 	}
-	var out []PredictorRow
-	for _, mk := range preds {
+	return fanOut("predictor", preds, func(mk func() predict.Predictor) (PredictorRow, error) {
 		sc, err := Experiment1Scenario(seed)
 		if err != nil {
-			return nil, err
+			return PredictorRow{}, err
 		}
 		sc.IdlePred = mk
 		cmp, err := sc.Compare(sc.Policies())
 		if err != nil {
-			return nil, err
+			return PredictorRow{}, err
 		}
 		acc, err := predict.Evaluate(mk(), idle)
 		if err != nil {
-			return nil, err
+			return PredictorRow{}, err
 		}
-		out = append(out, PredictorRow{
+		return PredictorRow{
 			Predictor:    mk().Name(),
 			Accuracy:     acc,
 			FCNormalized: cmp.Row("FC-DPM").Normalized,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // ConstantEtaAblation reruns Experiment 1 with the constant-efficiency
@@ -219,18 +226,21 @@ func StorageModelAblation(seed uint64) (super, liion *Comparison, err error) {
 
 // DPMModeAblation reruns Experiment 1 under each device-side sleep policy.
 func DPMModeAblation(seed uint64) (map[string]*Comparison, error) {
-	out := make(map[string]*Comparison)
-	for _, mode := range []sim.DPMMode{sim.DPMPredictive, sim.DPMNeverSleep, sim.DPMAlwaysSleep, sim.DPMOracle} {
+	modes := []sim.DPMMode{sim.DPMPredictive, sim.DPMNeverSleep, sim.DPMAlwaysSleep, sim.DPMOracle}
+	cmps, err := fanOut("dpm-mode", modes, func(mode sim.DPMMode) (*Comparison, error) {
 		sc, err := Experiment1Scenario(seed)
 		if err != nil {
 			return nil, err
 		}
 		sc.DPM = mode
-		cmp, err := sc.Compare(sc.Policies())
-		if err != nil {
-			return nil, err
-		}
-		out[mode.String()] = cmp
+		return sc.Compare(sc.Policies())
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*Comparison, len(modes))
+	for i, mode := range modes {
+		out[mode.String()] = cmps[i]
 	}
 	return out, nil
 }

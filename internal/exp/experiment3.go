@@ -61,23 +61,25 @@ type DPMRow struct {
 // 2-competitive strategy) catches exactly the tail. The oracle bounds both.
 func Experiment3DPM(seed uint64) ([]DPMRow, error) {
 	modes := []sim.DPMMode{sim.DPMPredictive, sim.DPMTimeout, sim.DPMOracle, sim.DPMNeverSleep, sim.DPMAlwaysSleep}
-	out := make([]DPMRow, 0, len(modes)+1)
-	for _, mode := range modes {
+	out, err := fanOut("exp3-dpm", modes, func(mode sim.DPMMode) (DPMRow, error) {
 		sc, err := Experiment3Scenario(seed)
 		if err != nil {
-			return nil, err
+			return DPMRow{}, err
 		}
 		sc.DPM = mode
 		res, err := sc.runOne(policy.NewFCDPM(sc.Sys, sc.Dev))
 		if err != nil {
-			return nil, fmt.Errorf("exp: experiment 3 %s: %w", mode, err)
+			return DPMRow{}, fmt.Errorf("exp: experiment 3 %s: %w", mode, err)
 		}
-		out = append(out, DPMRow{
+		return DPMRow{
 			Mode:    mode.String(),
 			Sleeps:  res.Sleeps,
 			FCRate:  res.AvgFuelRate(),
 			Deficit: res.Deficit,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// The stochastic-control entry ([4, 5]): a timeout adapted online to
 	// the learned idle distribution.

@@ -5,12 +5,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"fcdpm/internal/device"
 	"fcdpm/internal/fuelcell"
 	"fcdpm/internal/policy"
 	"fcdpm/internal/predict"
+	"fcdpm/internal/runner"
 	"fcdpm/internal/sim"
 	"fcdpm/internal/storage"
 	"fcdpm/internal/workload"
@@ -89,6 +91,11 @@ func (sc *Scenario) runOne(p sim.Policy) (*sim.Result, error) {
 		TimeoutAdapter: sc.TimeoutAdapter,
 		RecordProfile:  sc.RecordProfile,
 	}
+	if !sc.RecordProfile {
+		// Scalar totals are all a comparison table reads; skipping the
+		// Fig 7 profile keeps sweep runs on the zero-allocation path.
+		cfg.Record = sim.RecordFuelOnly
+	}
 	if sc.IdlePred != nil {
 		cfg.IdlePredictor = sc.IdlePred()
 	}
@@ -108,16 +115,45 @@ func (sc *Scenario) Compare(policies []sim.Policy) (*Comparison, error) {
 	if len(policies) == 0 {
 		return nil, fmt.Errorf("exp: no policies to compare")
 	}
-	cmp := &Comparison{Name: sc.Name, Results: make(map[string]*sim.Result)}
-	var base *sim.Result
-	for _, p := range policies {
-		res, err := sc.runOne(p)
+	results := make([]*sim.Result, len(policies))
+	if sc.TimeoutAdapter != nil || len(policies) == 1 {
+		// A timeout adapter is shared mutable state that learns across
+		// runs; keep the rows serial so its adaptation stays
+		// deterministic.
+		for i, p := range policies {
+			res, err := sc.runOne(p)
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s / %s: %w", sc.Name, p.Name(), err)
+			}
+			results[i] = res
+		}
+	} else {
+		// Each row owns its policy and the simulator clones the storage,
+		// so the rows fan out on the run engine. Outcomes come back in
+		// submission order, keeping the table rows (and the Conv-DPM
+		// normalization base) deterministic.
+		tasks := make([]runner.Task[*sim.Result], len(policies))
+		for i, p := range policies {
+			p := p
+			tasks[i] = runner.Task[*sim.Result]{
+				ID:  runner.RunID("compare", sc.Name, p.Name()),
+				Run: func(context.Context) (*sim.Result, error) { return sc.runOne(p) },
+			}
+		}
+		rep, err := runner.Run(context.Background(), runner.Options{Workers: len(tasks)}, tasks)
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s / %s: %w", sc.Name, p.Name(), err)
+			return nil, err
 		}
-		if base == nil {
-			base = res
+		for i, o := range rep.Outcomes {
+			if o.Err != nil {
+				return nil, fmt.Errorf("exp: %s / %s: %w", sc.Name, policies[i].Name(), o.Err)
+			}
+			results[i] = o.Result
 		}
+	}
+	cmp := &Comparison{Name: sc.Name, Results: make(map[string]*sim.Result)}
+	base := results[0]
+	for _, res := range results {
 		cmp.Results[res.Policy] = res
 		cmp.Rows = append(cmp.Rows, PolicyRow{
 			Name:       res.Policy,

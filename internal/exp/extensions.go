@@ -44,26 +44,31 @@ func QuantizedSweep(seed uint64, levelCounts []int) ([]QuantizedRow, error) {
 		Fuel:         cont.Fuel,
 		FCNormalized: cont.NormalizedFuel(conv),
 	}}
-	for _, n := range levelCounts {
+	// The scenario is shared read-only across level runs (each run clones
+	// the storage and builds a fresh policy), so the levels fan out.
+	lvlRows, err := fanOut("quantized", levelCounts, func(n int) (QuantizedRow, error) {
 		if n < 2 {
-			return nil, fmt.Errorf("exp: level count %d < 2", n)
+			return QuantizedRow{}, fmt.Errorf("exp: level count %d < 2", n)
 		}
 		p, err := policy.NewFCDPMQuantized(sc.Sys, sc.Dev, fcopt.UniformLevels(sc.Sys, n))
 		if err != nil {
-			return nil, err
+			return QuantizedRow{}, err
 		}
 		res, err := sc.runOne(p)
 		if err != nil {
-			return nil, err
+			return QuantizedRow{}, err
 		}
-		rows = append(rows, QuantizedRow{
+		return QuantizedRow{
 			Levels:       n,
 			Fuel:         res.Fuel,
 			FCNormalized: res.NormalizedFuel(conv),
 			GapVsCont:    res.Fuel/cont.Fuel - 1,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return append(rows, lvlRows...), nil
 }
 
 // OfflineOracleDP solves the Experiment 1 trace offline with the
@@ -246,14 +251,13 @@ type SlewRow struct {
 // FC-DPM's flat per-slot profile barely moves — a robustness advantage the
 // paper's ideal-source model does not surface.
 func SlewAblation(seed uint64, rates []float64) ([]SlewRow, error) {
-	out := make([]SlewRow, 0, len(rates))
-	for _, rate := range rates {
+	return fanOut("slew", rates, func(rate float64) (SlewRow, error) {
 		if rate < 0 {
-			return nil, fmt.Errorf("exp: negative slew rate %v", rate)
+			return SlewRow{}, fmt.Errorf("exp: negative slew rate %v", rate)
 		}
 		sc, err := Experiment1Scenario(seed)
 		if err != nil {
-			return nil, err
+			return SlewRow{}, err
 		}
 		runWith := func(p sim.Policy) (*sim.Result, error) {
 			cfg := sim.Config{
@@ -273,21 +277,20 @@ func SlewAblation(seed uint64, rates []float64) ([]SlewRow, error) {
 		}
 		asap, err := runWith(policy.NewASAP(sc.Sys))
 		if err != nil {
-			return nil, err
+			return SlewRow{}, err
 		}
 		fc, err := runWith(policy.NewFCDPM(sc.Sys, sc.Dev))
 		if err != nil {
-			return nil, err
+			return SlewRow{}, err
 		}
-		out = append(out, SlewRow{
+		return SlewRow{
 			RateAps:     rate,
 			ASAPRate:    asap.AvgFuelRate(),
 			ASAPDeficit: asap.Deficit,
 			FCRate:      fc.AvgFuelRate(),
 			FCDeficit:   fc.Deficit,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // BatteryAwareAblation reproduces the paper's §1 claim that battery-aware
@@ -325,33 +328,31 @@ func AggregationAblation(seed uint64, ks []int) ([]AggregationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]AggregationRow, 0, len(ks))
-	for _, k := range ks {
+	return fanOut("aggregation", ks, func(k int) (AggregationRow, error) {
 		agg, err := workload.Aggregate(base.Trace, k)
 		if err != nil {
-			return nil, err
+			return AggregationRow{}, err
 		}
 		defer0, err := workload.MaxDeferral(base.Trace, k)
 		if err != nil {
-			return nil, err
+			return AggregationRow{}, err
 		}
 		sc, err := Experiment1Scenario(seed)
 		if err != nil {
-			return nil, err
+			return AggregationRow{}, err
 		}
 		sc.Trace = agg
 		res, err := sc.runOne(policy.NewFCDPM(sc.Sys, sc.Dev))
 		if err != nil {
-			return nil, err
+			return AggregationRow{}, err
 		}
-		out = append(out, AggregationRow{
+		return AggregationRow{
 			K:           k,
 			MaxDeferral: defer0,
 			Sleeps:      res.Sleeps,
 			FCRate:      res.AvgFuelRate(),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // ActuationRow is one point of the dead-band ablation.
@@ -364,30 +365,28 @@ type ActuationRow struct {
 // ActuationAblation reruns Experiment 1's FC-DPM with actuation dead bands:
 // how much fuel does it cost to command the fuel-flow actuator less often?
 func ActuationAblation(seed uint64, epsilons []float64) ([]ActuationRow, error) {
-	out := make([]ActuationRow, 0, len(epsilons))
-	for _, eps := range epsilons {
+	return fanOut("actuation", epsilons, func(eps float64) (ActuationRow, error) {
 		if eps < 0 {
-			return nil, fmt.Errorf("exp: negative dead band %v", eps)
+			return ActuationRow{}, fmt.Errorf("exp: negative dead band %v", eps)
 		}
 		sc, err := Experiment1Scenario(seed)
 		if err != nil {
-			return nil, err
+			return ActuationRow{}, err
 		}
 		banded, err := policy.NewFCDPMBanded(sc.Sys, sc.Dev, eps)
 		if err != nil {
-			return nil, err
+			return ActuationRow{}, err
 		}
 		res, err := sc.runOne(banded)
 		if err != nil {
-			return nil, err
+			return ActuationRow{}, err
 		}
-		out = append(out, ActuationRow{
+		return ActuationRow{
 			Epsilon:   eps,
 			Setpoints: res.SetpointChanges,
 			FCRate:    res.AvgFuelRate(),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // CalibrationRow is one corner of the efficiency-calibration uncertainty
@@ -415,29 +414,27 @@ func CalibrationUncertainty(seed uint64, relErr float64) ([]CalibrationRow, erro
 		{alpha0 * (1 + relErr), beta0 * (1 - relErr)},
 		{alpha0 * (1 + relErr), beta0 * (1 + relErr)},
 	}
-	out := make([]CalibrationRow, 0, len(points))
-	for _, p := range points {
+	return fanOut("calibration", points, func(p [2]float64) (CalibrationRow, error) {
 		sys, err := fuelcell.NewSystem(12, 37.5, 0.1, 1.2,
 			fuelcell.LinearEfficiency{Alpha: p[0], Beta: p[1]})
 		if err != nil {
-			return nil, err
+			return CalibrationRow{}, err
 		}
 		sc, err := Experiment1Scenario(seed)
 		if err != nil {
-			return nil, err
+			return CalibrationRow{}, err
 		}
 		sc.Sys = sys
 		cmp, err := sc.Compare(sc.Policies())
 		if err != nil {
-			return nil, err
+			return CalibrationRow{}, err
 		}
-		out = append(out, CalibrationRow{
+		return CalibrationRow{
 			Alpha: p[0], Beta: p[1],
 			FCNormalized: cmp.Row("FC-DPM").Normalized,
 			SavingVsASAP: cmp.SavingVsASAP,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // ThermalRow summarizes one policy's stack-temperature trajectory.
@@ -494,26 +491,24 @@ type MPCRow struct {
 // result is "the horizon buys nothing" — an honest negative result
 // bounding what lookahead can contribute at the paper's storage scale.
 func MPCAblation(seed uint64, horizons []int) ([]MPCRow, error) {
-	out := make([]MPCRow, 0, len(horizons))
-	for _, h := range horizons {
+	return fanOut("mpc", horizons, func(h int) (MPCRow, error) {
 		if h < 1 {
-			return nil, fmt.Errorf("exp: horizon %d < 1", h)
+			return MPCRow{}, fmt.Errorf("exp: horizon %d < 1", h)
 		}
 		sc, err := Experiment1Scenario(seed)
 		if err != nil {
-			return nil, err
+			return MPCRow{}, err
 		}
 		mpc, err := policy.NewMPC(sc.Sys, sc.Dev, h)
 		if err != nil {
-			return nil, err
+			return MPCRow{}, err
 		}
 		res, err := sc.runOne(mpc)
 		if err != nil {
-			return nil, err
+			return MPCRow{}, err
 		}
-		out = append(out, MPCRow{Horizon: h, FCRate: res.AvgFuelRate(), Deficit: res.Deficit})
-	}
-	return out, nil
+		return MPCRow{Horizon: h, FCRate: res.AvgFuelRate(), Deficit: res.Deficit}, nil
+	})
 }
 
 // Robustness is the Monte-Carlo model-uncertainty study: FC-DPM's saving
@@ -640,27 +635,25 @@ func BurstyPredictorStudy(seed uint64) ([]PredictorRow, error) {
 		func() predict.Predictor { return predict.NewTree(8, 2, 2, 40, 10) },
 		func() predict.Predictor { return predict.NewOracle(idle, 10) },
 	}
-	var out []PredictorRow
-	for _, mk := range preds {
+	return fanOut("bursty-predictor", preds, func(mk func() predict.Predictor) (PredictorRow, error) {
 		sc := makeScenario()
 		sc.IdlePred = mk
 		conv, err := sc.runOne(policy.NewConv(sc.Sys))
 		if err != nil {
-			return nil, err
+			return PredictorRow{}, err
 		}
 		fc, err := sc.runOne(policy.NewFCDPM(sc.Sys, sc.Dev))
 		if err != nil {
-			return nil, err
+			return PredictorRow{}, err
 		}
 		acc, err := predict.Evaluate(mk(), idle)
 		if err != nil {
-			return nil, err
+			return PredictorRow{}, err
 		}
-		out = append(out, PredictorRow{
+		return PredictorRow{
 			Predictor:    mk().Name(),
 			Accuracy:     acc,
 			FCNormalized: fc.NormalizedFuel(conv),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }

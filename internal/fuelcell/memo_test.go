@@ -1,0 +1,87 @@
+package fuelcell
+
+import (
+	"math"
+	"testing"
+
+	"fcdpm/internal/numeric"
+)
+
+// memoSystems returns efficiency models worth validating the memo
+// against: the paper's linear fit, a constant, and a measured table.
+func memoSystems(t *testing.T) map[string]*System {
+	t.Helper()
+	tab, err := numeric.NewTable(
+		[]float64{0.1, 0.3, 0.6, 0.9, 1.2},
+		[]float64{0.44, 0.41, 0.37, 0.33, 0.29},
+	)
+	if err != nil {
+		t.Fatalf("table efficiency: %v", err)
+	}
+	mustSys := func(eff EfficiencyModel) *System {
+		s, err := NewSystem(12, 37.5, 0.1, 1.2, eff)
+		if err != nil {
+			t.Fatalf("system: %v", err)
+		}
+		return s
+	}
+	return map[string]*System{
+		"linear":   PaperSystem(),
+		"constant": mustSys(ConstantEfficiency{Value: 0.4}),
+		"table":    mustSys(TableEfficiency{T: tab}),
+	}
+}
+
+// TestMemoMatchesAnalytic validates the memoized maps against the
+// analytic path: every lookup — first (miss) and repeated (hit) — must
+// reproduce System.StackCurrent and Efficiency exactly, since hit and
+// miss evaluate the identical expression.
+func TestMemoMatchesAnalytic(t *testing.T) {
+	for name, sys := range memoSystems(t) {
+		t.Run(name, func(t *testing.T) {
+			m := NewMemo(sys)
+			// Dense sweep plus awkward values: below range, zero,
+			// negative, and repeats to exercise the hit path.
+			var currents []float64
+			for k := 0; k <= 1000; k++ {
+				currents = append(currents, 1.4*float64(k)/1000)
+			}
+			currents = append(currents, -0.5, 0, 1e-300, 0.7499999999999999, math.Pi/4)
+			currents = append(currents, currents...) // hits
+			for _, iF := range currents {
+				if got, want := m.StackCurrent(iF), sys.StackCurrent(iF); got != want {
+					t.Fatalf("StackCurrent(%v) = %v, analytic %v", iF, got, want)
+				}
+				if got, want := m.Eta(iF), sys.Efficiency(iF); got != want {
+					t.Fatalf("Eta(%v) = %v, analytic %v", iF, got, want)
+				}
+				if got, want := m.Fuel(iF, 2.5), sys.Fuel(iF, 2.5); got != want {
+					t.Fatalf("Fuel(%v, 2.5) = %v, analytic %v", iF, got, want)
+				}
+			}
+			hits, misses := m.Stats()
+			if hits == 0 || misses == 0 {
+				t.Fatalf("expected both hits and misses, got hits=%d misses=%d", hits, misses)
+			}
+		})
+	}
+}
+
+// TestMemoHitsRepeatedSetpoints checks the memo actually serves the
+// steady-state pattern it exists for: a handful of recurring set points.
+func TestMemoHitsRepeatedSetpoints(t *testing.T) {
+	m := NewMemo(PaperSystem())
+	setpoints := []float64{0.1, 0.4382, 0.53, 1.2}
+	for round := 0; round < 1000; round++ {
+		for _, iF := range setpoints {
+			m.StackCurrent(iF)
+		}
+	}
+	hits, misses := m.Stats()
+	if misses > uint64(len(setpoints)) {
+		t.Fatalf("expected at most %d misses, got %d", len(setpoints), misses)
+	}
+	if hits != 1000*uint64(len(setpoints))-misses {
+		t.Fatalf("hit accounting off: hits=%d misses=%d", hits, misses)
+	}
+}

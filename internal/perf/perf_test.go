@@ -1,0 +1,106 @@
+package perf
+
+import (
+	"testing"
+	"time"
+)
+
+func artifactAt(ts string, metrics ...Metric) *Artifact {
+	a := newArtifact(1)
+	a.Timestamp = ts
+	a.Metrics = metrics
+	return a
+}
+
+func TestWriteLatestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	if a, path, err := Latest(dir); err != nil || a != nil || path != "" {
+		t.Fatalf("empty dir: got (%v, %q, %v), want (nil, \"\", nil)", a, path, err)
+	}
+	if a, _, err := Latest(dir + "/missing"); err != nil || a != nil {
+		t.Fatalf("missing dir: got (%v, %v), want (nil, nil)", a, err)
+	}
+
+	old := artifactAt("2026-01-02T03:04:05Z", Metric{Name: "m", NsPerOp: 100})
+	cur := artifactAt("2026-01-03T03:04:05Z", Metric{Name: "m", NsPerOp: 50})
+	for _, a := range []*Artifact{old, cur} {
+		if _, err := Write(dir, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, path, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Timestamp != cur.Timestamp {
+		t.Fatalf("Latest loaded %s (%s), want the newer %s", got.Timestamp, path, cur.Timestamp)
+	}
+	if m := got.Metric("m"); m == nil || m.NsPerOp != 50 {
+		t.Fatalf("Metric(m) = %+v, want ns/op 50", m)
+	}
+}
+
+func TestWriteRejectsBadTimestamp(t *testing.T) {
+	a := newArtifact(1)
+	a.Timestamp = "not-a-time"
+	if _, err := Write(t.TempDir(), a); err == nil {
+		t.Fatal("Write accepted a malformed timestamp")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	prev := artifactAt("2026-01-02T03:04:05Z",
+		Metric{Name: "fast", NsPerOp: 100, AllocsPerOp: 0},
+		Metric{Name: "slow", NsPerOp: 100, AllocsPerOp: 1},
+		Metric{Name: "gone", NsPerOp: 100},
+	)
+	cur := artifactAt("2026-01-03T03:04:05Z",
+		Metric{Name: "fast", NsPerOp: 90, AllocsPerOp: 0},
+		Metric{Name: "slow", NsPerOp: 130, AllocsPerOp: 2},
+		Metric{Name: "new", NsPerOp: 100},
+	)
+	deltas, regressed := Compare(prev, cur, 0.15)
+	if !regressed {
+		t.Fatal("Compare missed the +30% regression")
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2 (unmatched names skipped)", len(deltas))
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if byName["fast"].Regressed {
+		t.Fatal("an improvement was flagged as a regression")
+	}
+	if !byName["slow"].Regressed {
+		t.Fatal("the +30% slowdown was not flagged")
+	}
+
+	// At a looser threshold the same data passes: alloc increases alone
+	// must never fail the gate.
+	if _, regressed := Compare(prev, cur, 0.5); regressed {
+		t.Fatal("alloc-count increase failed the gate at a passing time threshold")
+	}
+}
+
+func TestRunShortSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs nested benchmarks")
+	}
+	start := time.Now()
+	art, err := Run(1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Metrics) == 0 {
+		t.Fatal("short suite produced no metrics")
+	}
+	for _, m := range art.Metrics {
+		if m.NsPerOp <= 0 {
+			t.Fatalf("%s: ns/op %v not positive", m.Name, m.NsPerOp)
+		}
+	}
+	t.Logf("short suite: %d metrics in %s", len(art.Metrics), time.Since(start))
+}

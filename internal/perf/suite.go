@@ -1,0 +1,154 @@
+package perf
+
+import (
+	"fmt"
+	"testing"
+
+	"fcdpm/internal/device"
+	"fcdpm/internal/exp"
+	"fcdpm/internal/fcopt"
+	"fcdpm/internal/fuelcell"
+	"fcdpm/internal/policy"
+	"fcdpm/internal/sim"
+	"fcdpm/internal/storage"
+	"fcdpm/internal/workload"
+)
+
+// Benchmark is one named entry of the regression suite.
+type Benchmark struct {
+	Name string
+	// Slots is the number of simulated slots per op for throughput
+	// benchmarks (0 for micro-benchmarks).
+	Slots int
+	Fn    func(b *testing.B)
+}
+
+// Suite builds the regression suite. With short set, the macro benchmarks
+// are skipped (CI smoke runs on shared runners where a full trace run per
+// repetition is too noisy to gate on anyway).
+func Suite(short bool) ([]Benchmark, error) {
+	sys := fuelcell.PaperSystem()
+	dev := device.Camcorder()
+
+	suite := []Benchmark{
+		{
+			Name: "optimize-slot",
+			Fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_, err := fcopt.Optimize(sys, 6, fcopt.Slot{
+						Ti: 14, IldI: 0.2, Ta: 3.03, IldA: 1.22, Cini: 1, Cend: 1,
+						Sleep:    true,
+						Overhead: &fcopt.Overhead{TauWU: 0.5, IWU: 0.4, TauPD: 0.5, IPD: 0.4},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			Name: "stack-current",
+			Fn: func(b *testing.B) {
+				b.ReportAllocs()
+				var sink float64
+				for i := 0; i < b.N; i++ {
+					sink += sys.StackCurrent(0.1 + float64(i%11)*0.1)
+				}
+				_ = sink
+			},
+		},
+		{
+			Name: "memo-fuel",
+			Fn: func(b *testing.B) {
+				memo := fuelcell.NewMemo(sys)
+				b.ReportAllocs()
+				var sink float64
+				for i := 0; i < b.N; i++ {
+					sink += memo.Fuel(0.1+float64(i%11)*0.1, 1)
+				}
+				_ = sink
+			},
+		},
+	}
+	if short {
+		return suite, nil
+	}
+
+	trace, err := workload.Camcorder(workload.DefaultCamcorderConfig())
+	if err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+	r, err := sim.NewRunner(sim.Config{
+		Sys: sys, Dev: dev, Store: storage.MustSuperCap(6, 1),
+		Trace: trace, Policy: policy.NewFCDPM(sys, dev),
+		Record: sim.RecordFuelOnly,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+	suite = append(suite,
+		Benchmark{
+			Name:  "sim-throughput",
+			Slots: trace.Len(),
+			Fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := r.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		Benchmark{
+			Name:  "experiment1",
+			Slots: trace.Len() * 3, // three policy rows per op
+			Fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := exp.Experiment1(1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+	)
+	return suite, nil
+}
+
+// Run executes the suite repeat times per benchmark, keeping each
+// benchmark's best (fastest) repetition — the standard way to strip
+// scheduler noise from a regression gate.
+func Run(repeat int, short bool) (*Artifact, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	suite, err := Suite(short)
+	if err != nil {
+		return nil, err
+	}
+	art := newArtifact(repeat)
+	for _, bench := range suite {
+		var best Metric
+		for rep := 0; rep < repeat; rep++ {
+			res := testing.Benchmark(bench.Fn)
+			if res.N == 0 {
+				return nil, fmt.Errorf("perf: benchmark %s did not run (did it fail?)", bench.Name)
+			}
+			m := Metric{
+				Name:        bench.Name,
+				NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+			}
+			if bench.Slots > 0 && m.NsPerOp > 0 {
+				m.SlotsPerSec = float64(bench.Slots) * 1e9 / m.NsPerOp
+			}
+			if rep == 0 || m.NsPerOp < best.NsPerOp {
+				best = m
+			}
+		}
+		art.Metrics = append(art.Metrics, best)
+	}
+	return art, nil
+}

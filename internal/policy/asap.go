@@ -37,6 +37,11 @@ func (a *ASAP) PlanActive(sim.SlotInfo) {}
 
 // SegmentPlan implements sim.Policy.
 func (a *ASAP) SegmentPlan(seg sim.Segment, charge float64) []sim.Piece {
+	return a.SegmentPlanInto(seg, charge, nil)
+}
+
+// SegmentPlanInto implements sim.PiecePlanner.
+func (a *ASAP) SegmentPlanInto(seg sim.Segment, charge float64, buf []sim.Piece) []sim.Piece {
 	if charge < a.cmax/2 {
 		a.recharging = true
 	}
@@ -46,25 +51,29 @@ func (a *ASAP) SegmentPlan(seg sim.Segment, charge float64) []sim.Piece {
 		if net <= 0 {
 			// Cannot gain charge against this load; keep delivering the
 			// maximum and try again next segment.
-			return []sim.Piece{{IF: hi, Dur: seg.Dur}}
+			return append(buf, sim.Piece{IF: hi, Dur: seg.Dur})
 		}
 		tFull := (a.cmax - charge) / net
 		if tFull >= seg.Dur {
-			return []sim.Piece{{IF: hi, Dur: seg.Dur}}
+			return append(buf, sim.Piece{IF: hi, Dur: seg.Dur})
 		}
 		// Full before the segment ends: resume load following.
 		a.recharging = false
 		rest := sim.Segment{Kind: seg.Kind, Dur: seg.Dur - tFull, Load: seg.Load}
-		return append([]sim.Piece{{IF: hi, Dur: tFull}}, a.follow(rest, a.cmax)...)
+		buf = append(buf, sim.Piece{IF: hi, Dur: tFull})
+		return a.follow(buf, rest, a.cmax)
 	}
-	return a.follow(seg, charge)
+	return a.follow(buf, seg, charge)
 }
 
 // follow matches the load within range. When the range floor sits above the
 // load the storage absorbs the excess until full and the bleeder takes the
 // rest; the FC output stays at the floor either way, so no split is needed.
-func (a *ASAP) follow(seg sim.Segment, charge float64) []sim.Piece {
-	return []sim.Piece{{IF: a.sys.Clamp(seg.Load), Dur: seg.Dur}}
+func (a *ASAP) follow(buf []sim.Piece, seg sim.Segment, charge float64) []sim.Piece {
+	return append(buf, sim.Piece{IF: a.sys.Clamp(seg.Load), Dur: seg.Dur})
 }
 
-var _ sim.Policy = (*ASAP)(nil)
+var (
+	_ sim.Policy       = (*ASAP)(nil)
+	_ sim.PiecePlanner = (*ASAP)(nil)
+)

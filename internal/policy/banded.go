@@ -75,4 +75,13 @@ func (b *FCDPMBanded) SegmentPlan(seg sim.Segment, charge float64) []sim.Piece {
 	return b.inner.SegmentPlan(seg, charge)
 }
 
-var _ sim.Policy = (*FCDPMBanded)(nil)
+// SegmentPlanInto implements sim.PiecePlanner by delegating to the
+// wrapped FC-DPM.
+func (b *FCDPMBanded) SegmentPlanInto(seg sim.Segment, charge float64, buf []sim.Piece) []sim.Piece {
+	return b.inner.SegmentPlanInto(seg, charge, buf)
+}
+
+var (
+	_ sim.Policy       = (*FCDPMBanded)(nil)
+	_ sim.PiecePlanner = (*FCDPMBanded)(nil)
+)

@@ -20,12 +20,20 @@ type FCDPM struct {
 	cmax, chargeTarget float64
 	ifi, ifa           float64
 	planErr            error // first planning failure, surfaced via Err
+
+	// ovh caches the §3.3.2 overhead spec so PlanIdle does not rebuild
+	// it (and allocate) every slot; refreshed from the device model on
+	// Reset. hasOvh distinguishes "no sleep transitions" (nil spec).
+	ovh    fcopt.Overhead
+	hasOvh bool
 }
 
 // NewFCDPM returns the FC-DPM policy over the given FC system and device
 // model (the device supplies the transition-overhead parameters of §3.3.2).
 func NewFCDPM(sys *fuelcell.System, dev *device.Model) *FCDPM {
-	return &FCDPM{sys: sys, dev: dev}
+	f := &FCDPM{sys: sys, dev: dev}
+	f.refreshOverhead()
+	return f
 }
 
 // Name implements sim.Policy.
@@ -43,17 +51,27 @@ func (f *FCDPM) Reset(cmax, chargeTarget float64) {
 	f.ifi = f.sys.MinOutput
 	f.ifa = f.sys.MaxOutput
 	f.planErr = nil
+	f.refreshOverhead()
 }
 
-// overhead builds the §3.3.2 overhead spec from the device model.
-func (f *FCDPM) overhead() *fcopt.Overhead {
-	if f.dev.TauPD == 0 && f.dev.TauWU == 0 {
-		return nil
-	}
-	return &fcopt.Overhead{
+// refreshOverhead rebuilds the cached §3.3.2 overhead spec from the
+// device model (whose transition fields could have been edited between
+// runs, so Reset re-reads them).
+func (f *FCDPM) refreshOverhead() {
+	f.hasOvh = f.dev.TauPD != 0 || f.dev.TauWU != 0
+	f.ovh = fcopt.Overhead{
 		TauWU: f.dev.TauWU, IWU: f.dev.IWU,
 		TauPD: f.dev.TauPD, IPD: f.dev.IPD,
 	}
+}
+
+// overhead returns the cached §3.3.2 overhead spec, nil when the device
+// has no sleep transitions.
+func (f *FCDPM) overhead() *fcopt.Overhead {
+	if !f.hasOvh {
+		return nil
+	}
+	return &f.ovh
 }
 
 // PlanIdle implements sim.Policy: run the slot optimization on predictions.
@@ -109,10 +127,18 @@ func (f *FCDPM) PlanActive(info sim.SlotInfo) {
 // a split at storage-full), active-phase segments at IF,a (with a split at
 // storage-empty).
 func (f *FCDPM) SegmentPlan(seg sim.Segment, charge float64) []sim.Piece {
-	if seg.Kind.IdlePhase() {
-		return splitAtFull(f.sys, seg, charge, f.cmax, f.ifi)
-	}
-	return splitAtEmpty(f.sys, seg, charge, f.ifa)
+	return f.SegmentPlanInto(seg, charge, nil)
 }
 
-var _ sim.Policy = (*FCDPM)(nil)
+// SegmentPlanInto implements sim.PiecePlanner.
+func (f *FCDPM) SegmentPlanInto(seg sim.Segment, charge float64, buf []sim.Piece) []sim.Piece {
+	if seg.Kind.IdlePhase() {
+		return splitAtFull(buf, f.sys, seg, charge, f.cmax, f.ifi)
+	}
+	return splitAtEmpty(buf, f.sys, seg, charge, f.ifa)
+}
+
+var (
+	_ sim.Policy       = (*FCDPM)(nil)
+	_ sim.PiecePlanner = (*FCDPM)(nil)
+)

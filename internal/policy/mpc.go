@@ -114,4 +114,12 @@ func (m *MPC) SegmentPlan(seg sim.Segment, charge float64) []sim.Piece {
 	return m.inner.SegmentPlan(seg, charge)
 }
 
-var _ sim.Policy = (*MPC)(nil)
+// SegmentPlanInto implements sim.PiecePlanner via the wrapped FC-DPM.
+func (m *MPC) SegmentPlanInto(seg sim.Segment, charge float64, buf []sim.Piece) []sim.Piece {
+	return m.inner.SegmentPlanInto(seg, charge, buf)
+}
+
+var (
+	_ sim.Policy       = (*MPC)(nil)
+	_ sim.PiecePlanner = (*MPC)(nil)
+)

@@ -46,7 +46,12 @@ func (c *Conv) PlanActive(sim.SlotInfo) {}
 
 // SegmentPlan implements sim.Policy: always the top of the range.
 func (c *Conv) SegmentPlan(seg sim.Segment, charge float64) []sim.Piece {
-	return []sim.Piece{{IF: c.sys.MaxOutput, Dur: seg.Dur}}
+	return c.SegmentPlanInto(seg, charge, nil)
+}
+
+// SegmentPlanInto implements sim.PiecePlanner.
+func (c *Conv) SegmentPlanInto(seg sim.Segment, charge float64, buf []sim.Piece) []sim.Piece {
+	return append(buf, sim.Piece{IF: c.sys.MaxOutput, Dur: seg.Dur})
 }
 
 // Flat holds a fixed FC output for the whole run — the offline optimum for
@@ -76,55 +81,64 @@ func (f *Flat) PlanActive(sim.SlotInfo) {}
 
 // SegmentPlan implements sim.Policy.
 func (f *Flat) SegmentPlan(seg sim.Segment, charge float64) []sim.Piece {
-	return []sim.Piece{{IF: f.IF, Dur: seg.Dur}}
+	return f.SegmentPlanInto(seg, charge, nil)
+}
+
+// SegmentPlanInto implements sim.PiecePlanner.
+func (f *Flat) SegmentPlanInto(seg sim.Segment, charge float64, buf []sim.Piece) []sim.Piece {
+	return append(buf, sim.Piece{IF: f.IF, Dur: seg.Dur})
 }
 
 // splitAtFull plans a constant output iF but drops to the range-clamped
 // load current once the storage fills, so charge is not pointlessly bled.
 // If even the clamped load overfills (load below the range floor), the
-// remainder bleeds — the paper's bleeder by-pass case.
-func splitAtFull(sys *fuelcell.System, seg sim.Segment, charge, cmax, iF float64) []sim.Piece {
+// remainder bleeds — the paper's bleeder by-pass case. The plan is
+// appended to buf (which may be nil) so callers on the simulator's hot
+// path can reuse one buffer across segments.
+func splitAtFull(buf []sim.Piece, sys *fuelcell.System, seg sim.Segment, charge, cmax, iF float64) []sim.Piece {
 	net := iF - seg.Load
 	if net <= 0 {
-		return []sim.Piece{{IF: iF, Dur: seg.Dur}}
+		return append(buf, sim.Piece{IF: iF, Dur: seg.Dur})
 	}
 	tFull := (cmax - charge) / net
 	if tFull >= seg.Dur {
-		return []sim.Piece{{IF: iF, Dur: seg.Dur}}
+		return append(buf, sim.Piece{IF: iF, Dur: seg.Dur})
 	}
 	hold := sys.Clamp(seg.Load)
 	if tFull <= 0 {
-		return []sim.Piece{{IF: hold, Dur: seg.Dur}}
+		return append(buf, sim.Piece{IF: hold, Dur: seg.Dur})
 	}
-	return []sim.Piece{
-		{IF: iF, Dur: tFull},
-		{IF: hold, Dur: seg.Dur - tFull},
-	}
+	return append(buf,
+		sim.Piece{IF: iF, Dur: tFull},
+		sim.Piece{IF: hold, Dur: seg.Dur - tFull},
+	)
 }
 
 // splitAtEmpty plans a constant output iF but rises to the range-clamped
 // load current once the storage empties, avoiding brownout where the range
-// allows.
-func splitAtEmpty(sys *fuelcell.System, seg sim.Segment, charge, iF float64) []sim.Piece {
+// allows. Appends to buf like splitAtFull.
+func splitAtEmpty(buf []sim.Piece, sys *fuelcell.System, seg sim.Segment, charge, iF float64) []sim.Piece {
 	net := iF - seg.Load
 	if net >= 0 {
-		return []sim.Piece{{IF: iF, Dur: seg.Dur}}
+		return append(buf, sim.Piece{IF: iF, Dur: seg.Dur})
 	}
 	tEmpty := charge / -net
 	if tEmpty >= seg.Dur {
-		return []sim.Piece{{IF: iF, Dur: seg.Dur}}
+		return append(buf, sim.Piece{IF: iF, Dur: seg.Dur})
 	}
 	hold := sys.Clamp(seg.Load)
 	if tEmpty <= 0 {
-		return []sim.Piece{{IF: hold, Dur: seg.Dur}}
+		return append(buf, sim.Piece{IF: hold, Dur: seg.Dur})
 	}
-	return []sim.Piece{
-		{IF: iF, Dur: tEmpty},
-		{IF: hold, Dur: seg.Dur - tEmpty},
-	}
+	return append(buf,
+		sim.Piece{IF: iF, Dur: tEmpty},
+		sim.Piece{IF: hold, Dur: seg.Dur - tEmpty},
+	)
 }
 
 var (
-	_ sim.Policy = (*Conv)(nil)
-	_ sim.Policy = (*Flat)(nil)
+	_ sim.Policy       = (*Conv)(nil)
+	_ sim.Policy       = (*Flat)(nil)
+	_ sim.PiecePlanner = (*Conv)(nil)
+	_ sim.PiecePlanner = (*Flat)(nil)
 )

@@ -126,12 +126,20 @@ func (f *FCDPMQuantized) PlanActive(info sim.SlotInfo) {
 // nearest feasible level after a full split is unnecessary — the bleeder
 // handles the floor case, matching the continuous policy's behaviour).
 func (f *FCDPMQuantized) SegmentPlan(seg sim.Segment, charge float64) []sim.Piece {
+	return f.SegmentPlanInto(seg, charge, nil)
+}
+
+// SegmentPlanInto implements sim.PiecePlanner, appending the snapped plan
+// to buf.
+func (f *FCDPMQuantized) SegmentPlanInto(seg sim.Segment, charge float64, buf []sim.Piece) []sim.Piece {
+	start := len(buf)
 	if seg.Kind.IdlePhase() {
-		pieces := splitAtFull(f.sys, seg, charge, f.cmax, f.ifi)
-		return f.snapPieces(pieces)
+		buf = splitAtFull(buf, f.sys, seg, charge, f.cmax, f.ifi)
+	} else {
+		buf = splitAtEmpty(buf, f.sys, seg, charge, f.ifa)
 	}
-	pieces := splitAtEmpty(f.sys, seg, charge, f.ifa)
-	return f.snapPieces(pieces)
+	f.snapPieces(buf[start:])
+	return buf
 }
 
 // snapPieces forces every piece current onto the level grid.

@@ -63,10 +63,18 @@ func (s *Schedule) PlanActive(info sim.SlotInfo) {
 // SegmentPlan implements sim.Policy with the same boundary splitting as the
 // online policy.
 func (s *Schedule) SegmentPlan(seg sim.Segment, charge float64) []sim.Piece {
-	if seg.Kind.IdlePhase() {
-		return splitAtFull(s.sys, seg, charge, s.cmax, s.ifi)
-	}
-	return splitAtEmpty(s.sys, seg, charge, s.ifa)
+	return s.SegmentPlanInto(seg, charge, nil)
 }
 
-var _ sim.Policy = (*Schedule)(nil)
+// SegmentPlanInto implements sim.PiecePlanner.
+func (s *Schedule) SegmentPlanInto(seg sim.Segment, charge float64, buf []sim.Piece) []sim.Piece {
+	if seg.Kind.IdlePhase() {
+		return splitAtFull(buf, s.sys, seg, charge, s.cmax, s.ifi)
+	}
+	return splitAtEmpty(buf, s.sys, seg, charge, s.ifa)
+}
+
+var (
+	_ sim.Policy       = (*Schedule)(nil)
+	_ sim.PiecePlanner = (*Schedule)(nil)
+)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"fcdpm/internal/config"
 	"fcdpm/internal/report"
@@ -258,10 +259,14 @@ func (s *Server) runTask(j *job, ref taskRef, spec *config.Scenario, key, name s
 		if err != nil {
 			return struct{}{}, err
 		}
+		start := time.Now()
 		res, err := sim.RunContext(ctx, cfg)
 		if err != nil {
 			return struct{}{}, err
 		}
+		s.simRuns.Add(1)
+		s.simSlots.Add(int64(res.Slots))
+		s.simNanos.Add(time.Since(start).Nanoseconds())
 		body, err := renderRunReport(name, key, s.engine, res)
 		if err != nil {
 			return struct{}{}, err

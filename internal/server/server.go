@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync"
@@ -64,6 +65,11 @@ type Options struct {
 	// RetainJobs bounds how many completed jobs stay queryable (default
 	// 512).
 	RetainJobs int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: the profiler exposes goroutine stacks and heap contents,
+	// so it is opt-in (`fcdpm serve -pprof`) and belongs behind the same
+	// trust boundary as the rest of the service.
+	EnablePprof bool
 	// Logf receives operational log lines; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -111,6 +117,10 @@ type Server struct {
 	runsSubmitted, runsDone, runsFailed, runsShed atomic.Int64
 	runsCoalesced, inflightTasks                  atomic.Int64
 	draining                                      atomic.Bool
+
+	// Simulation-perf accounting for /v1/stats: wall time and slot count
+	// of completed simulations (cache hits excluded — they do no work).
+	simRuns, simSlots, simNanos atomic.Int64
 
 	closeOnce sync.Once
 	closeErr  error
@@ -162,6 +172,15 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	if s.opts.EnablePprof {
+		// Mounted explicitly rather than via the package's init side
+		// effect on http.DefaultServeMux, which this server never uses.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // writeJSON emits v stably encoded. Errors past the header are lost to
@@ -457,6 +476,19 @@ type statsPayload struct {
 	Runs  runStatsDoc  `json:"runs"`
 	Cache cacheStats   `json:"cache"`
 	Jobs  jobStatsDoc  `json:"jobs"`
+	Perf  perfStatsDoc `json:"perf"`
+}
+
+// perfStatsDoc aggregates simulation wall time and slot throughput over
+// every completed (non-cached) run since the server started.
+type perfStatsDoc struct {
+	Runs        int64   `json:"runs"`
+	Slots       int64   `json:"slots"`
+	WallSeconds float64 `json:"wallSeconds"`
+	// AvgRunMs is the mean simulation wall time per run.
+	AvgRunMs float64 `json:"avgRunMs"`
+	// SlotsPerSec is the aggregate simulated-slot throughput.
+	SlotsPerSec float64 `json:"slotsPerSec"`
 }
 
 type poolStatsDoc struct {
@@ -495,7 +527,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		Cache: s.cache.stats(),
 		Jobs:  jobStatsDoc{Active: active, Retained: retained},
+		Perf:  s.perfStats(),
 	})
+}
+
+// perfStats snapshots the simulation-perf counters. The three loads are
+// not mutually atomic; under concurrent runs the ratios are approximate,
+// which is fine for an operational gauge.
+func (s *Server) perfStats() perfStatsDoc {
+	doc := perfStatsDoc{
+		Runs:  s.simRuns.Load(),
+		Slots: s.simSlots.Load(),
+	}
+	nanos := s.simNanos.Load()
+	doc.WallSeconds = float64(nanos) / 1e9
+	if doc.Runs > 0 {
+		doc.AvgRunMs = float64(nanos) / 1e6 / float64(doc.Runs)
+	}
+	if nanos > 0 {
+		doc.SlotsPerSec = float64(doc.Slots) * 1e9 / float64(nanos)
+	}
+	return doc
 }
 
 // Close drains the service: admission stops, in-flight runs finish

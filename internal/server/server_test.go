@@ -438,3 +438,57 @@ func TestConcurrentMixedLoad(t *testing.T) {
 		t.Fatalf("accounting lost requests: %+v", stats)
 	}
 }
+
+// TestPprofGating: the profiler is absent by default and mounted under
+// /debug/pprof/ only with EnablePprof.
+func TestPprofGating(t *testing.T) {
+	_, off := newTestServer(t, Options{})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("pprof off: GET /debug/pprof/ = %d, want 404", resp.StatusCode)
+	}
+
+	_, on := newTestServer(t, Options{EnablePprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof on: GET /debug/pprof/ = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestStatsPerfSection: a completed simulation shows up in the perf
+// gauges (wall time, slots, throughput), and a cache hit does not.
+func TestStatsPerfSection(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	if r, _ := postRun(t, ts, quickSpec); r.StatusCode != 200 {
+		t.Fatalf("run: %d", r.StatusCode)
+	}
+	var st struct {
+		Perf struct {
+			Runs        int64   `json:"runs"`
+			Slots       int64   `json:"slots"`
+			WallSeconds float64 `json:"wallSeconds"`
+			AvgRunMs    float64 `json:"avgRunMs"`
+			SlotsPerSec float64 `json:"slotsPerSec"`
+		} `json:"perf"`
+	}
+	getJSON(t, ts, "/v1/stats", &st)
+	if st.Perf.Runs != 1 || st.Perf.Slots <= 0 || st.Perf.WallSeconds <= 0 || st.Perf.SlotsPerSec <= 0 {
+		t.Fatalf("perf after one run: %+v", st.Perf)
+	}
+	// A repeat is served from the cache: no new simulation is measured.
+	if r, _ := postRun(t, ts, quickSpec); r.Header.Get("X-Fcdpm-Cache") != "hit" {
+		t.Fatalf("repeat not a cache hit: %v", r.Header.Get("X-Fcdpm-Cache"))
+	}
+	getJSON(t, ts, "/v1/stats", &st)
+	if st.Perf.Runs != 1 {
+		t.Fatalf("cache hit incremented perf runs: %+v", st.Perf)
+	}
+}

@@ -202,6 +202,12 @@ type Config struct {
 	// RecordSlots enables the per-slot audit log in the result — the
 	// slot-level view of what the policy decided and what it cost.
 	RecordSlots bool
+	// Record selects how much per-run history the simulator keeps,
+	// overriding the two booleans above when not RecordAuto. Fuel-only
+	// runs (experiment comparisons, the server cache path) skip every
+	// Profile/Charges/SlotLog append — the steady-state zero-allocation
+	// path of Runner.
+	Record RecordLevel
 	// SlewRate limits how fast the FC system output can change, in amps
 	// per second; 0 means ideal (instantaneous) steps. Real fuel-flow
 	// controllers ramp: the blower, pump, and stack gas dynamics give
@@ -337,6 +343,22 @@ type SlotRecord struct {
 	Fuel                   float64 // stack A-s burned during the slot
 }
 
+// Reset clears the result for reuse, keeping the backing storage of its
+// slices and map so a Runner's steady-state runs allocate nothing.
+func (r *Result) Reset() {
+	m := r.FuelByKind
+	if m != nil {
+		clear(m)
+	}
+	*r = Result{
+		FuelByKind: m,
+		Events:     r.Events[:0],
+		Profile:    r.Profile[:0],
+		Charges:    r.Charges[:0],
+		SlotLog:    r.SlotLog[:0],
+	}
+}
+
 // AvgFuelRate returns the mean stack current over the run (A).
 func (r *Result) AvgFuelRate() float64 {
 	if r.Duration == 0 {
@@ -377,28 +399,19 @@ func Run(cfg Config) (*Result, error) {
 // deadline expiry stops the run between slots with a CanceledError that
 // records the simulated time reached.
 func RunContext(ctx context.Context, cfg Config) (*Result, error) {
-	if err := cfg.validate(); err != nil {
+	r, err := NewRunner(cfg)
+	if err != nil {
 		return nil, err
 	}
-	s := newState(cfg)
-	for k, slot := range cfg.Trace.Slots {
-		if err := ctx.Err(); err != nil {
-			return nil, &CanceledError{T: s.t, Slot: k, Err: err}
-		}
-		if err := s.runSlot(k, slot); err != nil {
-			return nil, err
-		}
-	}
-	s.drainFaults()
-	s.res.FinalCharge = s.store.Charge()
-	s.res.FinalPolicy = s.pol.Name()
-	if s.fade != nil {
-		s.res.LostCharge = s.fade.Lost
-	}
-	return s.res, nil
+	return r.RunContext(ctx)
 }
 
-// state carries one run's mutable simulation state.
+// numSegmentKinds sizes the per-kind fuel accumulator array.
+const numSegmentKinds = int(SegShutdown) + 1
+
+// state carries one run's mutable simulation state plus the scratch
+// buffers a Runner reuses across runs. One-time setup lives in init,
+// per-run rewinding in reset.
 type state struct {
 	cfg   Config
 	store storage.Storage
@@ -415,8 +428,10 @@ type state struct {
 
 	// pol is the currently active policy; chain is the full degradation
 	// sequence [Config.Policy, fallbacks..., load-shed] and chainIdx the
-	// position of pol within it.
+	// position of pol within it. planInto is pol's optional allocation-free
+	// planning face, re-resolved whenever pol changes.
 	pol      Policy
+	planInto PiecePlanner
 	chain    []Policy
 	chainIdx int
 	// tripDeficit accumulates unmet load since the last degradation; the
@@ -426,20 +441,54 @@ type state struct {
 	// inj and fade are set only under fault injection.
 	inj  *fault.Injector
 	fade *fault.FadeStore
+
+	// Reuse machinery (see Runner). base is the working storage clone,
+	// snap a pristine snapshot base rewinds to; baseTimeout is the
+	// resolved Timeout before any adapter overwrote it; polName caches
+	// Config.Policy.Name() (a Name() may format). recProfile/recSlots are
+	// the Record level resolved against the legacy booleans. fuelKind
+	// accumulates per-kind fuel in an array so the hot loop never touches
+	// the result map; memo caches the Eq 3/4 evaluations.
+	base        storage.Storage
+	snap        storage.Storage
+	baseTimeout float64
+	polName     string
+	recProfile  bool
+	recSlots    bool
+	memo        *fuelcell.Memo
+	fuelKind    [numSegmentKinds]float64
+	fuelSeen    [numSegmentKinds]bool
+
+	// Fixed-size scratch buffers: a slot expands to at most 3 idle and 4
+	// active segments, and policies return at most a handful of pieces
+	// per segment (2 today; the buffer grows transparently if exceeded).
+	idleBuf   [3]Segment
+	activeBuf [4]Segment
+	pieceBuf  [8]Piece
 }
 
-func newState(cfg Config) *state {
-	st := &state{
-		cfg:   cfg,
-		store: cfg.Store.Clone(),
-		res:   &Result{Policy: cfg.Policy.Name(), FuelByKind: make(map[SegmentKind]float64)},
-		tbe:   cfg.Dev.BreakEven(),
-	}
+// init performs the one-time setup: every allocation a run needs happens
+// here so reset and the run itself can stay allocation-free.
+func (st *state) init(cfg Config) {
+	st.cfg = cfg
+	st.base = cfg.Store.Clone()
+	st.snap = cfg.Store.Clone()
+	st.res = &Result{FuelByKind: make(map[SegmentKind]float64, numSegmentKinds)}
+	st.polName = cfg.Policy.Name()
+	st.tbe = cfg.Dev.BreakEven()
 	if st.cfg.Timeout <= 0 {
 		st.cfg.Timeout = st.tbe
 	}
-	st.lastIF = -1
-	st.chargeTarget = st.store.Charge() // the paper's Cini(1) stability target
+	st.baseTimeout = st.cfg.Timeout
+	st.chargeTarget = st.base.Charge() // the paper's Cini(1) stability target
+	switch cfg.Record {
+	case RecordFuelOnly:
+		st.recProfile, st.recSlots = false, false
+	case RecordFull:
+		st.recProfile, st.recSlots = true, true
+	default:
+		st.recProfile, st.recSlots = cfg.RecordProfile, cfg.RecordSlots
+	}
 	first := cfg.Trace.Slots[0]
 	st.predIdle = cfg.IdlePredictor
 	if st.predIdle == nil {
@@ -453,21 +502,75 @@ func newState(cfg Config) *state {
 	if st.predCurrent == nil {
 		st.predCurrent = predict.NewExpAverage(0.5, first.ActiveCurrent)
 	}
-	st.predIdle.Reset()
-	st.predActive.Reset()
-	st.predCurrent.Reset()
-	if cfg.Faults != nil && !cfg.Faults.Empty() {
-		st.inj = fault.NewInjector(cfg.Faults, cfg.FaultSeed)
-		st.fade = fault.NewFadeStore(st.store)
-		st.store = st.fade
-	}
+	st.memo = fuelcell.NewMemo(cfg.Sys)
 	st.chain = make([]Policy, 0, len(cfg.Fallbacks)+2)
 	st.chain = append(st.chain, cfg.Policy)
 	st.chain = append(st.chain, cfg.Fallbacks...)
 	st.chain = append(st.chain, loadShed{sys: cfg.Sys})
-	st.pol = st.chain[0]
+}
+
+// reset rewinds the state for a fresh run. Allocation-free except under
+// fault injection, where the injector and fade wrapper are rebuilt so the
+// noise stream and fade accounting restart deterministically.
+func (st *state) reset() {
+	st.res.Reset()
+	st.res.Policy = st.polName
+	st.t = 0
+	st.lastIF = -1
+	st.tripDeficit = 0
+	st.cfg.Timeout = st.baseTimeout
+	if r, ok := st.base.(storage.Restorer); !ok || !r.RestoreFrom(st.snap) {
+		st.base = st.snap.Clone()
+	}
+	st.store = st.base
+	st.inj, st.fade = nil, nil
+	if st.cfg.Faults != nil && !st.cfg.Faults.Empty() {
+		st.inj = fault.NewInjector(st.cfg.Faults, st.cfg.FaultSeed)
+		st.fade = fault.NewFadeStore(st.base)
+		st.store = st.fade
+	}
+	st.predIdle.Reset()
+	st.predActive.Reset()
+	st.predCurrent.Reset()
+	st.fuelKind = [numSegmentKinds]float64{}
+	st.fuelSeen = [numSegmentKinds]bool{}
+	st.setPolicy(0)
 	st.pol.Reset(st.store.Capacity(), st.chargeTarget)
-	return st
+}
+
+// setPolicy activates chain[i] and re-resolves its planning fast path.
+func (st *state) setPolicy(i int) {
+	st.chainIdx = i
+	st.pol = st.chain[i]
+	st.planInto, _ = st.pol.(PiecePlanner)
+}
+
+// run executes the trace and finalizes the result.
+func (st *state) run(ctx context.Context) (*Result, error) {
+	for k, slot := range st.cfg.Trace.Slots {
+		if err := ctx.Err(); err != nil {
+			return nil, &CanceledError{T: st.t, Slot: k, Err: err}
+		}
+		if err := st.runSlot(k, slot); err != nil {
+			return nil, err
+		}
+	}
+	st.drainFaults()
+	for k, seen := range st.fuelSeen {
+		if seen {
+			st.res.FuelByKind[SegmentKind(k)] = st.fuelKind[k]
+		}
+	}
+	st.res.FinalCharge = st.store.Charge()
+	if st.chainIdx == 0 {
+		st.res.FinalPolicy = st.polName
+	} else {
+		st.res.FinalPolicy = st.pol.Name()
+	}
+	if st.fade != nil {
+		st.res.LostCharge = st.fade.Lost
+	}
+	return st.res, nil
 }
 
 // sleepDecision applies the configured DPM mode at planning time. Under
@@ -526,8 +629,10 @@ func (s *state) runSlot(k int, slot workload.Slot) error {
 	}
 	s.pol.PlanIdle(info)
 
-	// Idle phase.
-	var idleSegs []Segment
+	// Idle phase. The segment slices are backed by fixed scratch arrays
+	// sized for the worst-case slot shape, so building them never
+	// allocates.
+	idleSegs := s.idleBuf[:0]
 	switch {
 	case s.cfg.DPM == DPMTimeout:
 		dwell := math.Min(s.cfg.Timeout, slot.Idle)
@@ -570,7 +675,7 @@ func (s *state) runSlot(k int, slot workload.Slot) error {
 	info.Charge = s.store.Charge()
 	s.pol.PlanActive(info)
 
-	var activeSegs []Segment
+	activeSegs := s.activeBuf[:0]
 	if didSleep && dev.TauWU > 0 {
 		activeSegs = append(activeSegs, Segment{SegWakeUp, dev.TauWU, dev.IWU})
 	}
@@ -606,7 +711,7 @@ func (s *state) runSlot(k int, slot workload.Slot) error {
 	if s.cfg.DPM == DPMTimeout && s.cfg.TimeoutAdapter != nil {
 		s.cfg.TimeoutAdapter.Observe(obsIdle)
 	}
-	if s.cfg.RecordSlots {
+	if s.recSlots {
 		s.res.SlotLog = append(s.res.SlotLog, SlotRecord{
 			K:             k,
 			Idle:          slot.Idle,
@@ -633,7 +738,15 @@ func (s *state) applySegment(seg Segment) error {
 		return nil
 	}
 	for {
-		pieces := s.pol.SegmentPlan(seg, s.store.Charge())
+		// Prefer the policy's allocation-free face: the plan is appended
+		// into a scratch buffer reused across segments. Policies without
+		// one fall back to the classic allocating SegmentPlan.
+		var pieces []Piece
+		if s.planInto != nil {
+			pieces = s.planInto.SegmentPlanInto(seg, s.store.Charge(), s.pieceBuf[:0])
+		} else {
+			pieces = s.pol.SegmentPlan(seg, s.store.Charge())
+		}
 		inv := s.checkPieces(seg, pieces)
 		if inv == nil {
 			for _, p := range pieces {
@@ -737,14 +850,15 @@ func (s *state) integrateStep(seg Segment, iF, dur float64, st fault.State) {
 			deliver = ceil
 		}
 	}
-	if s.cfg.RecordProfile {
+	if s.recProfile {
 		s.res.Profile = append(s.res.Profile, ProfilePoint{T: s.t, Load: load, IF: deliver})
 		s.res.Charges = append(s.res.Charges, ChargePoint{T: s.t, Q: s.store.Charge()})
 	}
 	flow := s.store.Apply(deliver-load, dur)
-	fuel := s.cfg.Sys.Fuel(deliver, dur) * st.FuelScale
+	fuel := s.memo.Fuel(deliver, dur) * st.FuelScale
 	s.res.Fuel += fuel
-	s.res.FuelByKind[seg.Kind] += fuel
+	s.fuelKind[seg.Kind] += fuel
+	s.fuelSeen[seg.Kind] = true
 	s.res.DeliveredEnergy += s.cfg.Sys.VF * deliver * dur
 	s.res.LoadEnergy += s.cfg.Sys.VF * load * dur
 	s.res.Bled += flow.Bled

@@ -119,7 +119,12 @@ func (l loadShed) PlanActive(SlotInfo) {}
 
 // SegmentPlan implements Policy.
 func (l loadShed) SegmentPlan(seg Segment, charge float64) []Piece {
-	return []Piece{{IF: l.sys.Clamp(seg.Load), Dur: seg.Dur}}
+	return l.SegmentPlanInto(seg, charge, nil)
+}
+
+// SegmentPlanInto implements PiecePlanner.
+func (l loadShed) SegmentPlanInto(seg Segment, charge float64, buf []Piece) []Piece {
+	return append(buf, Piece{IF: l.sys.Clamp(seg.Load), Dur: seg.Dur})
 }
 
 // supervised reports whether the watchdog is armed for this run.
@@ -187,8 +192,7 @@ func (s *state) degrade(reason string) bool {
 		return false
 	}
 	from := s.pol.Name()
-	s.chainIdx++
-	s.pol = s.chain[s.chainIdx]
+	s.setPolicy(s.chainIdx + 1)
 	cap := s.store.Capacity()
 	s.pol.Reset(cap, math.Min(s.chargeTarget, cap))
 	s.tripDeficit = 0

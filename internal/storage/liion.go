@@ -127,3 +127,12 @@ func (b *LiIon) Clone() Storage {
 	cp := *b
 	return &cp
 }
+
+// RestoreFrom implements Restorer.
+func (b *LiIon) RestoreFrom(src Storage) bool {
+	o, ok := src.(*LiIon)
+	if ok {
+		*b = *o
+	}
+	return ok
+}

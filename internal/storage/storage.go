@@ -50,6 +50,16 @@ type Storage interface {
 	Clone() Storage
 }
 
+// Restorer is an optional Storage capability: RestoreFrom copies the full
+// state of src into the receiver without allocating, and reports whether
+// it could (it can only when src is the same concrete type). Reusable
+// simulation runners use it to rewind a working copy to a pristine
+// snapshot instead of cloning per run; callers must fall back to Clone
+// when it reports false.
+type Restorer interface {
+	RestoreFrom(src Storage) bool
+}
+
 // SuperCap is the ideal coulomb buffer the paper assumes: lossless, with a
 // hard capacity Cmax and hard empty floor.
 type SuperCap struct {
@@ -138,6 +148,15 @@ func (s *SuperCap) Apply(current, dt float64) Flow {
 func (s *SuperCap) Clone() Storage {
 	cp := *s
 	return &cp
+}
+
+// RestoreFrom implements Restorer.
+func (s *SuperCap) RestoreFrom(src Storage) bool {
+	o, ok := src.(*SuperCap)
+	if ok {
+		*s = *o
+	}
+	return ok
 }
 
 // TimeToFull returns how long the element takes to fill at the given
