@@ -44,6 +44,46 @@ func TestSimRunSteadyStateZeroAllocs(t *testing.T) {
 	}
 }
 
+func TestSimRunMetricsZeroAllocs(t *testing.T) {
+	// Instrumentation must not perturb the zero-allocation guarantee:
+	// with a SimMetrics bundle attached, steady-state runs still
+	// allocate nothing (recording is a handful of atomic adds).
+	sys := PaperSystem()
+	dev := Camcorder()
+	trace, err := CamcorderTrace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewMetricsRegistry()
+	m := NewSimMetrics(reg)
+	r, err := NewSimRunner(SimConfig{
+		Sys: sys, Dev: dev, Store: MustSuperCap(6, 1),
+		Trace: trace, Policy: NewFCDPM(sys, dev),
+		Record:  RecordFuelOnly,
+		Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented SimRunner.Run allocates %v times per steady-state run, want 0", allocs)
+	}
+	if got := m.Runs.Value(); got < 21 {
+		t.Fatalf("metrics recorded %v runs, want >= 21", got)
+	}
+	if m.Slots.Value() <= 0 || m.RunSeconds.Count() == 0 {
+		t.Fatal("instrumented runs recorded no slots or wall time")
+	}
+}
+
 func TestSimRunnerResultsStayIdentical(t *testing.T) {
 	// The arena reuse must not leak state between runs: every repeat is
 	// the same simulation, so its totals must match the first bit for bit.

@@ -59,7 +59,12 @@ func cmdBench(args []string) error {
 		fmt.Println("no previous artifact to compare against; this run is the baseline")
 		return nil
 	}
-	deltas, regressed := perf.Compare(baseline, art, *threshold)
+	deltas, regressed, err := perf.Compare(baseline, art, *threshold)
+	if err != nil {
+		// Zero benchmark-name overlap: the gate has nothing to check and
+		// must fail loudly rather than pass vacuously.
+		return fmt.Errorf("bench: %w (baseline %s)", err, basePath)
+	}
 	fmt.Println("vs", basePath+":")
 	for _, d := range deltas {
 		fmt.Println(" ", d)

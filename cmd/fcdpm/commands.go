@@ -228,7 +228,7 @@ func cmdRun(args []string) error {
 	return nil
 }
 
-func cmdExp(args []string, which int) error {
+func cmdExp(ctx context.Context, args []string, which int) error {
 	fs := flag.NewFlagSet(fmt.Sprintf("exp%d", which), flag.ContinueOnError)
 	seed := fs.Uint64("seed", uint64(which), "trace seed")
 	if err := parseFlags(fs, args); err != nil {
@@ -239,11 +239,11 @@ func cmdExp(args []string, which int) error {
 	var paper map[string]string
 	var title string
 	if which == 1 {
-		cmp, err = exp.Experiment1(*seed)
+		cmp, err = exp.Experiment1Context(ctx, *seed)
 		paper = map[string]string{"Conv-DPM": "100%", "ASAP-DPM": "40.8%", "FC-DPM": "30.8%"}
 		title = "Table 2 — Experiment 1 (camcorder MPEG trace)"
 	} else {
-		cmp, err = exp.Experiment2(*seed)
+		cmp, err = exp.Experiment2Context(ctx, *seed)
 		paper = map[string]string{"Conv-DPM": "100%", "ASAP-DPM": "49.1%", "FC-DPM": "41.5%"}
 		title = "Table 3 — Experiment 2 (synthetic trace)"
 	}
@@ -281,7 +281,7 @@ func cmdMotiv(args []string) error {
 	return nil
 }
 
-func cmdSweep(args []string) error {
+func cmdSweep(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	what := fs.String("what", "capacity", "sweep: capacity, beta, or rho")
 	seed := fs.Uint64("seed", 1, "trace seed")
@@ -293,13 +293,13 @@ func cmdSweep(args []string) error {
 	var xName string
 	switch *what {
 	case "capacity":
-		pts, err = exp.CapacitySweep(*seed, []float64{1, 2, 3, 6, 12, 24, 60})
+		pts, err = exp.CapacitySweepContext(ctx, *seed, []float64{1, 2, 3, 6, 12, 24, 60})
 		xName = "Cmax (A-s)"
 	case "beta":
-		pts, err = exp.BetaSweep(*seed, []float64{0, 0.05, 0.10, 0.13, 0.20, 0.30})
+		pts, err = exp.BetaSweepContext(ctx, *seed, []float64{0, 0.05, 0.10, 0.13, 0.20, 0.30})
 		xName = "beta"
 	case "rho":
-		pts, err = exp.RhoSweep(*seed, []float64{0, 0.25, 0.5, 0.75, 1})
+		pts, err = exp.RhoSweepContext(ctx, *seed, []float64{0, 0.25, 0.5, 0.75, 1})
 		xName = "rho"
 	default:
 		return fmt.Errorf("unknown sweep %q", *what)
@@ -597,7 +597,7 @@ func cmdVerify(args []string) error {
 	return nil
 }
 
-func cmdAblate(args []string) error {
+func cmdAblate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("ablate", flag.ContinueOnError)
 	what := fs.String("what", "", "ablation: thermal, actuation, battery, aggregation, calibration, slew, mpc, timeout, storage, dpm")
 	seed := fs.Uint64("seed", 1, "trace seed")
@@ -616,7 +616,7 @@ func cmdAblate(args []string) error {
 		}
 		fmt.Print(tab)
 	case "actuation":
-		rows, err := exp.ActuationAblation(*seed, []float64{0, 0.02, 0.05, 0.1, 0.2})
+		rows, err := exp.ActuationAblationContext(ctx, *seed, []float64{0, 0.02, 0.05, 0.1, 0.2})
 		if err != nil {
 			return err
 		}
@@ -633,7 +633,7 @@ func cmdAblate(args []string) error {
 		fmt.Printf("battery-aware shaping: %.4f A avg Ifc vs FC-DPM %.4f A (%s more fuel)\n",
 			ba.AvgFuelRate(), fc.AvgFuelRate(), report.Percent(ba.AvgFuelRate()/fc.AvgFuelRate()-1))
 	case "aggregation":
-		rows, err := exp.AggregationAblation(*seed, []int{1, 2, 4, 8})
+		rows, err := exp.AggregationAblationContext(ctx, *seed, []int{1, 2, 4, 8})
 		if err != nil {
 			return err
 		}
@@ -643,7 +643,7 @@ func cmdAblate(args []string) error {
 		}
 		fmt.Print(tab)
 	case "calibration":
-		rows, err := exp.CalibrationUncertainty(*seed, 0.1)
+		rows, err := exp.CalibrationUncertaintyContext(ctx, *seed, 0.1)
 		if err != nil {
 			return err
 		}
@@ -654,7 +654,7 @@ func cmdAblate(args []string) error {
 		}
 		fmt.Print(tab)
 	case "slew":
-		rows, err := exp.SlewAblation(*seed, []float64{0, 0.5, 0.1, 0.05, 0.02})
+		rows, err := exp.SlewAblationContext(ctx, *seed, []float64{0, 0.5, 0.1, 0.05, 0.02})
 		if err != nil {
 			return err
 		}
@@ -665,7 +665,7 @@ func cmdAblate(args []string) error {
 		}
 		fmt.Print(tab)
 	case "mpc":
-		rows, err := exp.MPCAblation(*seed, []int{1, 2, 3, 5})
+		rows, err := exp.MPCAblationContext(ctx, *seed, []int{1, 2, 3, 5})
 		if err != nil {
 			return err
 		}
@@ -690,7 +690,7 @@ func cmdAblate(args []string) error {
 		fmt.Printf("supercap FC-DPM %s of Conv; KiBaM Li-ion %s\n",
 			report.Percent(super.Row("FC-DPM").Normalized), report.Percent(liion.Row("FC-DPM").Normalized))
 	case "dpm":
-		modes, err := exp.DPMModeAblation(*seed)
+		modes, err := exp.DPMModeAblationContext(ctx, *seed)
 		if err != nil {
 			return err
 		}
@@ -751,9 +751,12 @@ type batchRow struct {
 func cmdBatch(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
 	pf := addPoolFlags(fs, "scenario").addJournal(fs, "scenario")
+	mf := addMetricsFlag(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	mf.init()
+	defer mf.dump()
 	paths := fs.Args()
 	if len(paths) == 0 {
 		return usagef("usage: fcdpm batch [-workers N] [-timeout S] [-retries N] [-journal FILE] <scenario.json>...")
@@ -782,6 +785,7 @@ func cmdBatch(ctx context.Context, args []string) error {
 				if err != nil {
 					return batchRow{}, fmt.Errorf("scenario %s: %w", name, err)
 				}
+				cfg.Metrics = mf.sim
 				res, err := sim.RunContext(ctx, cfg)
 				if err != nil {
 					return batchRow{}, fmt.Errorf("scenario %s: %w", name, err)
@@ -793,7 +797,9 @@ func cmdBatch(ctx context.Context, args []string) error {
 			},
 		})
 	}
-	rep, runErr := runner.Run(ctx, pf.options(), tasks)
+	popts := pf.options()
+	popts.Metrics = mf.pool
+	rep, runErr := runner.Run(ctx, popts, tasks)
 	if rep == nil {
 		return runErr
 	}
@@ -828,7 +834,7 @@ func cmdBatch(ctx context.Context, args []string) error {
 	return rep.FirstError()
 }
 
-func cmdRobust(args []string) error {
+func cmdRobust(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("robust", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "base seed")
 	trials := fs.Int("trials", 20, "Monte-Carlo trials")
@@ -836,7 +842,7 @@ func cmdRobust(args []string) error {
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	r, err := exp.RobustnessStudy(*seed, *trials, *pct)
+	r, err := exp.RobustnessStudyContext(ctx, *seed, *trials, *pct)
 	if err != nil {
 		return err
 	}
@@ -921,9 +927,12 @@ func cmdFaults(ctx context.Context, args []string) error {
 	seed := fs.Uint64("seed", 1, "trace and sensor-noise seed")
 	list := fs.Bool("list", false, "only list the fault classes")
 	pf := addPoolFlags(fs, "cell").addJournal(fs, "cell")
+	mf := addMetricsFlag(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	mf.init()
+	defer mf.dump()
 	tab := report.NewTable("fault classes", "Class", "Effect")
 	for _, c := range faultClassHelp {
 		tab.AddRow(c.name, c.desc)
@@ -932,7 +941,10 @@ func cmdFaults(ctx context.Context, args []string) error {
 	if *list {
 		return nil
 	}
-	res, err := exp.FaultSweepOpts(ctx, *seed, pf.sweepOptions())
+	sweepOpts := pf.sweepOptions()
+	sweepOpts.Metrics = mf.pool
+	sweepOpts.SimMetrics = mf.sim
+	res, err := exp.FaultSweepOpts(ctx, *seed, sweepOpts)
 	if err != nil && (res == nil || !errors.Is(err, runner.ErrInterrupted)) {
 		return err
 	}

@@ -89,13 +89,13 @@ func run(ctx context.Context, args []string) error {
 	case "run":
 		return cmdRun(rest)
 	case "exp1":
-		return cmdExp(rest, 1)
+		return cmdExp(ctx, rest, 1)
 	case "exp2":
-		return cmdExp(rest, 2)
+		return cmdExp(ctx, rest, 2)
 	case "motiv":
 		return cmdMotiv(rest)
 	case "sweep":
-		return cmdSweep(rest)
+		return cmdSweep(ctx, rest)
 	case "oracle":
 		return cmdOracle(rest)
 	case "hydrogen":
@@ -113,7 +113,7 @@ func run(ctx context.Context, args []string) error {
 	case "verify":
 		return cmdVerify(rest)
 	case "ablate":
-		return cmdAblate(rest)
+		return cmdAblate(ctx, rest)
 	case "advise":
 		return cmdAdvise(rest)
 	case "batch":
@@ -125,7 +125,7 @@ func run(ctx context.Context, args []string) error {
 	case "version":
 		return cmdVersion(rest)
 	case "robust":
-		return cmdRobust(rest)
+		return cmdRobust(ctx, rest)
 	case "charge":
 		return cmdCharge(rest)
 	case "help", "-h", "--help":

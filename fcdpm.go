@@ -137,6 +137,14 @@ type (
 	// SimRunner is a reusable simulation arena: allocate once with
 	// NewSimRunner, call Run repeatedly with zero steady-state
 	// allocations (sweeps, benchmarks, services).
+	//
+	// CAUTION: the *Result returned by SimRunner.Run / RunContext
+	// aliases the runner's internal buffers. It is valid only until the
+	// next Run call, which rewinds and overwrites those buffers in
+	// place. Copy any fields (including slices such as Profile, Charges,
+	// and SlotLog) that must outlive the next run. Results from the
+	// one-shot Run / RunContext package functions do not alias anything
+	// and are safe to retain.
 	SimRunner = sim.Runner
 	// RecordLevel selects how much per-run detail a simulation records.
 	RecordLevel = sim.RecordLevel
@@ -329,8 +337,9 @@ func RunContext(ctx context.Context, cfg SimConfig) (*Result, error) {
 
 // NewSimRunner validates cfg and allocates a reusable simulation arena.
 // Repeated Run calls reuse every buffer, so steady-state runs are
-// allocation-free at RecordFuelOnly; the returned Result aliases the
-// runner's buffers and is only valid until the next Run.
+// allocation-free at RecordFuelOnly. The returned *Result aliases the
+// runner's internal buffers and is INVALID after the next Run call —
+// copy anything that must survive (see the SimRunner type note).
 func NewSimRunner(cfg SimConfig) (*SimRunner, error) { return sim.NewRunner(cfg) }
 
 // Fault-injection types (the robustness subsystem).

@@ -24,7 +24,12 @@ type SweepPoint struct {
 // quantifying how much buffer FC-DPM's flattening needs. The paper's
 // supercap is 6 A-s.
 func CapacitySweep(seed uint64, capacities []float64) ([]SweepPoint, error) {
-	return sweepParallel(capacities, func(cmax float64) (SweepPoint, error) {
+	return CapacitySweepContext(context.Background(), seed, capacities)
+}
+
+// CapacitySweepContext is CapacitySweep under a context.
+func CapacitySweepContext(ctx context.Context, seed uint64, capacities []float64) ([]SweepPoint, error) {
+	return sweepParallel(ctx, capacities, func(ctx context.Context, cmax float64) (SweepPoint, error) {
 		sc, err := Experiment1Scenario(seed)
 		if err != nil {
 			return SweepPoint{}, err
@@ -37,7 +42,7 @@ func CapacitySweep(seed uint64, capacities []float64) ([]SweepPoint, error) {
 			return SweepPoint{}, err
 		}
 		sc.Store = store
-		cmp, err := sc.Compare(sc.Policies())
+		cmp, err := sc.CompareContext(ctx, sc.Policies())
 		if err != nil {
 			return SweepPoint{}, err
 		}
@@ -49,25 +54,28 @@ func CapacitySweep(seed uint64, capacities []float64) ([]SweepPoint, error) {
 // sweepParallel evaluates f at each abscissa on the run engine (bounded
 // workers, panic isolation), preserving order. Each evaluation builds its
 // own scenario, so nothing is shared.
-func sweepParallel(xs []float64, f func(x float64) (SweepPoint, error)) ([]SweepPoint, error) {
-	return fanOut("ablation", xs, f)
+func sweepParallel(ctx context.Context, xs []float64, f func(ctx context.Context, x float64) (SweepPoint, error)) ([]SweepPoint, error) {
+	return fanOut(ctx, "ablation", xs, f)
 }
 
 // fanOut evaluates f at each input concurrently on the run engine (bounded
 // workers, panic isolation) and returns the rows in input order, so sweep
 // tables stay deterministic regardless of completion order. Inputs must
 // not share mutable state across evaluations — build a fresh scenario (or
-// share only read-only ones) inside f.
-func fanOut[T, R any](name string, inputs []T, f func(in T) (R, error)) ([]R, error) {
+// share only read-only ones) inside f. Each evaluation receives the
+// task's context (derived from ctx), so canceling ctx interrupts the
+// whole fan-out — sweeps launched through the server or an interrupted
+// CLI no longer run to completion unobserved.
+func fanOut[T, R any](ctx context.Context, name string, inputs []T, f func(ctx context.Context, in T) (R, error)) ([]R, error) {
 	tasks := make([]runner.Task[R], len(inputs))
 	for i, in := range inputs {
 		in := in
 		tasks[i] = runner.Task[R]{
 			ID:  runner.RunID(name, fmt.Sprintf("i=%d", i)),
-			Run: func(context.Context) (R, error) { return f(in) },
+			Run: func(tctx context.Context) (R, error) { return f(tctx, in) },
 		}
 	}
-	rep, err := runner.Run(context.Background(), runner.Options{}, tasks)
+	rep, err := runner.Run(ctx, runner.Options{}, tasks)
 	if err != nil {
 		if rep != nil && rep.FirstError() != nil {
 			return nil, rep.FirstError()
@@ -88,7 +96,12 @@ func fanOut[T, R any](name string, inputs []T, f func(in T) (R, error)) ([]R, er
 // the paper's 0.45). At β = 0 the fuel map is linear and flattening brings
 // nothing; the paper's measured β = 0.13 is where FC-DPM earns its keep.
 func BetaSweep(seed uint64, betas []float64) ([]SweepPoint, error) {
-	return sweepParallel(betas, func(beta float64) (SweepPoint, error) {
+	return BetaSweepContext(context.Background(), seed, betas)
+}
+
+// BetaSweepContext is BetaSweep under a context.
+func BetaSweepContext(ctx context.Context, seed uint64, betas []float64) ([]SweepPoint, error) {
+	return sweepParallel(ctx, betas, func(ctx context.Context, beta float64) (SweepPoint, error) {
 		if beta < 0 {
 			return SweepPoint{}, fmt.Errorf("exp: negative beta %v", beta)
 		}
@@ -101,7 +114,7 @@ func BetaSweep(seed uint64, betas []float64) ([]SweepPoint, error) {
 			return SweepPoint{}, err
 		}
 		sc.Sys = sys
-		cmp, err := sc.Compare(sc.Policies())
+		cmp, err := sc.CompareContext(ctx, sc.Policies())
 		if err != nil {
 			return SweepPoint{}, err
 		}
@@ -112,7 +125,12 @@ func BetaSweep(seed uint64, betas []float64) ([]SweepPoint, error) {
 
 // RhoSweep reruns Experiment 1 across idle-prediction factors ρ (Eq 14).
 func RhoSweep(seed uint64, rhos []float64) ([]SweepPoint, error) {
-	return sweepParallel(rhos, func(rho float64) (SweepPoint, error) {
+	return RhoSweepContext(context.Background(), seed, rhos)
+}
+
+// RhoSweepContext is RhoSweep under a context.
+func RhoSweepContext(ctx context.Context, seed uint64, rhos []float64) ([]SweepPoint, error) {
+	return sweepParallel(ctx, rhos, func(ctx context.Context, rho float64) (SweepPoint, error) {
 		if rho < 0 || rho > 1 {
 			return SweepPoint{}, fmt.Errorf("exp: rho %v outside [0,1]", rho)
 		}
@@ -121,7 +139,7 @@ func RhoSweep(seed uint64, rhos []float64) ([]SweepPoint, error) {
 			return SweepPoint{}, err
 		}
 		sc.IdlePred = expAvg(rho, 14)
-		cmp, err := sc.Compare(sc.Policies())
+		cmp, err := sc.CompareContext(ctx, sc.Policies())
 		if err != nil {
 			return SweepPoint{}, err
 		}
@@ -140,6 +158,11 @@ type PredictorRow struct {
 // PredictorAblation runs Experiment 1's FC-DPM under different idle-period
 // predictors and reports both prediction accuracy and fuel impact.
 func PredictorAblation(seed uint64) ([]PredictorRow, error) {
+	return PredictorAblationContext(context.Background(), seed)
+}
+
+// PredictorAblationContext is PredictorAblation under a context.
+func PredictorAblationContext(ctx context.Context, seed uint64) ([]PredictorRow, error) {
 	sc, err := Experiment1Scenario(seed)
 	if err != nil {
 		return nil, err
@@ -154,13 +177,13 @@ func PredictorAblation(seed uint64) ([]PredictorRow, error) {
 		func() predict.Predictor { return predict.NewMarkov(8, 8, 20, 14) },
 		func() predict.Predictor { return predict.NewOracle(idle, 14) },
 	}
-	return fanOut("predictor", preds, func(mk func() predict.Predictor) (PredictorRow, error) {
+	return fanOut(ctx, "predictor", preds, func(ctx context.Context, mk func() predict.Predictor) (PredictorRow, error) {
 		sc, err := Experiment1Scenario(seed)
 		if err != nil {
 			return PredictorRow{}, err
 		}
 		sc.IdlePred = mk
-		cmp, err := sc.Compare(sc.Policies())
+		cmp, err := sc.CompareContext(ctx, sc.Policies())
 		if err != nil {
 			return PredictorRow{}, err
 		}
@@ -226,14 +249,19 @@ func StorageModelAblation(seed uint64) (super, liion *Comparison, err error) {
 
 // DPMModeAblation reruns Experiment 1 under each device-side sleep policy.
 func DPMModeAblation(seed uint64) (map[string]*Comparison, error) {
+	return DPMModeAblationContext(context.Background(), seed)
+}
+
+// DPMModeAblationContext is DPMModeAblation under a context.
+func DPMModeAblationContext(ctx context.Context, seed uint64) (map[string]*Comparison, error) {
 	modes := []sim.DPMMode{sim.DPMPredictive, sim.DPMNeverSleep, sim.DPMAlwaysSleep, sim.DPMOracle}
-	cmps, err := fanOut("dpm-mode", modes, func(mode sim.DPMMode) (*Comparison, error) {
+	cmps, err := fanOut(ctx, "dpm-mode", modes, func(ctx context.Context, mode sim.DPMMode) (*Comparison, error) {
 		sc, err := Experiment1Scenario(seed)
 		if err != nil {
 			return nil, err
 		}
 		sc.DPM = mode
-		return sc.Compare(sc.Policies())
+		return sc.CompareContext(ctx, sc.Policies())
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"fcdpm/internal/device"
@@ -39,11 +40,16 @@ func Experiment3Scenario(seed uint64) (*Scenario, error) {
 // Experiment3 compares the three source policies on the heavy-tail
 // workload.
 func Experiment3(seed uint64) (*Comparison, error) {
+	return Experiment3Context(context.Background(), seed)
+}
+
+// Experiment3Context is Experiment3 under a context.
+func Experiment3Context(ctx context.Context, seed uint64) (*Comparison, error) {
 	sc, err := Experiment3Scenario(seed)
 	if err != nil {
 		return nil, err
 	}
-	return sc.Compare(sc.Policies())
+	return sc.CompareContext(ctx, sc.Policies())
 }
 
 // DPMRow is one device-side sleep policy's outcome under FC-DPM.
@@ -60,14 +66,19 @@ type DPMRow struct {
 // and rarely sleeps — while the reactive timeout policy (the classic
 // 2-competitive strategy) catches exactly the tail. The oracle bounds both.
 func Experiment3DPM(seed uint64) ([]DPMRow, error) {
+	return Experiment3DPMContext(context.Background(), seed)
+}
+
+// Experiment3DPMContext is Experiment3DPM under a context.
+func Experiment3DPMContext(ctx context.Context, seed uint64) ([]DPMRow, error) {
 	modes := []sim.DPMMode{sim.DPMPredictive, sim.DPMTimeout, sim.DPMOracle, sim.DPMNeverSleep, sim.DPMAlwaysSleep}
-	out, err := fanOut("exp3-dpm", modes, func(mode sim.DPMMode) (DPMRow, error) {
+	out, err := fanOut(ctx, "exp3-dpm", modes, func(ctx context.Context, mode sim.DPMMode) (DPMRow, error) {
 		sc, err := Experiment3Scenario(seed)
 		if err != nil {
 			return DPMRow{}, err
 		}
 		sc.DPM = mode
-		res, err := sc.runOne(policy.NewFCDPM(sc.Sys, sc.Dev))
+		res, err := sc.runOneCtx(ctx, policy.NewFCDPM(sc.Sys, sc.Dev))
 		if err != nil {
 			return DPMRow{}, fmt.Errorf("exp: experiment 3 %s: %w", mode, err)
 		}
@@ -93,7 +104,7 @@ func Experiment3DPM(seed uint64) ([]DPMRow, error) {
 		return nil, err
 	}
 	sc.TimeoutAdapter = adapter
-	res, err := sc.runOne(policy.NewFCDPM(sc.Sys, sc.Dev))
+	res, err := sc.runOneCtx(ctx, policy.NewFCDPM(sc.Sys, sc.Dev))
 	if err != nil {
 		return nil, fmt.Errorf("exp: experiment 3 adaptive timeout: %w", err)
 	}

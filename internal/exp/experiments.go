@@ -81,6 +81,12 @@ func (sc *Scenario) Policies() []sim.Policy {
 
 // runOne executes a single policy over the scenario.
 func (sc *Scenario) runOne(p sim.Policy) (*sim.Result, error) {
+	return sc.runOneCtx(context.Background(), p)
+}
+
+// runOneCtx is runOne under a context: cancellation stops the simulation
+// between slots.
+func (sc *Scenario) runOneCtx(ctx context.Context, p sim.Policy) (*sim.Result, error) {
 	cfg := sim.Config{
 		Sys:            sc.Sys,
 		Dev:            sc.Dev,
@@ -105,13 +111,20 @@ func (sc *Scenario) runOne(p sim.Policy) (*sim.Result, error) {
 	if sc.CurrentPred != nil {
 		cfg.CurrentPredictor = sc.CurrentPred()
 	}
-	return sim.Run(cfg)
+	return sim.RunContext(ctx, cfg)
 }
 
 // Compare runs the given policies over the scenario and builds the
 // comparison table, normalizing against the first policy (Conv-DPM by
 // convention).
 func (sc *Scenario) Compare(policies []sim.Policy) (*Comparison, error) {
+	return sc.CompareContext(context.Background(), policies)
+}
+
+// CompareContext is Compare under a context: cancellation interrupts
+// both the serial rows and the fanned-out run engine, so a comparison
+// launched from a server handler or an interrupted CLI stops promptly.
+func (sc *Scenario) CompareContext(ctx context.Context, policies []sim.Policy) (*Comparison, error) {
 	if len(policies) == 0 {
 		return nil, fmt.Errorf("exp: no policies to compare")
 	}
@@ -121,7 +134,7 @@ func (sc *Scenario) Compare(policies []sim.Policy) (*Comparison, error) {
 		// runs; keep the rows serial so its adaptation stays
 		// deterministic.
 		for i, p := range policies {
-			res, err := sc.runOne(p)
+			res, err := sc.runOneCtx(ctx, p)
 			if err != nil {
 				return nil, fmt.Errorf("exp: %s / %s: %w", sc.Name, p.Name(), err)
 			}
@@ -137,10 +150,10 @@ func (sc *Scenario) Compare(policies []sim.Policy) (*Comparison, error) {
 			p := p
 			tasks[i] = runner.Task[*sim.Result]{
 				ID:  runner.RunID("compare", sc.Name, p.Name()),
-				Run: func(context.Context) (*sim.Result, error) { return sc.runOne(p) },
+				Run: func(tctx context.Context) (*sim.Result, error) { return sc.runOneCtx(tctx, p) },
 			}
 		}
-		rep, err := runner.Run(context.Background(), runner.Options{Workers: len(tasks)}, tasks)
+		rep, err := runner.Run(ctx, runner.Options{Workers: len(tasks)}, tasks)
 		if err != nil {
 			return nil, err
 		}
@@ -232,11 +245,16 @@ func Experiment1Scenario(seed uint64) (*Scenario, error) {
 
 // Experiment1 reproduces Table 2.
 func Experiment1(seed uint64) (*Comparison, error) {
+	return Experiment1Context(context.Background(), seed)
+}
+
+// Experiment1Context is Experiment1 under a context.
+func Experiment1Context(ctx context.Context, seed uint64) (*Comparison, error) {
 	sc, err := Experiment1Scenario(seed)
 	if err != nil {
 		return nil, err
 	}
-	return sc.Compare(sc.Policies())
+	return sc.CompareContext(ctx, sc.Policies())
 }
 
 // Experiment2Scenario builds the paper's Experiment 2: the synthetic
@@ -263,9 +281,14 @@ func Experiment2Scenario(seed uint64) (*Scenario, error) {
 
 // Experiment2 reproduces Table 3.
 func Experiment2(seed uint64) (*Comparison, error) {
+	return Experiment2Context(context.Background(), seed)
+}
+
+// Experiment2Context is Experiment2 under a context.
+func Experiment2Context(ctx context.Context, seed uint64) (*Comparison, error) {
 	sc, err := Experiment2Scenario(seed)
 	if err != nil {
 		return nil, err
 	}
-	return sc.Compare(sc.Policies())
+	return sc.CompareContext(ctx, sc.Policies())
 }

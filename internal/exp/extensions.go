@@ -27,15 +27,20 @@ type QuantizedRow struct {
 // grids of increasing resolution (the multi-level configuration of [11])
 // against the continuous policy.
 func QuantizedSweep(seed uint64, levelCounts []int) ([]QuantizedRow, error) {
+	return QuantizedSweepContext(context.Background(), seed, levelCounts)
+}
+
+// QuantizedSweepContext is QuantizedSweep under a context.
+func QuantizedSweepContext(ctx context.Context, seed uint64, levelCounts []int) ([]QuantizedRow, error) {
 	sc, err := Experiment1Scenario(seed)
 	if err != nil {
 		return nil, err
 	}
-	conv, err := sc.runOne(policy.NewConv(sc.Sys))
+	conv, err := sc.runOneCtx(ctx, policy.NewConv(sc.Sys))
 	if err != nil {
 		return nil, err
 	}
-	cont, err := sc.runOne(policy.NewFCDPM(sc.Sys, sc.Dev))
+	cont, err := sc.runOneCtx(ctx, policy.NewFCDPM(sc.Sys, sc.Dev))
 	if err != nil {
 		return nil, err
 	}
@@ -46,7 +51,7 @@ func QuantizedSweep(seed uint64, levelCounts []int) ([]QuantizedRow, error) {
 	}}
 	// The scenario is shared read-only across level runs (each run clones
 	// the storage and builds a fresh policy), so the levels fan out.
-	lvlRows, err := fanOut("quantized", levelCounts, func(n int) (QuantizedRow, error) {
+	lvlRows, err := fanOut(ctx, "quantized", levelCounts, func(ctx context.Context, n int) (QuantizedRow, error) {
 		if n < 2 {
 			return QuantizedRow{}, fmt.Errorf("exp: level count %d < 2", n)
 		}
@@ -54,7 +59,7 @@ func QuantizedSweep(seed uint64, levelCounts []int) ([]QuantizedRow, error) {
 		if err != nil {
 			return QuantizedRow{}, err
 		}
-		res, err := sc.runOne(p)
+		res, err := sc.runOneCtx(ctx, p)
 		if err != nil {
 			return QuantizedRow{}, err
 		}
@@ -195,6 +200,11 @@ type SeedSummary struct {
 // the run engine (bounded workers, panic isolation) — each run owns its
 // trace, storage clone, and policy state, so tasks share nothing.
 func MultiSeed(which int, n int) (*SeedSummary, error) {
+	return MultiSeedContext(context.Background(), which, n)
+}
+
+// MultiSeedContext is MultiSeed under a context.
+func MultiSeedContext(ctx context.Context, which int, n int) (*SeedSummary, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("exp: need at least one seed")
 	}
@@ -206,15 +216,15 @@ func MultiSeed(which int, n int) (*SeedSummary, error) {
 		seed := uint64(i + 1)
 		tasks[i] = runner.Task[*Comparison]{
 			ID: runner.RunID("multiseed", fmt.Sprintf("exp=%d", which), fmt.Sprintf("seed=%d", seed)),
-			Run: func(context.Context) (*Comparison, error) {
+			Run: func(tctx context.Context) (*Comparison, error) {
 				if which == 1 {
-					return Experiment1(seed)
+					return Experiment1Context(tctx, seed)
 				}
-				return Experiment2(seed)
+				return Experiment2Context(tctx, seed)
 			},
 		}
 	}
-	rep, err := runner.Run(context.Background(), runner.Options{}, tasks)
+	rep, err := runner.Run(ctx, runner.Options{}, tasks)
 	if err != nil {
 		return nil, err
 	}
@@ -251,7 +261,12 @@ type SlewRow struct {
 // FC-DPM's flat per-slot profile barely moves — a robustness advantage the
 // paper's ideal-source model does not surface.
 func SlewAblation(seed uint64, rates []float64) ([]SlewRow, error) {
-	return fanOut("slew", rates, func(rate float64) (SlewRow, error) {
+	return SlewAblationContext(context.Background(), seed, rates)
+}
+
+// SlewAblationContext is SlewAblation under a context.
+func SlewAblationContext(ctx context.Context, seed uint64, rates []float64) ([]SlewRow, error) {
+	return fanOut(ctx, "slew", rates, func(ctx context.Context, rate float64) (SlewRow, error) {
 		if rate < 0 {
 			return SlewRow{}, fmt.Errorf("exp: negative slew rate %v", rate)
 		}
@@ -273,7 +288,7 @@ func SlewAblation(seed uint64, rates []float64) ([]SlewRow, error) {
 			if sc.CurrentPred != nil {
 				cfg.CurrentPredictor = sc.CurrentPred()
 			}
-			return sim.Run(cfg)
+			return sim.RunContext(ctx, cfg)
 		}
 		asap, err := runWith(policy.NewASAP(sc.Sys))
 		if err != nil {
@@ -324,11 +339,16 @@ type AggregationRow struct {
 // longer idles amortize the sleep-transition overhead at the price of
 // task-completion latency.
 func AggregationAblation(seed uint64, ks []int) ([]AggregationRow, error) {
+	return AggregationAblationContext(context.Background(), seed, ks)
+}
+
+// AggregationAblationContext is AggregationAblation under a context.
+func AggregationAblationContext(ctx context.Context, seed uint64, ks []int) ([]AggregationRow, error) {
 	base, err := Experiment1Scenario(seed)
 	if err != nil {
 		return nil, err
 	}
-	return fanOut("aggregation", ks, func(k int) (AggregationRow, error) {
+	return fanOut(ctx, "aggregation", ks, func(ctx context.Context, k int) (AggregationRow, error) {
 		agg, err := workload.Aggregate(base.Trace, k)
 		if err != nil {
 			return AggregationRow{}, err
@@ -342,7 +362,7 @@ func AggregationAblation(seed uint64, ks []int) ([]AggregationRow, error) {
 			return AggregationRow{}, err
 		}
 		sc.Trace = agg
-		res, err := sc.runOne(policy.NewFCDPM(sc.Sys, sc.Dev))
+		res, err := sc.runOneCtx(ctx, policy.NewFCDPM(sc.Sys, sc.Dev))
 		if err != nil {
 			return AggregationRow{}, err
 		}
@@ -365,7 +385,12 @@ type ActuationRow struct {
 // ActuationAblation reruns Experiment 1's FC-DPM with actuation dead bands:
 // how much fuel does it cost to command the fuel-flow actuator less often?
 func ActuationAblation(seed uint64, epsilons []float64) ([]ActuationRow, error) {
-	return fanOut("actuation", epsilons, func(eps float64) (ActuationRow, error) {
+	return ActuationAblationContext(context.Background(), seed, epsilons)
+}
+
+// ActuationAblationContext is ActuationAblation under a context.
+func ActuationAblationContext(ctx context.Context, seed uint64, epsilons []float64) ([]ActuationRow, error) {
+	return fanOut(ctx, "actuation", epsilons, func(ctx context.Context, eps float64) (ActuationRow, error) {
 		if eps < 0 {
 			return ActuationRow{}, fmt.Errorf("exp: negative dead band %v", eps)
 		}
@@ -377,7 +402,7 @@ func ActuationAblation(seed uint64, epsilons []float64) ([]ActuationRow, error) 
 		if err != nil {
 			return ActuationRow{}, err
 		}
-		res, err := sc.runOne(banded)
+		res, err := sc.runOneCtx(ctx, banded)
 		if err != nil {
 			return ActuationRow{}, err
 		}
@@ -403,6 +428,11 @@ type CalibrationRow struct {
 // The paper reports single measured values; this bounds how much the
 // conclusions depend on them.
 func CalibrationUncertainty(seed uint64, relErr float64) ([]CalibrationRow, error) {
+	return CalibrationUncertaintyContext(context.Background(), seed, relErr)
+}
+
+// CalibrationUncertaintyContext is CalibrationUncertainty under a context.
+func CalibrationUncertaintyContext(ctx context.Context, seed uint64, relErr float64) ([]CalibrationRow, error) {
 	if relErr < 0 || relErr >= 1 {
 		return nil, fmt.Errorf("exp: relative error %v outside [0, 1)", relErr)
 	}
@@ -414,7 +444,7 @@ func CalibrationUncertainty(seed uint64, relErr float64) ([]CalibrationRow, erro
 		{alpha0 * (1 + relErr), beta0 * (1 - relErr)},
 		{alpha0 * (1 + relErr), beta0 * (1 + relErr)},
 	}
-	return fanOut("calibration", points, func(p [2]float64) (CalibrationRow, error) {
+	return fanOut(ctx, "calibration", points, func(ctx context.Context, p [2]float64) (CalibrationRow, error) {
 		sys, err := fuelcell.NewSystem(12, 37.5, 0.1, 1.2,
 			fuelcell.LinearEfficiency{Alpha: p[0], Beta: p[1]})
 		if err != nil {
@@ -425,7 +455,7 @@ func CalibrationUncertainty(seed uint64, relErr float64) ([]CalibrationRow, erro
 			return CalibrationRow{}, err
 		}
 		sc.Sys = sys
-		cmp, err := sc.Compare(sc.Policies())
+		cmp, err := sc.CompareContext(ctx, sc.Policies())
 		if err != nil {
 			return CalibrationRow{}, err
 		}
@@ -491,7 +521,12 @@ type MPCRow struct {
 // result is "the horizon buys nothing" — an honest negative result
 // bounding what lookahead can contribute at the paper's storage scale.
 func MPCAblation(seed uint64, horizons []int) ([]MPCRow, error) {
-	return fanOut("mpc", horizons, func(h int) (MPCRow, error) {
+	return MPCAblationContext(context.Background(), seed, horizons)
+}
+
+// MPCAblationContext is MPCAblation under a context.
+func MPCAblationContext(ctx context.Context, seed uint64, horizons []int) ([]MPCRow, error) {
+	return fanOut(ctx, "mpc", horizons, func(ctx context.Context, h int) (MPCRow, error) {
 		if h < 1 {
 			return MPCRow{}, fmt.Errorf("exp: horizon %d < 1", h)
 		}
@@ -503,7 +538,7 @@ func MPCAblation(seed uint64, horizons []int) ([]MPCRow, error) {
 		if err != nil {
 			return MPCRow{}, err
 		}
-		res, err := sc.runOne(mpc)
+		res, err := sc.runOneCtx(ctx, mpc)
 		if err != nil {
 			return MPCRow{}, err
 		}
@@ -533,6 +568,11 @@ type robustnessTrial struct {
 
 // RobustnessStudy runs n perturbed Experiment 1 trials on the run engine.
 func RobustnessStudy(seed uint64, n int, pct float64) (*Robustness, error) {
+	return RobustnessStudyContext(context.Background(), seed, n, pct)
+}
+
+// RobustnessStudyContext is RobustnessStudy under a context.
+func RobustnessStudyContext(ctx context.Context, seed uint64, n int, pct float64) (*Robustness, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("exp: need at least one trial")
 	}
@@ -544,7 +584,7 @@ func RobustnessStudy(seed uint64, n int, pct float64) (*Robustness, error) {
 		i := i
 		tasks[i] = runner.Task[robustnessTrial]{
 			ID: runner.RunID("robustness", fmt.Sprintf("seed=%d", seed), fmt.Sprintf("trial=%d", i)),
-			Run: func(context.Context) (robustnessTrial, error) {
+			Run: func(tctx context.Context) (robustnessTrial, error) {
 				rng := numeric.NewRNG(seed + uint64(i)*7919)
 				perturb := func(v float64) float64 { return v * (1 + pct*(2*rng.Float64()-1)) }
 
@@ -573,7 +613,7 @@ func RobustnessStudy(seed uint64, n int, pct float64) (*Robustness, error) {
 					return robustnessTrial{}, err
 				}
 				sc.Sys = sys
-				cmp, err := sc.Compare(sc.Policies())
+				cmp, err := sc.CompareContext(tctx, sc.Policies())
 				if err != nil {
 					return robustnessTrial{}, err
 				}
@@ -581,7 +621,7 @@ func RobustnessStudy(seed uint64, n int, pct float64) (*Robustness, error) {
 			},
 		}
 	}
-	rep, err := runner.Run(context.Background(), runner.Options{}, tasks)
+	rep, err := runner.Run(ctx, runner.Options{}, tasks)
 	if err != nil {
 		return nil, err
 	}
@@ -610,6 +650,11 @@ func RobustnessStudy(seed uint64, n int, pct float64) (*Robustness, error) {
 // exponential average, which smears across regime boundaries — the
 // workload class where predictor choice finally matters end to end.
 func BurstyPredictorStudy(seed uint64) ([]PredictorRow, error) {
+	return BurstyPredictorStudyContext(context.Background(), seed)
+}
+
+// BurstyPredictorStudyContext is BurstyPredictorStudy under a context.
+func BurstyPredictorStudyContext(ctx context.Context, seed uint64) ([]PredictorRow, error) {
 	cfg := workload.DefaultBurstyConfig()
 	cfg.Seed = seed
 	trace, err := workload.Bursty(cfg)
@@ -635,14 +680,14 @@ func BurstyPredictorStudy(seed uint64) ([]PredictorRow, error) {
 		func() predict.Predictor { return predict.NewTree(8, 2, 2, 40, 10) },
 		func() predict.Predictor { return predict.NewOracle(idle, 10) },
 	}
-	return fanOut("bursty-predictor", preds, func(mk func() predict.Predictor) (PredictorRow, error) {
+	return fanOut(ctx, "bursty-predictor", preds, func(ctx context.Context, mk func() predict.Predictor) (PredictorRow, error) {
 		sc := makeScenario()
 		sc.IdlePred = mk
-		conv, err := sc.runOne(policy.NewConv(sc.Sys))
+		conv, err := sc.runOneCtx(ctx, policy.NewConv(sc.Sys))
 		if err != nil {
 			return PredictorRow{}, err
 		}
-		fc, err := sc.runOne(policy.NewFCDPM(sc.Sys, sc.Dev))
+		fc, err := sc.runOneCtx(ctx, policy.NewFCDPM(sc.Sys, sc.Dev))
 		if err != nil {
 			return PredictorRow{}, err
 		}

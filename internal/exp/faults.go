@@ -9,6 +9,7 @@ import (
 	"fcdpm/internal/device"
 	"fcdpm/internal/fault"
 	"fcdpm/internal/fuelcell"
+	"fcdpm/internal/obs"
 	"fcdpm/internal/policy"
 	"fcdpm/internal/predict"
 	"fcdpm/internal/runner"
@@ -88,6 +89,12 @@ type FaultSweepOptions struct {
 	// interrupted sweep re-invoked with the same journal skips completed
 	// cells.
 	Journal string
+	// Metrics, when non-nil, instruments the run engine (queue depth,
+	// retries, breaker transitions) for the sweep's tasks.
+	Metrics *obs.PoolMetrics
+	// SimMetrics, when non-nil, instruments every cell's simulation run
+	// (runs, slots, fuel, memo hits/misses, wall time).
+	SimMetrics *obs.SimMetrics
 }
 
 // FaultSweep runs the paper's three policies over the Experiment 2
@@ -165,6 +172,7 @@ func FaultSweepOpts(ctx context.Context, seed uint64, opts FaultSweepOptions) (*
 						IdlePredictor:    predict.NewExpAverage(0.5, (cfg.IdleMin+cfg.IdleMax)/2),
 						ActivePredictor:  predict.NewExpAverage(0.5, (cfg.ActiveMin+cfg.ActiveMax)/2),
 						CurrentPredictor: predict.NewExpAverage(1, 1.2),
+						Metrics:          opts.SimMetrics,
 					})
 					if err != nil {
 						return FaultRow{}, fmt.Errorf("exp: fault sweep %s / %s: %w", class, p.Name(), err)
@@ -191,6 +199,7 @@ func FaultSweepOpts(ctx context.Context, seed uint64, opts FaultSweepOptions) (*
 		Timeout: secondsToDuration(opts.TimeoutSec),
 		Retries: opts.Retries,
 		Journal: opts.Journal,
+		Metrics: opts.Metrics,
 	}, tasks)
 	if rep == nil {
 		return nil, runErr

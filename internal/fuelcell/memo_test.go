@@ -67,6 +67,51 @@ func TestMemoMatchesAnalytic(t *testing.T) {
 	}
 }
 
+// TestMemoSlotCollisionEvicts pins the direct-mapped eviction contract:
+// two distinct currents hashing to the same slot must displace each other
+// (the newcomer wins, the previous key becomes a miss again) while both
+// keep returning values bit-identical to the analytic model throughout
+// the evict/recompute churn.
+func TestMemoSlotCollisionEvicts(t *testing.T) {
+	sys := PaperSystem()
+	m := NewMemo(sys)
+
+	// Find a second in-range current that collides with x1's slot.
+	x1 := 0.4382
+	slot := memoIndex(math.Float64bits(x1))
+	x2 := 0.0
+	for k := 1; k <= 2_000_000; k++ {
+		c := 0.1 + 1.1*float64(k)/2_000_000
+		if c != x1 && memoIndex(math.Float64bits(c)) == slot {
+			x2 = c
+			break
+		}
+	}
+	if x2 == 0 {
+		t.Skip("no colliding current found in range; hash layout changed")
+	}
+
+	check := func(iF float64) {
+		t.Helper()
+		if got, want := m.StackCurrent(iF), sys.StackCurrent(iF); got != want {
+			t.Fatalf("StackCurrent(%v) = %v, analytic %v", iF, got, want)
+		}
+	}
+
+	check(x1) // miss, fills the slot
+	check(x1) // hit
+	check(x2) // collision: evicts x1, miss
+	check(x2) // hit
+	check(x1) // evicted earlier, so a miss again — and still exact
+	hits, misses := m.Stats()
+	if misses != 3 {
+		t.Fatalf("expected 3 misses (fill, evict, re-fill), got %d (hits %d)", misses, hits)
+	}
+	if hits != 2 {
+		t.Fatalf("expected 2 hits, got %d (misses %d)", hits, misses)
+	}
+}
+
 // TestMemoHitsRepeatedSetpoints checks the memo actually serves the
 // steady-state pattern it exists for: a handful of recurring set points.
 func TestMemoHitsRepeatedSetpoints(t *testing.T) {

@@ -1,0 +1,138 @@
+package obs
+
+import "time"
+
+// SimMetrics is the simulator's standard instrument set. The simulator
+// records into it once per completed run — scalar deltas only, so the
+// hot loop stays allocation-free — and every consumer (the server's
+// /metrics and /v1/stats, the CLI's -metrics summary) reads the same
+// counters.
+type SimMetrics struct {
+	// Runs counts completed simulation runs; Slots the task slots they
+	// simulated; Fuel the stack charge they consumed (A·s).
+	Runs, Slots, Fuel *Counter
+	// MemoHits and MemoMisses aggregate fuelcell.Memo.Stats deltas.
+	MemoHits, MemoMisses *Counter
+	// RunSeconds is the per-run wall-time distribution.
+	RunSeconds *Histogram
+}
+
+// NewSimMetrics registers the simulator series on r.
+func NewSimMetrics(r *Registry) *SimMetrics {
+	return &SimMetrics{
+		Runs:       r.Counter("fcdpm_sim_runs_total", "Completed simulation runs."),
+		Slots:      r.Counter("fcdpm_sim_slots_total", "Task slots simulated across completed runs."),
+		Fuel:       r.Counter("fcdpm_sim_fuel_as_total", "Stack charge consumed across completed runs (A·s)."),
+		MemoHits:   r.Counter("fcdpm_sim_memo_hits_total", "Fuel-map memo lookup hits."),
+		MemoMisses: r.Counter("fcdpm_sim_memo_misses_total", "Fuel-map memo lookup misses."),
+		RunSeconds: r.Histogram("fcdpm_sim_run_seconds", "Simulation wall time per completed run.", DurationBuckets),
+	}
+}
+
+// RecordRun folds one completed run into the set. Safe on a nil
+// receiver (uninstrumented runs cost one predicted branch) and
+// allocation-free.
+func (m *SimMetrics) RecordRun(slots int, fuel float64, memoHits, memoMisses uint64, wall time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Runs.Inc()
+	m.Slots.Add(float64(slots))
+	m.Fuel.Add(fuel)
+	m.MemoHits.Add(float64(memoHits))
+	m.MemoMisses.Add(float64(memoMisses))
+	m.RunSeconds.Observe(wall.Seconds())
+}
+
+// PoolMetrics is the run-orchestration engine's instrument set:
+// admission, resolution, retry, and breaker activity of one
+// runner.Pool.
+type PoolMetrics struct {
+	// Submitted counts tasks admitted to the queue (journal-resumed
+	// tasks never enqueue and are counted under Resumed only).
+	Submitted *Counter
+	// Resolution counters, one per runner.Status.
+	Done, Resumed, Failed, Shed, BreakerSkipped, Interrupted *Counter
+	// Retries counts re-attempts beyond each task's first.
+	Retries *Counter
+	// BreakerOpens and BreakerCloses count circuit-breaker state
+	// transitions into open (including a failed half-open probe
+	// re-opening) and back to closed.
+	BreakerOpens, BreakerCloses *Counter
+	// QueueDepth tracks tasks admitted but not yet picked up by a
+	// worker.
+	QueueDepth *Gauge
+}
+
+// NewPoolMetrics registers the pool series on r.
+func NewPoolMetrics(r *Registry) *PoolMetrics {
+	return &PoolMetrics{
+		Submitted:      r.Counter("fcdpm_pool_tasks_submitted_total", "Tasks admitted to the pool queue."),
+		Done:           r.Counter("fcdpm_pool_tasks_done_total", "Tasks that ran to completion."),
+		Resumed:        r.Counter("fcdpm_pool_tasks_resumed_total", "Tasks restored from the checkpoint journal."),
+		Failed:         r.Counter("fcdpm_pool_tasks_failed_total", "Tasks that exhausted their attempts."),
+		Shed:           r.Counter("fcdpm_pool_tasks_shed_total", "Tasks rejected at admission (queue full)."),
+		BreakerSkipped: r.Counter("fcdpm_pool_tasks_breaker_skipped_total", "Tasks rejected by an open scenario breaker."),
+		Interrupted:    r.Counter("fcdpm_pool_tasks_interrupted_total", "Tasks cut short by batch cancellation."),
+		Retries:        r.Counter("fcdpm_pool_retries_total", "Task re-attempts beyond the first."),
+		BreakerOpens:   r.Counter("fcdpm_pool_breaker_opens_total", "Circuit-breaker transitions into open."),
+		BreakerCloses:  r.Counter("fcdpm_pool_breaker_closes_total", "Circuit-breaker transitions back to closed."),
+		QueueDepth:     r.Gauge("fcdpm_pool_queue_depth", "Tasks admitted but not yet executing."),
+	}
+}
+
+// Admitted records one task entering the queue. Nil-safe.
+func (m *PoolMetrics) Admitted() {
+	if m == nil {
+		return
+	}
+	m.Submitted.Inc()
+	m.QueueDepth.Add(1)
+}
+
+// Dequeued records one task leaving the queue for a worker. Nil-safe.
+func (m *PoolMetrics) Dequeued() {
+	if m == nil {
+		return
+	}
+	m.QueueDepth.Add(-1)
+}
+
+// BreakerChanged records a circuit-breaker state transition; states are
+// the breaker's String names ("closed", "open", "half-open"). Nil-safe.
+func (m *PoolMetrics) BreakerChanged(from, to string) {
+	if m == nil {
+		return
+	}
+	switch to {
+	case "open":
+		m.BreakerOpens.Inc()
+	case "closed":
+		m.BreakerCloses.Inc()
+	}
+}
+
+// Resolved folds one task resolution into the set; status is the
+// runner.Status string. Nil-safe.
+func (m *PoolMetrics) Resolved(status string, attempts int) {
+	if m == nil {
+		return
+	}
+	switch status {
+	case "done":
+		m.Done.Inc()
+	case "resumed":
+		m.Resumed.Inc()
+	case "failed":
+		m.Failed.Inc()
+	case "shed":
+		m.Shed.Inc()
+	case "breaker-open":
+		m.BreakerSkipped.Inc()
+	case "interrupted":
+		m.Interrupted.Inc()
+	}
+	if attempts > 1 {
+		m.Retries.Add(float64(attempts - 1))
+	}
+}

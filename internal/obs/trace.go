@@ -1,0 +1,52 @@
+package obs
+
+import "time"
+
+// Tracer is the lightweight run-trace facility: Start stamps a span
+// with the monotonic clock, End computes its duration, feeds the
+// optional OnEnd hook (typically a latency histogram), and logs spans
+// that exceed the slow threshold. A zero Tracer is usable and does
+// nothing beyond measuring.
+//
+// Spans are values, not allocations: the Start/End pair is safe on hot
+// paths and in handlers alike.
+type Tracer struct {
+	// Slow is the slow-span threshold; spans at or beyond it are logged
+	// through Logf. Zero disables slow logging.
+	Slow time.Duration
+	// Logf receives slow-span lines; nil silences them.
+	Logf func(format string, args ...any)
+	// OnEnd observes every completed span (name, duration). Typical use
+	// is recording into a per-span-name histogram.
+	OnEnd func(name string, d time.Duration)
+}
+
+// Span is one in-flight timed region.
+type Span struct {
+	tr    *Tracer
+	name  string
+	start time.Time
+}
+
+// Start opens a span stamped with the monotonic clock.
+func (t *Tracer) Start(name string) Span {
+	return Span{tr: t, name: name, start: time.Now()}
+}
+
+// End closes the span and returns its duration. The duration is
+// computed from the monotonic reading taken at Start, so wall-clock
+// adjustments cannot produce negative or inflated spans.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	t := s.tr
+	if t == nil {
+		return d
+	}
+	if t.OnEnd != nil {
+		t.OnEnd(s.name, d)
+	}
+	if t.Slow > 0 && d >= t.Slow && t.Logf != nil {
+		t.Logf("obs: slow span %s took %s (threshold %s)", s.name, d, t.Slow)
+	}
+	return d
+}

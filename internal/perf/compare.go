@@ -37,7 +37,13 @@ func (d Delta) String() string {
 // on only one side are skipped — renaming suite entries must not fail the
 // gate retroactively. The second result reports whether any benchmark
 // regressed.
-func Compare(prev, cur *Artifact, threshold float64) ([]Delta, bool) {
+//
+// Zero overlap is an error, not a pass: a wholesale suite rename (or a
+// stale baseline from another branch) used to make the gate pass
+// vacuously — every current benchmark skipped, nothing compared, CI
+// green. The caller must treat the error as a gate failure and refresh
+// the baseline deliberately.
+func Compare(prev, cur *Artifact, threshold float64) ([]Delta, bool, error) {
 	var out []Delta
 	regressed := false
 	for _, m := range cur.Metrics {
@@ -59,5 +65,10 @@ func Compare(prev, cur *Artifact, threshold float64) ([]Delta, bool) {
 		}
 		out = append(out, d)
 	}
-	return out, regressed
+	if len(out) == 0 {
+		return nil, false, fmt.Errorf(
+			"perf: no overlapping benchmarks between baseline (%d metrics) and current (%d metrics); the gate would pass vacuously — refresh the baseline",
+			len(prev.Metrics), len(cur.Metrics))
+	}
+	return out, regressed, nil
 }

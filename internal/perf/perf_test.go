@@ -60,7 +60,10 @@ func TestCompare(t *testing.T) {
 		Metric{Name: "slow", NsPerOp: 130, AllocsPerOp: 2},
 		Metric{Name: "new", NsPerOp: 100},
 	)
-	deltas, regressed := Compare(prev, cur, 0.15)
+	deltas, regressed, err := Compare(prev, cur, 0.15)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
 	if !regressed {
 		t.Fatal("Compare missed the +30% regression")
 	}
@@ -80,8 +83,32 @@ func TestCompare(t *testing.T) {
 
 	// At a looser threshold the same data passes: alloc increases alone
 	// must never fail the gate.
-	if _, regressed := Compare(prev, cur, 0.5); regressed {
-		t.Fatal("alloc-count increase failed the gate at a passing time threshold")
+	if _, regressed, err := Compare(prev, cur, 0.5); err != nil || regressed {
+		t.Fatalf("alloc-count increase failed the gate at a passing time threshold (err %v)", err)
+	}
+}
+
+func TestCompareZeroOverlapErrors(t *testing.T) {
+	// Regression: a wholesale suite rename once made the gate pass
+	// vacuously — every current benchmark was "present on only one side",
+	// so Compare returned (nil, false) and CI went green with nothing
+	// compared. Zero overlap must be an explicit error.
+	prev := artifactAt("2026-01-02T03:04:05Z",
+		Metric{Name: "old-name-a", NsPerOp: 100},
+		Metric{Name: "old-name-b", NsPerOp: 200},
+	)
+	cur := artifactAt("2026-01-03T03:04:05Z",
+		Metric{Name: "new-name-a", NsPerOp: 500},
+		Metric{Name: "new-name-b", NsPerOp: 900},
+	)
+	deltas, regressed, err := Compare(prev, cur, 0.15)
+	if err == nil {
+		t.Fatalf("Compare(zero overlap) = (%v, %v, nil), want error", deltas, regressed)
+	}
+	// Both empty artifacts and a baseline emptied by corruption hit the
+	// same guard.
+	if _, _, err := Compare(artifactAt("2026-01-02T03:04:05Z"), cur, 0.15); err == nil {
+		t.Fatal("Compare(empty baseline) passed vacuously")
 	}
 }
 

@@ -50,6 +50,9 @@ type breaker struct {
 	threshold int
 	cooldown  time.Duration
 	clock     Clock
+	// onChange, when set, observes every state transition. It is called
+	// outside the breaker lock and must be concurrency-safe.
+	onChange func(from, to breakerState)
 }
 
 func newBreaker(threshold int, cooldown time.Duration, clock Clock) *breaker {
@@ -67,34 +70,38 @@ func newBreaker(threshold int, cooldown time.Duration, clock Clock) *breaker {
 // probe (at most one until it resolves).
 func (b *breaker) admit() bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from, admitted := b.state, false
 	switch b.state {
 	case breakerClosed:
-		return true
+		admitted = true
 	case breakerOpen:
 		if b.clock.Now().Sub(b.openedAt) >= b.cooldown {
 			b.state = breakerHalfOpen
-			return true
+			admitted = true
 		}
-		return false
 	default: // half-open: a probe is already in flight
-		return false
 	}
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
+	return admitted
 }
 
 // success records a completed task and closes the breaker.
 func (b *breaker) success() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	b.state = breakerClosed
 	b.failures = 0
+	b.mu.Unlock()
+	b.notify(from, breakerClosed)
 }
 
 // failure records a failed task, opening the breaker at the threshold or
 // re-opening it after a failed half-open probe.
 func (b *breaker) failure() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	switch b.state {
 	case breakerHalfOpen:
 		b.state = breakerOpen
@@ -105,6 +112,16 @@ func (b *breaker) failure() {
 			b.state = breakerOpen
 			b.openedAt = b.clock.Now()
 		}
+	}
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
+}
+
+// notify fires the transition hook when the state actually changed.
+func (b *breaker) notify(from, to breakerState) {
+	if b.onChange != nil && from != to {
+		b.onChange(from, to)
 	}
 }
 

@@ -23,6 +23,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"fcdpm/internal/obs"
 )
 
 // Options tunes the engine. The zero value is a sensible default:
@@ -71,6 +73,10 @@ type Options struct {
 	StreamOutcomes bool
 	// Clock substitutes a fake time source in tests.
 	Clock Clock
+	// Metrics, when non-nil, receives the pool's admission, resolution,
+	// retry, queue-depth, and breaker-transition activity. Recording is
+	// a few atomic adds per task; nil disables instrumentation entirely.
+	Metrics *obs.PoolMetrics
 }
 
 // EventPhase classifies an OnEvent notification.
@@ -279,6 +285,7 @@ func (p *Pool[R]) resolve(index int, t Task[R], status Status, result R, err err
 		o.Status, o.Result, o.Err, o.Attempts = status, result, err, attempts
 	}
 	p.mu.Unlock()
+	p.opts.Metrics.Resolved(string(status), attempts)
 	if p.opts.OnEvent != nil {
 		p.opts.OnEvent(TaskEvent{ID: t.ID, Scenario: t.Scenario,
 			Phase: PhaseResolve, Attempt: attempts, Status: status, Err: err})
@@ -325,6 +332,7 @@ func (p *Pool[R]) Submit(t Task[R]) error {
 	if p.opts.ShedOverflow {
 		select {
 		case p.queue <- it:
+			p.opts.Metrics.Admitted()
 			return nil
 		case <-p.ctx.Done():
 			p.resolve(index, t, StatusInterrupted, zero, p.ctx.Err(), 0)
@@ -336,6 +344,7 @@ func (p *Pool[R]) Submit(t Task[R]) error {
 	}
 	select {
 	case p.queue <- it:
+		p.opts.Metrics.Admitted()
 		return nil
 	case <-p.ctx.Done():
 		p.resolve(index, t, StatusInterrupted, zero, p.ctx.Err(), 0)
@@ -387,6 +396,11 @@ func (p *Pool[R]) breakerFor(scenario string) *breaker {
 	b, ok := p.breakers[scenario]
 	if !ok {
 		b = newBreaker(p.opts.BreakerThreshold, p.opts.BreakerCooldown, p.opts.Clock)
+		if m := p.opts.Metrics; m != nil {
+			b.onChange = func(from, to breakerState) {
+				m.BreakerChanged(from.String(), to.String())
+			}
+		}
 		p.breakers[scenario] = b
 	}
 	return b
@@ -397,6 +411,7 @@ func (p *Pool[R]) breakerFor(scenario string) *breaker {
 func (p *Pool[R]) execute(it poolItem[R]) {
 	t := it.task
 	var zero R
+	p.opts.Metrics.Dequeued()
 	if err := p.ctx.Err(); err != nil {
 		p.resolve(it.index, t, StatusInterrupted, zero, err, 0)
 		return

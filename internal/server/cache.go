@@ -7,7 +7,8 @@ import (
 	"path/filepath"
 	"regexp"
 	"sync"
-	"sync/atomic"
+
+	"fcdpm/internal/obs"
 )
 
 // resultCache is the content-addressed result store: rendered report
@@ -16,20 +17,32 @@ import (
 // every stored report with the same fsync+atomic-rename discipline as
 // the runner's checkpoint journal, so a cached report survives a crash
 // at any instant and a restarted server keeps its hits.
+//
+// Counters live in the obs registry handed to newResultCache, so the
+// /metrics endpoint, /v1/stats, and the cache itself all read one set of
+// numbers.
 type resultCache struct {
-	mu     sync.Mutex
-	max    int64 // memory-tier byte bound; <= 0 disables the memory tier
-	size   int64
-	ll     *list.List // front = most recently used
-	byKey  map[string]*list.Element
-	dir    string // disk tier root; empty disables it
-	hits   atomic.Int64
-	misses atomic.Int64
+	mu    sync.Mutex
+	max   int64 // memory-tier byte bound; <= 0 disables the memory tier
+	size  int64
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+	dir   string // disk tier root; empty disables it
+
+	hits   *obs.Counter
+	misses *obs.Counter
 	// diskHits counts hits served by the disk tier (included in hits);
 	// diskErrs counts disk writes/reads that failed (the memory tier and
 	// the response are unaffected).
-	diskHits atomic.Int64
-	diskErrs atomic.Int64
+	diskHits *obs.Counter
+	diskErrs *obs.Counter
+	// oversize counts puts whose blob exceeded the memory-tier bound and
+	// was therefore never admitted to memory (the disk tier still takes
+	// it). Before this counter existed such a blob was admitted and then
+	// pinned forever: the eviction loop refused to drop the last entry,
+	// so one oversized report could hold Bytes above MaxBytes for the
+	// life of the process.
+	oversize *obs.Counter
 }
 
 // cacheEntry is one memory-tier resident.
@@ -42,8 +55,33 @@ type cacheEntry struct {
 // the path-traversal guard for the disk tier.
 var keyPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
 
-func newResultCache(maxBytes int64, dir string) (*resultCache, error) {
-	c := &resultCache{max: maxBytes, ll: list.New(), byKey: make(map[string]*list.Element), dir: dir}
+// newResultCache builds the cache and registers its series on reg (a
+// nil registry gets a private one, for callers that don't export).
+func newResultCache(maxBytes int64, dir string, reg *obs.Registry) (*resultCache, error) {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c := &resultCache{
+		max: maxBytes, ll: list.New(), byKey: make(map[string]*list.Element), dir: dir,
+		hits:     reg.Counter("fcdpm_cache_hits_total", "Result-cache hits (memory or disk tier)."),
+		misses:   reg.Counter("fcdpm_cache_misses_total", "Result-cache misses."),
+		diskHits: reg.Counter("fcdpm_cache_disk_hits_total", "Result-cache hits served by the disk tier."),
+		diskErrs: reg.Counter("fcdpm_cache_disk_errors_total", "Result-cache disk reads/writes that failed."),
+		oversize: reg.Counter("fcdpm_cache_oversize_rejects_total", "Puts rejected from the memory tier for exceeding its byte bound."),
+	}
+	reg.GaugeFunc("fcdpm_cache_entries", "Memory-tier resident entries.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.ll.Len())
+	})
+	reg.GaugeFunc("fcdpm_cache_bytes", "Memory-tier resident bytes.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.size)
+	})
+	reg.GaugeFunc("fcdpm_cache_max_bytes", "Memory-tier byte bound.", func() float64 {
+		return float64(maxBytes)
+	})
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("server: cache dir: %w", err)
@@ -60,7 +98,7 @@ func (c *resultCache) get(key string) ([]byte, bool) {
 		c.ll.MoveToFront(el)
 		b := el.Value.(*cacheEntry).bytes
 		c.mu.Unlock()
-		c.hits.Add(1)
+		c.hits.Inc()
 		return b, true
 	}
 	c.mu.Unlock()
@@ -68,35 +106,43 @@ func (c *resultCache) get(key string) ([]byte, bool) {
 		b, err := os.ReadFile(c.diskPath(key))
 		if err == nil {
 			c.insert(key, b)
-			c.hits.Add(1)
-			c.diskHits.Add(1)
+			c.hits.Inc()
+			c.diskHits.Inc()
 			return b, true
 		}
 		if !os.IsNotExist(err) {
-			c.diskErrs.Add(1)
+			c.diskErrs.Inc()
 		}
 	}
-	c.misses.Add(1)
+	c.misses.Inc()
 	return nil, false
 }
 
-// put stores the report under key in both tiers. The disk write is
-// atomic (temp + fsync + rename) and its failure only surfaces in the
-// stats — the memory tier and the caller's bytes are already good.
+// put stores the report under key in both tiers. A blob larger than the
+// memory bound skips the memory tier (counted in the stats) but still
+// reaches the disk tier, so it is served from disk rather than pinning
+// the LRU above its bound. The disk write is atomic (temp + fsync +
+// rename) and its failure only surfaces in the stats — the memory tier
+// and the caller's bytes are already good.
 func (c *resultCache) put(key string, b []byte) {
+	if c.max > 0 && int64(len(b)) > c.max {
+		c.oversize.Inc()
+	}
 	c.insert(key, b)
 	if c.dir == "" || !keyPattern.MatchString(key) {
 		return
 	}
 	if err := atomicWriteFile(c.diskPath(key), b); err != nil {
-		c.diskErrs.Add(1)
+		c.diskErrs.Inc()
 	}
 }
 
 // insert adds (or refreshes) a memory-tier entry and evicts from the LRU
-// tail until the byte bound holds again.
+// tail until the byte bound holds again. Blobs that cannot fit even in
+// an empty cache are rejected outright — admitting one used to leave it
+// pinned, because eviction never drops the final entry.
 func (c *resultCache) insert(key string, b []byte) {
-	if c.max <= 0 {
+	if c.max <= 0 || int64(len(b)) > c.max {
 		return
 	}
 	c.mu.Lock()
@@ -110,7 +156,7 @@ func (c *resultCache) insert(key string, b []byte) {
 		c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, bytes: b})
 		c.size += int64(len(b))
 	}
-	for c.size > c.max && c.ll.Len() > 1 {
+	for c.size > c.max && c.ll.Len() > 0 {
 		el := c.ll.Back()
 		e := el.Value.(*cacheEntry)
 		c.ll.Remove(el)
@@ -123,12 +169,14 @@ func (c *resultCache) diskPath(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
-// cacheStats is the /v1/stats cache section.
+// cacheStats is the /v1/stats cache section, read from the same obs
+// counters /metrics renders.
 type cacheStats struct {
 	Hits     int64 `json:"hits"`
 	Misses   int64 `json:"misses"`
 	DiskHits int64 `json:"diskHits"`
 	DiskErrs int64 `json:"diskErrs"`
+	Oversize int64 `json:"oversize"`
 	Entries  int   `json:"entries"`
 	Bytes    int64 `json:"bytes"`
 	MaxBytes int64 `json:"maxBytes"`
@@ -139,9 +187,10 @@ func (c *resultCache) stats() cacheStats {
 	entries, size := c.ll.Len(), c.size
 	c.mu.Unlock()
 	return cacheStats{
-		Hits: c.hits.Load(), Misses: c.misses.Load(),
-		DiskHits: c.diskHits.Load(), DiskErrs: c.diskErrs.Load(),
-		Entries: entries, Bytes: size, MaxBytes: c.max,
+		Hits: int64(c.hits.Value()), Misses: int64(c.misses.Value()),
+		DiskHits: int64(c.diskHits.Value()), DiskErrs: int64(c.diskErrs.Value()),
+		Oversize: int64(c.oversize.Value()),
+		Entries:  entries, Bytes: size, MaxBytes: c.max,
 	}
 }
 

@@ -13,7 +13,7 @@ import (
 )
 
 func TestCacheLRUEviction(t *testing.T) {
-	c, err := newResultCache(100, "")
+	c, err := newResultCache(100, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,21 +41,81 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 }
 
-func TestCacheOversizeEntryStillServes(t *testing.T) {
-	c, _ := newResultCache(10, "")
+func TestCacheRejectsOversizeBlob(t *testing.T) {
+	// Regression: the eviction loop used to refuse to drop the last
+	// resident, so a single blob larger than the bound stayed pinned
+	// forever with Bytes > MaxBytes. Oversize blobs must now never enter
+	// the memory tier — and must be counted.
+	c, _ := newResultCache(10, "", nil)
 	k := fmt.Sprintf("%064d", 1)
 	big := bytes.Repeat([]byte("y"), 50)
 	c.put(k, big)
-	// A single entry larger than the bound is kept (the bound evicts
-	// down to one resident, never to zero).
+	if _, ok := c.get(k); ok {
+		t.Fatal("oversize blob admitted to the memory tier")
+	}
+	st := c.stats()
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversize blob left residue: %+v", st)
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("Bytes %d above MaxBytes %d", st.Bytes, st.MaxBytes)
+	}
+	if st.Oversize != 1 {
+		t.Fatalf("oversize reject not counted: %+v", st)
+	}
+	// The tier still works for blobs that fit.
+	small := []byte("12345")
+	c.put(k, small)
+	if b, ok := c.get(k); !ok || !bytes.Equal(b, small) {
+		t.Fatal("fitting blob not admitted after oversize reject")
+	}
+}
+
+func TestCacheOversizeBlobServedFromDisk(t *testing.T) {
+	// An oversize blob skips memory but still persists to (and serves
+	// from) the disk tier.
+	c, _ := newResultCache(10, t.TempDir(), nil)
+	k := fmt.Sprintf("%064d", 2)
+	big := bytes.Repeat([]byte("z"), 50)
+	c.put(k, big)
 	if b, ok := c.get(k); !ok || !bytes.Equal(b, big) {
-		t.Fatal("oversize entry not retained")
+		t.Fatal("oversize blob not served by the disk tier")
+	}
+	if st := c.stats(); st.DiskHits != 1 || st.Entries != 0 {
+		t.Fatalf("disk-tier oversize serve miscounted: %+v", st)
+	}
+}
+
+func TestCachePutMemoryTierDisabled(t *testing.T) {
+	// With the memory tier off (zero or negative bound) and no disk
+	// tier, puts are silent no-ops: no residue, no panic, stable stats.
+	for _, max := range []int64{0, -1} {
+		c, err := newResultCache(max, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := fmt.Sprintf("%064d", 3)
+		c.put(k, []byte("data"))
+		if _, ok := c.get(k); ok {
+			t.Fatalf("max=%d: entry admitted with memory tier disabled", max)
+		}
+		st := c.stats()
+		if st.Entries != 0 || st.Bytes != 0 {
+			t.Fatalf("max=%d: residue in disabled tier: %+v", max, st)
+		}
+		// Not an oversize reject — the tier is off, not too small.
+		if st.Oversize != 0 {
+			t.Fatalf("max=%d: disabled tier counted oversize: %+v", max, st)
+		}
+		if st.Misses != 1 {
+			t.Fatalf("max=%d: get not counted as miss: %+v", max, st)
+		}
 	}
 }
 
 func TestCacheDiskTierGuardsKeys(t *testing.T) {
 	dir := t.TempDir()
-	c, err := newResultCache(0, dir) // memory tier disabled
+	c, err := newResultCache(0, dir, nil) // memory tier disabled
 	if err != nil {
 		t.Fatal(err)
 	}

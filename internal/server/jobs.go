@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"time"
 
 	"fcdpm/internal/config"
 	"fcdpm/internal/report"
@@ -259,14 +258,13 @@ func (s *Server) runTask(j *job, ref taskRef, spec *config.Scenario, key, name s
 		if err != nil {
 			return struct{}{}, err
 		}
-		start := time.Now()
+		// The simulator records slots, fuel, memo stats, and wall time
+		// into the shared registry itself.
+		cfg.Metrics = s.metrics.sim
 		res, err := sim.RunContext(ctx, cfg)
 		if err != nil {
 			return struct{}{}, err
 		}
-		s.simRuns.Add(1)
-		s.simSlots.Add(int64(res.Slots))
-		s.simNanos.Add(time.Since(start).Nanoseconds())
 		body, err := renderRunReport(name, key, s.engine, res)
 		if err != nil {
 			return struct{}{}, err
@@ -319,7 +317,7 @@ func (s *Server) onTaskEvent(e runner.TaskEvent) {
 		})
 	case runner.PhaseResolve:
 		s.taskJobs.Delete(e.ID)
-		s.inflightTasks.Add(-1)
+		s.metrics.inflight.Add(-1)
 		errMsg := ""
 		if e.Err != nil {
 			errMsg = e.Err.Error()
@@ -333,19 +331,19 @@ func (s *Server) onTaskEvent(e runner.TaskEvent) {
 			j.mu.Lock()
 			body := j.report
 			j.mu.Unlock()
-			s.runsDone.Add(1)
+			s.metrics.runsDone.Inc()
 			j.finish(jobDone, body, "", 200, false)
 		case runner.StatusShed:
-			s.runsShed.Add(1)
+			s.metrics.runsShed.Inc()
 			j.finish(jobShed, nil, "admission queue full, run shed", 503, false)
 		case runner.StatusBreakerOpen:
-			s.runsFailed.Add(1)
+			s.metrics.runsFailed.Inc()
 			j.finish(jobFailed, nil, "scenario circuit breaker open", 503, false)
 		case runner.StatusInterrupted:
-			s.runsFailed.Add(1)
+			s.metrics.runsFailed.Inc()
 			j.finish(jobFailed, nil, "run interrupted by shutdown", 503, false)
 		default: // StatusFailed (StatusResumed cannot happen: no journal)
-			s.runsFailed.Add(1)
+			s.metrics.runsFailed.Inc()
 			j.finish(jobFailed, nil, errMsg, 500, false)
 		}
 		s.reg.complete(j)
@@ -377,11 +375,11 @@ func (s *Server) cellDone(j *job, cell int, status runner.Status, cached bool, e
 
 	switch status {
 	case runner.StatusDone:
-		s.runsDone.Add(1)
+		s.metrics.runsDone.Inc()
 	case runner.StatusShed:
-		s.runsShed.Add(1)
+		s.metrics.runsShed.Inc()
 	default:
-		s.runsFailed.Add(1)
+		s.metrics.runsFailed.Inc()
 	}
 	j.events.append(Event{
 		Kind: "cell", Job: j.id, Cell: name,

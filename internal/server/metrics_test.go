@@ -1,0 +1,105 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestMetricsEndpoint scrapes /metrics after real traffic and checks the
+// exposition covers the cache, pool, and sim layers, is well-formed, and
+// agrees with /v1/stats.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	// One miss (simulates) + one hit.
+	for i := 0; i < 2; i++ {
+		if r, b := postRun(t, ts, quickSpec); r.StatusCode != 200 {
+			t.Fatalf("run %d: %d %s", i, r.StatusCode, b)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q, want text/plain exposition", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	samples := parseExposition(t, body)
+	for name, want := range map[string]float64{
+		"fcdpm_cache_hits_total":            1,
+		"fcdpm_cache_misses_total":          1,
+		"fcdpm_sim_runs_total":              1,
+		"fcdpm_server_runs_submitted_total": 1,
+		"fcdpm_pool_tasks_done_total":       1,
+		"fcdpm_pool_queue_depth":            0,
+		"fcdpm_server_inflight_tasks":       0,
+	} {
+		got, ok := samples[name]
+		if !ok {
+			t.Errorf("metric %s missing from exposition", name)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	// The sim layer reported real work and memo activity.
+	if samples["fcdpm_sim_slots_total"] <= 0 {
+		t.Errorf("sim slots total = %v, want > 0", samples["fcdpm_sim_slots_total"])
+	}
+	if samples["fcdpm_sim_memo_hits_total"]+samples["fcdpm_sim_memo_misses_total"] <= 0 {
+		t.Error("memo hit/miss counters never moved")
+	}
+	// Per-endpoint latency histograms exist for the run route.
+	if !strings.Contains(body, `fcdpm_http_request_seconds_count{endpoint="POST /v1/runs"} 2`) {
+		t.Errorf("per-endpoint latency series missing or wrong:\n%s", grepLines(body, "fcdpm_http_request_seconds_count"))
+	}
+}
+
+// parseExposition checks every line is HELP/TYPE or `name{labels} value`
+// and returns the bare-name samples.
+func parseExposition(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		name, valStr := line[:sp], line[sp+1:]
+		var v float64
+		if _, err := fmt.Sscanf(valStr, "%g", &v); err != nil {
+			t.Fatalf("malformed sample value in %q: %v", line, err)
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			continue // labeled series checked by substring above
+		}
+		samples[name] = v
+	}
+	return samples
+}
+
+func grepLines(body, substr string) string {
+	var out []string
+	for _, l := range strings.Split(body, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -110,17 +110,14 @@ type Server struct {
 	poolStop context.CancelFunc
 	mux      *http.ServeMux
 
+	// metrics is the unified obs registry: /metrics, /v1/stats, the sim
+	// configs, and the pool all record into and read from it.
+	metrics *serverMetrics
+
 	// taskJobs maps in-flight pool task IDs to their taskRef.
 	taskJobs sync.Map
 
-	// Run accounting for /v1/stats.
-	runsSubmitted, runsDone, runsFailed, runsShed atomic.Int64
-	runsCoalesced, inflightTasks                  atomic.Int64
-	draining                                      atomic.Bool
-
-	// Simulation-perf accounting for /v1/stats: wall time and slot count
-	// of completed simulations (cache hits excluded — they do no work).
-	simRuns, simSlots, simNanos atomic.Int64
+	draining atomic.Bool
 
 	closeOnce sync.Once
 	closeErr  error
@@ -131,7 +128,8 @@ type Server struct {
 // of canceling them; Close force-cancels only after DrainTimeout.
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
-	cache, err := newResultCache(opts.CacheBytes, opts.CacheDir)
+	metrics := newServerMetrics(opts.Logf)
+	cache, err := newResultCache(opts.CacheBytes, opts.CacheDir, metrics.registry)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +139,16 @@ func New(opts Options) (*Server, error) {
 		started: time.Now(),
 		cache:   cache,
 		reg:     newRegistry(opts.RetainJobs),
+		metrics: metrics,
 	}
+	metrics.registry.GaugeFunc("fcdpm_server_jobs_active", "Jobs queued or running.", func() float64 {
+		active, _ := s.reg.counts()
+		return float64(active)
+	})
+	metrics.registry.GaugeFunc("fcdpm_server_jobs_retained", "Completed jobs still queryable.", func() float64 {
+		_, retained := s.reg.counts()
+		return float64(retained)
+	})
 	poolCtx, cancel := context.WithCancel(context.Background())
 	s.poolStop = cancel
 	pool, err := runner.NewPool[struct{}](poolCtx, runner.Options{
@@ -149,6 +156,7 @@ func New(opts Options) (*Server, error) {
 		Timeout: opts.RunTimeout, Retries: opts.Retries,
 		ShedOverflow: true, StreamOutcomes: true,
 		OnEvent: s.onTaskEvent,
+		Metrics: metrics.pool,
 	})
 	if err != nil {
 		cancel()
@@ -164,14 +172,16 @@ func New(opts Options) (*Server, error) {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/runs", s.handleRunPost)
-	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleJobGet)
-	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleJobEvents)
-	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepPost)
-	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleJobGet)
-	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleJobEvents)
+	m := s.metrics
+	s.mux.HandleFunc("POST /v1/runs", m.endpoint("POST /v1/runs", s.handleRunPost))
+	s.mux.HandleFunc("GET /v1/runs/{id}", m.endpoint("GET /v1/runs/{id}", s.handleJobGet))
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", m.endpoint("GET /v1/runs/{id}/events", s.handleJobEvents))
+	s.mux.HandleFunc("POST /v1/sweeps", m.endpoint("POST /v1/sweeps", s.handleSweepPost))
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", m.endpoint("GET /v1/sweeps/{id}", s.handleJobGet))
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", m.endpoint("GET /v1/sweeps/{id}/events", s.handleJobEvents))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/stats", m.endpoint("GET /v1/stats", s.handleStats))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.opts.EnablePprof {
 		// Mounted explicitly rather than via the package's init side
 		// effect on http.DefaultServeMux, which this server never uses.
@@ -251,9 +261,9 @@ func (s *Server) handleRunPost(w http.ResponseWriter, r *http.Request) {
 	}
 	j, coalesced := s.reg.leaseRun(key, name)
 	if coalesced {
-		s.runsCoalesced.Add(1)
+		s.metrics.runsCoalesced.Inc()
 	} else {
-		s.runsSubmitted.Add(1)
+		s.metrics.runsSubmitted.Inc()
 		j.events.append(Event{Kind: "accepted", Job: j.id, Detail: "key " + key})
 		s.submitRun(j, taskRef{job: j, cell: -1}, spec, key, name)
 	}
@@ -282,7 +292,7 @@ func (s *Server) submitRun(j *job, ref taskRef, spec *config.Scenario, key, name
 		id = fmt.Sprintf("%s/%04d", j.id, ref.cell)
 	}
 	s.taskJobs.Store(id, ref)
-	s.inflightTasks.Add(1)
+	s.metrics.inflight.Add(1)
 	err := s.pool.Submit(runner.Task[struct{}]{
 		ID:       id,
 		Scenario: key,
@@ -290,12 +300,12 @@ func (s *Server) submitRun(j *job, ref taskRef, spec *config.Scenario, key, name
 	})
 	if errors.Is(err, runner.ErrClosed) {
 		s.taskJobs.Delete(id)
-		s.inflightTasks.Add(-1)
+		s.metrics.inflight.Add(-1)
 		if ref.cell >= 0 {
 			s.cellDone(j, ref.cell, runner.StatusInterrupted, false, "draining")
 			return
 		}
-		s.runsFailed.Add(1)
+		s.metrics.runsFailed.Inc()
 		j.finish(jobFailed, nil, "draining", 503, false)
 		s.reg.complete(j)
 	}
@@ -389,7 +399,7 @@ func (s *Server) handleSweepPost(w http.ResponseWriter, r *http.Request) {
 			s.cellDone(j, i, runner.StatusDone, true, "")
 			continue
 		}
-		s.runsSubmitted.Add(1)
+		s.metrics.runsSubmitted.Inc()
 		s.submitRun(j, taskRef{job: j, cell: i}, spec, keys[i], j.cells[i].Name)
 	}
 	writeJSON(w, 202, map[string]any{
@@ -510,20 +520,24 @@ type jobStatsDoc struct {
 	Retained int `json:"retained"`
 }
 
+// handleStats renders the JSON stats document. Every number is read
+// from the obs registry's instruments — the same source /metrics
+// renders — so the two views cannot drift.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	active, retained := s.reg.counts()
+	m := s.metrics
 	writeJSON(w, 200, statsPayload{
 		Pool: poolStatsDoc{
 			Workers:  s.opts.Workers,
 			Queue:    s.opts.Queue,
-			Inflight: s.inflightTasks.Load(),
+			Inflight: int64(m.inflight.Value()),
 		},
 		Runs: runStatsDoc{
-			Submitted: s.runsSubmitted.Load(),
-			Done:      s.runsDone.Load(),
-			Failed:    s.runsFailed.Load(),
-			Shed:      s.runsShed.Load(),
-			Coalesced: s.runsCoalesced.Load(),
+			Submitted: int64(m.runsSubmitted.Value()),
+			Done:      int64(m.runsDone.Value()),
+			Failed:    int64(m.runsFailed.Value()),
+			Shed:      int64(m.runsShed.Value()),
+			Coalesced: int64(m.runsCoalesced.Value()),
 		},
 		Cache: s.cache.stats(),
 		Jobs:  jobStatsDoc{Active: active, Retained: retained},
@@ -531,21 +545,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// perfStats snapshots the simulation-perf counters. The three loads are
+// perfStats snapshots the simulation-perf instruments. The loads are
 // not mutually atomic; under concurrent runs the ratios are approximate,
 // which is fine for an operational gauge.
 func (s *Server) perfStats() perfStatsDoc {
+	sim := s.metrics.sim
 	doc := perfStatsDoc{
-		Runs:  s.simRuns.Load(),
-		Slots: s.simSlots.Load(),
+		Runs:        int64(sim.Runs.Value()),
+		Slots:       int64(sim.Slots.Value()),
+		WallSeconds: sim.RunSeconds.Sum(),
 	}
-	nanos := s.simNanos.Load()
-	doc.WallSeconds = float64(nanos) / 1e9
 	if doc.Runs > 0 {
-		doc.AvgRunMs = float64(nanos) / 1e6 / float64(doc.Runs)
+		doc.AvgRunMs = doc.WallSeconds * 1e3 / float64(doc.Runs)
 	}
-	if nanos > 0 {
-		doc.SlotsPerSec = float64(doc.Slots) * 1e9 / float64(nanos)
+	if doc.WallSeconds > 0 {
+		doc.SlotsPerSec = float64(doc.Slots) / doc.WallSeconds
 	}
 	return doc
 }

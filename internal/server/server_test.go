@@ -234,7 +234,7 @@ func TestRunCoalescing(t *testing.T) {
 	}
 	// At most a couple of actual simulations ran (hit-after-done plus
 	// coalesced-in-flight cover the rest); never n.
-	if got := s.runsSubmitted.Load(); got >= n {
+	if got := int64(s.metrics.runsSubmitted.Value()); got >= n {
 		t.Fatalf("submitted %d simulations for %d identical requests", got, n)
 	}
 }

@@ -1,6 +1,9 @@
 package sim
 
-import "context"
+import (
+	"context"
+	"time"
+)
 
 // RecordLevel selects how much per-run history the simulator keeps.
 type RecordLevel int
@@ -88,6 +91,19 @@ func (r *Runner) Run() (*Result, error) {
 // RunContext is Run under a context: cancellation or deadline expiry
 // stops the run between slots with a *CanceledError.
 func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
+	m := r.st.cfg.Metrics
+	if m == nil {
+		r.st.reset()
+		return r.st.run(ctx)
+	}
+	start := time.Now()
+	hits0, misses0 := r.st.memo.Stats()
 	r.st.reset()
-	return r.st.run(ctx)
+	res, err := r.st.run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	hits1, misses1 := r.st.memo.Stats()
+	m.RecordRun(res.Slots, res.Fuel, hits1-hits0, misses1-misses0, time.Since(start))
+	return res, nil
 }

@@ -14,6 +14,7 @@ import (
 	"fcdpm/internal/device"
 	"fcdpm/internal/fault"
 	"fcdpm/internal/fuelcell"
+	"fcdpm/internal/obs"
 	"fcdpm/internal/predict"
 	"fcdpm/internal/storage"
 	"fcdpm/internal/workload"
@@ -231,6 +232,11 @@ type Config struct {
 	// the zero value, supervision arms automatically when Faults or
 	// Fallbacks are configured.
 	Supervisor SupervisorConfig
+	// Metrics, when non-nil, receives one RecordRun per completed run:
+	// slots simulated, fuel consumed, memo hit/miss deltas, and wall
+	// time. Recording is a handful of atomic adds after the run — the
+	// zero-allocation hot path is untouched.
+	Metrics *obs.SimMetrics
 }
 
 // validate checks the configuration.
