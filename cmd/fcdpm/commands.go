@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -10,6 +12,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"fcdpm/internal/cache"
 	"fcdpm/internal/config"
 	"fcdpm/internal/device"
 	"fcdpm/internal/exp"
@@ -18,8 +21,10 @@ import (
 	"fcdpm/internal/policy"
 	"fcdpm/internal/report"
 	"fcdpm/internal/runner"
+	"fcdpm/internal/runreport"
 	"fcdpm/internal/sim"
 	"fcdpm/internal/storage"
+	"fcdpm/internal/version"
 	"fcdpm/internal/workload"
 )
 
@@ -285,8 +290,20 @@ func cmdSweep(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	what := fs.String("what", "capacity", "sweep: capacity, beta, or rho")
 	seed := fs.Uint64("seed", 1, "trace seed")
+	remote := fs.String("remote", "", "dispatcher URL; submit scenario-file operands as a distributed sweep instead of the local ablation")
+	name := fs.String("name", "", "sweep name (with -remote)")
+	rows := fs.String("rows", "", "write result rows (NDJSON) to this file, or - for stdout (with -remote)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
+	}
+	if *remote != "" {
+		if fs.NArg() == 0 {
+			return usagef("usage: fcdpm sweep -remote URL [-name NAME] [-rows FILE] <scenario.json>...")
+		}
+		return remoteSweep(ctx, *remote, *name, *rows, fs.Args())
+	}
+	if fs.NArg() != 0 {
+		return usagef("scenario operands need -remote; the local ablation sweep takes none")
 	}
 	var pts []exp.SweepPoint
 	var err error
@@ -746,12 +763,16 @@ type batchRow struct {
 	Fuel    float64 `json:"fuel"`
 	AvgRate float64 `json:"avgRate"`
 	Deficit float64 `json:"deficit"`
+	// Row is the rendered runreport body, populated only under -rows.
+	// It rides in the journal too, so resumed rows stay byte-identical.
+	Row json.RawMessage `json:"row,omitempty"`
 }
 
 func cmdBatch(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
 	pf := addPoolFlags(fs, "scenario").addJournal(fs, "scenario")
 	mf := addMetricsFlag(fs)
+	rows := fs.String("rows", "", "write result rows (NDJSON, one runreport body per scenario in operand order) to this file, or - for stdout; byte-identical to the same sweep run remotely")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -769,6 +790,7 @@ func cmdBatch(ctx context.Context, args []string) error {
 		return err
 	}
 	pf.overlay(fs, spec)
+	engine := version.Engine()
 	tasks := make([]runner.Task[batchRow], 0, len(paths))
 	for i := range scens {
 		scen := scens[i]
@@ -776,6 +798,19 @@ func cmdBatch(ctx context.Context, args []string) error {
 		name := scen.Name
 		if name == "" {
 			name = path
+		}
+		// The row name follows the dispatcher's convention (scenario name,
+		// else cell index) so `fcdpm batch -rows` of a spec set is
+		// byte-identical to the same set swept through `fcdpm sweep -remote`.
+		rowName := scen.Name
+		if rowName == "" {
+			rowName = fmt.Sprintf("cell-%04d", i)
+		}
+		var key string
+		if *rows != "" {
+			if key, err = scen.CacheKey(engine); err != nil {
+				return fmt.Errorf("scenario %s: %w", name, err)
+			}
 		}
 		tasks = append(tasks, runner.Task[batchRow]{
 			ID:       runner.RunID("batch", "scenario="+path),
@@ -790,10 +825,16 @@ func cmdBatch(ctx context.Context, args []string) error {
 				if err != nil {
 					return batchRow{}, fmt.Errorf("scenario %s: %w", name, err)
 				}
-				return batchRow{
+				row := batchRow{
 					Name: name, Policy: res.Policy, Fuel: res.Fuel,
 					AvgRate: res.AvgFuelRate(), Deficit: res.Deficit,
-				}, nil
+				}
+				if *rows != "" {
+					if row.Row, err = runreport.Render(rowName, key, engine, res); err != nil {
+						return batchRow{}, fmt.Errorf("scenario %s: %w", name, err)
+					}
+				}
+				return row, nil
 			},
 		})
 	}
@@ -820,9 +861,15 @@ func cmdBatch(ctx context.Context, args []string) error {
 			tab.AddRow(o.Scenario, "", "", "", "", string(o.Status))
 		}
 	}
-	fmt.Print(tab)
+	// With -rows - the NDJSON owns stdout; the human table moves to
+	// stderr so piped rows stay parseable.
+	tabOut := io.Writer(os.Stdout)
+	if *rows == "-" {
+		tabOut = os.Stderr
+	}
+	fmt.Fprint(tabOut, tab)
 	if rep.Resumed > 0 || rep.Interrupted > 0 {
-		fmt.Printf("\n%d of %d scenarios resumed from journal, %d interrupted\n",
+		fmt.Fprintf(tabOut, "\n%d of %d scenarios resumed from journal, %d interrupted\n",
 			rep.Resumed, len(rep.Outcomes), rep.Interrupted)
 	}
 	if runErr != nil {
@@ -831,7 +878,32 @@ func cmdBatch(ctx context.Context, args []string) error {
 		}
 		return runErr
 	}
-	return rep.FirstError()
+	if err := rep.FirstError(); err != nil {
+		return err
+	}
+	if *rows != "" {
+		return writeBatchRows(*rows, rep.Outcomes)
+	}
+	return nil
+}
+
+// writeBatchRows writes the rendered runreport bodies as NDJSON in
+// operand order — the same order and bytes a dispatcher serves for the
+// equivalent remote sweep.
+func writeBatchRows(path string, outcomes []runner.Outcome[batchRow]) error {
+	var buf bytes.Buffer
+	for _, o := range outcomes {
+		if len(o.Result.Row) == 0 {
+			return fmt.Errorf("batch: %s resolved without a rendered row (resumed from a journal written without -rows?); delete the journal and re-run", o.Scenario)
+		}
+		buf.Write(o.Result.Row)
+		buf.WriteByte('\n')
+	}
+	if path == "-" {
+		_, err := os.Stdout.Write(buf.Bytes())
+		return err
+	}
+	return cache.AtomicWriteFile(path, buf.Bytes())
 }
 
 func cmdRobust(ctx context.Context, args []string) error {

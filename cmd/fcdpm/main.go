@@ -10,10 +10,12 @@
 //	fcdpm exp1     [-seed N]
 //	fcdpm exp2     [-seed N]
 //	fcdpm motiv
-//	fcdpm sweep    [-what capacity|beta|rho] [-seed N]
+//	fcdpm sweep    [-what capacity|beta|rho] [-seed N] | -remote URL [-name NAME] [-rows FILE] <scenario.json>...
 //	fcdpm faults   [-seed N] [-list] [-workers N] [-timeout S] [-retries N] [-journal FILE]
 //	fcdpm batch    [-workers N] [-timeout S] [-retries N] [-journal FILE] <scenario.json>...
 //	fcdpm serve    [-addr HOST:PORT] [-workers N] [-queue N] [-timeout S] [-retries N] [-cache-mb N] [-cache-dir DIR] [-drain S] [-pprof]
+//	fcdpm dispatchd [-addr HOST:PORT] [-state DIR] [-lease S] [-cache-mb N]
+//	fcdpm workd    [-dispatcher URL] [-name NAME] [-workers N] [-timeout S] [-spool DIR] [-addr HOST:PORT]
 //	fcdpm bench    [-out DIR] [-repeat N] [-short] [-compare] [-threshold F]
 //	fcdpm version  [-json]
 //
@@ -120,6 +122,10 @@ func run(ctx context.Context, args []string) error {
 		return cmdBatch(ctx, rest)
 	case "serve":
 		return cmdServe(ctx, rest)
+	case "dispatchd":
+		return cmdDispatchd(ctx, rest)
+	case "workd":
+		return cmdWorkd(ctx, rest)
 	case "bench":
 		return cmdBench(rest)
 	case "version":
@@ -147,7 +153,9 @@ subcommands:
   exp1     reproduce Table 2 (Experiment 1, camcorder trace)
   exp2     reproduce Table 3 (Experiment 2, synthetic trace)
   motiv    reproduce the §3.2 / Fig 4 motivational example
-  sweep    run an ablation sweep (capacity, beta, or rho)
+  sweep    run an ablation sweep (capacity, beta, or rho); with -remote,
+           submit scenario files to a dispatcher as a distributed sweep,
+           tail its progress, and fetch the result rows
   oracle   offline dynamic-programming lower bound vs online FC-DPM
   hydrogen Table 2 in physical hydrogen terms (grams, litres, cartridge life)
   levels   discrete FC output-level sweep (multi-level config of [11])
@@ -167,6 +175,13 @@ subcommands:
            scenario specs on a shared bounded pool, streams progress as
            NDJSON, and answers repeated scenarios byte-identically from
            a content-addressed result cache (see README "Serving")
+  dispatchd run the sweep dispatcher: a durable shard queue that leases
+           work to workd daemons, reclaims expired leases, journals
+           every transition, and survives restarts mid-sweep
+           (see README "Distributed sweeps")
+  workd    run a worker daemon: lease shards from a dispatcher, execute
+           them locally, push results at-least-once, spool to disk when
+           the dispatcher is unreachable
   bench    run the benchmark-regression suite, write a BENCH_*.json
            artifact, and (with -compare) fail on throughput regression
            against the latest stored artifact

@@ -1,0 +1,52 @@
+package fcdpm
+
+import (
+	"context"
+
+	"fcdpm/internal/dispatch"
+)
+
+// This file exposes the distributed sweep fabric: the dispatcher behind
+// `fcdpm dispatchd`, the worker daemon behind `fcdpm workd`, and the
+// remote-sweep client behind `fcdpm sweep -remote` (see DESIGN.md §11).
+
+// DispatchOptions tunes the dispatcher: listen address, durable state
+// directory (journal + result cache), and the shard lease TTL. The zero
+// value listens on 127.0.0.1:8081 with a 15 s lease.
+type DispatchOptions = dispatch.Options
+
+// ServeDispatcher runs the sweep dispatcher until ctx is canceled, then
+// drains: leasing and admission stop with 503 + Retry-After while
+// in-flight completions are still accepted. All accepted sweeps are
+// journaled before they are acknowledged, so a restart — graceful or
+// not — resumes them without losing or duplicating a shard.
+func ServeDispatcher(ctx context.Context, opts DispatchOptions) error {
+	return dispatch.Serve(ctx, opts)
+}
+
+// WorkerOptions tunes a worker daemon: the dispatcher URL, local pool
+// width, per-shard timeout, and the disk spool used to buffer results
+// while the dispatcher is unreachable.
+type WorkerOptions = dispatch.WorkerOptions
+
+// RunWorker runs a worker daemon until ctx is canceled, then drains:
+// leasing stops, in-flight shards finish, and their results are pushed
+// (or spooled to disk if the dispatcher is down).
+func RunWorker(ctx context.Context, opts WorkerOptions) error {
+	return dispatch.RunWorker(ctx, opts)
+}
+
+// RemoteSweepOptions tunes a remote sweep submission: dispatcher URL,
+// sweep name, and the path to write the completed result rows to.
+type RemoteSweepOptions = dispatch.ClientOptions
+
+// RemoteSweepRequest is the sweep submission body: a name plus the raw
+// scenario specs, one shard each.
+type RemoteSweepRequest = dispatch.SweepRequest
+
+// SubmitRemoteSweep submits a sweep to a dispatcher, tails its progress
+// until it resolves (surviving dispatcher restarts), and downloads the
+// result rows — byte-identical to a local batch of the same specs.
+func SubmitRemoteSweep(ctx context.Context, opts RemoteSweepOptions, req RemoteSweepRequest) error {
+	return dispatch.SubmitSweep(ctx, opts, req)
+}

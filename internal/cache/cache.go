@@ -1,7 +1,23 @@
-package server
+// Package cache is the content-addressed result store shared by the
+// simulation server and the sweep dispatcher: rendered report bytes
+// keyed by the scenario's canonical hash (see config.CacheKey). The
+// memory tier is a size-bounded LRU; the optional disk tier persists
+// every stored report with the same fsync+atomic-rename discipline as
+// the runner's checkpoint journal, so a cached report survives a crash
+// at any instant and a restarted process keeps its hits.
+//
+// The disk tier is also self-healing: a truncated or otherwise corrupt
+// blob — a torn write from a crash that beat the rename, or operator
+// damage — is treated as a counted miss, evicted, and re-simulated on
+// the normal miss path rather than surfacing an error to the caller.
+//
+// Counters live in the obs registry handed to New, so /metrics,
+// /v1/stats, and the cache itself all read one set of numbers.
+package cache
 
 import (
 	"container/list"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,17 +27,8 @@ import (
 	"fcdpm/internal/obs"
 )
 
-// resultCache is the content-addressed result store: rendered report
-// bytes keyed by the scenario's canonical hash (see config.CacheKey).
-// The memory tier is a size-bounded LRU; the optional disk tier persists
-// every stored report with the same fsync+atomic-rename discipline as
-// the runner's checkpoint journal, so a cached report survives a crash
-// at any instant and a restarted server keeps its hits.
-//
-// Counters live in the obs registry handed to newResultCache, so the
-// /metrics endpoint, /v1/stats, and the cache itself all read one set of
-// numbers.
-type resultCache struct {
+// Store is the two-tier content-addressed result store.
+type Store struct {
 	mu    sync.Mutex
 	max   int64 // memory-tier byte bound; <= 0 disables the memory tier
 	size  int64
@@ -36,6 +43,10 @@ type resultCache struct {
 	// the response are unaffected).
 	diskHits *obs.Counter
 	diskErrs *obs.Counter
+	// corrupt counts disk blobs that failed validation on read; each is
+	// deleted and reported as a miss, so the caller re-simulates and the
+	// next put overwrites the damage.
+	corrupt *obs.Counter
 	// oversize counts puts whose blob exceeded the memory-tier bound and
 	// was therefore never admitted to memory (the disk tier still takes
 	// it). Before this counter existed such a blob was admitted and then
@@ -45,8 +56,8 @@ type resultCache struct {
 	oversize *obs.Counter
 }
 
-// cacheEntry is one memory-tier resident.
-type cacheEntry struct {
+// entry is one memory-tier resident.
+type entry struct {
 	key   string
 	bytes []byte
 }
@@ -55,18 +66,19 @@ type cacheEntry struct {
 // the path-traversal guard for the disk tier.
 var keyPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
 
-// newResultCache builds the cache and registers its series on reg (a
-// nil registry gets a private one, for callers that don't export).
-func newResultCache(maxBytes int64, dir string, reg *obs.Registry) (*resultCache, error) {
+// New builds the store and registers its series on reg (a nil registry
+// gets a private one, for callers that don't export).
+func New(maxBytes int64, dir string, reg *obs.Registry) (*Store, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	c := &resultCache{
+	c := &Store{
 		max: maxBytes, ll: list.New(), byKey: make(map[string]*list.Element), dir: dir,
 		hits:     reg.Counter("fcdpm_cache_hits_total", "Result-cache hits (memory or disk tier)."),
 		misses:   reg.Counter("fcdpm_cache_misses_total", "Result-cache misses."),
 		diskHits: reg.Counter("fcdpm_cache_disk_hits_total", "Result-cache hits served by the disk tier."),
 		diskErrs: reg.Counter("fcdpm_cache_disk_errors_total", "Result-cache disk reads/writes that failed."),
+		corrupt:  reg.Counter("fcdpm_cache_corrupt_total", "Disk-tier blobs that failed validation and were evicted (counted as misses)."),
 		oversize: reg.Counter("fcdpm_cache_oversize_rejects_total", "Puts rejected from the memory tier for exceeding its byte bound."),
 	}
 	reg.GaugeFunc("fcdpm_cache_entries", "Memory-tier resident entries.", func() float64 {
@@ -84,19 +96,21 @@ func newResultCache(maxBytes int64, dir string, reg *obs.Registry) (*resultCache
 	})
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, fmt.Errorf("server: cache dir: %w", err)
+			return nil, fmt.Errorf("cache: dir: %w", err)
 		}
 	}
 	return c, nil
 }
 
-// get returns the report stored under key. A memory miss falls through
-// to the disk tier and, on a hit there, repopulates memory.
-func (c *resultCache) get(key string) ([]byte, bool) {
+// Get returns the report stored under key. A memory miss falls through
+// to the disk tier and, on a hit there, repopulates memory. A disk blob
+// that fails validation (truncated or corrupt JSON) is deleted and
+// reported as a miss — the caller re-simulates and overwrites it.
+func (c *Store) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
-		b := el.Value.(*cacheEntry).bytes
+		b := el.Value.(*entry).bytes
 		c.mu.Unlock()
 		c.hits.Inc()
 		return b, true
@@ -104,13 +118,20 @@ func (c *resultCache) get(key string) ([]byte, bool) {
 	c.mu.Unlock()
 	if c.dir != "" && keyPattern.MatchString(key) {
 		b, err := os.ReadFile(c.diskPath(key))
-		if err == nil {
+		switch {
+		case err == nil && json.Valid(b):
 			c.insert(key, b)
 			c.hits.Inc()
 			c.diskHits.Inc()
 			return b, true
-		}
-		if !os.IsNotExist(err) {
+		case err == nil:
+			// Torn or damaged blob: evict it so the re-simulated result
+			// can land cleanly, and count the event.
+			c.corrupt.Inc()
+			if rmErr := os.Remove(c.diskPath(key)); rmErr != nil && !os.IsNotExist(rmErr) {
+				c.diskErrs.Inc()
+			}
+		case !os.IsNotExist(err):
 			c.diskErrs.Inc()
 		}
 	}
@@ -118,13 +139,13 @@ func (c *resultCache) get(key string) ([]byte, bool) {
 	return nil, false
 }
 
-// put stores the report under key in both tiers. A blob larger than the
+// Put stores the report under key in both tiers. A blob larger than the
 // memory bound skips the memory tier (counted in the stats) but still
 // reaches the disk tier, so it is served from disk rather than pinning
 // the LRU above its bound. The disk write is atomic (temp + fsync +
 // rename) and its failure only surfaces in the stats — the memory tier
 // and the caller's bytes are already good.
-func (c *resultCache) put(key string, b []byte) {
+func (c *Store) Put(key string, b []byte) {
 	if c.max > 0 && int64(len(b)) > c.max {
 		c.oversize.Inc()
 	}
@@ -132,7 +153,7 @@ func (c *resultCache) put(key string, b []byte) {
 	if c.dir == "" || !keyPattern.MatchString(key) {
 		return
 	}
-	if err := atomicWriteFile(c.diskPath(key), b); err != nil {
+	if err := AtomicWriteFile(c.diskPath(key), b); err != nil {
 		c.diskErrs.Inc()
 	}
 }
@@ -141,82 +162,86 @@ func (c *resultCache) put(key string, b []byte) {
 // tail until the byte bound holds again. Blobs that cannot fit even in
 // an empty cache are rejected outright — admitting one used to leave it
 // pinned, because eviction never drops the final entry.
-func (c *resultCache) insert(key string, b []byte) {
+func (c *Store) insert(key string, b []byte) {
 	if c.max <= 0 || int64(len(b)) > c.max {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
-		e := el.Value.(*cacheEntry)
+		e := el.Value.(*entry)
 		c.size += int64(len(b)) - int64(len(e.bytes))
 		e.bytes = b
 		c.ll.MoveToFront(el)
 	} else {
-		c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, bytes: b})
+		c.byKey[key] = c.ll.PushFront(&entry{key: key, bytes: b})
 		c.size += int64(len(b))
 	}
 	for c.size > c.max && c.ll.Len() > 0 {
 		el := c.ll.Back()
-		e := el.Value.(*cacheEntry)
+		e := el.Value.(*entry)
 		c.ll.Remove(el)
 		delete(c.byKey, e.key)
 		c.size -= int64(len(e.bytes))
 	}
 }
 
-func (c *resultCache) diskPath(key string) string {
+func (c *Store) diskPath(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
-// cacheStats is the /v1/stats cache section, read from the same obs
-// counters /metrics renders.
-type cacheStats struct {
+// Stats is the operational snapshot (the /v1/stats cache section), read
+// from the same obs counters /metrics renders.
+type Stats struct {
 	Hits     int64 `json:"hits"`
 	Misses   int64 `json:"misses"`
 	DiskHits int64 `json:"diskHits"`
 	DiskErrs int64 `json:"diskErrs"`
+	Corrupt  int64 `json:"corrupt"`
 	Oversize int64 `json:"oversize"`
 	Entries  int   `json:"entries"`
 	Bytes    int64 `json:"bytes"`
 	MaxBytes int64 `json:"maxBytes"`
 }
 
-func (c *resultCache) stats() cacheStats {
+// Stats snapshots the store.
+func (c *Store) Stats() Stats {
 	c.mu.Lock()
 	entries, size := c.ll.Len(), c.size
 	c.mu.Unlock()
-	return cacheStats{
+	return Stats{
 		Hits: int64(c.hits.Value()), Misses: int64(c.misses.Value()),
 		DiskHits: int64(c.diskHits.Value()), DiskErrs: int64(c.diskErrs.Value()),
+		Corrupt:  int64(c.corrupt.Value()),
 		Oversize: int64(c.oversize.Value()),
 		Entries:  entries, Bytes: size, MaxBytes: c.max,
 	}
 }
 
-// atomicWriteFile writes b to path through a temp file, fsync, and
+// AtomicWriteFile writes b to path through a temp file, fsync, and
 // rename, then best-effort syncs the directory — the same crash-safety
-// discipline the runner journal uses.
-func atomicWriteFile(path string, b []byte) error {
+// discipline the runner journal uses. Shared by the cache's disk tier
+// and the dispatcher's durable queue.
+func AtomicWriteFile(path string, b []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".cache-*")
 	if err != nil {
-		return fmt.Errorf("server: cache temp: %w", err)
+		return fmt.Errorf("cache: temp: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(b); err != nil {
 		tmp.Close()
-		return fmt.Errorf("server: cache write: %w", err)
+		return fmt.Errorf("cache: write: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return fmt.Errorf("server: cache fsync: %w", err)
+		return fmt.Errorf("cache: fsync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("server: cache close: %w", err)
+		return fmt.Errorf("cache: close: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("server: cache rename: %w", err)
+		return fmt.Errorf("cache: rename: %w", err)
 	}
 	if d, err := os.Open(dir); err == nil {
 		d.Sync()

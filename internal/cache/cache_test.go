@@ -1,41 +1,37 @@
-package server
+package cache
 
 import (
 	"bytes"
-	"context"
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
-	"sync"
 	"testing"
-	"time"
 )
 
 func TestCacheLRUEviction(t *testing.T) {
-	c, err := newResultCache(100, "", nil)
+	c, err := New(100, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	key := func(i int) string { return fmt.Sprintf("%064d", i) }
 	blob := bytes.Repeat([]byte("x"), 40)
-	c.put(key(1), blob)
-	c.put(key(2), blob)
+	c.Put(key(1), blob)
+	c.Put(key(2), blob)
 	// Touch 1 so 2 is the eviction victim.
-	if _, ok := c.get(key(1)); !ok {
+	if _, ok := c.Get(key(1)); !ok {
 		t.Fatal("key 1 missing before eviction")
 	}
-	c.put(key(3), blob) // 120 bytes > 100: evict LRU (key 2)
-	if _, ok := c.get(key(2)); ok {
+	c.Put(key(3), blob) // 120 bytes > 100: evict LRU (key 2)
+	if _, ok := c.Get(key(2)); ok {
 		t.Fatal("LRU entry survived eviction")
 	}
-	if _, ok := c.get(key(1)); !ok {
+	if _, ok := c.Get(key(1)); !ok {
 		t.Fatal("recently-used entry evicted")
 	}
-	if _, ok := c.get(key(3)); !ok {
+	if _, ok := c.Get(key(3)); !ok {
 		t.Fatal("fresh entry evicted")
 	}
-	st := c.stats()
+	st := c.Stats()
 	if st.Entries != 2 || st.Bytes != 80 {
 		t.Fatalf("stats after eviction: %+v", st)
 	}
@@ -46,14 +42,14 @@ func TestCacheRejectsOversizeBlob(t *testing.T) {
 	// resident, so a single blob larger than the bound stayed pinned
 	// forever with Bytes > MaxBytes. Oversize blobs must now never enter
 	// the memory tier — and must be counted.
-	c, _ := newResultCache(10, "", nil)
+	c, _ := New(10, "", nil)
 	k := fmt.Sprintf("%064d", 1)
 	big := bytes.Repeat([]byte("y"), 50)
-	c.put(k, big)
-	if _, ok := c.get(k); ok {
+	c.Put(k, big)
+	if _, ok := c.Get(k); ok {
 		t.Fatal("oversize blob admitted to the memory tier")
 	}
-	st := c.stats()
+	st := c.Stats()
 	if st.Entries != 0 || st.Bytes != 0 {
 		t.Fatalf("oversize blob left residue: %+v", st)
 	}
@@ -65,8 +61,8 @@ func TestCacheRejectsOversizeBlob(t *testing.T) {
 	}
 	// The tier still works for blobs that fit.
 	small := []byte("12345")
-	c.put(k, small)
-	if b, ok := c.get(k); !ok || !bytes.Equal(b, small) {
+	c.Put(k, small)
+	if b, ok := c.Get(k); !ok || !bytes.Equal(b, small) {
 		t.Fatal("fitting blob not admitted after oversize reject")
 	}
 }
@@ -74,14 +70,16 @@ func TestCacheRejectsOversizeBlob(t *testing.T) {
 func TestCacheOversizeBlobServedFromDisk(t *testing.T) {
 	// An oversize blob skips memory but still persists to (and serves
 	// from) the disk tier.
-	c, _ := newResultCache(10, t.TempDir(), nil)
+	c, _ := New(10, t.TempDir(), nil)
 	k := fmt.Sprintf("%064d", 2)
-	big := bytes.Repeat([]byte("z"), 50)
-	c.put(k, big)
-	if b, ok := c.get(k); !ok || !bytes.Equal(b, big) {
+	// A valid-JSON blob (the disk tier validates on read) that exceeds
+	// the 10-byte memory bound.
+	big := append(append([]byte{'"'}, bytes.Repeat([]byte("z"), 50)...), '"')
+	c.Put(k, big)
+	if b, ok := c.Get(k); !ok || !bytes.Equal(b, big) {
 		t.Fatal("oversize blob not served by the disk tier")
 	}
-	if st := c.stats(); st.DiskHits != 1 || st.Entries != 0 {
+	if st := c.Stats(); st.DiskHits != 1 || st.Entries != 0 {
 		t.Fatalf("disk-tier oversize serve miscounted: %+v", st)
 	}
 }
@@ -90,16 +88,16 @@ func TestCachePutMemoryTierDisabled(t *testing.T) {
 	// With the memory tier off (zero or negative bound) and no disk
 	// tier, puts are silent no-ops: no residue, no panic, stable stats.
 	for _, max := range []int64{0, -1} {
-		c, err := newResultCache(max, "", nil)
+		c, err := New(max, "", nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		k := fmt.Sprintf("%064d", 3)
-		c.put(k, []byte("data"))
-		if _, ok := c.get(k); ok {
+		c.Put(k, []byte("data"))
+		if _, ok := c.Get(k); ok {
 			t.Fatalf("max=%d: entry admitted with memory tier disabled", max)
 		}
-		st := c.stats()
+		st := c.Stats()
 		if st.Entries != 0 || st.Bytes != 0 {
 			t.Fatalf("max=%d: residue in disabled tier: %+v", max, st)
 		}
@@ -115,12 +113,12 @@ func TestCachePutMemoryTierDisabled(t *testing.T) {
 
 func TestCacheDiskTierGuardsKeys(t *testing.T) {
 	dir := t.TempDir()
-	c, err := newResultCache(0, dir, nil) // memory tier disabled
+	c, err := New(0, dir, nil) // memory tier disabled
 	if err != nil {
 		t.Fatal(err)
 	}
 	// A traversal-shaped key must never touch the filesystem.
-	c.put("../escape", []byte("nope"))
+	c.Put("../escape", []byte("nope"))
 	if _, err := os.Stat(filepath.Join(filepath.Dir(dir), "escape.json")); err == nil {
 		t.Fatal("path traversal escaped the cache dir")
 	}
@@ -130,22 +128,66 @@ func TestCacheDiskTierGuardsKeys(t *testing.T) {
 	}
 
 	valid := fmt.Sprintf("%064x", 0xabc)
-	c.put(valid, []byte(`{"ok":true}`))
-	if b, ok := c.get(valid); !ok || !bytes.Equal(b, []byte(`{"ok":true}`)) {
+	c.Put(valid, []byte(`{"ok":true}`))
+	if b, ok := c.Get(valid); !ok || !bytes.Equal(b, []byte(`{"ok":true}`)) {
 		t.Fatal("disk round-trip failed with memory tier disabled")
 	}
-	if st := c.stats(); st.DiskHits != 1 {
+	if st := c.Stats(); st.DiskHits != 1 {
 		t.Fatalf("disk hit not counted: %+v", st)
+	}
+}
+
+func TestCacheCorruptDiskBlobIsCountedMiss(t *testing.T) {
+	// Regression (robustness): a truncated or otherwise corrupt disk
+	// blob — a torn write from a crash that beat the rename — must read
+	// as a counted miss, not an error or garbage served to the client.
+	// The damaged file is evicted so a re-simulated Put lands cleanly.
+	dir := t.TempDir()
+	c, err := New(0, dir, nil) // memory tier off: force the disk path
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := fmt.Sprintf("%064x", 0xdead)
+	full := []byte(`{"name":"run","fuelAs":12.5}`)
+	c.Put(k, full)
+
+	// Deliberately truncate the blob mid-token.
+	path := filepath.Join(dir, k+".json")
+	if err := os.WriteFile(path, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if b, ok := c.Get(k); ok {
+		t.Fatalf("corrupt blob served: %q", b)
+	}
+	st := c.Stats()
+	if st.Corrupt != 1 {
+		t.Fatalf("corrupt blob not counted: %+v", st)
+	}
+	if st.Misses != 1 {
+		t.Fatalf("corrupt blob not a miss: %+v", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt blob not evicted: %v", err)
+	}
+
+	// Re-simulate and overwrite: the store heals.
+	c.Put(k, full)
+	if b, ok := c.Get(k); !ok || !bytes.Equal(b, full) {
+		t.Fatal("overwrite after corruption did not heal the entry")
+	}
+	if st := c.Stats(); st.Corrupt != 1 || st.DiskHits != 1 {
+		t.Fatalf("stats after heal: %+v", st)
 	}
 }
 
 func TestAtomicWriteFileReplaces(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "r.json")
-	if err := atomicWriteFile(path, []byte("v1")); err != nil {
+	if err := AtomicWriteFile(path, []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
-	if err := atomicWriteFile(path, []byte("v2")); err != nil {
+	if err := AtomicWriteFile(path, []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(path)
@@ -156,63 +198,5 @@ func TestAtomicWriteFileReplaces(t *testing.T) {
 	files, _ := filepath.Glob(filepath.Join(dir, ".cache-*"))
 	if len(files) != 0 {
 		t.Fatalf("temp files left behind: %v", files)
-	}
-}
-
-func TestEventLogTailAndClose(t *testing.T) {
-	l := newEventLog()
-	got := make(chan Event, 16)
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for i := 0; ; i++ {
-			line, ok := l.next(context.Background(), i)
-			if !ok {
-				close(got)
-				return
-			}
-			var e Event
-			if err := json.Unmarshal(line, &e); err != nil {
-				t.Errorf("bad line: %v", err)
-				return
-			}
-			got <- e
-		}
-	}()
-	l.append(Event{Kind: "a", Job: "j"})
-	l.append(Event{Kind: "b", Job: "j"})
-	l.close()
-	wg.Wait()
-	var kinds []string
-	for e := range got {
-		kinds = append(kinds, e.Kind)
-	}
-	if len(kinds) != 2 || kinds[0] != "a" || kinds[1] != "b" {
-		t.Fatalf("tailed %v", kinds)
-	}
-	// Appends after close are dropped, and snapshots see the final state.
-	l.append(Event{Kind: "late"})
-	if n := len(l.snapshot()); n != 2 {
-		t.Fatalf("post-close append leaked: %d lines", n)
-	}
-}
-
-func TestEventLogContextCancelUnblocks(t *testing.T) {
-	l := newEventLog()
-	ctx, cancel := context.WithCancel(context.Background())
-	done := make(chan bool, 1)
-	go func() {
-		_, ok := l.next(ctx, 0)
-		done <- ok
-	}()
-	cancel()
-	select {
-	case ok := <-done:
-		if ok {
-			t.Fatal("canceled reader got a line")
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("canceled reader stayed blocked")
 	}
 }

@@ -1,0 +1,152 @@
+// Package dispatch is the distributed sweep fabric: a dispatcher
+// service that owns a durable queue of sweep shards, and worker daemons
+// that lease shards over HTTP/JSON, execute them on a local runner
+// pool, and push results back with at-least-once delivery. The fabric's
+// headline property is robustness — no shard is ever lost, duplicated,
+// or wedged by a dead machine:
+//
+//   - every sweep and every terminal shard transition is journaled to an
+//     append-only, fsync-per-record WAL, so a dispatcher restart resumes
+//     mid-sweep with nothing forgotten;
+//   - leases expire: shards held by a crashed or partitioned worker
+//     return to the queue and are re-dispatched;
+//   - re-execution is idempotent: run IDs derive from the scenario's
+//     content address, results land in the content-addressed cache, and
+//     duplicate completions deduplicate by construction;
+//   - workers degrade gracefully when the dispatcher is unreachable —
+//     in-flight shards finish, results spool to disk, and the spool
+//     drains on reconnect.
+//
+// See DESIGN.md §11 for the state machine and invariants.
+package dispatch
+
+import "encoding/json"
+
+// SweepRequest is the POST /v1/sweeps body — the same shape the
+// simulation server accepts, so specs move between the two unchanged.
+type SweepRequest struct {
+	Name      string            `json:"name"`
+	Scenarios []json.RawMessage `json:"scenarios"`
+}
+
+// SweepAccepted is the 202 response to a sweep submission.
+type SweepAccepted struct {
+	ID     string `json:"id"`
+	Shards int    `json:"shards"`
+	Events string `json:"events"`
+}
+
+// LeaseRequest is the POST /v1/lease body: a worker asking for up to
+// Max shards. Engine is the worker's build tag; the dispatcher refuses
+// a mismatched worker (409) because its results would hash to foreign
+// cache addresses and break byte-identity.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+	Engine string `json:"engine"`
+	Max    int    `json:"max"`
+}
+
+// Shard is one leased unit of work: a single scenario cell of a sweep,
+// identified durably by its content-derived RunID and addressed by the
+// lease token for heartbeat/complete calls.
+type Shard struct {
+	Sweep string `json:"sweep"`
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	// RunID is the deterministic run identity (derived from Key), the
+	// unit of exactly-once accounting.
+	RunID string `json:"runId"`
+	// Key is the result's content address under the shared engine tag.
+	Key string `json:"key"`
+	// Spec is the canonical scenario JSON; building it reproduces the
+	// submitted simulation exactly.
+	Spec json.RawMessage `json:"spec"`
+	// Lease is the opaque token ("sweep/index/epoch") presented on
+	// heartbeat and completion. A reclaimed shard gets a new epoch, which
+	// invalidates the old holder's failure reports but never its results.
+	Lease string `json:"lease"`
+	// TTLMs is the lease time-to-live; heartbeat well within it.
+	TTLMs int64 `json:"ttlMs"`
+}
+
+// LeaseResponse carries zero or more granted shards.
+type LeaseResponse struct {
+	Shards []Shard `json:"shards"`
+}
+
+// HeartbeatRequest renews the named leases.
+type HeartbeatRequest struct {
+	Worker string   `json:"worker"`
+	Leases []string `json:"leases"`
+}
+
+// HeartbeatResponse partitions the presented leases: renewed ones were
+// extended; lost ones expired and were reclaimed — the worker should
+// cancel that shard's execution and forget the lease.
+type HeartbeatResponse struct {
+	Renewed []string `json:"renewed"`
+	Lost    []string `json:"lost"`
+}
+
+// CompleteRequest delivers one shard's outcome. Body is the rendered
+// run report on success (the exact bytes every surface serves); Error
+// the failure cause otherwise.
+type CompleteRequest struct {
+	Worker string          `json:"worker"`
+	Lease  string          `json:"lease"`
+	RunID  string          `json:"runId"`
+	Key    string          `json:"key"`
+	OK     bool            `json:"ok"`
+	Error  string          `json:"error,omitempty"`
+	Body   json.RawMessage `json:"body,omitempty"`
+}
+
+// CompleteResponse acknowledges a delivery. Duplicate means the shard
+// had already resolved (a re-dispatched twin finished first, or this is
+// a retry of a push that did land) — the worker drops the result and
+// moves on; at-least-once delivery plus this dedup yields exactly-once
+// accounting.
+type CompleteResponse struct {
+	Duplicate bool `json:"duplicate"`
+}
+
+// ShardStatus is one shard's externally visible state.
+type ShardStatus struct {
+	Name   string `json:"name"`
+	Key    string `json:"key"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached,omitempty"`
+	Worker string `json:"worker,omitempty"`
+	Err    string `json:"error,omitempty"`
+}
+
+// SweepStatus is the GET /v1/sweeps/{id} document.
+type SweepStatus struct {
+	ID        string        `json:"id"`
+	Name      string        `json:"name"`
+	Status    string        `json:"status"` // running | done | failed
+	Shards    int           `json:"shards"`
+	Remaining int           `json:"remaining"`
+	Completed int           `json:"completed"`
+	Cached    int           `json:"cached"`
+	Failed    int           `json:"failed"`
+	Cells     []ShardStatus `json:"cells"`
+}
+
+// Done reports whether the sweep has resolved.
+func (s *SweepStatus) Done() bool { return s.Status != "running" }
+
+// Event is one NDJSON line of a sweep's progress stream. Seq is dense
+// per stream; a dispatcher restart starts a fresh stream (beginning
+// with a "recovered" event), so tailing clients resync from zero.
+type Event struct {
+	Seq    int    `json:"seq"`
+	Ts     string `json:"ts"`
+	Kind   string `json:"kind"` // accepted | shard | reclaimed | resolved | recovered
+	Sweep  string `json:"sweep"`
+	Shard  string `json:"shard,omitempty"`
+	State  string `json:"state,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	Worker string `json:"worker,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}

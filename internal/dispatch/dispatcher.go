@@ -1,0 +1,945 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fcdpm/internal/cache"
+	"fcdpm/internal/config"
+	"fcdpm/internal/httpx"
+	"fcdpm/internal/obs"
+	"fcdpm/internal/report"
+	"fcdpm/internal/runner"
+	"fcdpm/internal/stream"
+	"fcdpm/internal/version"
+)
+
+// Dispatcher defaults.
+const (
+	// DefaultAddr binds loopback; the fabric is an operator tool.
+	DefaultAddr = "127.0.0.1:8081"
+	// DefaultLeaseTTL is how long a granted lease lives without a
+	// heartbeat before the shard is reclaimed.
+	DefaultLeaseTTL = 15 * time.Second
+	// DefaultCacheBytes bounds the in-memory result cache tier.
+	DefaultCacheBytes = 64 << 20
+	// DefaultMaxBodyBytes bounds request bodies (413 beyond).
+	DefaultMaxBodyBytes = 8 << 20
+	// maxSweepShards bounds one sweep submission.
+	maxSweepShards = 4096
+	// drainRetryAfter is the Retry-After hint on draining 503s.
+	drainRetryAfter = 5 * time.Second
+	// emptyQueueRetryAfter hints pollers when no work was available.
+	emptyQueueRetryAfter = 1 * time.Second
+)
+
+// Shard states. Only completed and failed are terminal (and journaled);
+// queued, leased, and executing are reconstructed as queued on restart.
+const (
+	shardQueued    = "queued"
+	shardLeased    = "leased"
+	shardExecuting = "executing"
+	shardCompleted = "completed"
+	shardFailed    = "failed"
+)
+
+// Options tunes the dispatcher.
+type Options struct {
+	// Addr is the listen address (default DefaultAddr).
+	Addr string
+	// StateDir holds the WAL (dispatch.wal) and the disk tier of the
+	// result cache (cache/). Empty means ephemeral: no durability, no
+	// restart resume — fine for tests, not for real sweeps.
+	StateDir string
+	// LeaseTTL is the heartbeat deadline (default DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// CacheBytes bounds the memory cache tier (default DefaultCacheBytes).
+	CacheBytes int64
+	// MaxBodyBytes bounds request bodies (default DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// Logf receives operational log lines; nil silences them.
+	Logf func(format string, args ...any)
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.Addr == "" {
+		o.Addr = DefaultAddr
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = DefaultLeaseTTL
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = DefaultCacheBytes
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+	return o
+}
+
+// shard is one scenario cell's dispatch state.
+type shard struct {
+	doc      shardDoc
+	state    string
+	cached   bool
+	errMsg   string
+	worker   string
+	epoch    int
+	expires  time.Time
+	enqueued time.Time
+}
+
+// sweep is one accepted sweep: its shards in submission order, progress
+// accounting, and the NDJSON event stream.
+type sweep struct {
+	id, name  string
+	shards    []*shard
+	remaining int
+	completed int
+	cached    int
+	failed    int
+	events    *eventLog
+	done      chan struct{}
+}
+
+func (s *sweep) status() string {
+	switch {
+	case s.remaining > 0:
+		return "running"
+	case s.failed > 0:
+		return "failed"
+	default:
+		return "done"
+	}
+}
+
+// shardRef addresses a shard in the dispatch queue.
+type shardRef struct {
+	sweep string
+	index int
+}
+
+// Dispatcher owns the durable sweep queue: accepts sweeps, leases
+// shards to workers, reclaims expired leases, journals every durable
+// transition, and serves results byte-identically from the
+// content-addressed cache.
+type Dispatcher struct {
+	opts    Options
+	engine  string
+	started time.Time
+	cache   *cache.Store
+	wal     *wal // nil when ephemeral
+	metrics *dispatchMetrics
+	mux     *http.ServeMux
+
+	draining atomic.Bool
+
+	mu     sync.Mutex
+	seq    int
+	sweeps map[string]*sweep
+	order  []string
+	queue  []shardRef
+	// workers maps worker name → last contact, for the liveness gauge.
+	workers map[string]time.Time
+	// inState counts shards by state for the gauges and /v1/stats.
+	inState map[string]int
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New builds a Dispatcher, replaying the WAL when StateDir holds one:
+// terminal shards keep their state (completed shards must still have
+// their body in the disk cache, else they re-run), every other shard
+// re-enters the queue, and the journal is compacted.
+func New(opts Options) (*Dispatcher, error) {
+	opts = opts.withDefaults()
+	reg := obs.NewRegistry()
+	cacheDir := ""
+	if opts.StateDir != "" {
+		cacheDir = filepath.Join(opts.StateDir, "cache")
+	}
+	store, err := cache.New(opts.CacheBytes, cacheDir, reg)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dispatcher{
+		opts:    opts,
+		engine:  version.Engine(),
+		started: time.Now(),
+		cache:   store,
+		metrics: newDispatchMetrics(reg),
+		sweeps:  make(map[string]*sweep),
+		workers: make(map[string]time.Time),
+		inState: make(map[string]int),
+	}
+	reg.GaugeFunc("fcdpm_dispatch_queue_depth", "Shards waiting for a lease.", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(len(d.queue))
+	})
+	reg.GaugeFunc("fcdpm_dispatch_shards_leased", "Shards leased, awaiting first heartbeat.", d.stateGauge(shardLeased))
+	reg.GaugeFunc("fcdpm_dispatch_shards_executing", "Shards executing on workers.", d.stateGauge(shardExecuting))
+	reg.GaugeFunc("fcdpm_dispatch_workers_live", "Workers heard from within 3 lease TTLs.", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		live := 0
+		cutoff := d.opts.now().Add(-3 * d.opts.LeaseTTL)
+		for _, seen := range d.workers {
+			if seen.After(cutoff) {
+				live++
+			}
+		}
+		return float64(live)
+	})
+	if opts.StateDir != "" {
+		w, records, err := openWAL(filepath.Join(opts.StateDir, "dispatch.wal"))
+		if err != nil {
+			return nil, err
+		}
+		d.wal = w
+		if err := d.replay(records); err != nil {
+			w.close()
+			return nil, err
+		}
+	}
+	d.mux = http.NewServeMux()
+	d.routes()
+	return d, nil
+}
+
+func (d *Dispatcher) stateGauge(state string) func() float64 {
+	return func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(d.inState[state])
+	}
+}
+
+// Handler returns the HTTP surface.
+func (d *Dispatcher) Handler() http.Handler { return d.mux }
+
+func (d *Dispatcher) routes() {
+	d.mux.HandleFunc("POST /v1/sweeps", d.handleSweepPost)
+	d.mux.HandleFunc("GET /v1/sweeps/{id}", d.handleSweepGet)
+	d.mux.HandleFunc("GET /v1/sweeps/{id}/events", d.handleSweepEvents)
+	d.mux.HandleFunc("GET /v1/sweeps/{id}/results", d.handleSweepResults)
+	d.mux.HandleFunc("POST /v1/lease", d.handleLease)
+	d.mux.HandleFunc("POST /v1/heartbeat", d.handleHeartbeat)
+	d.mux.HandleFunc("POST /v1/complete", d.handleComplete)
+	d.mux.HandleFunc("GET /v1/stats", d.handleStats)
+	d.mux.HandleFunc("GET /healthz", d.handleHealthz)
+	d.mux.HandleFunc("GET /metrics", d.handleMetrics)
+}
+
+// replay rebuilds dispatch state from the journal and compacts it.
+// Terminal shards keep their outcome; a "completed" shard whose body no
+// longer exists in the cache is demoted to queued (the WAL and the disk
+// cache live in the same state dir, but a missing blob must mean
+// re-simulation, never a hole in the results). Everything else —
+// whatever state it was in when the dispatcher died — re-enters the
+// queue; re-dispatch is idempotent so this is always safe.
+func (d *Dispatcher) replay(records []json.RawMessage) error {
+	type opOnly struct {
+		Op string `json:"op"`
+	}
+	requeued := 0
+	for _, rec := range records {
+		var op opOnly
+		if err := json.Unmarshal(rec, &op); err != nil {
+			continue
+		}
+		switch op.Op {
+		case "sweep":
+			var ws walSweep
+			if err := json.Unmarshal(rec, &ws); err != nil {
+				return fmt.Errorf("dispatch: wal sweep record: %w", err)
+			}
+			if ws.Engine != d.engine {
+				// A sweep journaled by a different build: its cache keys are
+				// unreachable by this engine, so its pending shards would
+				// produce rows the submitter's keys don't address. Refuse to
+				// guess — fail startup loudly.
+				return fmt.Errorf("dispatch: wal sweep %s was accepted by engine %s, this build is %s", ws.ID, ws.Engine, d.engine)
+			}
+			sw := &sweep{
+				id: ws.ID, name: ws.Name,
+				shards: make([]*shard, len(ws.Shards)),
+				events: newEventLog(),
+				done:   make(chan struct{}),
+			}
+			for i, doc := range ws.Shards {
+				state, cached, errMsg := doc.State, doc.Cached, doc.Err
+				doc.State, doc.Cached, doc.Err = "", false, ""
+				sh := &shard{doc: doc, state: shardQueued}
+				if state == shardCompleted {
+					if _, ok := d.cache.Get(doc.Key); ok {
+						sh.state, sh.cached = shardCompleted, cached
+					}
+				} else if state == shardFailed {
+					sh.state, sh.errMsg = shardFailed, errMsg
+				}
+				sw.shards[i] = sh
+			}
+			d.adoptSweep(sw)
+			var n int
+			fmt.Sscanf(ws.ID, "swp-%d", &n)
+			if n > d.seq {
+				d.seq = n
+			}
+		case "shard":
+			var rec2 walShard
+			if err := json.Unmarshal(rec, &rec2); err != nil {
+				return fmt.Errorf("dispatch: wal shard record: %w", err)
+			}
+			sw, ok := d.sweeps[rec2.Sweep]
+			if !ok || rec2.Index < 0 || rec2.Index >= len(sw.shards) {
+				continue
+			}
+			sh := sw.shards[rec2.Index]
+			if sh.state == shardCompleted || sh.state == shardFailed {
+				continue
+			}
+			if rec2.State == shardCompleted {
+				if _, ok := d.cache.Get(sh.doc.Key); !ok {
+					continue // body lost: stay queued, re-simulate
+				}
+				sh.cached = rec2.Cached
+			}
+			sh.state = rec2.State
+			sh.errMsg = rec2.Err
+		}
+	}
+	// Rebuild derived state: counts, queue, event streams.
+	now := d.opts.now()
+	for _, id := range d.order {
+		sw := d.sweeps[id]
+		for i, sh := range sw.shards {
+			d.inState[sh.state]++
+			switch sh.state {
+			case shardCompleted:
+				sw.completed++
+				if sh.cached {
+					sw.cached++
+				}
+			case shardFailed:
+				sw.failed++
+			default:
+				sw.remaining++
+				sh.enqueued = now
+				d.queue = append(d.queue, shardRef{sweep: id, index: i})
+				requeued++
+			}
+		}
+		sw.events.append(Event{Kind: "recovered", Sweep: id,
+			Detail: fmt.Sprintf("%d of %d shards pending after restart", sw.remaining, len(sw.shards))})
+		if sw.remaining == 0 {
+			d.finalizeLocked(sw)
+		}
+	}
+	if requeued > 0 {
+		d.metrics.reclaimed.Add(float64(requeued))
+		d.opts.Logf("fcdpm dispatchd: recovered %d sweeps, requeued %d shards", len(d.order), requeued)
+	}
+	return d.wal.compact(d.compactRecords())
+}
+
+// adoptSweep registers a sweep under the state lock's protection (New
+// runs single-threaded, handleSweepPost holds d.mu).
+func (d *Dispatcher) adoptSweep(sw *sweep) {
+	d.sweeps[sw.id] = sw
+	d.order = append(d.order, sw.id)
+}
+
+// compactRecords folds terminal shard states into one sweep record per
+// live sweep.
+func (d *Dispatcher) compactRecords() []any {
+	var recs []any
+	for _, id := range d.order {
+		sw := d.sweeps[id]
+		ws := walSweep{Op: "sweep", ID: sw.id, Name: sw.name, Engine: d.engine,
+			Shards: make([]shardDoc, len(sw.shards))}
+		for i, sh := range sw.shards {
+			doc := sh.doc
+			if sh.state == shardCompleted || sh.state == shardFailed {
+				doc.State, doc.Cached, doc.Err = sh.state, sh.cached, sh.errMsg
+			}
+			ws.Shards[i] = doc
+		}
+		recs = append(recs, ws)
+	}
+	return recs
+}
+
+// handleSweepPost validates every scenario up front (a sweep with one
+// bad cell is rejected whole), journals the sweep, resolves cache-hit
+// shards immediately, queues the rest, and answers 202.
+func (d *Dispatcher) handleSweepPost(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, d.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		if httpx.WriteBodyLimit(w, err) {
+			return
+		}
+		httpx.WriteErr(w, 400, "invalid sweep request: %v", err)
+		return
+	}
+	if len(req.Scenarios) == 0 {
+		httpx.WriteErr(w, 400, "sweep has no scenarios")
+		return
+	}
+	if len(req.Scenarios) > maxSweepShards {
+		httpx.WriteErr(w, 400, "sweep exceeds %d shards", maxSweepShards)
+		return
+	}
+	docs := make([]shardDoc, len(req.Scenarios))
+	for i, raw := range req.Scenarios {
+		spec, err := config.LoadValidated(bytes.NewReader(raw))
+		if err != nil {
+			httpx.WriteErr(w, 400, "scenario %d: %v", i, err)
+			return
+		}
+		canon, err := spec.Canonical()
+		if err != nil {
+			httpx.WriteErr(w, 400, "scenario %d: %v", i, err)
+			return
+		}
+		key, err := spec.CacheKey(d.engine)
+		if err != nil {
+			httpx.WriteErr(w, 400, "scenario %d: %v", i, err)
+			return
+		}
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("cell-%04d", i)
+		}
+		docs[i] = shardDoc{Name: name, RunID: ShardRunID(key), Key: key, Spec: canon}
+	}
+	if d.draining.Load() {
+		httpx.WriteUnavailable(w, drainRetryAfter, "draining")
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "sweep"
+	}
+
+	d.mu.Lock()
+	d.seq++
+	sw := &sweep{
+		id: fmt.Sprintf("swp-%06d", d.seq), name: name,
+		shards:    make([]*shard, len(docs)),
+		remaining: len(docs),
+		events:    newEventLog(),
+		done:      make(chan struct{}),
+	}
+	now := d.opts.now()
+	for i, doc := range docs {
+		sw.shards[i] = &shard{doc: doc, state: shardQueued, enqueued: now}
+	}
+	// Journal the sweep before any shard becomes visible: once a 202
+	// leaves, a restart must be able to finish the sweep.
+	if err := d.walAppend(walSweep{Op: "sweep", ID: sw.id, Name: sw.name, Engine: d.engine, Shards: docs}); err != nil {
+		d.mu.Unlock()
+		httpx.WriteErr(w, 500, "journal: %v", err)
+		return
+	}
+	d.adoptSweep(sw)
+	d.metrics.sweeps.Inc()
+	d.metrics.shards.Add(float64(len(docs)))
+	for range docs {
+		d.inState[shardQueued]++
+	}
+	sw.events.append(Event{Kind: "accepted", Sweep: sw.id,
+		Detail: fmt.Sprintf("%d shards", len(docs))})
+	for i, sh := range sw.shards {
+		if _, ok := d.cache.Get(sh.doc.Key); ok {
+			d.completeLocked(sw, i, shardCompleted, true, "", "")
+			continue
+		}
+		d.queue = append(d.queue, shardRef{sweep: sw.id, index: i})
+	}
+	id, n := sw.id, len(docs)
+	d.mu.Unlock()
+
+	d.opts.Logf("fcdpm dispatchd: accepted %s (%d shards)", id, n)
+	httpx.WriteJSON(w, 202, SweepAccepted{ID: id, Shards: n, Events: "/v1/sweeps/" + id + "/events"})
+}
+
+// walAppend journals one record; a nil WAL (ephemeral mode) accepts
+// everything. Called with d.mu held so journal order matches state
+// order.
+func (d *Dispatcher) walAppend(v any) error {
+	if d.wal == nil {
+		return nil
+	}
+	return d.wal.append(v)
+}
+
+// completeLocked is the single place a shard reaches a terminal state:
+// from a worker's delivery, from a cache hit at submission or lease
+// time, or from replay-free failure paths. Caller holds d.mu.
+func (d *Dispatcher) completeLocked(sw *sweep, idx int, state string, cached bool, errMsg, worker string) {
+	sh := sw.shards[idx]
+	if sh.state == shardCompleted || sh.state == shardFailed {
+		return
+	}
+	if err := d.walAppend(walShard{Op: "shard", Sweep: sw.id, Index: idx, State: state, Cached: cached, Err: errMsg}); err != nil {
+		// The transition is not durable; leave the shard pending so it
+		// re-dispatches rather than silently losing the outcome.
+		d.opts.Logf("fcdpm dispatchd: journal append failed, holding %s/%d pending: %v", sw.id, idx, err)
+		return
+	}
+	d.inState[sh.state]--
+	d.inState[state]++
+	sh.state, sh.cached, sh.errMsg, sh.worker = state, cached, errMsg, worker
+	sw.remaining--
+	switch state {
+	case shardCompleted:
+		sw.completed++
+		d.metrics.completed.Inc()
+		if cached {
+			sw.cached++
+			d.metrics.cached.Inc()
+		}
+	case shardFailed:
+		sw.failed++
+		d.metrics.failed.Inc()
+	}
+	d.metrics.shardSeconds.Observe(d.opts.now().Sub(sh.enqueued).Seconds())
+	sw.events.append(Event{Kind: "shard", Sweep: sw.id, Shard: sh.doc.Name,
+		State: state, Cached: cached, Worker: worker, Detail: errMsg})
+	if sw.remaining == 0 {
+		d.finalizeLocked(sw)
+	}
+}
+
+// finalizeLocked resolves a sweep: terminal event, stream close, done.
+func (d *Dispatcher) finalizeLocked(sw *sweep) {
+	sw.events.append(Event{Kind: "resolved", Sweep: sw.id, State: sw.status(),
+		Detail: fmt.Sprintf("%d completed (%d cached), %d failed", sw.completed, sw.cached, sw.failed)})
+	sw.events.close()
+	close(sw.done)
+}
+
+// handleLease grants up to Max queued shards to a worker. Shards whose
+// result landed in the cache since they queued complete immediately
+// instead of being granted — the lazy half of idempotent re-dispatch.
+func (d *Dispatcher) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !d.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		httpx.WriteErr(w, 400, "missing worker name")
+		return
+	}
+	if req.Engine != d.engine {
+		httpx.WriteErr(w, http.StatusConflict,
+			"engine mismatch: dispatcher %s, worker %s", d.engine, req.Engine)
+		return
+	}
+	if d.draining.Load() {
+		httpx.WriteUnavailable(w, drainRetryAfter, "draining")
+		return
+	}
+	if req.Max <= 0 {
+		req.Max = 1
+	}
+
+	d.mu.Lock()
+	d.workers[req.Worker] = d.opts.now()
+	var granted []Shard
+	for len(granted) < req.Max && len(d.queue) > 0 {
+		ref := d.queue[0]
+		d.queue = d.queue[1:]
+		sw := d.sweeps[ref.sweep]
+		sh := sw.shards[ref.index]
+		if sh.state != shardQueued {
+			continue // reclaimed-and-completed while queued twice; skip
+		}
+		if _, ok := d.cache.Get(sh.doc.Key); ok {
+			d.completeLocked(sw, ref.index, shardCompleted, true, "", "")
+			continue
+		}
+		now := d.opts.now()
+		sh.epoch++
+		sh.worker = req.Worker
+		sh.expires = now.Add(d.opts.LeaseTTL)
+		d.inState[sh.state]--
+		d.inState[shardLeased]++
+		sh.state = shardLeased
+		granted = append(granted, Shard{
+			Sweep: sw.id, Index: ref.index, Name: sh.doc.Name,
+			RunID: sh.doc.RunID, Key: sh.doc.Key, Spec: sh.doc.Spec,
+			Lease: leaseToken(sw.id, ref.index, sh.epoch),
+			TTLMs: d.opts.LeaseTTL.Milliseconds(),
+		})
+	}
+	d.metrics.leases.Add(float64(len(granted)))
+	d.mu.Unlock()
+
+	if len(granted) == 0 {
+		// Not an error: an empty grant with a poll hint.
+		w.Header().Set("Retry-After", "1")
+	}
+	httpx.WriteJSON(w, 200, LeaseResponse{Shards: granted})
+}
+
+// leaseToken encodes a lease's identity; parseLease inverts it.
+func leaseToken(sweepID string, index, epoch int) string {
+	return fmt.Sprintf("%s/%d/%d", sweepID, index, epoch)
+}
+
+func parseLease(token string) (sweepID string, index, epoch int, ok bool) {
+	parts := strings.Split(token, "/")
+	if len(parts) != 3 {
+		return "", 0, 0, false
+	}
+	if _, err := fmt.Sscanf(parts[1], "%d", &index); err != nil {
+		return "", 0, 0, false
+	}
+	if _, err := fmt.Sscanf(parts[2], "%d", &epoch); err != nil {
+		return "", 0, 0, false
+	}
+	return parts[0], index, epoch, true
+}
+
+// ShardRunID derives the deterministic run identity of a shard from its
+// content address: every re-dispatch of the same simulation shares one
+// run ID, which is what "exactly one result row per RunID" means.
+func ShardRunID(key string) string {
+	return runner.RunID("shard", "key="+key)
+}
+
+// handleHeartbeat renews the presented leases. A lease that cannot be
+// renewed (expired and reclaimed, superseded epoch, finished shard) is
+// reported lost; the worker cancels that execution.
+func (d *Dispatcher) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !d.decodeBody(w, r, &req) {
+		return
+	}
+	resp := HeartbeatResponse{}
+	d.mu.Lock()
+	d.workers[req.Worker] = d.opts.now()
+	for _, token := range req.Leases {
+		sweepID, idx, epoch, ok := parseLease(token)
+		var sh *shard
+		var sw *sweep
+		if ok {
+			if sw = d.sweeps[sweepID]; sw != nil && idx >= 0 && idx < len(sw.shards) {
+				sh = sw.shards[idx]
+			}
+		}
+		if sh == nil || sh.epoch != epoch || (sh.state != shardLeased && sh.state != shardExecuting) {
+			resp.Lost = append(resp.Lost, token)
+			continue
+		}
+		if sh.state == shardLeased {
+			// First heartbeat: the worker confirmed pickup.
+			d.inState[shardLeased]--
+			d.inState[shardExecuting]++
+			sh.state = shardExecuting
+		}
+		sh.expires = d.opts.now().Add(d.opts.LeaseTTL)
+		resp.Renewed = append(resp.Renewed, token)
+	}
+	d.mu.Unlock()
+	httpx.WriteJSON(w, 200, resp)
+}
+
+// handleComplete accepts one shard outcome, at-least-once. Dedup rules:
+//
+//   - shard already terminal → duplicate:true (the worker drops it);
+//     a success body is still cached, because results are free.
+//   - stale epoch + success → accepted: a result is a result, whoever
+//     computed it. The reclaimed twin will dedup at its own delivery.
+//   - stale epoch + failure → ignored as duplicate: the lease was
+//     reclaimed, so the failure verdict belongs to the new holder.
+func (d *Dispatcher) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !d.decodeBody(w, r, &req) {
+		return
+	}
+	sweepID, idx, epoch, ok := parseLease(req.Lease)
+	if !ok {
+		httpx.WriteErr(w, 400, "malformed lease %q", req.Lease)
+		return
+	}
+	if req.OK {
+		if len(req.Body) == 0 || !json.Valid(req.Body) {
+			httpx.WriteErr(w, 400, "success completion without a valid body")
+			return
+		}
+		// Cache before taking the lock: content-addressed, so this is
+		// safe even for duplicates and stale leases.
+		d.cache.Put(req.Key, req.Body)
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if req.Worker != "" {
+		d.workers[req.Worker] = d.opts.now()
+	}
+	sw := d.sweeps[sweepID]
+	if sw == nil || idx < 0 || idx >= len(sw.shards) {
+		httpx.WriteErr(w, 404, "unknown shard %s/%d", sweepID, idx)
+		return
+	}
+	sh := sw.shards[idx]
+	if sh.state == shardCompleted || sh.state == shardFailed {
+		d.metrics.duplicates.Inc()
+		httpx.WriteJSON(w, 200, CompleteResponse{Duplicate: true})
+		return
+	}
+	if req.OK {
+		d.completeLocked(sw, idx, shardCompleted, false, "", req.Worker)
+		httpx.WriteJSON(w, 200, CompleteResponse{})
+		return
+	}
+	if sh.epoch != epoch {
+		d.metrics.duplicates.Inc()
+		httpx.WriteJSON(w, 200, CompleteResponse{Duplicate: true})
+		return
+	}
+	d.completeLocked(sw, idx, shardFailed, false, req.Error, req.Worker)
+	httpx.WriteJSON(w, 200, CompleteResponse{})
+}
+
+// decodeBody reads one bounded JSON body; 413 oversize, 400 malformed.
+func (d *Dispatcher) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, d.opts.MaxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		if !httpx.WriteBodyLimit(w, err) {
+			httpx.WriteErr(w, 400, "invalid request: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+// reclaimExpired returns every shard whose lease expired to the queue
+// under a fresh epoch. The old holder's heartbeat will report the lease
+// lost; its success delivery, should one still arrive, is accepted by
+// the stale-epoch rule.
+func (d *Dispatcher) reclaimExpired() int {
+	now := d.opts.now()
+	n := 0
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, id := range d.order {
+		sw := d.sweeps[id]
+		for i, sh := range sw.shards {
+			if sh.state != shardLeased && sh.state != shardExecuting {
+				continue
+			}
+			if sh.expires.After(now) {
+				continue
+			}
+			d.inState[sh.state]--
+			d.inState[shardQueued]++
+			worker := sh.worker
+			sh.state, sh.worker = shardQueued, ""
+			sh.epoch++ // invalidate the dead holder's failure verdicts
+			d.queue = append(d.queue, shardRef{sweep: id, index: i})
+			d.metrics.expired.Inc()
+			d.metrics.reclaimed.Inc()
+			sw.events.append(Event{Kind: "reclaimed", Sweep: id, Shard: sh.doc.Name,
+				Worker: worker, Detail: "lease expired"})
+			n++
+		}
+	}
+	return n
+}
+
+// handleSweepGet reports a sweep's progress document.
+func (d *Dispatcher) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	sw, ok := d.sweeps[r.PathValue("id")]
+	if !ok {
+		d.mu.Unlock()
+		httpx.WriteErr(w, 404, "unknown sweep")
+		return
+	}
+	st := SweepStatus{
+		ID: sw.id, Name: sw.name, Status: sw.status(),
+		Shards: len(sw.shards), Remaining: sw.remaining,
+		Completed: sw.completed, Cached: sw.cached, Failed: sw.failed,
+		Cells: make([]ShardStatus, len(sw.shards)),
+	}
+	for i, sh := range sw.shards {
+		st.Cells[i] = ShardStatus{Name: sh.doc.Name, Key: sh.doc.Key,
+			State: sh.state, Cached: sh.cached, Worker: sh.worker, Err: sh.errMsg}
+	}
+	d.mu.Unlock()
+	httpx.WriteJSON(w, 200, st)
+}
+
+// handleSweepEvents tails the sweep's NDJSON stream until it resolves
+// or the client disconnects.
+func (d *Dispatcher) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	sw, ok := d.sweeps[r.PathValue("id")]
+	d.mu.Unlock()
+	if !ok {
+		httpx.WriteErr(w, 404, "unknown sweep")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(200)
+	fl, _ := w.(http.Flusher)
+	for i := 0; ; i++ {
+		line, ok := sw.events.next(r.Context(), i)
+		if !ok {
+			return
+		}
+		w.Write(line)
+		w.Write([]byte("\n"))
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+}
+
+// handleSweepResults streams one NDJSON line per completed shard, in
+// submission order, each the exact cached report body — byte-identical
+// to a local batch of the same specs. 409 until the sweep resolves.
+func (d *Dispatcher) handleSweepResults(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	sw, ok := d.sweeps[r.PathValue("id")]
+	var keys []string
+	if ok {
+		if sw.remaining > 0 {
+			d.mu.Unlock()
+			httpx.WriteErr(w, http.StatusConflict, "sweep still running (%d shards pending)", sw.remaining)
+			return
+		}
+		for _, sh := range sw.shards {
+			if sh.state == shardCompleted {
+				keys = append(keys, sh.doc.Key)
+			}
+		}
+	}
+	d.mu.Unlock()
+	if !ok {
+		httpx.WriteErr(w, 404, "unknown sweep")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(200)
+	for _, key := range keys {
+		body, ok := d.cache.Get(key)
+		if !ok {
+			// A completed shard's body has vanished (ephemeral dispatcher
+			// under memory pressure). Emit a typed error line: the client
+			// fails loudly instead of silently missing a row.
+			body, _ = json.Marshal(httpx.Error{Error: "result evicted: " + key})
+			d.opts.Logf("fcdpm dispatchd: result body missing for key %s", key)
+		}
+		w.Write(body)
+		w.Write([]byte("\n"))
+	}
+}
+
+// statsPayload is the /v1/stats document.
+type statsPayload struct {
+	Sweeps  int            `json:"sweeps"`
+	Queue   int            `json:"queue"`
+	Workers int            `json:"workers"`
+	Shards  map[string]int `json:"shards"`
+	Cache   cache.Stats    `json:"cache"`
+}
+
+func (d *Dispatcher) handleStats(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	shards := make(map[string]int, len(d.inState))
+	for k, v := range d.inState {
+		if v != 0 {
+			shards[k] = v
+		}
+	}
+	doc := statsPayload{
+		Sweeps: len(d.sweeps), Queue: len(d.queue),
+		Workers: len(d.workers), Shards: shards,
+	}
+	d.mu.Unlock()
+	doc.Cache = d.cache.Stats()
+	httpx.WriteJSON(w, 200, doc)
+}
+
+func (d *Dispatcher) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if d.draining.Load() {
+		status = "draining"
+	}
+	httpx.WriteJSON(w, 200, map[string]any{
+		"status":  status,
+		"engine":  d.engine,
+		"build":   version.Get(),
+		"uptimeS": time.Since(d.started).Seconds(),
+	})
+}
+
+func (d *Dispatcher) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	d.metrics.registry.WritePrometheus(w)
+}
+
+// eventLog marshals Events onto a stream.Log; the mutex keeps Seq dense
+// under concurrent appends (same shape as the server's job streams).
+type eventLog struct {
+	mu  sync.Mutex
+	log *stream.Log
+}
+
+func newEventLog() *eventLog { return &eventLog{log: stream.NewLog()} }
+
+func (l *eventLog) append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.Seq = l.log.Len()
+	e.Ts = time.Now().UTC().Format(time.RFC3339Nano)
+	line, err := report.StableJSON(e)
+	if err != nil {
+		return
+	}
+	l.log.Append(line)
+}
+
+func (l *eventLog) close() { l.log.Close() }
+
+func (l *eventLog) next(ctx context.Context, i int) ([]byte, bool) {
+	return l.log.Next(ctx, i)
+}
+
+// Close flushes and closes the WAL. Dispatch state is already durable;
+// in-flight leases simply expire on the next start.
+func (d *Dispatcher) Close() error {
+	d.closeOnce.Do(func() {
+		d.draining.Store(true)
+		if d.wal != nil {
+			d.closeErr = d.wal.close()
+		}
+	})
+	return d.closeErr
+}

@@ -1,0 +1,115 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"fcdpm/internal/httpx"
+)
+
+// httpError is a non-2xx response from the dispatcher: status code,
+// typed error message, and the Retry-After hint when the server sent
+// one. A nil-wrapped plain error means the request never got a
+// response (network failure) — callers distinguish the two with
+// errors.As.
+type httpError struct {
+	code       int
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("http %d: %s", e.code, e.msg)
+}
+
+// postJSON posts v to url and decodes a 2xx response into out (out may
+// be nil to discard). Non-2xx responses return *httpError; transport
+// failures return the underlying error.
+func postJSON(ctx context.Context, hc *http.Client, url string, v, out any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		he := &httpError{code: resp.StatusCode}
+		var typed httpx.Error
+		if json.Unmarshal(body, &typed) == nil && typed.Error != "" {
+			he.msg = typed.Error
+		} else {
+			he.msg = http.StatusText(resp.StatusCode)
+		}
+		if d, ok := httpx.RetryAfter(resp); ok {
+			he.retryAfter = d
+		}
+		return he
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}
+
+// getJSON fetches url and decodes a 2xx response into out.
+func getJSON(ctx context.Context, hc *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		he := &httpError{code: resp.StatusCode}
+		var typed httpx.Error
+		if json.Unmarshal(body, &typed) == nil && typed.Error != "" {
+			he.msg = typed.Error
+		} else {
+			he.msg = http.StatusText(resp.StatusCode)
+		}
+		if d, ok := httpx.RetryAfter(resp); ok {
+			he.retryAfter = d
+		}
+		return he
+	}
+	return json.Unmarshal(body, out)
+}
+
+// sleepCtx sleeps d or until ctx is done; reports false on cancel.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

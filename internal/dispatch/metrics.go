@@ -1,0 +1,75 @@
+package dispatch
+
+import "fcdpm/internal/obs"
+
+// dispatchMetrics is the dispatcher's instrument set, registered on one
+// obs.Registry that /metrics renders and /v1/stats reads — the two
+// views cannot drift.
+type dispatchMetrics struct {
+	registry *obs.Registry
+
+	sweeps     *obs.Counter
+	shards     *obs.Counter
+	completed  *obs.Counter
+	failed     *obs.Counter
+	cached     *obs.Counter
+	leases     *obs.Counter
+	expired    *obs.Counter
+	reclaimed  *obs.Counter
+	duplicates *obs.Counter
+
+	// shardSeconds is end-to-end shard latency: enqueue to terminal
+	// transition, including every re-dispatch in between.
+	shardSeconds *obs.Histogram
+}
+
+// newDispatchMetrics registers the dispatcher series. The queue-depth,
+// in-flight, and worker-liveness gauges are registered by the
+// Dispatcher itself as GaugeFuncs over its state, so they can never
+// drift from the truth.
+func newDispatchMetrics(reg *obs.Registry) *dispatchMetrics {
+	return &dispatchMetrics{
+		registry:   reg,
+		sweeps:     reg.Counter("fcdpm_dispatch_sweeps_total", "Sweeps accepted."),
+		shards:     reg.Counter("fcdpm_dispatch_shards_total", "Shards accepted across all sweeps."),
+		completed:  reg.Counter("fcdpm_dispatch_shards_completed_total", "Shards that reached completed."),
+		failed:     reg.Counter("fcdpm_dispatch_shards_failed_total", "Shards that reached failed."),
+		cached:     reg.Counter("fcdpm_dispatch_shards_cached_total", "Shards resolved from the content-addressed cache without dispatch."),
+		leases:     reg.Counter("fcdpm_dispatch_leases_granted_total", "Shard leases granted to workers."),
+		expired:    reg.Counter("fcdpm_dispatch_lease_expirations_total", "Leases that expired without completion."),
+		reclaimed:  reg.Counter("fcdpm_dispatch_shards_reclaimed_total", "Shards returned to the queue (expired leases and restart recovery)."),
+		duplicates: reg.Counter("fcdpm_dispatch_duplicate_completions_total", "Completions for shards that had already resolved."),
+		shardSeconds: reg.Histogram("fcdpm_dispatch_shard_seconds",
+			"End-to-end shard latency, enqueue to terminal state.", obs.DurationBuckets),
+	}
+}
+
+// workerMetrics is the worker daemon's instrument set.
+type workerMetrics struct {
+	registry *obs.Registry
+	pool     *obs.PoolMetrics
+	sim      *obs.SimMetrics
+
+	leased   *obs.Counter
+	executed *obs.Counter
+	pushed   *obs.Counter
+	pushErrs *obs.Counter
+	spooled  *obs.Counter
+	drained  *obs.Counter
+	lost     *obs.Counter
+}
+
+func newWorkerMetrics(reg *obs.Registry) *workerMetrics {
+	return &workerMetrics{
+		registry: reg,
+		pool:     obs.NewPoolMetrics(reg),
+		sim:      obs.NewSimMetrics(reg),
+		leased:   reg.Counter("fcdpm_workd_shards_leased_total", "Shards leased from the dispatcher."),
+		executed: reg.Counter("fcdpm_workd_shards_executed_total", "Shard simulations finished locally (either outcome)."),
+		pushed:   reg.Counter("fcdpm_workd_results_pushed_total", "Results delivered to the dispatcher."),
+		pushErrs: reg.Counter("fcdpm_workd_push_retries_total", "Failed delivery attempts that were retried."),
+		spooled:  reg.Counter("fcdpm_workd_results_spooled_total", "Results buffered to the disk spool (dispatcher unreachable)."),
+		drained:  reg.Counter("fcdpm_workd_spool_drained_total", "Spooled results delivered after reconnect."),
+		lost:     reg.Counter("fcdpm_workd_leases_lost_total", "Leases the dispatcher reclaimed while we held them."),
+	}
+}

@@ -1,0 +1,146 @@
+package dispatch
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"fcdpm/internal/cache"
+)
+
+// The dispatcher's write-ahead log is an append-only JSONL file, one
+// record per line, fsynced per append. Two record kinds exist:
+//
+//   - op=sweep: a whole accepted sweep — name, engine tag, and every
+//     shard's durable identity (name, run ID, content address, canonical
+//     spec). Written once, before any shard is dispatched.
+//   - op=shard: one shard's terminal transition (completed or failed).
+//     Non-terminal states (queued, leased, executing) are deliberately
+//     not journaled: leases are ephemeral by design, so on restart every
+//     non-terminal shard reverts to queued and is re-dispatched — the
+//     idempotent re-dispatch path makes that safe.
+//
+// Replay tolerates a torn tail (a crash mid-append leaves at most one
+// partial line, which is ignored), and startup compacts the log by
+// folding terminal states into each sweep record and atomically
+// rewriting the file.
+
+// walSweep is the op=sweep record.
+type walSweep struct {
+	Op     string     `json:"op"`
+	ID     string     `json:"id"`
+	Name   string     `json:"name"`
+	Engine string     `json:"engine"`
+	Shards []shardDoc `json:"shards"`
+}
+
+// shardDoc is one shard's durable identity. The State/Cached/Err fields
+// are written only by compaction, folding the shard's terminal
+// transition into the sweep record it belongs to.
+type shardDoc struct {
+	Name   string          `json:"name"`
+	RunID  string          `json:"runId"`
+	Key    string          `json:"key"`
+	Spec   json.RawMessage `json:"spec"`
+	State  string          `json:"state,omitempty"`
+	Cached bool            `json:"cached,omitempty"`
+	Err    string          `json:"error,omitempty"`
+}
+
+// walShard is the op=shard record: one terminal transition.
+type walShard struct {
+	Op     string `json:"op"`
+	Sweep  string `json:"sweep"`
+	Index  int    `json:"index"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached,omitempty"`
+	Err    string `json:"error,omitempty"`
+}
+
+// wal is the append handle. Appends are serialized and fsynced; the
+// file never shrinks except through compact's atomic rewrite.
+type wal struct {
+	path string
+	f    *os.File
+}
+
+// openWAL reads the journal at path (tolerating a torn tail), returning
+// the decoded records and an open append handle. A missing file is an
+// empty journal.
+func openWAL(path string) (*wal, []json.RawMessage, error) {
+	var records []json.RawMessage
+	b, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("dispatch: wal read: %w", err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if !json.Valid(line) {
+			// A torn tail from a crash mid-append: everything before it
+			// was fsynced whole, so stop here and let compaction drop it.
+			break
+		}
+		records = append(records, json.RawMessage(bytes.Clone(line)))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("dispatch: wal scan: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dispatch: wal open: %w", err)
+	}
+	return &wal{path: path, f: f}, records, nil
+}
+
+// append journals one record durably: marshal, write the line, fsync.
+// The caller serializes appends (the dispatcher holds its state lock),
+// which also guarantees WAL order matches state-transition order.
+func (w *wal) append(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("dispatch: wal encode: %w", err)
+	}
+	if _, err := w.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("dispatch: wal append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("dispatch: wal fsync: %w", err)
+	}
+	return nil
+}
+
+// compact atomically replaces the journal with the given records (one
+// folded sweep record per live sweep) and reopens the append handle.
+func (w *wal) compact(records []any) error {
+	var buf bytes.Buffer
+	for _, v := range records {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("dispatch: wal encode: %w", err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("dispatch: wal close: %w", err)
+	}
+	if err := cache.AtomicWriteFile(w.path, buf.Bytes()); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("dispatch: wal reopen: %w", err)
+	}
+	w.f = f
+	return nil
+}
+
+// close releases the append handle.
+func (w *wal) close() error { return w.f.Close() }

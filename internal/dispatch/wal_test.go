@@ -1,0 +1,136 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func walPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "dispatch.wal")
+}
+
+func TestWALAppendReopen(t *testing.T) {
+	path := walPath(t)
+	w, recs, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh WAL replayed %d records", len(recs))
+	}
+	if err := w.append(walSweep{Op: "sweep", ID: "swp-000001", Engine: "e"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(walShard{Op: "shard", Sweep: "swp-000001", Index: 2, State: shardCompleted}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, recs, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.close()
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(recs))
+	}
+	var ws walSweep
+	if err := json.Unmarshal(recs[0], &ws); err != nil || ws.ID != "swp-000001" {
+		t.Fatalf("first record = %s (err %v)", recs[0], err)
+	}
+	var sh walShard
+	if err := json.Unmarshal(recs[1], &sh); err != nil || sh.Index != 2 || sh.State != shardCompleted {
+		t.Fatalf("second record = %s (err %v)", recs[1], err)
+	}
+}
+
+// A torn tail — the record being written when the process died — must
+// not poison the journal: replay stops at the tear, and appends resume.
+func TestWALTornTail(t *testing.T) {
+	path := walPath(t)
+	w, _, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(walSweep{Op: "sweep", ID: "swp-000001"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"shard","sweep":"swp-0000`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2, recs, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records past a torn tail, want 1", len(recs))
+	}
+	if err := w2.append(walShard{Op: "shard", Sweep: "swp-000001", Index: 0, State: shardFailed}); err != nil {
+		t.Fatal(err)
+	}
+	w2.close()
+
+	// The post-tear append lands after the torn bytes, so it is itself
+	// unreadable — that is fine: compaction rewrites the journal from
+	// state, which is what the dispatcher does right after replay.
+	w3, recs, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.close()
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1 (tear still present)", len(recs))
+	}
+	if err := w3.compact([]any{walSweep{Op: "sweep", ID: "swp-000001"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w3.append(walShard{Op: "shard", Sweep: "swp-000001", Index: 0, State: shardCompleted}); err != nil {
+		t.Fatal(err)
+	}
+	w3.close()
+	_, recs, err = openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("after compaction replayed %d records, want 2", len(recs))
+	}
+}
+
+func TestWALCompact(t *testing.T) {
+	path := walPath(t)
+	w, _, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.append(walShard{Op: "shard", Sweep: "s", Index: i, State: shardQueued}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.compact([]any{walSweep{Op: "sweep", ID: "s", Shards: []shardDoc{{Name: "a"}}}}); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	_, recs, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("compacted WAL replayed %d records, want 1", len(recs))
+	}
+}

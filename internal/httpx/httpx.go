@@ -1,0 +1,88 @@
+// Package httpx holds the small HTTP conventions every service in the
+// repo shares — the simulation server and the sweep dispatcher speak the
+// same dialect: stable JSON bodies, a single typed error shape, bounded
+// request bodies that reject oversized payloads with 413, and 503
+// responses that carry Retry-After so client backoff is protocol-driven
+// instead of guessed.
+package httpx
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"fcdpm/internal/report"
+)
+
+// Error is the body of every non-2xx response.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// WriteJSON emits v stably encoded. Errors past the header are lost to
+// the wire, as always.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
+	b, err := report.StableJSON(v)
+	if err != nil {
+		http.Error(w, `{"error":"encode failure"}`, 500)
+		return
+	}
+	WriteBody(w, code, b)
+}
+
+// WriteBody emits pre-rendered JSON bytes with a trailing newline.
+func WriteBody(w http.ResponseWriter, code int, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)+1))
+	w.WriteHeader(code)
+	w.Write(b)
+	w.Write([]byte("\n"))
+}
+
+// WriteErr emits a typed error body.
+func WriteErr(w http.ResponseWriter, code int, format string, args ...any) {
+	WriteJSON(w, code, Error{Error: fmt.Sprintf(format, args...)})
+}
+
+// WriteUnavailable emits a 503 with a Retry-After header (integer
+// seconds, rounded up, at least 1) so shed and drain responses tell the
+// client when to come back instead of leaving backoff to guesswork.
+func WriteUnavailable(w http.ResponseWriter, retryAfter time.Duration, format string, args ...any) {
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	WriteErr(w, http.StatusServiceUnavailable, format, args...)
+}
+
+// WriteBodyLimit inspects a request-decode error and, when the cause is
+// the http.MaxBytesReader bound, answers 413 with a typed error and
+// reports true. Any other error is the caller's to classify.
+func WriteBodyLimit(w http.ResponseWriter, err error) bool {
+	var mbe *http.MaxBytesError
+	if !errors.As(err, &mbe) {
+		return false
+	}
+	WriteErr(w, http.StatusRequestEntityTooLarge,
+		"request body exceeds %d bytes", mbe.Limit)
+	return true
+}
+
+// RetryAfter parses a response's Retry-After header as integer seconds.
+// The second result is false when the header is absent or malformed
+// (HTTP-date values are deliberately not parsed — both services in this
+// repo emit seconds).
+func RetryAfter(resp *http.Response) (time.Duration, bool) {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}

@@ -58,6 +58,45 @@ func TestNilInstrumentsAreSafe(t *testing.T) {
 	m.RecordRun(10, 1.5, 2, 3, time.Second)
 	var pm *PoolMetrics
 	pm.Resolved("done", 2)
+	pm.BreakerChanged("closed", "open")
+}
+
+// TestPoolMetricsBreakerGauges walks one breaker through its full
+// lifecycle and checks the current-state gauges track it exactly: the
+// transition counters say how often it flapped, the gauges say where it
+// is now.
+func TestPoolMetricsBreakerGauges(t *testing.T) {
+	m := NewPoolMetrics(NewRegistry())
+	check := func(step string, open, half float64) {
+		t.Helper()
+		if got := m.BreakersOpen.Value(); got != open {
+			t.Errorf("%s: open gauge = %v, want %v", step, got, open)
+		}
+		if got := m.BreakersHalfOpen.Value(); got != half {
+			t.Errorf("%s: half-open gauge = %v, want %v", step, got, half)
+		}
+	}
+	check("initial", 0, 0)
+	m.BreakerChanged("closed", "open")
+	check("tripped", 1, 0)
+	m.BreakerChanged("open", "half-open")
+	check("probing", 0, 1)
+	m.BreakerChanged("half-open", "open")
+	check("probe failed", 1, 0)
+	m.BreakerChanged("open", "half-open")
+	m.BreakerChanged("half-open", "closed")
+	check("recovered", 0, 0)
+	if got := m.BreakerOpens.Value(); got != 2 {
+		t.Errorf("opens counter = %v, want 2", got)
+	}
+	if got := m.BreakerCloses.Value(); got != 1 {
+		t.Errorf("closes counter = %v, want 1", got)
+	}
+	// A second breaker tripping while the first is closed: gauges count
+	// breakers, not transitions.
+	m.BreakerChanged("closed", "open")
+	m.BreakerChanged("closed", "open")
+	check("two tripped", 2, 0)
 }
 
 func TestHistogramBucketBoundaries(t *testing.T) {

@@ -59,6 +59,12 @@ type PoolMetrics struct {
 	// transitions into open (including a failed half-open probe
 	// re-opening) and back to closed.
 	BreakerOpens, BreakerCloses *Counter
+	// BreakersOpen and BreakersHalfOpen track how many scenario
+	// breakers are in each non-closed state right now. The transition
+	// counters above answer "how often has this flapped"; these answer
+	// the operator's on-call question, "which fraction of scenarios is
+	// quarantined at this moment".
+	BreakersOpen, BreakersHalfOpen *Gauge
 	// QueueDepth tracks tasks admitted but not yet picked up by a
 	// worker.
 	QueueDepth *Gauge
@@ -67,17 +73,19 @@ type PoolMetrics struct {
 // NewPoolMetrics registers the pool series on r.
 func NewPoolMetrics(r *Registry) *PoolMetrics {
 	return &PoolMetrics{
-		Submitted:      r.Counter("fcdpm_pool_tasks_submitted_total", "Tasks admitted to the pool queue."),
-		Done:           r.Counter("fcdpm_pool_tasks_done_total", "Tasks that ran to completion."),
-		Resumed:        r.Counter("fcdpm_pool_tasks_resumed_total", "Tasks restored from the checkpoint journal."),
-		Failed:         r.Counter("fcdpm_pool_tasks_failed_total", "Tasks that exhausted their attempts."),
-		Shed:           r.Counter("fcdpm_pool_tasks_shed_total", "Tasks rejected at admission (queue full)."),
-		BreakerSkipped: r.Counter("fcdpm_pool_tasks_breaker_skipped_total", "Tasks rejected by an open scenario breaker."),
-		Interrupted:    r.Counter("fcdpm_pool_tasks_interrupted_total", "Tasks cut short by batch cancellation."),
-		Retries:        r.Counter("fcdpm_pool_retries_total", "Task re-attempts beyond the first."),
-		BreakerOpens:   r.Counter("fcdpm_pool_breaker_opens_total", "Circuit-breaker transitions into open."),
-		BreakerCloses:  r.Counter("fcdpm_pool_breaker_closes_total", "Circuit-breaker transitions back to closed."),
-		QueueDepth:     r.Gauge("fcdpm_pool_queue_depth", "Tasks admitted but not yet executing."),
+		Submitted:        r.Counter("fcdpm_pool_tasks_submitted_total", "Tasks admitted to the pool queue."),
+		Done:             r.Counter("fcdpm_pool_tasks_done_total", "Tasks that ran to completion."),
+		Resumed:          r.Counter("fcdpm_pool_tasks_resumed_total", "Tasks restored from the checkpoint journal."),
+		Failed:           r.Counter("fcdpm_pool_tasks_failed_total", "Tasks that exhausted their attempts."),
+		Shed:             r.Counter("fcdpm_pool_tasks_shed_total", "Tasks rejected at admission (queue full)."),
+		BreakerSkipped:   r.Counter("fcdpm_pool_tasks_breaker_skipped_total", "Tasks rejected by an open scenario breaker."),
+		Interrupted:      r.Counter("fcdpm_pool_tasks_interrupted_total", "Tasks cut short by batch cancellation."),
+		Retries:          r.Counter("fcdpm_pool_retries_total", "Task re-attempts beyond the first."),
+		BreakerOpens:     r.Counter("fcdpm_pool_breaker_opens_total", "Circuit-breaker transitions into open."),
+		BreakerCloses:    r.Counter("fcdpm_pool_breaker_closes_total", "Circuit-breaker transitions back to closed."),
+		BreakersOpen:     r.Gauge("fcdpm_pool_breakers_open", "Scenario breakers currently open."),
+		BreakersHalfOpen: r.Gauge("fcdpm_pool_breakers_half_open", "Scenario breakers currently half-open (probe in flight)."),
+		QueueDepth:       r.Gauge("fcdpm_pool_queue_depth", "Tasks admitted but not yet executing."),
 	}
 }
 
@@ -99,16 +107,27 @@ func (m *PoolMetrics) Dequeued() {
 }
 
 // BreakerChanged records a circuit-breaker state transition; states are
-// the breaker's String names ("closed", "open", "half-open"). Nil-safe.
+// the breaker's String names ("closed", "open", "half-open"). Besides
+// counting open/close transitions it keeps the current-state gauges in
+// step: the from-state's gauge drops, the to-state's rises. Nil-safe.
 func (m *PoolMetrics) BreakerChanged(from, to string) {
 	if m == nil {
 		return
 	}
+	switch from {
+	case "open":
+		m.BreakersOpen.Add(-1)
+	case "half-open":
+		m.BreakersHalfOpen.Add(-1)
+	}
 	switch to {
 	case "open":
 		m.BreakerOpens.Inc()
+		m.BreakersOpen.Add(1)
 	case "closed":
 		m.BreakerCloses.Inc()
+	case "half-open":
+		m.BreakersHalfOpen.Add(1)
 	}
 }
 

@@ -13,13 +13,14 @@ const (
 	DefaultBackoffMax = 5 * time.Second
 )
 
-// backoffDelay returns the sleep before retry number `retry` (1-based) of
+// BackoffDelay returns the sleep before retry number `retry` (1-based) of
 // the identified task: base·2^(retry-1), capped at max, plus up to 50 %
 // deterministic jitter derived from the task ID and retry index. Hashed
 // jitter decorrelates sibling retries without any global randomness, so
 // a re-run of the same batch backs off identically — determinism is a
-// repo-wide invariant.
-func backoffDelay(base, max time.Duration, id string, retry int) time.Duration {
+// repo-wide invariant. Exported so remote workers polling a dispatcher
+// pace themselves with the same schedule the pool uses for attempts.
+func BackoffDelay(base, max time.Duration, id string, retry int) time.Duration {
 	if base <= 0 {
 		base = DefaultBackoffBase
 	}

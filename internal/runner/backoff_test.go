@@ -9,7 +9,7 @@ func TestBackoffGrowthAndCap(t *testing.T) {
 	base, max := 100*time.Millisecond, 2*time.Second
 	prev := time.Duration(0)
 	for retry := 1; retry <= 10; retry++ {
-		d := backoffDelay(base, max, "task", retry)
+		d := BackoffDelay(base, max, "task", retry)
 		raw := base << (retry - 1)
 		if raw > max {
 			raw = max
@@ -29,9 +29,9 @@ func TestBackoffDeterministic(t *testing.T) {
 	// Same (id, retry) must always produce the same delay — batch re-runs
 	// back off identically (repo-wide determinism invariant) — while
 	// different IDs decorrelate.
-	a1 := backoffDelay(0, 0, "sweep/a", 2)
-	a2 := backoffDelay(0, 0, "sweep/a", 2)
-	b := backoffDelay(0, 0, "sweep/b", 2)
+	a1 := BackoffDelay(0, 0, "sweep/a", 2)
+	a2 := BackoffDelay(0, 0, "sweep/a", 2)
+	b := BackoffDelay(0, 0, "sweep/b", 2)
 	if a1 != a2 {
 		t.Errorf("same inputs gave %v then %v", a1, a2)
 	}
@@ -50,7 +50,7 @@ func TestJitterFractionRange(t *testing.T) {
 }
 
 func TestBackoffZeroValuesUseDefaults(t *testing.T) {
-	d := backoffDelay(0, 0, "x", 1)
+	d := BackoffDelay(0, 0, "x", 1)
 	if d < DefaultBackoffBase || d > DefaultBackoffBase+DefaultBackoffBase/2 {
 		t.Errorf("zero-value delay %v outside default base envelope", d)
 	}

@@ -90,4 +90,14 @@ func TestPoolMetricsBreakerTransitions(t *testing.T) {
 	if got := m.BreakerCloses.Value(); got != 0 {
 		t.Errorf("breaker closes = %v, want 0 before recovery", got)
 	}
+	// Current-state gauges and the snapshot agree: one breaker, open.
+	if got := m.BreakersOpen.Value(); got != 1 {
+		t.Errorf("breakers open gauge = %v, want 1", got)
+	}
+	if got := m.BreakersHalfOpen.Value(); got != 0 {
+		t.Errorf("breakers half-open gauge = %v, want 0", got)
+	}
+	if states := p.BreakerStates(); states["sc"] != "open" {
+		t.Errorf("BreakerStates = %v, want sc open", states)
+	}
 }

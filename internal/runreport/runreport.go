@@ -1,0 +1,58 @@
+// Package runreport renders one completed simulation as the stable JSON
+// body every serving surface agrees on. The simulation server, the sweep
+// dispatcher's workers, and `fcdpm batch -rows` all render through this
+// one function, which is what makes "byte-identical" a meaningful
+// guarantee: a result computed on a remote worker, served from the
+// content-addressed cache, or produced by a local batch of the same spec
+// is the same bytes.
+package runreport
+
+import (
+	"fcdpm/internal/report"
+	"fcdpm/internal/sim"
+)
+
+// Report is the JSON body served for one completed run. It is rendered
+// exactly once with report.StableJSON and the rendered bytes are what
+// the content-addressed cache stores — a cache hit is byte-identical to
+// the run that populated it.
+type Report struct {
+	Name   string `json:"name"`
+	Key    string `json:"key"`
+	Engine string `json:"engine"`
+	Policy string `json:"policy"`
+	// FinalPolicy differs from Policy when the supervisor degraded.
+	FinalPolicy string  `json:"finalPolicy"`
+	Slots       int     `json:"slots"`
+	Sleeps      int     `json:"sleeps"`
+	DurationS   float64 `json:"durationS"`
+	// FuelAs is the paper's objective: stack charge consumed, A-s.
+	FuelAs        float64  `json:"fuelAs"`
+	AvgIfcA       float64  `json:"avgIfcA"`
+	DeliveredJ    float64  `json:"deliveredJ"`
+	LoadJ         float64  `json:"loadJ"`
+	BledAs        float64  `json:"bledAs"`
+	DeficitAs     float64  `json:"deficitAs"`
+	ShedAs        float64  `json:"shedAs"`
+	FinalChargeAs float64  `json:"finalChargeAs"`
+	Fallbacks     int      `json:"fallbacks"`
+	Events        []string `json:"events,omitempty"`
+}
+
+// Render builds and stably encodes the response body for one completed
+// simulation.
+func Render(name, key, engine string, res *sim.Result) ([]byte, error) {
+	rr := Report{
+		Name: name, Key: key, Engine: engine,
+		Policy: res.Policy, FinalPolicy: res.FinalPolicy,
+		Slots: res.Slots, Sleeps: res.Sleeps,
+		DurationS: res.Duration, FuelAs: res.Fuel, AvgIfcA: res.AvgFuelRate(),
+		DeliveredJ: res.DeliveredEnergy, LoadJ: res.LoadEnergy,
+		BledAs: res.Bled, DeficitAs: res.Deficit, ShedAs: res.Shed,
+		FinalChargeAs: res.FinalCharge, Fallbacks: res.Fallbacks,
+	}
+	for _, ev := range res.Events {
+		rr.Events = append(rr.Events, ev.String())
+	}
+	return report.StableJSON(rr)
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"fcdpm/internal/report"
+	"fcdpm/internal/stream"
 )
 
 // Event is one NDJSON line of a job's progress stream: submission,
@@ -31,31 +32,24 @@ type Event struct {
 	Detail string `json:"detail,omitempty"`
 }
 
-// eventLog is an append-only, broadcast-on-append line log. Writers
-// append marshaled events; any number of readers tail it concurrently,
-// each at its own cursor, blocking for new lines until the log closes.
+// eventLog marshals Events onto a stream.Log: writers append, any number
+// of readers tail concurrently until the log closes. The mutex keeps Seq
+// dense under concurrent appends.
 type eventLog struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	lines  [][]byte
-	closed bool
+	mu  sync.Mutex
+	log *stream.Log
 }
 
 func newEventLog() *eventLog {
-	l := &eventLog{}
-	l.cond = sync.NewCond(&l.mu)
-	return l
+	return &eventLog{log: stream.NewLog()}
 }
 
-// append marshals e (stamping Seq and Ts), stores the line, and wakes
-// every tailing reader. Appends after close are dropped.
+// append marshals e (stamping Seq and Ts) and wakes every tailing
+// reader. Appends after close are dropped.
 func (l *eventLog) append(e Event) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.closed {
-		return
-	}
-	e.Seq = len(l.lines)
+	e.Seq = l.log.Len()
 	e.Ts = time.Now().UTC().Format(time.RFC3339Nano)
 	line, err := report.StableJSON(e)
 	if err != nil {
@@ -63,47 +57,18 @@ func (l *eventLog) append(e Event) {
 		// cannot wedge the stream.
 		return
 	}
-	l.lines = append(l.lines, line)
-	l.cond.Broadcast()
+	l.log.Append(line)
 }
 
 // close ends the stream: tailing readers drain what is buffered and
 // return.
-func (l *eventLog) close() {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.closed = true
-	l.cond.Broadcast()
-}
+func (l *eventLog) close() { l.log.Close() }
 
 // next returns line i, blocking until it exists, the log closes, or ctx
 // is done. The second result is false when no more lines will come.
 func (l *eventLog) next(ctx context.Context, i int) ([]byte, bool) {
-	// A context expiry must wake the cond-waiters, who cannot select.
-	stop := context.AfterFunc(ctx, func() {
-		l.mu.Lock()
-		defer l.mu.Unlock()
-		l.cond.Broadcast()
-	})
-	defer stop()
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	for {
-		if i < len(l.lines) {
-			return l.lines[i], true
-		}
-		if l.closed || ctx.Err() != nil {
-			return nil, false
-		}
-		l.cond.Wait()
-	}
+	return l.log.Next(ctx, i)
 }
 
 // snapshot returns the lines buffered so far, for non-blocking reads.
-func (l *eventLog) snapshot() [][]byte {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([][]byte, len(l.lines))
-	copy(out, l.lines)
-	return out
-}
+func (l *eventLog) snapshot() [][]byte { return l.log.Snapshot() }

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventLogTailAndClose(t *testing.T) {
+	l := newEventLog()
+	got := make(chan Event, 16)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			line, ok := l.next(context.Background(), i)
+			if !ok {
+				close(got)
+				return
+			}
+			var e Event
+			if err := json.Unmarshal(line, &e); err != nil {
+				t.Errorf("bad line: %v", err)
+				return
+			}
+			got <- e
+		}
+	}()
+	l.append(Event{Kind: "a", Job: "j"})
+	l.append(Event{Kind: "b", Job: "j"})
+	l.close()
+	wg.Wait()
+	var kinds []string
+	for e := range got {
+		kinds = append(kinds, e.Kind)
+	}
+	if len(kinds) != 2 || kinds[0] != "a" || kinds[1] != "b" {
+		t.Fatalf("tailed %v", kinds)
+	}
+	// Appends after close are dropped, and snapshots see the final state.
+	l.append(Event{Kind: "late"})
+	if n := len(l.snapshot()); n != 2 {
+		t.Fatalf("post-close append leaked: %d lines", n)
+	}
+}
+
+func TestEventLogContextCancelUnblocks(t *testing.T) {
+	l := newEventLog()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := l.next(ctx, 0)
+		done <- ok
+	}()
+	cancel()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("canceled reader got a line")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled reader stayed blocked")
+	}
+}

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"fcdpm/internal/config"
 	"fcdpm/internal/report"
 	"fcdpm/internal/runner"
+	"fcdpm/internal/runreport"
 	"fcdpm/internal/sim"
 )
 
@@ -29,50 +31,9 @@ const (
 	jobShed   jobStatus = "shed"
 )
 
-// runReport is the JSON body served for one completed run. It is
-// rendered exactly once with report.StableJSON and the rendered bytes
-// are what the cache stores — a cache hit is byte-identical to the run
-// that populated it.
-type runReport struct {
-	Name   string `json:"name"`
-	Key    string `json:"key"`
-	Engine string `json:"engine"`
-	Policy string `json:"policy"`
-	// FinalPolicy differs from Policy when the supervisor degraded.
-	FinalPolicy string  `json:"finalPolicy"`
-	Slots       int     `json:"slots"`
-	Sleeps      int     `json:"sleeps"`
-	DurationS   float64 `json:"durationS"`
-	// FuelAs is the paper's objective: stack charge consumed, A-s.
-	FuelAs        float64  `json:"fuelAs"`
-	AvgIfcA       float64  `json:"avgIfcA"`
-	DeliveredJ    float64  `json:"deliveredJ"`
-	LoadJ         float64  `json:"loadJ"`
-	BledAs        float64  `json:"bledAs"`
-	DeficitAs     float64  `json:"deficitAs"`
-	ShedAs        float64  `json:"shedAs"`
-	FinalChargeAs float64  `json:"finalChargeAs"`
-	Fallbacks     int      `json:"fallbacks"`
-	Events        []string `json:"events,omitempty"`
-}
-
-// renderRunReport builds and stably encodes the response body for one
-// completed simulation.
-func renderRunReport(name, key, engine string, res *sim.Result) ([]byte, error) {
-	rr := runReport{
-		Name: name, Key: key, Engine: engine,
-		Policy: res.Policy, FinalPolicy: res.FinalPolicy,
-		Slots: res.Slots, Sleeps: res.Sleeps,
-		DurationS: res.Duration, FuelAs: res.Fuel, AvgIfcA: res.AvgFuelRate(),
-		DeliveredJ: res.DeliveredEnergy, LoadJ: res.LoadEnergy,
-		BledAs: res.Bled, DeficitAs: res.Deficit, ShedAs: res.Shed,
-		FinalChargeAs: res.FinalCharge, Fallbacks: res.Fallbacks,
-	}
-	for _, ev := range res.Events {
-		rr.Events = append(rr.Events, ev.String())
-	}
-	return report.StableJSON(rr)
-}
+// The run-report body is rendered by internal/runreport — the one
+// function the server, the dispatcher's workers, and `fcdpm batch -rows`
+// share, so a result is byte-identical wherever it was computed.
 
 // cellState is one sweep scenario's progress, embedded in the sweep
 // report once every cell resolves.
@@ -99,6 +60,9 @@ type job struct {
 	report   []byte // rendered response body, valid once status == jobDone
 	errMsg   string
 	httpCode int
+	// retryAfter, when set on a 503 resolution, tells the client when to
+	// come back (rendered as a Retry-After header).
+	retryAfter time.Duration
 	// Sweep bookkeeping: cells in submission order, count still pending.
 	cells     []cellState
 	remaining int
@@ -139,6 +103,20 @@ func (j *job) outcome() (status jobStatus, body []byte, errMsg string, httpCode 
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.status, j.report, j.errMsg, j.httpCode
+}
+
+// retryAfterHint reports the Retry-After duration for 503 resolutions.
+func (j *job) retryAfterHint() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.retryAfter
+}
+
+// setRetryAfter records the backoff hint before finish resolves the job.
+func (j *job) setRetryAfter(d time.Duration) {
+	j.mu.Lock()
+	j.retryAfter = d
+	j.mu.Unlock()
 }
 
 // registry owns every job the server has accepted: lookup by ID,
@@ -265,11 +243,11 @@ func (s *Server) runTask(j *job, ref taskRef, spec *config.Scenario, key, name s
 		if err != nil {
 			return struct{}{}, err
 		}
-		body, err := renderRunReport(name, key, s.engine, res)
+		body, err := runreport.Render(name, key, s.engine, res)
 		if err != nil {
 			return struct{}{}, err
 		}
-		s.cache.put(key, body)
+		s.cache.Put(key, body)
 		for _, ev := range res.Events {
 			j.events.append(Event{
 				Kind: "sim", Job: j.id, Cell: cellName(j, ref.cell),
@@ -335,12 +313,15 @@ func (s *Server) onTaskEvent(e runner.TaskEvent) {
 			j.finish(jobDone, body, "", 200, false)
 		case runner.StatusShed:
 			s.metrics.runsShed.Inc()
+			j.setRetryAfter(shedRetryAfter)
 			j.finish(jobShed, nil, "admission queue full, run shed", 503, false)
 		case runner.StatusBreakerOpen:
 			s.metrics.runsFailed.Inc()
+			j.setRetryAfter(runner.DefaultBreakerCooldown)
 			j.finish(jobFailed, nil, "scenario circuit breaker open", 503, false)
 		case runner.StatusInterrupted:
 			s.metrics.runsFailed.Inc()
+			j.setRetryAfter(drainRetryAfter)
 			j.finish(jobFailed, nil, "run interrupted by shutdown", 503, false)
 		default: // StatusFailed (StatusResumed cannot happen: no journal)
 			s.metrics.runsFailed.Inc()

@@ -16,13 +16,13 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"fcdpm/internal/cache"
 	"fcdpm/internal/config"
-	"fcdpm/internal/report"
+	"fcdpm/internal/httpx"
 	"fcdpm/internal/runner"
 	"fcdpm/internal/version"
 )
@@ -37,10 +37,18 @@ const (
 	// DefaultDrainTimeout bounds how long shutdown waits for in-flight
 	// runs before force-canceling them.
 	DefaultDrainTimeout = 30 * time.Second
-	// maxBodyBytes bounds a request body (scenario specs are small).
-	maxBodyBytes = 8 << 20
+	// DefaultMaxBodyBytes bounds a request body (scenario specs are
+	// small); an oversized body is refused with 413 before it is read.
+	DefaultMaxBodyBytes = 8 << 20
 	// maxSweepCells bounds one sweep request.
 	maxSweepCells = 4096
+	// drainRetryAfter is the Retry-After hint on 503s emitted while the
+	// server drains: long enough for a restart, short enough that
+	// clients reconnect promptly.
+	drainRetryAfter = 5 * time.Second
+	// shedRetryAfter is the Retry-After hint when the admission queue
+	// sheds: overload is transient, probe again soon.
+	shedRetryAfter = 1 * time.Second
 )
 
 // Options tunes the service. The zero value serves on DefaultAddr with
@@ -62,6 +70,9 @@ type Options struct {
 	// CacheDir, when set, persists every cached report to disk with the
 	// journal's fsync+atomic-rename discipline, surviving restarts.
 	CacheDir string
+	// MaxBodyBytes bounds each request body (default
+	// DefaultMaxBodyBytes); oversized bodies get 413.
+	MaxBodyBytes int64
 	// RetainJobs bounds how many completed jobs stay queryable (default
 	// 512).
 	RetainJobs int
@@ -88,6 +99,9 @@ func (o Options) withDefaults() Options {
 	if o.CacheBytes == 0 {
 		o.CacheBytes = DefaultCacheBytes
 	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = DefaultMaxBodyBytes
+	}
 	if o.DrainTimeout <= 0 {
 		o.DrainTimeout = DefaultDrainTimeout
 	}
@@ -104,7 +118,7 @@ type Server struct {
 	opts     Options
 	engine   string
 	started  time.Time
-	cache    *resultCache
+	cache    *cache.Store
 	reg      *registry
 	pool     *runner.Pool[struct{}]
 	poolStop context.CancelFunc
@@ -129,7 +143,7 @@ type Server struct {
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	metrics := newServerMetrics(opts.Logf)
-	cache, err := newResultCache(opts.CacheBytes, opts.CacheDir, metrics.registry)
+	store, err := cache.New(opts.CacheBytes, opts.CacheDir, metrics.registry)
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +151,7 @@ func New(opts Options) (*Server, error) {
 		opts:    opts,
 		engine:  version.Engine(),
 		started: time.Now(),
-		cache:   cache,
+		cache:   store,
 		reg:     newRegistry(opts.RetainJobs),
 		metrics: metrics,
 	}
@@ -193,38 +207,32 @@ func (s *Server) routes() {
 	}
 }
 
-// writeJSON emits v stably encoded. Errors past the header are lost to
-// the wire, as always.
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	b, err := report.StableJSON(v)
-	if err != nil {
-		http.Error(w, `{"error":"encode failure"}`, 500)
+// The JSON conventions live in internal/httpx, shared with the sweep
+// dispatcher; local names keep the handlers terse.
+var (
+	writeJSON = httpx.WriteJSON
+	writeBody = httpx.WriteBody
+	writeErr  = httpx.WriteErr
+)
+
+// writeJobErr renders a job failure, attaching the Retry-After hint on
+// 503s so client backoff is protocol-driven.
+func writeJobErr(w http.ResponseWriter, code int, retryAfter time.Duration, format string, args ...any) {
+	if code == http.StatusServiceUnavailable && retryAfter > 0 {
+		httpx.WriteUnavailable(w, retryAfter, format, args...)
 		return
 	}
-	writeBody(w, code, b)
+	writeErr(w, code, format, args...)
 }
 
-func writeBody(w http.ResponseWriter, code int, b []byte) {
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Content-Length", strconv.Itoa(len(b)+1))
-	w.WriteHeader(code)
-	w.Write(b)
-	w.Write([]byte("\n"))
-}
-
-// apiError is every non-2xx body.
-type apiError struct {
-	Error string `json:"error"`
-}
-
-func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
-}
-
-// decodeSpec reads and validates one scenario spec from the body.
-func decodeSpec(w http.ResponseWriter, r *http.Request) (*config.Scenario, bool) {
-	spec, err := config.LoadValidated(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+// decodeSpec reads and validates one scenario spec from the bounded
+// body; an oversized body is a 413, a malformed one a 400.
+func (s *Server) decodeSpec(w http.ResponseWriter, r *http.Request) (*config.Scenario, bool) {
+	spec, err := config.LoadValidated(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	if err != nil {
+		if httpx.WriteBodyLimit(w, err) {
+			return nil, false
+		}
 		writeErr(w, 400, "invalid scenario: %v", err)
 		return nil, false
 	}
@@ -236,7 +244,7 @@ func decodeSpec(w http.ResponseWriter, r *http.Request) (*config.Scenario, bool)
 // a fresh pool task; respond when it resolves (or immediately with 202
 // under ?async=1).
 func (s *Server) handleRunPost(w http.ResponseWriter, r *http.Request) {
-	spec, ok := decodeSpec(w, r)
+	spec, ok := s.decodeSpec(w, r)
 	if !ok {
 		return
 	}
@@ -246,13 +254,13 @@ func (s *Server) handleRunPost(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("X-Fcdpm-Key", key)
-	if body, ok := s.cache.get(key); ok {
+	if body, ok := s.cache.Get(key); ok {
 		w.Header().Set("X-Fcdpm-Cache", "hit")
 		writeBody(w, 200, body)
 		return
 	}
 	if s.draining.Load() {
-		writeErr(w, 503, "draining")
+		httpx.WriteUnavailable(w, drainRetryAfter, "draining")
 		return
 	}
 	name := spec.Name
@@ -306,6 +314,7 @@ func (s *Server) submitRun(j *job, ref taskRef, spec *config.Scenario, key, name
 			return
 		}
 		s.metrics.runsFailed.Inc()
+		j.setRetryAfter(drainRetryAfter)
 		j.finish(jobFailed, nil, "draining", 503, false)
 		s.reg.complete(j)
 	}
@@ -323,7 +332,7 @@ func (s *Server) writeOutcome(w http.ResponseWriter, j *job, coalesced bool) {
 		writeBody(w, code, body)
 		return
 	}
-	writeErr(w, code, "%s", errMsg)
+	writeJobErr(w, code, j.retryAfterHint(), "%s", errMsg)
 }
 
 func isAsync(r *http.Request) bool {
@@ -343,9 +352,12 @@ type sweepRequest struct {
 // streamed.
 func (s *Server) handleSweepPost(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		if httpx.WriteBodyLimit(w, err) {
+			return
+		}
 		writeErr(w, 400, "invalid sweep request: %v", err)
 		return
 	}
@@ -373,7 +385,7 @@ func (s *Server) handleSweepPost(w http.ResponseWriter, r *http.Request) {
 		specs[i], keys[i] = spec, key
 	}
 	if s.draining.Load() {
-		writeErr(w, 503, "draining")
+		httpx.WriteUnavailable(w, drainRetryAfter, "draining")
 		return
 	}
 	name := req.Name
@@ -395,7 +407,7 @@ func (s *Server) handleSweepPost(w http.ResponseWriter, r *http.Request) {
 		Detail: fmt.Sprintf("%d cells", len(specs)),
 	})
 	for i, spec := range specs {
-		if _, ok := s.cache.get(keys[i]); ok {
+		if _, ok := s.cache.Get(keys[i]); ok {
 			s.cellDone(j, i, runner.StatusDone, true, "")
 			continue
 		}
@@ -437,7 +449,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		writeBody(w, code, body)
 		return
 	}
-	writeErr(w, code, "%s: %s", status, errMsg)
+	writeJobErr(w, code, j.retryAfterHint(), "%s: %s", status, errMsg)
 }
 
 // handleJobEvents tails the job's event log as NDJSON until the job
@@ -484,7 +496,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type statsPayload struct {
 	Pool  poolStatsDoc `json:"pool"`
 	Runs  runStatsDoc  `json:"runs"`
-	Cache cacheStats   `json:"cache"`
+	Cache cache.Stats  `json:"cache"`
 	Jobs  jobStatsDoc  `json:"jobs"`
 	Perf  perfStatsDoc `json:"perf"`
 }
@@ -539,7 +551,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Shed:      int64(m.runsShed.Value()),
 			Coalesced: int64(m.runsCoalesced.Value()),
 		},
-		Cache: s.cache.stats(),
+		Cache: s.cache.Stats(),
 		Jobs:  jobStatsDoc{Active: active, Retained: retained},
 		Perf:  s.perfStats(),
 	})

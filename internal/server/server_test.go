@@ -13,6 +13,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"fcdpm/internal/httpx"
 )
 
 // quickSpec is a scenario small enough to simulate in milliseconds.
@@ -133,7 +135,7 @@ func TestRunInvalidSpec(t *testing.T) {
 		if resp.StatusCode != 400 {
 			t.Errorf("POST %s: %d %s, want 400", body, resp.StatusCode, b)
 		}
-		var e apiError
+		var e httpx.Error
 		if err := json.Unmarshal(b, &e); err != nil || e.Error == "" {
 			t.Errorf("POST %s: body %s is not an apiError", body, b)
 		}
@@ -347,7 +349,7 @@ func TestDiskCacheSurvivesRestart(t *testing.T) {
 	if !bytes.Equal(b1, b2) {
 		t.Fatal("disk-tier report not byte-identical across restart")
 	}
-	if st := s2.cache.stats(); st.DiskHits != 1 {
+	if st := s2.cache.Stats(); st.DiskHits != 1 {
 		t.Fatalf("disk hits = %d, want 1", st.DiskHits)
 	}
 	// The stored file matches the journal discipline: one file per key.

@@ -1,0 +1,89 @@
+// Package stream provides an append-only, broadcast-on-append line log:
+// writers append encoded lines, any number of readers tail the log
+// concurrently, each at its own cursor, blocking for new lines until the
+// log closes. It is the buffering layer beneath every NDJSON progress
+// stream in the repo (the simulation server's job events, the
+// dispatcher's sweep events).
+package stream
+
+import (
+	"context"
+	"sync"
+)
+
+// Log is an append-only line buffer with blocking tails. The zero value
+// is not usable; call NewLog.
+type Log struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	lines  [][]byte
+	closed bool
+}
+
+// NewLog returns an empty open log.
+func NewLog() *Log {
+	l := &Log{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Append stores one line (without trailing newline) and wakes every
+// tailing reader. Appends after Close are dropped. The log aliases the
+// slice; callers must not mutate it afterwards.
+func (l *Log) Append(line []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.lines = append(l.lines, line)
+	l.cond.Broadcast()
+}
+
+// Len returns the number of lines appended so far.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.lines)
+}
+
+// Close ends the stream: tailing readers drain what is buffered and
+// return.
+func (l *Log) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	l.cond.Broadcast()
+}
+
+// Next returns line i, blocking until it exists, the log closes, or ctx
+// is done. The second result is false when no more lines will come.
+func (l *Log) Next(ctx context.Context, i int) ([]byte, bool) {
+	// A context expiry must wake the cond-waiters, who cannot select.
+	stop := context.AfterFunc(ctx, func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		l.cond.Broadcast()
+	})
+	defer stop()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if i < len(l.lines) {
+			return l.lines[i], true
+		}
+		if l.closed || ctx.Err() != nil {
+			return nil, false
+		}
+		l.cond.Wait()
+	}
+}
+
+// Snapshot returns the lines buffered so far, for non-blocking reads.
+func (l *Log) Snapshot() [][]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([][]byte, len(l.lines))
+	copy(out, l.lines)
+	return out
+}
