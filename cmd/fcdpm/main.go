@@ -128,6 +128,8 @@ func run(ctx context.Context, args []string) error {
 		return cmdWorkd(ctx, rest)
 	case "bench":
 		return cmdBench(rest)
+	case "chaos":
+		return cmdChaos(ctx, rest)
 	case "version":
 		return cmdVersion(rest)
 	case "robust":
@@ -185,6 +187,11 @@ subcommands:
   bench    run the benchmark-regression suite, write a BENCH_*.json
            artifact, and (with -compare) fail on throughput regression
            against the latest stored artifact
+  chaos    run seeded fault-injection trials against an in-process
+           dispatcher + two-worker fabric (network cuts, 503 storms,
+           torn journal appends, disk-full, bit-rot, clock skew, one
+           hard restart per trial) and check the fabric's invariants;
+           a failing seed reproduces with -trials 1 -seed S
   version  print the build identity (module version, VCS revision, Go)
   charge   ASCII plot of the storage charge trajectory under a policy
   faults   list fault classes and run the per-policy fault sweep

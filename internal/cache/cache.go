@@ -18,13 +18,16 @@ package cache
 import (
 	"container/list"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
 	"sync"
+	"sync/atomic"
 
 	"fcdpm/internal/obs"
+	"fcdpm/internal/vfs"
 )
 
 // Store is the two-tier content-addressed result store.
@@ -35,6 +38,13 @@ type Store struct {
 	ll    *list.List // front = most recently used
 	byKey map[string]*list.Element
 	dir   string // disk tier root; empty disables it
+	fs    vfs.FS
+
+	// diskDown marks the disk tier write-disabled after a disk-full
+	// write failure: the store degrades to memory-only (reads of blobs
+	// already on disk keep working) instead of hammering a full volume
+	// on every put. Counted once in fallbacks.
+	diskDown atomic.Bool
 
 	hits   *obs.Counter
 	misses *obs.Counter
@@ -54,6 +64,9 @@ type Store struct {
 	// so one oversized report could hold Bytes above MaxBytes for the
 	// life of the process.
 	oversize *obs.Counter
+	// fallbacks counts disk-full degradations: the moment the disk tier
+	// was write-disabled and the store fell back to memory-only.
+	fallbacks *obs.Counter
 }
 
 // entry is one memory-tier resident.
@@ -67,20 +80,37 @@ type entry struct {
 var keyPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
 
 // New builds the store and registers its series on reg (a nil registry
-// gets a private one, for callers that don't export).
+// gets a private one, for callers that don't export). It runs on the
+// real filesystem; NewFS substitutes another (the chaos harness).
 func New(maxBytes int64, dir string, reg *obs.Registry) (*Store, error) {
+	return NewFS(maxBytes, dir, reg, nil)
+}
+
+// NewFS is New with an explicit filesystem; nil means the real one.
+func NewFS(maxBytes int64, dir string, reg *obs.Registry, fs vfs.FS) (*Store, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	c := &Store{
-		max: maxBytes, ll: list.New(), byKey: make(map[string]*list.Element), dir: dir,
-		hits:     reg.Counter("fcdpm_cache_hits_total", "Result-cache hits (memory or disk tier)."),
-		misses:   reg.Counter("fcdpm_cache_misses_total", "Result-cache misses."),
-		diskHits: reg.Counter("fcdpm_cache_disk_hits_total", "Result-cache hits served by the disk tier."),
-		diskErrs: reg.Counter("fcdpm_cache_disk_errors_total", "Result-cache disk reads/writes that failed."),
-		corrupt:  reg.Counter("fcdpm_cache_corrupt_total", "Disk-tier blobs that failed validation and were evicted (counted as misses)."),
-		oversize: reg.Counter("fcdpm_cache_oversize_rejects_total", "Puts rejected from the memory tier for exceeding its byte bound."),
+	if fs == nil {
+		fs = vfs.Default
 	}
+	c := &Store{
+		max: maxBytes, ll: list.New(), byKey: make(map[string]*list.Element), dir: dir, fs: fs,
+		hits:      reg.Counter("fcdpm_cache_hits_total", "Result-cache hits (memory or disk tier)."),
+		misses:    reg.Counter("fcdpm_cache_misses_total", "Result-cache misses."),
+		diskHits:  reg.Counter("fcdpm_cache_disk_hits_total", "Result-cache hits served by the disk tier."),
+		diskErrs:  reg.Counter("fcdpm_cache_disk_errors_total", "Result-cache disk reads/writes that failed."),
+		corrupt:   reg.Counter("fcdpm_cache_corrupt_total", "Disk-tier blobs that failed validation and were evicted (counted as misses)."),
+		oversize:  reg.Counter("fcdpm_cache_oversize_rejects_total", "Puts rejected from the memory tier for exceeding its byte bound."),
+		fallbacks: reg.Counter("fcdpm_cache_disk_fallbacks_total", "Disk-full degradations: the disk tier was write-disabled and the store fell back to memory-only."),
+	}
+	obs.RegisterIOWriteFailures(reg)
+	reg.GaugeFunc("fcdpm_cache_disk_write_disabled", "1 while the disk tier is write-disabled after a disk-full failure.", func() float64 {
+		if c.diskDown.Load() {
+			return 1
+		}
+		return 0
+	})
 	reg.GaugeFunc("fcdpm_cache_entries", "Memory-tier resident entries.", func() float64 {
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -95,7 +125,7 @@ func New(maxBytes int64, dir string, reg *obs.Registry) (*Store, error) {
 		return float64(maxBytes)
 	})
 	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := fs.MkdirAll(dir); err != nil {
 			return nil, fmt.Errorf("cache: dir: %w", err)
 		}
 	}
@@ -117,7 +147,7 @@ func (c *Store) Get(key string) ([]byte, bool) {
 	}
 	c.mu.Unlock()
 	if c.dir != "" && keyPattern.MatchString(key) {
-		b, err := os.ReadFile(c.diskPath(key))
+		b, err := c.fs.ReadFile(c.diskPath(key))
 		switch {
 		case err == nil && json.Valid(b):
 			c.insert(key, b)
@@ -128,10 +158,10 @@ func (c *Store) Get(key string) ([]byte, bool) {
 			// Torn or damaged blob: evict it so the re-simulated result
 			// can land cleanly, and count the event.
 			c.corrupt.Inc()
-			if rmErr := os.Remove(c.diskPath(key)); rmErr != nil && !os.IsNotExist(rmErr) {
+			if rmErr := c.fs.Remove(c.diskPath(key)); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) {
 				c.diskErrs.Inc()
 			}
-		case !os.IsNotExist(err):
+		case !errors.Is(err, os.ErrNotExist):
 			c.diskErrs.Inc()
 		}
 	}
@@ -144,17 +174,23 @@ func (c *Store) Get(key string) ([]byte, bool) {
 // reaches the disk tier, so it is served from disk rather than pinning
 // the LRU above its bound. The disk write is atomic (temp + fsync +
 // rename) and its failure only surfaces in the stats — the memory tier
-// and the caller's bytes are already good.
+// and the caller's bytes are already good. A disk-full failure
+// write-disables the disk tier for the rest of the process (counted in
+// fallbacks): the store degrades to memory-only rather than paying a
+// doomed fsync on every subsequent put.
 func (c *Store) Put(key string, b []byte) {
 	if c.max > 0 && int64(len(b)) > c.max {
 		c.oversize.Inc()
 	}
 	c.insert(key, b)
-	if c.dir == "" || !keyPattern.MatchString(key) {
+	if c.dir == "" || c.diskDown.Load() || !keyPattern.MatchString(key) {
 		return
 	}
-	if err := AtomicWriteFile(c.diskPath(key), b); err != nil {
+	if err := c.fs.WriteFileAtomic(c.diskPath(key), b); err != nil {
 		c.diskErrs.Inc()
+		if vfs.IsDiskFull(err) && !c.diskDown.Swap(true) {
+			c.fallbacks.Inc()
+		}
 	}
 }
 
@@ -193,15 +229,17 @@ func (c *Store) diskPath(key string) string {
 // Stats is the operational snapshot (the /v1/stats cache section), read
 // from the same obs counters /metrics renders.
 type Stats struct {
-	Hits     int64 `json:"hits"`
-	Misses   int64 `json:"misses"`
-	DiskHits int64 `json:"diskHits"`
-	DiskErrs int64 `json:"diskErrs"`
-	Corrupt  int64 `json:"corrupt"`
-	Oversize int64 `json:"oversize"`
-	Entries  int   `json:"entries"`
-	Bytes    int64 `json:"bytes"`
-	MaxBytes int64 `json:"maxBytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	DiskHits  int64 `json:"diskHits"`
+	DiskErrs  int64 `json:"diskErrs"`
+	Corrupt   int64 `json:"corrupt"`
+	Oversize  int64 `json:"oversize"`
+	Fallbacks int64 `json:"diskFallbacks,omitempty"`
+	DiskDown  bool  `json:"diskWriteDisabled,omitempty"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"maxBytes"`
 }
 
 // Stats snapshots the store.
@@ -212,40 +250,19 @@ func (c *Store) Stats() Stats {
 	return Stats{
 		Hits: int64(c.hits.Value()), Misses: int64(c.misses.Value()),
 		DiskHits: int64(c.diskHits.Value()), DiskErrs: int64(c.diskErrs.Value()),
-		Corrupt:  int64(c.corrupt.Value()),
-		Oversize: int64(c.oversize.Value()),
-		Entries:  entries, Bytes: size, MaxBytes: c.max,
+		Corrupt:   int64(c.corrupt.Value()),
+		Oversize:  int64(c.oversize.Value()),
+		Fallbacks: int64(c.fallbacks.Value()),
+		DiskDown:  c.diskDown.Load(),
+		Entries:   entries, Bytes: size, MaxBytes: c.max,
 	}
 }
 
 // AtomicWriteFile writes b to path through a temp file, fsync, and
 // rename, then best-effort syncs the directory — the same crash-safety
-// discipline the runner journal uses. Shared by the cache's disk tier
-// and the dispatcher's durable queue.
+// discipline the runner journal uses. Kept as the package's convenience
+// entry point for one-shot writers; durable subsystems that need fault
+// injection take a vfs.FS instead.
 func AtomicWriteFile(path string, b []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".cache-*")
-	if err != nil {
-		return fmt.Errorf("cache: temp: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		return fmt.Errorf("cache: write: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("cache: fsync: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("cache: close: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("cache: rename: %w", err)
-	}
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-	return nil
+	return vfs.Default.WriteFileAtomic(path, b)
 }

@@ -1,0 +1,94 @@
+// Package chaos is the deterministic fault-injection harness for the
+// distributed sweep fabric. One seed drives every injection decision in
+// a trial — network faults on the worker→dispatcher and
+// client→dispatcher paths, filesystem faults under the WAL, the result
+// spool, and the cache's disk tier, and clock skew on worker
+// heartbeats — through the same FNV-hash schedule idiom the runner uses
+// for backoff jitter and the fault package uses for trace generation.
+// A surviving seed is a reproducible claim ("the fabric converges to
+// byte-identical results under this schedule"); a failing seed is a
+// reproducible bug report.
+//
+// The package has three layers:
+//
+//   - injectors: Plan.Transport (an http.RoundTripper), Plan.FS (a
+//     vfs.FS), and Clock (a runner.Clock and a dispatcher time source);
+//   - Trial: one full in-process dispatcher + two-worker sweep under a
+//     seeded schedule, including one hard dispatcher restart;
+//   - Check: the invariants asserted after every trial — every accepted
+//     shard reaches exactly one terminal state and none fails, result
+//     rows are byte-identical to the local simulation oracle, a post-heal
+//     resubmission re-simulates nothing, and the WAL replays into a
+//     dispatcher that agrees with the one that wrote it.
+package chaos
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+)
+
+// Plan is one trial's fault schedule: a seed plus an on/off switch. All
+// injectors derived from a Plan make their decisions by hashing
+// (seed, surface, op, call-index), so two runs of the same seed inject
+// the same faults at the same call positions; Stop turns every injector
+// into a pass-through so the fabric can heal and converge.
+type Plan struct {
+	seed   uint64
+	active atomic.Bool
+	start  time.Time
+
+	// The trial's single network partition window, anchored at wall time
+	// start: both transports fail every call inside it.
+	partStart, partDur time.Duration
+}
+
+// NewPlan builds the schedule for one seed, anchored at the current
+// wall clock, with injection enabled.
+func NewPlan(seed uint64) *Plan {
+	p := &Plan{seed: seed, start: time.Now()}
+	p.active.Store(true)
+	p.partStart = 300*time.Millisecond +
+		time.Duration(p.fraction("partition", "start", 0)*float64(500*time.Millisecond))
+	p.partDur = 80*time.Millisecond +
+		time.Duration(p.fraction("partition", "dur", 0)*float64(220*time.Millisecond))
+	return p
+}
+
+// Stop disables all injection: every injector becomes a pass-through.
+func (p *Plan) Stop() { p.active.Store(false) }
+
+// Active reports whether the plan is still injecting.
+func (p *Plan) Active() bool { return p.active.Load() }
+
+// fraction hashes (seed, surface, op, n) into [0, 1) — the schedule's
+// only source of randomness, fully determined by the seed.
+func (p *Plan) fraction(surface, op string, n uint64) float64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], p.seed)
+	h.Write(b[:])
+	h.Write([]byte(surface))
+	h.Write([]byte{0})
+	h.Write([]byte(op))
+	binary.LittleEndian.PutUint64(b[:], n)
+	h.Write(b[:])
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// decide is one schedule draw: true with probability prob for this
+// (surface, op, call-index), always false once the plan stops.
+func (p *Plan) decide(surface, op string, n uint64, prob float64) bool {
+	return p.Active() && p.fraction(surface, op, n) < prob
+}
+
+// inPartition reports whether the wall clock is inside the trial's
+// partition window (and the plan is still active).
+func (p *Plan) inPartition() bool {
+	if !p.Active() {
+		return false
+	}
+	elapsed := time.Since(p.start)
+	return elapsed >= p.partStart && elapsed < p.partStart+p.partDur
+}

@@ -1,0 +1,201 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fcdpm/internal/dispatch"
+)
+
+// checkEnv is everything the post-trial invariant checks need.
+type checkEnv struct {
+	base    string
+	dir     string
+	rows    string
+	oracle  []byte
+	specs   []json.RawMessage
+	workers []*dispatch.Worker
+	logf    func(format string, args ...any)
+}
+
+// statsDoc mirrors the dispatcher's /v1/stats payload (the fields the
+// checks read).
+type statsDoc struct {
+	Sweeps int            `json:"sweeps"`
+	Queue  int            `json:"queue"`
+	Shards map[string]int `json:"shards"`
+	Cache  struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+	} `json:"cache"`
+}
+
+// cleanClient is the checks' HTTP client: no chaos, short timeout.
+var cleanClient = &http.Client{Timeout: 5 * time.Second}
+
+func fetchStats(ctx context.Context, base string) (*statsDoc, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cleanClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("stats: HTTP %d", resp.StatusCode)
+	}
+	var doc statsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// nonTerminal counts shards still in flight.
+func (s *statsDoc) nonTerminal() int {
+	return s.Shards["queued"] + s.Shards["leased"] + s.Shards["executing"]
+}
+
+// Check runs the post-trial invariants and returns one violation string
+// per broken invariant (empty slice: the seed survived).
+//
+//  1. Convergence: every shard of every sweep — including orphan sweeps
+//     created by dropped or duplicated submissions — reaches exactly one
+//     terminal state, and none of them is "failed".
+//  2. Oracle: the client's result rows are byte-identical to local
+//     simulation of the same specs.
+//  3. No re-simulation: resubmitting the identical sweep post-heal
+//     completes entirely from the cache — the workers execute nothing.
+//  4. (Separately, CheckReplay:) the WAL replays into a dispatcher that
+//     agrees with the one that wrote it.
+func Check(ctx context.Context, env checkEnv) []string {
+	var v []string
+
+	stats, err := waitConverged(ctx, env.base)
+	if err != nil {
+		v = append(v, "convergence: "+err.Error())
+		return v // everything downstream assumes a quiescent fabric
+	}
+	if n := stats.Shards["failed"]; n > 0 {
+		v = append(v, fmt.Sprintf("terminal state: %d shard(s) failed; chaos faults must only delay, never fail work", n))
+	}
+	if stats.Shards["completed"] < trialShards {
+		v = append(v, fmt.Sprintf("terminal state: %d shard(s) completed, want >= %d",
+			stats.Shards["completed"], trialShards))
+	}
+
+	got, err := os.ReadFile(env.rows)
+	if err != nil {
+		v = append(v, "rows: "+err.Error())
+	} else if !bytes.Equal(got, env.oracle) {
+		v = append(v, fmt.Sprintf("oracle: result rows differ from local simulation (%d vs %d bytes)",
+			len(got), len(env.oracle)))
+	}
+
+	// Post-heal resubmission of the identical sweep: idempotent by
+	// content address, so it must resolve from the cache without a single
+	// new worker execution.
+	before := workerExecs(env.workers)
+	rows2 := filepath.Join(env.dir, "rows-resubmit.ndjson")
+	err = dispatch.SubmitSweep(ctx, dispatch.ClientOptions{
+		Base: env.base, Name: "chaos-resubmit", Rows: rows2, Logf: env.logf,
+		Client: cleanClient,
+	}, dispatch.SweepRequest{Name: "chaos-resubmit", Scenarios: env.specs})
+	if err != nil {
+		v = append(v, "resubmit: "+err.Error())
+	} else {
+		if delta := workerExecs(env.workers) - before; delta != 0 {
+			v = append(v, fmt.Sprintf("cache: post-heal resubmission re-simulated %d shard(s); cache hits must never re-execute", delta))
+		}
+		if got2, err := os.ReadFile(rows2); err != nil {
+			v = append(v, "resubmit rows: "+err.Error())
+		} else if !bytes.Equal(got2, env.oracle) {
+			v = append(v, "oracle: resubmitted rows differ from local simulation")
+		}
+	}
+	return v
+}
+
+func workerExecs(ws []*dispatch.Worker) int64 {
+	var n int64
+	for _, w := range ws {
+		n += w.Stats().Executed
+	}
+	return n
+}
+
+// waitConverged polls /v1/stats until the fabric is quiescent — no
+// queued, leased, or executing shards across all sweeps, stable for
+// three consecutive polls — tolerating unreachable windows (the
+// dispatcher may be mid-restart when the wait begins).
+func waitConverged(ctx context.Context, base string) (*statsDoc, error) {
+	var last *statsDoc
+	stable := 0
+	for {
+		stats, err := fetchStats(ctx, base)
+		if err == nil && stats.Sweeps > 0 && stats.Queue == 0 && stats.nonTerminal() == 0 {
+			stable++
+			if stable >= 3 {
+				return stats, nil
+			}
+		} else {
+			stable = 0
+		}
+		if err == nil {
+			last = stats
+		}
+		select {
+		case <-ctx.Done():
+			if last != nil {
+				return nil, fmt.Errorf("fabric did not quiesce: queue=%d shards=%v: %w",
+					last.Queue, last.Shards, ctx.Err())
+			}
+			return nil, fmt.Errorf("fabric did not quiesce: %w", ctx.Err())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// CheckReplay opens a fresh dispatcher on the (now quiescent) state dir
+// with the real filesystem and asserts the replayed state is coherent:
+// the WAL parses, no shard resurrects into a leased or executing state,
+// and no shard has flipped to failed. Completed shards whose cache body
+// rotted away may legally requeue (re-simulation is the designed
+// response to lost blobs) — a hole would show up as "failed" or as an
+// unreplayable WAL, both of which this catches.
+func CheckReplay(stateDir string) []string {
+	d, err := dispatch.New(dispatch.Options{
+		StateDir: stateDir,
+		LeaseTTL: trialLeaseTTL,
+	})
+	if err != nil {
+		return []string{"wal replay: " + err.Error()}
+	}
+	defer d.Close()
+	rec := httptest.NewRecorder()
+	d.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats", nil))
+	if rec.Code != 200 {
+		return []string{fmt.Sprintf("wal replay: stats HTTP %d", rec.Code)}
+	}
+	var stats statsDoc
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		return []string{"wal replay: " + err.Error()}
+	}
+	var v []string
+	if n := stats.Shards["leased"] + stats.Shards["executing"]; n > 0 {
+		v = append(v, fmt.Sprintf("wal replay: %d shard(s) resurrected in a leased/executing state", n))
+	}
+	if n := stats.Shards["failed"]; n > 0 {
+		v = append(v, fmt.Sprintf("wal replay: %d shard(s) flipped to failed", n))
+	}
+	return v
+}

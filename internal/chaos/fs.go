@@ -1,0 +1,98 @@
+package chaos
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"fcdpm/internal/vfs"
+)
+
+// counter is a shared atomic call index.
+type counter struct{ n atomic.Uint64 }
+
+func (c *counter) next() uint64 { return c.n.Add(1) }
+
+// FS is a fault-injecting vfs.FS. Writes can fail with a typed
+// disk-full error (atomic publications and journal appends), journal
+// appends can tear (half the record lands, then the fsync "fails"),
+// and reads of blob files can return rotted bytes. Rot is modeled as
+// truncation — detectable corruption — because the fabric's corruption
+// contract is validation-based (json.Valid), not checksum-based:
+// undetectable in-band corruption is explicitly outside it. The rot
+// filter restricts read faults to self-healing blob stores (cache and
+// spool entries); the WAL's durability contract does not include
+// tolerating interior rot, so it is excluded.
+type FS struct {
+	plan  *Plan
+	inner vfs.FS
+	// rot gates read corruption by path; nil disables read faults.
+	rot   func(path string) bool
+	calls counter
+}
+
+// FS wraps inner (nil means the real filesystem) with the plan's
+// schedule.
+func (p *Plan) FS(inner vfs.FS, rot func(path string) bool) *FS {
+	if inner == nil {
+		inner = vfs.Default
+	}
+	return &FS{plan: p, inner: inner, rot: rot}
+}
+
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	b, err := f.inner.ReadFile(path)
+	if err != nil || f.rot == nil || !f.rot(path) || len(b) < 2 {
+		return b, err
+	}
+	if f.plan.decide("fs", "rot", f.calls.next(), 0.06) {
+		return b[:len(b)/2], nil
+	}
+	return b, nil
+}
+
+func (f *FS) WriteFileAtomic(path string, data []byte) error {
+	if f.plan.decide("fs", "enospc", f.calls.next(), 0.08) {
+		return &vfs.WriteError{Op: "write-atomic", Path: path, Err: vfs.ErrDiskFull}
+	}
+	return f.inner.WriteFileAtomic(path, data)
+}
+
+func (f *FS) OpenAppend(path string) (vfs.AppendFile, error) {
+	af, err := f.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &appendFile{fs: f, path: path, inner: af}, nil
+}
+
+func (f *FS) Remove(path string) error              { return f.inner.Remove(path) }
+func (f *FS) MkdirAll(path string) error            { return f.inner.MkdirAll(path) }
+func (f *FS) ReadDir(path string) ([]string, error) { return f.inner.ReadDir(path) }
+
+// appendFile injects journal-append faults: a clean ENOSPC (no bytes
+// land) or a torn append (a prefix lands, then the write "fails") —
+// the two ways a real fsync-per-record journal write dies. Truncate is
+// never faulted: it is the repair step, and a repair that cannot ever
+// succeed would just wedge the trial rather than prove anything.
+type appendFile struct {
+	fs    *FS
+	path  string
+	inner vfs.AppendFile
+}
+
+func (a *appendFile) Append(b []byte) error {
+	n := a.fs.calls.next()
+	p := a.fs.plan
+	switch {
+	case p.decide("fs", "append-enospc", n, 0.04):
+		return &vfs.WriteError{Op: "append", Path: a.path, Err: vfs.ErrDiskFull}
+	case p.decide("fs", "append-torn", n, 0.04) && len(b) > 1:
+		a.inner.Append(b[:len(b)/2]) // the torn prefix really lands
+		return &vfs.WriteError{Op: "append", Path: a.path,
+			Err: fmt.Errorf("chaos: injected fsync failure (torn append)")}
+	}
+	return a.inner.Append(b)
+}
+
+func (a *appendFile) Truncate(size int64) error { return a.inner.Truncate(size) }
+func (a *appendFile) Close() error              { return a.inner.Close() }

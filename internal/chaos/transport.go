@@ -1,0 +1,117 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Injected network failures. They satisfy errors.Is against themselves
+// so tests can classify what the transport did.
+var (
+	// ErrInjectedCut is a connection that never reached the server.
+	ErrInjectedCut = errors.New("chaos: injected connection reset")
+	// ErrInjectedDrop is a response lost after the server processed the
+	// request — the duplication-generating fault.
+	ErrInjectedDrop = errors.New("chaos: injected response drop")
+)
+
+// Transport is a fault-injecting http.RoundTripper. Per call, by
+// schedule draw, it can add latency, cut the connection before the
+// request is sent, drop the response after the server processed the
+// request (so the caller retries work that already happened — the
+// at-least-once stressor), duplicate the request (both copies reach the
+// server), or answer with a synthesized 503 + Retry-After storm. During
+// the plan's partition window every call fails.
+type Transport struct {
+	plan    *Plan
+	surface string
+	inner   http.RoundTripper
+	calls   counter
+}
+
+// Transport wraps inner (nil means http.DefaultTransport) with the
+// plan's schedule; surface names the path ("client", "worker-1") so
+// different callers draw independent decisions.
+func (p *Plan) Transport(surface string, inner http.RoundTripper) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{plan: p, surface: surface, inner: inner}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	p := t.plan
+	if !p.Active() {
+		return t.inner.RoundTrip(req)
+	}
+	n := t.calls.next()
+	if p.inPartition() {
+		return nil, fmt.Errorf("chaos: partition (%s call %d): %w", t.surface, n, ErrInjectedCut)
+	}
+	if p.decide(t.surface, "latency", n, 0.15) {
+		d := time.Duration(1+p.fraction(t.surface, "latms", n)*19) * time.Millisecond
+		select {
+		case <-time.After(d):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if p.decide(t.surface, "cut", n, 0.05) {
+		return nil, fmt.Errorf("chaos: cut (%s call %d): %w", t.surface, n, ErrInjectedCut)
+	}
+	if p.decide(t.surface, "storm", n, 0.03) {
+		return storm503(req), nil
+	}
+	if p.decide(t.surface, "dup", n, 0.04) && req.GetBody != nil {
+		// First copy reaches the server; its response is discarded and
+		// the request is re-sent. The server sees two deliveries — the
+		// fabric's dedup rules must absorb the second.
+		if resp, err := t.inner.RoundTrip(req); err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+		}
+		body, err := req.GetBody()
+		if err != nil {
+			return nil, err
+		}
+		clone := req.Clone(req.Context())
+		clone.Body = body
+		return t.inner.RoundTrip(clone)
+	}
+	if p.decide(t.surface, "drop", n, 0.04) {
+		// The server processes the request; the response never arrives.
+		resp, err := t.inner.RoundTrip(req)
+		if err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+		}
+		return nil, fmt.Errorf("chaos: drop (%s call %d): %w", t.surface, n, ErrInjectedDrop)
+	}
+	return t.inner.RoundTrip(req)
+}
+
+// storm503 synthesizes an overload answer without touching the server:
+// 503, Retry-After: 1, typed JSON error body — exactly the shape the
+// dispatcher sheds with, so client backoff paths can't tell the
+// difference.
+func storm503(req *http.Request) *http.Response {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+	return &http.Response{
+		Status:     "503 Service Unavailable",
+		StatusCode: http.StatusServiceUnavailable,
+		Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+		Header: http.Header{
+			"Retry-After":  []string{"1"},
+			"Content-Type": []string{"application/json"},
+		},
+		Body:    io.NopCloser(strings.NewReader(`{"error":"chaos: injected 503 storm"}`)),
+		Request: req,
+	}
+}

@@ -177,7 +177,7 @@ func TestSweepFailedShard(t *testing.T) {
 func TestLeaseExpiryReclaim(t *testing.T) {
 	clock := time.Now()
 	var mu sync.Mutex
-	opts := Options{LeaseTTL: time.Second, now: func() time.Time {
+	opts := Options{LeaseTTL: time.Second, Now: func() time.Time {
 		mu.Lock()
 		defer mu.Unlock()
 		return clock
@@ -212,7 +212,7 @@ func TestLeaseExpiryReclaim(t *testing.T) {
 	// The ghost never heartbeats; its lease expires and the shard is
 	// reclaimed under a fresh epoch.
 	advance(2 * time.Second)
-	if n := d.reclaimExpired(); n != 1 {
+	if n := d.ReclaimExpired(); n != 1 {
 		t.Fatalf("reclaimExpired = %d, want 1", n)
 	}
 	if v := d.metrics.expired.Value(); v != 1 {
@@ -292,7 +292,7 @@ func TestLeaseExpiryReclaim(t *testing.T) {
 func TestStaleSuccessAccepted(t *testing.T) {
 	clock := time.Now()
 	var mu sync.Mutex
-	d, ts := newTestDispatcher(t, Options{LeaseTTL: time.Second, now: func() time.Time {
+	d, ts := newTestDispatcher(t, Options{LeaseTTL: time.Second, Now: func() time.Time {
 		mu.Lock()
 		defer mu.Unlock()
 		return clock
@@ -312,7 +312,7 @@ func TestStaleSuccessAccepted(t *testing.T) {
 	mu.Lock()
 	clock = clock.Add(2 * time.Second)
 	mu.Unlock()
-	if n := d.reclaimExpired(); n != 1 {
+	if n := d.ReclaimExpired(); n != 1 {
 		t.Fatalf("reclaimExpired = %d, want 1", n)
 	}
 
@@ -564,7 +564,7 @@ func TestWorkerSpoolDrain(t *testing.T) {
 func TestWorkerLostLeaseCancelsRun(t *testing.T) {
 	clock := time.Now()
 	var mu sync.Mutex
-	d, ts := newTestDispatcher(t, Options{LeaseTTL: time.Second, now: func() time.Time {
+	d, ts := newTestDispatcher(t, Options{LeaseTTL: time.Second, Now: func() time.Time {
 		mu.Lock()
 		defer mu.Unlock()
 		return clock
@@ -608,7 +608,7 @@ func TestWorkerLostLeaseCancelsRun(t *testing.T) {
 	mu.Lock()
 	clock = clock.Add(2 * time.Second)
 	mu.Unlock()
-	if n := d.reclaimExpired(); n != 1 {
+	if n := d.ReclaimExpired(); n != 1 {
 		t.Fatalf("reclaimExpired = %d, want 1", n)
 	}
 }

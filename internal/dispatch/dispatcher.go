@@ -20,6 +20,7 @@ import (
 	"fcdpm/internal/runner"
 	"fcdpm/internal/stream"
 	"fcdpm/internal/version"
+	"fcdpm/internal/vfs"
 )
 
 // Dispatcher defaults.
@@ -39,6 +40,13 @@ const (
 	drainRetryAfter = 5 * time.Second
 	// emptyQueueRetryAfter hints pollers when no work was available.
 	emptyQueueRetryAfter = 1 * time.Second
+	// fenceRetryAfter is the Retry-After hint while admissions are
+	// fenced by a WAL write failure.
+	fenceRetryAfter = 2 * time.Second
+	// epochGenShift positions the replay generation in a shard's lease
+	// epoch: epochs after the Nth restart start at N<<epochGenShift, so
+	// a pre-crash lease token can never collide with a post-restart one.
+	epochGenShift = 20
 )
 
 // Shard states. Only completed and failed are terminal (and journaled);
@@ -65,11 +73,21 @@ type Options struct {
 	CacheBytes int64
 	// MaxBodyBytes bounds request bodies (default DefaultMaxBodyBytes).
 	MaxBodyBytes int64
+	// SkewGrace pads lease expiry before reclaim: a lease is reclaimed
+	// only once it has been expired for this long, so a worker whose
+	// clock runs slow by a bounded factor still heartbeats in time.
+	// Default LeaseTTL/3 (tolerates ~25% slow worker clocks at the
+	// TTL/3 heartbeat cadence).
+	SkewGrace time.Duration
 	// Logf receives operational log lines; nil silences them.
 	Logf func(format string, args ...any)
-
-	// now overrides the clock in tests.
-	now func() time.Time
+	// Now overrides the clock (tests, chaos trials); nil means time.Now.
+	// Every dispatcher timestamp — lease expiry, worker liveness, event
+	// stream timestamps, uptime — reads this clock.
+	Now func() time.Time
+	// FS overrides the filesystem under the WAL and the result cache's
+	// disk tier (chaos trials); nil means the real one.
+	FS vfs.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -85,11 +103,17 @@ func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if o.SkewGrace <= 0 {
+		o.SkewGrace = o.LeaseTTL / 3
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
-	if o.now == nil {
-		o.now = time.Now
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	if o.FS == nil {
+		o.FS = vfs.Default
 	}
 	return o
 }
@@ -150,6 +174,19 @@ type Dispatcher struct {
 	mux     *http.ServeMux
 
 	draining atomic.Bool
+	// fenced marks the WAL unwritable after an append failure: admissions
+	// and leases answer 503 + Retry-After until an append succeeds again
+	// (each fenced request probes the journal, so the fence self-heals).
+	fenced atomic.Bool
+	// gen is the journal's replay generation: how many times this state
+	// dir has been opened. Lease epochs of requeued shards start at
+	// gen<<epochGenShift so pre-crash tokens never collide.
+	gen int
+	// genDirty marks a generation bump that is not yet durable (startup
+	// compaction failed and the immediate op=gen append failed too). The
+	// next successful journal append flushes it — until then the fence
+	// keeps admissions and leases shut anyway.
+	genDirty atomic.Bool
 
 	mu     sync.Mutex
 	seq    int
@@ -176,14 +213,14 @@ func New(opts Options) (*Dispatcher, error) {
 	if opts.StateDir != "" {
 		cacheDir = filepath.Join(opts.StateDir, "cache")
 	}
-	store, err := cache.New(opts.CacheBytes, cacheDir, reg)
+	store, err := cache.NewFS(opts.CacheBytes, cacheDir, reg, opts.FS)
 	if err != nil {
 		return nil, err
 	}
 	d := &Dispatcher{
 		opts:    opts,
 		engine:  version.Engine(),
-		started: time.Now(),
+		started: opts.Now(),
 		cache:   store,
 		metrics: newDispatchMetrics(reg),
 		sweeps:  make(map[string]*sweep),
@@ -195,13 +232,19 @@ func New(opts Options) (*Dispatcher, error) {
 		defer d.mu.Unlock()
 		return float64(len(d.queue))
 	})
+	reg.GaugeFunc("fcdpm_dispatch_wal_fenced", "1 while admissions and leasing are fenced by a WAL write failure.", func() float64 {
+		if d.fenced.Load() {
+			return 1
+		}
+		return 0
+	})
 	reg.GaugeFunc("fcdpm_dispatch_shards_leased", "Shards leased, awaiting first heartbeat.", d.stateGauge(shardLeased))
 	reg.GaugeFunc("fcdpm_dispatch_shards_executing", "Shards executing on workers.", d.stateGauge(shardExecuting))
 	reg.GaugeFunc("fcdpm_dispatch_workers_live", "Workers heard from within 3 lease TTLs.", func() float64 {
 		d.mu.Lock()
 		defer d.mu.Unlock()
 		live := 0
-		cutoff := d.opts.now().Add(-3 * d.opts.LeaseTTL)
+		cutoff := d.opts.Now().Add(-3 * d.opts.LeaseTTL)
 		for _, seen := range d.workers {
 			if seen.After(cutoff) {
 				live++
@@ -210,7 +253,7 @@ func New(opts Options) (*Dispatcher, error) {
 		return float64(live)
 	})
 	if opts.StateDir != "" {
-		w, records, err := openWAL(filepath.Join(opts.StateDir, "dispatch.wal"))
+		w, records, err := openWAL(opts.FS, filepath.Join(opts.StateDir, "dispatch.wal"))
 		if err != nil {
 			return nil, err
 		}
@@ -267,6 +310,11 @@ func (d *Dispatcher) replay(records []json.RawMessage) error {
 			continue
 		}
 		switch op.Op {
+		case "gen":
+			var g walGen
+			if err := json.Unmarshal(rec, &g); err == nil && g.Gen > d.gen {
+				d.gen = g.Gen
+			}
 		case "sweep":
 			var ws walSweep
 			if err := json.Unmarshal(rec, &ws); err != nil {
@@ -282,7 +330,7 @@ func (d *Dispatcher) replay(records []json.RawMessage) error {
 			sw := &sweep{
 				id: ws.ID, name: ws.Name,
 				shards: make([]*shard, len(ws.Shards)),
-				events: newEventLog(),
+				events: newEventLog(d.opts.Now),
 				done:   make(chan struct{}),
 			}
 			for i, doc := range ws.Shards {
@@ -327,8 +375,14 @@ func (d *Dispatcher) replay(records []json.RawMessage) error {
 			sh.errMsg = rec2.Err
 		}
 	}
-	// Rebuild derived state: counts, queue, event streams.
-	now := d.opts.now()
+	// This open is one generation newer than whatever wrote the journal.
+	d.gen++
+	// Rebuild derived state: counts, queue, event streams. Requeued
+	// shards restart their lease epochs at the new generation's base, so
+	// a lease token granted before the crash can never equal one granted
+	// after it — a dead holder's stale failure verdict must not be
+	// mistaken for the new holder's.
+	now := d.opts.Now()
 	for _, id := range d.order {
 		sw := d.sweeps[id]
 		for i, sh := range sw.shards {
@@ -344,6 +398,7 @@ func (d *Dispatcher) replay(records []json.RawMessage) error {
 			default:
 				sw.remaining++
 				sh.enqueued = now
+				sh.epoch = d.gen << epochGenShift
 				d.queue = append(d.queue, shardRef{sweep: id, index: i})
 				requeued++
 			}
@@ -358,7 +413,21 @@ func (d *Dispatcher) replay(records []json.RawMessage) error {
 		d.metrics.reclaimed.Add(float64(requeued))
 		d.opts.Logf("fcdpm dispatchd: recovered %d sweeps, requeued %d shards", len(d.order), requeued)
 	}
-	return d.wal.compact(d.compactRecords())
+	// Compaction is an optimization, not a prerequisite: the journal just
+	// replayed cleanly, so if the rewrite fails (disk full at startup)
+	// the dispatcher keeps running on the uncompacted file. The one thing
+	// that must still become durable is the generation bump — without it
+	// a second restart would reuse this generation's lease-epoch base and
+	// a stale pre-crash verdict could collide with a live lease. Append
+	// it through the normal path; if even that fails, the fence is up and
+	// the first successful append flushes it (walAppend checks genDirty).
+	if err := d.wal.compact(d.compactRecords()); err != nil {
+		d.opts.Logf("fcdpm dispatchd: startup compaction failed, continuing on uncompacted journal: %v", err)
+		if aerr := d.walAppend(walGen{Op: "gen", Gen: d.gen}); aerr != nil {
+			d.genDirty.Store(true)
+		}
+	}
+	return nil
 }
 
 // adoptSweep registers a sweep under the state lock's protection (New
@@ -369,9 +438,10 @@ func (d *Dispatcher) adoptSweep(sw *sweep) {
 }
 
 // compactRecords folds terminal shard states into one sweep record per
-// live sweep.
+// live sweep, headed by the generation record that anchors lease-epoch
+// bases for the next replay.
 func (d *Dispatcher) compactRecords() []any {
-	var recs []any
+	recs := []any{walGen{Op: "gen", Gen: d.gen}}
 	for _, id := range d.order {
 		sw := d.sweeps[id]
 		ws := walSweep{Op: "sweep", ID: sw.id, Name: sw.name, Engine: d.engine,
@@ -448,18 +518,23 @@ func (d *Dispatcher) handleSweepPost(w http.ResponseWriter, r *http.Request) {
 		id: fmt.Sprintf("swp-%06d", d.seq), name: name,
 		shards:    make([]*shard, len(docs)),
 		remaining: len(docs),
-		events:    newEventLog(),
+		events:    newEventLog(d.opts.Now),
 		done:      make(chan struct{}),
 	}
-	now := d.opts.now()
+	now := d.opts.Now()
 	for i, doc := range docs {
 		sw.shards[i] = &shard{doc: doc, state: shardQueued, enqueued: now}
 	}
 	// Journal the sweep before any shard becomes visible: once a 202
-	// leaves, a restart must be able to finish the sweep.
+	// leaves, a restart must be able to finish the sweep. A failed append
+	// fences the dispatcher and answers 503 + Retry-After: the client
+	// retries, each retry probes the journal, and the first successful
+	// append lifts the fence — admission degrades to back-pressure
+	// instead of corrupting state or failing the sweep outright.
 	if err := d.walAppend(walSweep{Op: "sweep", ID: sw.id, Name: sw.name, Engine: d.engine, Shards: docs}); err != nil {
+		d.seq-- // the sweep was never admitted; don't burn the ID
 		d.mu.Unlock()
-		httpx.WriteErr(w, 500, "journal: %v", err)
+		httpx.WriteUnavailable(w, fenceRetryAfter, "journal unwritable: %v", err)
 		return
 	}
 	d.adoptSweep(sw)
@@ -472,8 +547,15 @@ func (d *Dispatcher) handleSweepPost(w http.ResponseWriter, r *http.Request) {
 		Detail: fmt.Sprintf("%d shards", len(docs))})
 	for i, sh := range sw.shards {
 		if _, ok := d.cache.Get(sh.doc.Key); ok {
-			d.completeLocked(sw, i, shardCompleted, true, "", "")
-			continue
+			if d.completeLocked(sw, i, shardCompleted, true, "", "") {
+				continue
+			}
+			// The journal refused the cache-hit completion (the sweep
+			// record itself just landed, so this is a mid-admission disk
+			// failure). The shard is still queued state-wise; without a
+			// queue entry it could never be leased, so it would wedge the
+			// sweep forever. Queue it — the lease path retries the
+			// cache-hit completion once the journal recovers.
 		}
 		d.queue = append(d.queue, shardRef{sweep: sw.id, index: i})
 	}
@@ -486,27 +568,67 @@ func (d *Dispatcher) handleSweepPost(w http.ResponseWriter, r *http.Request) {
 
 // walAppend journals one record; a nil WAL (ephemeral mode) accepts
 // everything. Called with d.mu held so journal order matches state
-// order.
+// order. An append failure raises the fence (admissions and leases shed
+// with 503 until the journal writes again); the first success after a
+// failure lowers it.
 func (d *Dispatcher) walAppend(v any) error {
 	if d.wal == nil {
 		return nil
 	}
-	return d.wal.append(v)
+	if err := d.wal.append(v); err != nil {
+		if !d.fenced.Swap(true) {
+			d.metrics.fenceEvents.Inc()
+			d.opts.Logf("fcdpm dispatchd: WAL append failed, fencing admissions: %v", err)
+		}
+		return err
+	}
+	if d.fenced.Swap(false) {
+		d.opts.Logf("fcdpm dispatchd: WAL writable again, fence lifted")
+	}
+	if d.genDirty.Load() && d.wal.append(walGen{Op: "gen", Gen: d.gen}) == nil {
+		d.genDirty.Store(false)
+	}
+	return nil
+}
+
+// walProbe is the op=probe record: a no-op line appended by a fenced
+// lease path to test whether the journal recovered. Replay skips it;
+// compaction drops it.
+type walProbe struct {
+	Op string `json:"op"`
+}
+
+// probeFence re-tests a fenced journal with a throwaway append, holding
+// d.mu. Reports whether the dispatcher is still fenced afterwards.
+func (d *Dispatcher) probeFence() bool {
+	if !d.fenced.Load() {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.fenced.Load() {
+		return false
+	}
+	return d.walAppend(walProbe{Op: "probe"}) != nil
 }
 
 // completeLocked is the single place a shard reaches a terminal state:
 // from a worker's delivery, from a cache hit at submission or lease
-// time, or from replay-free failure paths. Caller holds d.mu.
-func (d *Dispatcher) completeLocked(sw *sweep, idx int, state string, cached bool, errMsg, worker string) {
+// time, or from replay-free failure paths. Caller holds d.mu. It
+// reports whether the transition committed: false means the journal
+// refused the record and the shard is still in its prior state — a
+// caller that owns the shard's queue membership must put it back in the
+// queue, or it can never be leased again.
+func (d *Dispatcher) completeLocked(sw *sweep, idx int, state string, cached bool, errMsg, worker string) bool {
 	sh := sw.shards[idx]
 	if sh.state == shardCompleted || sh.state == shardFailed {
-		return
+		return true
 	}
 	if err := d.walAppend(walShard{Op: "shard", Sweep: sw.id, Index: idx, State: state, Cached: cached, Err: errMsg}); err != nil {
 		// The transition is not durable; leave the shard pending so it
 		// re-dispatches rather than silently losing the outcome.
 		d.opts.Logf("fcdpm dispatchd: journal append failed, holding %s/%d pending: %v", sw.id, idx, err)
-		return
+		return false
 	}
 	d.inState[sh.state]--
 	d.inState[state]++
@@ -524,12 +646,13 @@ func (d *Dispatcher) completeLocked(sw *sweep, idx int, state string, cached boo
 		sw.failed++
 		d.metrics.failed.Inc()
 	}
-	d.metrics.shardSeconds.Observe(d.opts.now().Sub(sh.enqueued).Seconds())
+	d.metrics.shardSeconds.Observe(d.opts.Now().Sub(sh.enqueued).Seconds())
 	sw.events.append(Event{Kind: "shard", Sweep: sw.id, Shard: sh.doc.Name,
 		State: state, Cached: cached, Worker: worker, Detail: errMsg})
 	if sw.remaining == 0 {
 		d.finalizeLocked(sw)
 	}
+	return true
 }
 
 // finalizeLocked resolves a sweep: terminal event, stream close, done.
@@ -561,14 +684,25 @@ func (d *Dispatcher) handleLease(w http.ResponseWriter, r *http.Request) {
 		httpx.WriteUnavailable(w, drainRetryAfter, "draining")
 		return
 	}
+	// While the journal is unwritable, granting leases only burns worker
+	// cycles: the resulting completions could not be journaled and would
+	// be held pending anyway. Probe (so the fence lifts the moment the
+	// disk recovers) and shed if still fenced.
+	if d.probeFence() {
+		httpx.WriteUnavailable(w, fenceRetryAfter, "journal unwritable: leasing fenced")
+		return
+	}
 	if req.Max <= 0 {
 		req.Max = 1
 	}
 
 	d.mu.Lock()
-	d.workers[req.Worker] = d.opts.now()
+	d.workers[req.Worker] = d.opts.Now()
 	var granted []Shard
-	for len(granted) < req.Max && len(d.queue) > 0 {
+	// Bounded by the queue length at entry: a cache-hit shard whose
+	// completion the journal refuses goes back on the queue, and an
+	// unbounded loop would spin on it forever while the journal is down.
+	for pops := len(d.queue); len(granted) < req.Max && len(d.queue) > 0 && pops > 0; pops-- {
 		ref := d.queue[0]
 		d.queue = d.queue[1:]
 		sw := d.sweeps[ref.sweep]
@@ -577,10 +711,15 @@ func (d *Dispatcher) handleLease(w http.ResponseWriter, r *http.Request) {
 			continue // reclaimed-and-completed while queued twice; skip
 		}
 		if _, ok := d.cache.Get(sh.doc.Key); ok {
-			d.completeLocked(sw, ref.index, shardCompleted, true, "", "")
+			if !d.completeLocked(sw, ref.index, shardCompleted, true, "", "") {
+				// Journal refused the completion: the shard is still
+				// queued, and it just left the queue slice — put it back
+				// or it can never be leased again.
+				d.queue = append(d.queue, ref)
+			}
 			continue
 		}
-		now := d.opts.now()
+		now := d.opts.Now()
 		sh.epoch++
 		sh.worker = req.Worker
 		sh.expires = now.Add(d.opts.LeaseTTL)
@@ -640,7 +779,7 @@ func (d *Dispatcher) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := HeartbeatResponse{}
 	d.mu.Lock()
-	d.workers[req.Worker] = d.opts.now()
+	d.workers[req.Worker] = d.opts.Now()
 	for _, token := range req.Leases {
 		sweepID, idx, epoch, ok := parseLease(token)
 		var sh *shard
@@ -660,7 +799,7 @@ func (d *Dispatcher) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 			d.inState[shardExecuting]++
 			sh.state = shardExecuting
 		}
-		sh.expires = d.opts.now().Add(d.opts.LeaseTTL)
+		sh.expires = d.opts.Now().Add(d.opts.LeaseTTL)
 		resp.Renewed = append(resp.Renewed, token)
 	}
 	d.mu.Unlock()
@@ -698,7 +837,7 @@ func (d *Dispatcher) handleComplete(w http.ResponseWriter, r *http.Request) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if req.Worker != "" {
-		d.workers[req.Worker] = d.opts.now()
+		d.workers[req.Worker] = d.opts.Now()
 	}
 	sw := d.sweeps[sweepID]
 	if sw == nil || idx < 0 || idx >= len(sw.shards) {
@@ -737,12 +876,16 @@ func (d *Dispatcher) decodeBody(w http.ResponseWriter, r *http.Request, v any) b
 	return true
 }
 
-// reclaimExpired returns every shard whose lease expired to the queue
+// ReclaimExpired returns every shard whose lease expired to the queue
 // under a fresh epoch. The old holder's heartbeat will report the lease
 // lost; its success delivery, should one still arrive, is accepted by
-// the stale-epoch rule.
-func (d *Dispatcher) reclaimExpired() int {
-	now := d.opts.now()
+// the stale-epoch rule. A lease is reclaimed only once it has been
+// expired for SkewGrace: a worker whose clock runs slow by a bounded
+// factor still lands its heartbeat inside the padded window instead of
+// losing work to clock skew. Exported for the chaos harness, which
+// drives reclamation from its own clock.
+func (d *Dispatcher) ReclaimExpired() int {
+	now := d.opts.Now()
 	n := 0
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -752,7 +895,7 @@ func (d *Dispatcher) reclaimExpired() int {
 			if sh.state != shardLeased && sh.state != shardExecuting {
 				continue
 			}
-			if sh.expires.After(now) {
+			if sh.expires.Add(d.opts.SkewGrace).After(now) {
 				continue
 			}
 			d.inState[sh.state]--
@@ -896,7 +1039,7 @@ func (d *Dispatcher) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":  status,
 		"engine":  d.engine,
 		"build":   version.Get(),
-		"uptimeS": time.Since(d.started).Seconds(),
+		"uptimeS": d.opts.Now().Sub(d.started).Seconds(),
 	})
 }
 
@@ -907,18 +1050,23 @@ func (d *Dispatcher) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // eventLog marshals Events onto a stream.Log; the mutex keeps Seq dense
 // under concurrent appends (same shape as the server's job streams).
+// Timestamps come from the injected clock so fake-clock tests and chaos
+// trials see consistent event times.
 type eventLog struct {
 	mu  sync.Mutex
+	now func() time.Time
 	log *stream.Log
 }
 
-func newEventLog() *eventLog { return &eventLog{log: stream.NewLog()} }
+func newEventLog(now func() time.Time) *eventLog {
+	return &eventLog{now: now, log: stream.NewLog()}
+}
 
 func (l *eventLog) append(e Event) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e.Seq = l.log.Len()
-	e.Ts = time.Now().UTC().Format(time.RFC3339Nano)
+	e.Ts = l.now().UTC().Format(time.RFC3339Nano)
 	line, err := report.StableJSON(e)
 	if err != nil {
 		return

@@ -17,6 +17,9 @@ type dispatchMetrics struct {
 	expired    *obs.Counter
 	reclaimed  *obs.Counter
 	duplicates *obs.Counter
+	// fenceEvents counts WAL-unwritable episodes (failure runs, not
+	// individual failed appends); the fenced gauge shows the live state.
+	fenceEvents *obs.Counter
 
 	// shardSeconds is end-to-end shard latency: enqueue to terminal
 	// transition, including every re-dispatch in between.
@@ -29,16 +32,17 @@ type dispatchMetrics struct {
 // drift from the truth.
 func newDispatchMetrics(reg *obs.Registry) *dispatchMetrics {
 	return &dispatchMetrics{
-		registry:   reg,
-		sweeps:     reg.Counter("fcdpm_dispatch_sweeps_total", "Sweeps accepted."),
-		shards:     reg.Counter("fcdpm_dispatch_shards_total", "Shards accepted across all sweeps."),
-		completed:  reg.Counter("fcdpm_dispatch_shards_completed_total", "Shards that reached completed."),
-		failed:     reg.Counter("fcdpm_dispatch_shards_failed_total", "Shards that reached failed."),
-		cached:     reg.Counter("fcdpm_dispatch_shards_cached_total", "Shards resolved from the content-addressed cache without dispatch."),
-		leases:     reg.Counter("fcdpm_dispatch_leases_granted_total", "Shard leases granted to workers."),
-		expired:    reg.Counter("fcdpm_dispatch_lease_expirations_total", "Leases that expired without completion."),
-		reclaimed:  reg.Counter("fcdpm_dispatch_shards_reclaimed_total", "Shards returned to the queue (expired leases and restart recovery)."),
-		duplicates: reg.Counter("fcdpm_dispatch_duplicate_completions_total", "Completions for shards that had already resolved."),
+		registry:    reg,
+		sweeps:      reg.Counter("fcdpm_dispatch_sweeps_total", "Sweeps accepted."),
+		shards:      reg.Counter("fcdpm_dispatch_shards_total", "Shards accepted across all sweeps."),
+		completed:   reg.Counter("fcdpm_dispatch_shards_completed_total", "Shards that reached completed."),
+		failed:      reg.Counter("fcdpm_dispatch_shards_failed_total", "Shards that reached failed."),
+		cached:      reg.Counter("fcdpm_dispatch_shards_cached_total", "Shards resolved from the content-addressed cache without dispatch."),
+		leases:      reg.Counter("fcdpm_dispatch_leases_granted_total", "Shard leases granted to workers."),
+		expired:     reg.Counter("fcdpm_dispatch_lease_expirations_total", "Leases that expired without completion."),
+		reclaimed:   reg.Counter("fcdpm_dispatch_shards_reclaimed_total", "Shards returned to the queue (expired leases and restart recovery)."),
+		duplicates:  reg.Counter("fcdpm_dispatch_duplicate_completions_total", "Completions for shards that had already resolved."),
+		fenceEvents: reg.Counter("fcdpm_dispatch_wal_fence_events_total", "WAL-unwritable episodes that fenced admissions and leasing."),
 		shardSeconds: reg.Histogram("fcdpm_dispatch_shard_seconds",
 			"End-to-end shard latency, enqueue to terminal state.", obs.DurationBuckets),
 	}
@@ -57,19 +61,27 @@ type workerMetrics struct {
 	spooled  *obs.Counter
 	drained  *obs.Counter
 	lost     *obs.Counter
+	// spoolErrs counts spool writes that failed; sheds counts the
+	// spool-full shed episodes those failures triggered (the worker
+	// stopped leasing for SpoolShedPeriod).
+	spoolErrs *obs.Counter
+	sheds     *obs.Counter
 }
 
 func newWorkerMetrics(reg *obs.Registry) *workerMetrics {
+	obs.RegisterIOWriteFailures(reg)
 	return &workerMetrics{
-		registry: reg,
-		pool:     obs.NewPoolMetrics(reg),
-		sim:      obs.NewSimMetrics(reg),
-		leased:   reg.Counter("fcdpm_workd_shards_leased_total", "Shards leased from the dispatcher."),
-		executed: reg.Counter("fcdpm_workd_shards_executed_total", "Shard simulations finished locally (either outcome)."),
-		pushed:   reg.Counter("fcdpm_workd_results_pushed_total", "Results delivered to the dispatcher."),
-		pushErrs: reg.Counter("fcdpm_workd_push_retries_total", "Failed delivery attempts that were retried."),
-		spooled:  reg.Counter("fcdpm_workd_results_spooled_total", "Results buffered to the disk spool (dispatcher unreachable)."),
-		drained:  reg.Counter("fcdpm_workd_spool_drained_total", "Spooled results delivered after reconnect."),
-		lost:     reg.Counter("fcdpm_workd_leases_lost_total", "Leases the dispatcher reclaimed while we held them."),
+		registry:  reg,
+		pool:      obs.NewPoolMetrics(reg),
+		sim:       obs.NewSimMetrics(reg),
+		leased:    reg.Counter("fcdpm_workd_shards_leased_total", "Shards leased from the dispatcher."),
+		executed:  reg.Counter("fcdpm_workd_shards_executed_total", "Shard simulations finished locally (either outcome)."),
+		pushed:    reg.Counter("fcdpm_workd_results_pushed_total", "Results delivered to the dispatcher."),
+		pushErrs:  reg.Counter("fcdpm_workd_push_retries_total", "Failed delivery attempts that were retried."),
+		spooled:   reg.Counter("fcdpm_workd_results_spooled_total", "Results buffered to the disk spool (dispatcher unreachable)."),
+		drained:   reg.Counter("fcdpm_workd_spool_drained_total", "Spooled results delivered after reconnect."),
+		lost:      reg.Counter("fcdpm_workd_leases_lost_total", "Leases the dispatcher reclaimed while we held them."),
+		spoolErrs: reg.Counter("fcdpm_workd_spool_errors_total", "Spool writes that failed (results delivered live or dropped to re-dispatch)."),
+		sheds:     reg.Counter("fcdpm_workd_spool_sheds_total", "Spool-full shed episodes: leasing paused until the spool drains."),
 	}
 }

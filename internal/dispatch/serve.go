@@ -43,7 +43,7 @@ func Serve(ctx context.Context, opts Options) error {
 			case <-reclaimCtx.Done():
 				return
 			case <-t.C:
-				if n := d.reclaimExpired(); n > 0 {
+				if n := d.ReclaimExpired(); n > 0 {
 					d.opts.Logf("fcdpm dispatchd: reclaimed %d expired shard leases", n)
 				}
 			}

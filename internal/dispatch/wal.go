@@ -1,13 +1,13 @@
 package dispatch
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 
-	"fcdpm/internal/cache"
+	"fcdpm/internal/vfs"
 )
 
 // The dispatcher's write-ahead log is an append-only JSONL file, one
@@ -26,6 +26,13 @@ import (
 // partial line, which is ignored), and startup compacts the log by
 // folding terminal states into each sweep record and atomically
 // rewriting the file.
+//
+// Compaction also bumps a generation counter (op=gen). Lease epochs of
+// requeued shards start at the generation's base instead of zero, so a
+// lease token granted before a crash can never collide with one granted
+// after the restart — without it, a pre-crash holder's stale failure
+// verdict could be mistaken for the new holder's and fail a shard that
+// the new holder would have completed.
 
 // walSweep is the op=sweep record.
 type walSweep struct {
@@ -34,6 +41,13 @@ type walSweep struct {
 	Name   string     `json:"name"`
 	Engine string     `json:"engine"`
 	Shards []shardDoc `json:"shards"`
+}
+
+// walGen is the op=gen record: how many times this journal has been
+// replayed. Written by compaction at every startup.
+type walGen struct {
+	Op  string `json:"op"`
+	Gen int    `json:"gen"`
 }
 
 // shardDoc is one shard's durable identity. The State/Cached/Err fields
@@ -60,64 +74,86 @@ type walShard struct {
 }
 
 // wal is the append handle. Appends are serialized and fsynced; the
-// file never shrinks except through compact's atomic rewrite.
+// file never shrinks except through compact's atomic rewrite and the
+// torn-tail repair truncate.
 type wal struct {
+	fs   vfs.FS
 	path string
-	f    *os.File
+	f    vfs.AppendFile
+	// good is the byte length of the durable prefix — every record up to
+	// good is whole and parseable. dirty marks bytes possibly present
+	// beyond good (a torn tail from a crash, or a failed append that may
+	// have written part of its line); the next append truncates back to
+	// good first, so a torn fragment can never fuse with a later record
+	// into one unparseable line that would take acked records down with
+	// it at replay.
+	good  int64
+	dirty bool
 }
 
 // openWAL reads the journal at path (tolerating a torn tail), returning
 // the decoded records and an open append handle. A missing file is an
 // empty journal.
-func openWAL(path string) (*wal, []json.RawMessage, error) {
+func openWAL(fs vfs.FS, path string) (*wal, []json.RawMessage, error) {
 	var records []json.RawMessage
-	b, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
+	b, err := fs.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, nil, fmt.Errorf("dispatch: wal read: %w", err)
 	}
-	sc := bufio.NewScanner(bytes.NewReader(b))
-	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		if !json.Valid(line) {
-			// A torn tail from a crash mid-append: everything before it
-			// was fsynced whole, so stop here and let compaction drop it.
+	// Walk whole lines, tracking the durable-prefix length. The first
+	// line that is incomplete (no newline) or unparseable is a torn tail
+	// from a crash mid-append: nothing at or past it was ever acked.
+	off := 0
+	for off < len(b) {
+		nl := bytes.IndexByte(b[off:], '\n')
+		if nl < 0 {
 			break
 		}
-		records = append(records, json.RawMessage(bytes.Clone(line)))
+		line := bytes.TrimSpace(b[off : off+nl])
+		if len(line) > 0 && !json.Valid(line) {
+			break
+		}
+		if len(line) > 0 {
+			records = append(records, json.RawMessage(bytes.Clone(line)))
+		}
+		off += nl + 1
 	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, fmt.Errorf("dispatch: wal scan: %w", err)
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fs.OpenAppend(path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("dispatch: wal open: %w", err)
 	}
-	return &wal{path: path, f: f}, records, nil
+	return &wal{fs: fs, path: path, f: f, good: int64(off), dirty: off != len(b)}, records, nil
 }
 
-// append journals one record durably: marshal, write the line, fsync.
-// The caller serializes appends (the dispatcher holds its state lock),
-// which also guarantees WAL order matches state-transition order.
+// append journals one record durably: repair any torn tail, marshal,
+// write the line, fsync. The caller serializes appends (the dispatcher
+// holds its state lock), which also guarantees WAL order matches
+// state-transition order. A non-nil error (disk full, failed fsync,
+// torn write) means the record must not be treated as durable;
+// vfs.IsDiskFull classifies the cause.
 func (w *wal) append(v any) error {
 	b, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("dispatch: wal encode: %w", err)
 	}
-	if _, err := w.f.Write(append(b, '\n')); err != nil {
+	if w.dirty {
+		if err := w.f.Truncate(w.good); err != nil {
+			return fmt.Errorf("dispatch: wal repair: %w", err)
+		}
+		w.dirty = false
+	}
+	line := append(b, '\n')
+	if err := w.f.Append(line); err != nil {
+		w.dirty = true // part of the line may be on disk
 		return fmt.Errorf("dispatch: wal append: %w", err)
 	}
-	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("dispatch: wal fsync: %w", err)
-	}
+	w.good += int64(len(line))
 	return nil
 }
 
 // compact atomically replaces the journal with the given records (one
-// folded sweep record per live sweep) and reopens the append handle.
+// generation record plus one folded sweep record per live sweep) and
+// reopens the append handle.
 func (w *wal) compact(records []any) error {
 	var buf bytes.Buffer
 	for _, v := range records {
@@ -131,14 +167,21 @@ func (w *wal) compact(records []any) error {
 	if err := w.f.Close(); err != nil {
 		return fmt.Errorf("dispatch: wal close: %w", err)
 	}
-	if err := cache.AtomicWriteFile(w.path, buf.Bytes()); err != nil {
-		return err
-	}
-	f, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	werr := w.fs.WriteFileAtomic(w.path, buf.Bytes())
+	f, err := w.fs.OpenAppend(w.path)
 	if err != nil {
 		return fmt.Errorf("dispatch: wal reopen: %w", err)
 	}
 	w.f = f
+	if werr != nil {
+		// The rewrite never replaced the file (atomic publication failed
+		// before the rename), so the original journal — with its known
+		// durable prefix — is intact and the reopened handle keeps
+		// appending to it. Compaction failure degrades to a bigger file,
+		// not a dead dispatcher.
+		return fmt.Errorf("dispatch: wal compact: %w", werr)
+	}
+	w.good, w.dirty = int64(buf.Len()), false
 	return nil
 }
 

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"fcdpm/internal/vfs"
 )
 
 func walPath(t *testing.T) string {
@@ -14,7 +16,7 @@ func walPath(t *testing.T) string {
 
 func TestWALAppendReopen(t *testing.T) {
 	path := walPath(t)
-	w, recs, err := openWAL(path)
+	w, recs, err := openWAL(vfs.Default, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +33,7 @@ func TestWALAppendReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	w2, recs, err := openWAL(path)
+	w2, recs, err := openWAL(vfs.Default, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func TestWALAppendReopen(t *testing.T) {
 // not poison the journal: replay stops at the tear, and appends resume.
 func TestWALTornTail(t *testing.T) {
 	path := walPath(t)
-	w, _, err := openWAL(path)
+	w, _, err := openWAL(vfs.Default, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +74,7 @@ func TestWALTornTail(t *testing.T) {
 	}
 	f.Close()
 
-	w2, recs, err := openWAL(path)
+	w2, recs, err := openWAL(vfs.Default, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,16 +86,17 @@ func TestWALTornTail(t *testing.T) {
 	}
 	w2.close()
 
-	// The post-tear append lands after the torn bytes, so it is itself
-	// unreadable — that is fine: compaction rewrites the journal from
-	// state, which is what the dispatcher does right after replay.
-	w3, recs, err := openWAL(path)
+	// The post-tear append first truncates the torn bytes (the repair
+	// step), so it lands whole: replay sees both the original record and
+	// the new one. Without the repair, the tear would fuse with the new
+	// line into one unparseable record and take it down too.
+	w3, recs, err := openWAL(vfs.Default, path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer w3.close()
-	if len(recs) != 1 {
-		t.Fatalf("replayed %d records, want 1 (tear still present)", len(recs))
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records after repaired append, want 2", len(recs))
 	}
 	if err := w3.compact([]any{walSweep{Op: "sweep", ID: "swp-000001"}}); err != nil {
 		t.Fatal(err)
@@ -102,7 +105,7 @@ func TestWALTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	w3.close()
-	_, recs, err = openWAL(path)
+	_, recs, err = openWAL(vfs.Default, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +116,7 @@ func TestWALTornTail(t *testing.T) {
 
 func TestWALCompact(t *testing.T) {
 	path := walPath(t)
-	w, _, err := openWAL(path)
+	w, _, err := openWAL(vfs.Default, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,11 +129,46 @@ func TestWALCompact(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.close()
-	_, recs, err := openWAL(path)
+	_, recs, err := openWAL(vfs.Default, path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(recs) != 1 {
 		t.Fatalf("compacted WAL replayed %d records, want 1", len(recs))
+	}
+}
+
+// TestWALCompactFailureKeepsJournal: when the compaction rewrite fails
+// (disk full at startup), the original journal must stay intact and the
+// handle must keep appending to it — compaction failure degrades to a
+// bigger file, never a dead dispatcher.
+func TestWALCompactFailureKeepsJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dispatch.wal")
+	fs := newCountdownFS()
+	w, _, err := openWAL(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(walGen{Op: "gen", Gen: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.okLeft.Store(0) // the atomic rewrite will fail
+	if err := w.compact([]any{walGen{Op: "gen", Gen: 2}}); err == nil {
+		t.Fatal("compact succeeded with a full disk")
+	}
+	fs.okLeft.Store(-1)
+
+	// The handle survived: append and reopen recover everything.
+	if err := w.append(walGen{Op: "gen", Gen: 3}); err != nil {
+		t.Fatalf("append after failed compact: %v", err)
+	}
+	w.close()
+	_, records, err := openWAL(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("replayed %d records, want 2 (original + post-compact append)", len(records))
 	}
 }

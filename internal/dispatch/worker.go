@@ -15,13 +15,13 @@ import (
 	"sync"
 	"time"
 
-	"fcdpm/internal/cache"
 	"fcdpm/internal/config"
 	"fcdpm/internal/obs"
 	"fcdpm/internal/runner"
 	"fcdpm/internal/runreport"
 	"fcdpm/internal/sim"
 	"fcdpm/internal/version"
+	"fcdpm/internal/vfs"
 )
 
 // Worker defaults.
@@ -52,12 +52,24 @@ type WorkerOptions struct {
 	// receive; the spool drains on reconnect. Empty disables spooling —
 	// an undeliverable result is dropped and the shard re-dispatches.
 	SpoolDir string
+	// SpoolShedPeriod is how long the worker stops taking new leases
+	// after a disk-full spool write (default 5s): with nowhere durable to
+	// put undeliverable results, more leases would only produce more work
+	// to drop.
+	SpoolShedPeriod time.Duration
 	// Addr, when set, serves /metrics and /healthz for this worker.
 	Addr string
 	// Logf receives operational log lines; nil silences them.
 	Logf func(format string, args ...any)
 	// Client overrides the HTTP client (tests).
 	Client *http.Client
+	// Clock paces heartbeats and backoff sleeps (tests, chaos trials);
+	// nil means the wall clock. Lease-TTL skew tolerance is exercised by
+	// handing the worker a clock that runs slow.
+	Clock runner.Clock
+	// FS is the filesystem under the result spool (chaos trials); nil
+	// means the real one.
+	FS vfs.FS
 }
 
 func (o WorkerOptions) withDefaults() WorkerOptions {
@@ -75,11 +87,20 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 	if o.PollMax <= 0 {
 		o.PollMax = DefaultPollMax
 	}
+	if o.SpoolShedPeriod <= 0 {
+		o.SpoolShedPeriod = 5 * time.Second
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
 	if o.Client == nil {
 		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if o.Clock == nil {
+		o.Clock = runner.WallClock
+	}
+	if o.FS == nil {
+		o.FS = vfs.Default
 	}
 	return o
 }
@@ -107,6 +128,9 @@ type Worker struct {
 	mu     sync.Mutex
 	active map[string]*activeShard
 	ttl    time.Duration
+	// shedUntil pauses leasing after a disk-full spool write: until this
+	// instant the lease loop sleeps instead of polling.
+	shedUntil time.Time
 
 	// slotFree pulses when a lease releases, waking the lease loop.
 	slotFree chan struct{}
@@ -196,6 +220,15 @@ func (w *Worker) Run(ctx context.Context) error {
 func (w *Worker) leaseLoop(ctx context.Context) error {
 	netFails, idle := 0, 0
 	for ctx.Err() == nil {
+		w.mu.Lock()
+		shed := w.shedUntil
+		w.mu.Unlock()
+		if wait := shed.Sub(w.opts.Clock.Now()); wait > 0 {
+			// Spool-full shed: no durable place for undeliverable results,
+			// so taking more work would only drop it.
+			w.sleep(ctx, wait)
+			continue
+		}
 		free := w.capacity() - w.held()
 		if free <= 0 {
 			w.waitSlot(ctx)
@@ -211,7 +244,7 @@ func (w *Worker) leaseLoop(ctx context.Context) error {
 			w.drainSpool(ctx)
 			if len(resp.Shards) == 0 {
 				idle++
-				sleepCtx(ctx, runner.BackoffDelay(w.opts.PollMin, w.opts.PollMax, w.opts.Name+"/idle", idle))
+				w.sleep(ctx, runner.BackoffDelay(w.opts.PollMin, w.opts.PollMax, w.opts.Name+"/idle", idle))
 				continue
 			}
 			idle = 0
@@ -230,7 +263,7 @@ func (w *Worker) leaseLoop(ctx context.Context) error {
 				idle++
 				delay = runner.BackoffDelay(w.opts.PollMin, w.opts.PollMax, w.opts.Name+"/http", idle)
 			}
-			sleepCtx(ctx, delay)
+			w.sleep(ctx, delay)
 		default:
 			if ctx.Err() != nil {
 				break
@@ -239,7 +272,7 @@ func (w *Worker) leaseLoop(ctx context.Context) error {
 			if netFails == 1 {
 				w.opts.Logf("fcdpm workd: dispatcher unreachable, backing off: %v", err)
 			}
-			sleepCtx(ctx, runner.BackoffDelay(w.opts.PollMin, w.opts.PollMax, w.opts.Name+"/net", netFails))
+			w.sleep(ctx, runner.BackoffDelay(w.opts.PollMin, w.opts.PollMax, w.opts.Name+"/net", netFails))
 		}
 	}
 	return nil
@@ -249,6 +282,11 @@ func (w *Worker) held() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return len(w.active)
+}
+
+// sleep blocks on the injected clock; false means ctx canceled.
+func (w *Worker) sleep(ctx context.Context, d time.Duration) bool {
+	return w.opts.Clock.Sleep(ctx, d) == nil
 }
 
 func (w *Worker) waitSlot(ctx context.Context) {
@@ -376,7 +414,7 @@ func (w *Worker) pushComplete(ctx context.Context, req CompleteRequest, attempts
 		if errors.As(err, &he) && he.retryAfter > delay {
 			delay = he.retryAfter
 		}
-		if !sleepCtx(ctx, delay) {
+		if !w.sleep(ctx, delay) {
 			return false
 		}
 	}
@@ -404,7 +442,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 		if tick < 100*time.Millisecond {
 			tick = 100 * time.Millisecond
 		}
-		if !sleepCtx(ctx, tick) {
+		if !w.sleep(ctx, tick) {
 			return
 		}
 		w.mu.Lock()
@@ -444,14 +482,13 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 	}
 }
 
-// spool buffers an undeliverable result to disk, durably.
+// spool buffers an undeliverable result to disk, durably. A disk-full
+// failure additionally sheds leasing for SpoolShedPeriod: the result is
+// lost either way (the shard re-dispatches), but taking more work while
+// the spool volume is full would only manufacture more losses.
 func (w *Worker) spool(req CompleteRequest) {
 	if w.opts.SpoolDir == "" {
 		w.opts.Logf("fcdpm workd: dropping undeliverable result %s (no spool dir); the shard will re-dispatch", req.RunID)
-		return
-	}
-	if err := os.MkdirAll(w.opts.SpoolDir, 0o755); err != nil {
-		w.opts.Logf("fcdpm workd: spool dir: %v", err)
 		return
 	}
 	b, err := json.Marshal(req)
@@ -459,8 +496,21 @@ func (w *Worker) spool(req CompleteRequest) {
 		return
 	}
 	name := strings.ReplaceAll(req.Lease, "/", "_") + ".json"
-	if err := cache.AtomicWriteFile(filepath.Join(w.opts.SpoolDir, name), b); err != nil {
-		w.opts.Logf("fcdpm workd: spool write: %v", err)
+	werr := w.opts.FS.MkdirAll(w.opts.SpoolDir)
+	if werr == nil {
+		werr = w.opts.FS.WriteFileAtomic(filepath.Join(w.opts.SpoolDir, name), b)
+	}
+	if werr != nil {
+		w.metrics.spoolErrs.Inc()
+		if vfs.IsDiskFull(werr) {
+			w.mu.Lock()
+			w.shedUntil = w.opts.Clock.Now().Add(w.opts.SpoolShedPeriod)
+			w.mu.Unlock()
+			w.metrics.sheds.Inc()
+			w.opts.Logf("fcdpm workd: spool full, shedding leases for %s: %v", w.opts.SpoolShedPeriod, werr)
+		} else {
+			w.opts.Logf("fcdpm workd: spool write: %v", werr)
+		}
 		return
 	}
 	w.metrics.spooled.Inc()
@@ -474,30 +524,57 @@ func (w *Worker) drainSpool(ctx context.Context) {
 	if w.opts.SpoolDir == "" {
 		return
 	}
-	entries, err := os.ReadDir(w.opts.SpoolDir)
+	names, err := w.opts.FS.ReadDir(w.opts.SpoolDir)
 	if err != nil {
 		return
 	}
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+	for _, name := range names {
+		if !strings.HasSuffix(name, ".json") {
 			continue
 		}
-		path := filepath.Join(w.opts.SpoolDir, e.Name())
-		b, err := os.ReadFile(path)
+		path := filepath.Join(w.opts.SpoolDir, name)
+		b, err := w.opts.FS.ReadFile(path)
 		if err != nil {
 			continue
 		}
 		var req CompleteRequest
 		if err := json.Unmarshal(b, &req); err != nil {
-			os.Remove(path) // corrupt spool entry: unrecoverable
+			w.opts.FS.Remove(path) // corrupt spool entry: unrecoverable
 			continue
 		}
 		if !w.pushComplete(ctx, req, 1) {
 			return // still unreachable; try again next drain
 		}
-		os.Remove(path)
+		w.opts.FS.Remove(path)
 		w.metrics.drained.Inc()
 		w.opts.Logf("fcdpm workd: drained spooled result %s", req.RunID)
+	}
+}
+
+// WorkerStats is a lifetime-counter snapshot, read by the chaos
+// harness's invariant checks (re-execution accounting in particular).
+type WorkerStats struct {
+	Leased    int64 `json:"leased"`
+	Executed  int64 `json:"executed"`
+	Pushed    int64 `json:"pushed"`
+	Spooled   int64 `json:"spooled"`
+	Drained   int64 `json:"drained"`
+	Lost      int64 `json:"lost"`
+	SpoolErrs int64 `json:"spoolErrs"`
+	Sheds     int64 `json:"sheds"`
+}
+
+// Stats snapshots the worker's counters.
+func (w *Worker) Stats() WorkerStats {
+	return WorkerStats{
+		Leased:    int64(w.metrics.leased.Value()),
+		Executed:  int64(w.metrics.executed.Value()),
+		Pushed:    int64(w.metrics.pushed.Value()),
+		Spooled:   int64(w.metrics.spooled.Value()),
+		Drained:   int64(w.metrics.drained.Value()),
+		Lost:      int64(w.metrics.lost.Value()),
+		SpoolErrs: int64(w.metrics.spoolErrs.Value()),
+		Sheds:     int64(w.metrics.sheds.Value()),
 	}
 }
 

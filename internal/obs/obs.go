@@ -175,6 +175,27 @@ func (h *Histogram) Sum() float64 {
 // dashboards line up across subsystems.
 var DurationBuckets = []float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100}
 
+// ioWriteFailures counts every durable-write path (fsync, atomic
+// rename, journal append) that failed, process-wide. It is global
+// rather than per-registry because the writers it instruments — the
+// runner journal, the cache disk tier, the dispatcher WAL, the worker
+// spool — live below the component registries; each component exports
+// it with RegisterIOWriteFailures so the count appears on every
+// /metrics surface under one name.
+var ioWriteFailures Counter
+
+// IOWriteFailures returns the process-global durable-write failure
+// counter (series fcdpm_io_write_failures_total).
+func IOWriteFailures() *Counter { return &ioWriteFailures }
+
+// RegisterIOWriteFailures exposes the global write-failure counter on
+// reg as fcdpm_io_write_failures_total.
+func RegisterIOWriteFailures(reg *Registry) {
+	reg.CounterFunc("fcdpm_io_write_failures_total",
+		"Durable writes (fsync / atomic rename / journal append) that failed, process-wide.",
+		ioWriteFailures.Value)
+}
+
 // Label is one constant key="value" pair attached to a metric at
 // registration. Dynamic label values are deliberately unsupported:
 // every series is declared up front, so cardinality is bounded by code.
@@ -297,6 +318,16 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 	m.gaugeFn = fn
 }
 
+// CounterFunc registers a counter series whose value is read from fn at
+// render time — for monotone counts that live outside the registry
+// (the process-global I/O failure counter).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	m := r.register(name, help, kindCounter, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m.gaugeFn = fn
+}
+
 // Histogram registers (or returns) a histogram series with the given
 // bucket upper bounds (+Inf is implicit).
 func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
@@ -362,7 +393,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		switch m.kind {
 		case kindCounter:
-			fmt.Fprintf(&b, "%s %s\n", sampleName(m.name, m.labels, ""), formatValue(m.counter.Value()))
+			v := 0.0
+			if m.gaugeFn != nil {
+				v = m.gaugeFn()
+			} else {
+				v = m.counter.Value()
+			}
+			fmt.Fprintf(&b, "%s %s\n", sampleName(m.name, m.labels, ""), formatValue(v))
 		case kindGauge:
 			v := 0.0
 			if m.gaugeFn != nil {

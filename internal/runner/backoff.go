@@ -20,6 +20,12 @@ const (
 // a re-run of the same batch backs off identically — determinism is a
 // repo-wide invariant. Exported so remote workers polling a dispatcher
 // pace themselves with the same schedule the pool uses for attempts.
+// A retry index below 1 (attempt zero, or a caller bug) is treated as 1
+// so the delay is never zero or negative, and growth saturates at max
+// before the doubling can overflow — with a max near the top of the
+// int64 range the old loop could wrap negative and return a negative
+// delay, which time.NewTimer treats as "fire immediately", collapsing
+// the backoff into a hot loop.
 func BackoffDelay(base, max time.Duration, id string, retry int) time.Duration {
 	if base <= 0 {
 		base = DefaultBackoffBase
@@ -27,14 +33,25 @@ func BackoffDelay(base, max time.Duration, id string, retry int) time.Duration {
 	if max <= 0 {
 		max = DefaultBackoffMax
 	}
+	if retry < 1 {
+		retry = 1
+	}
 	d := base
-	for i := 1; i < retry && d < max; i++ {
+	for i := 1; i < retry; i++ {
+		if d > max/2 {
+			d = max // doubling again would pass (or overflow past) max
+			break
+		}
 		d *= 2
 	}
 	if d > max {
 		d = max
 	}
-	return d + time.Duration(float64(d)*0.5*jitterFraction(id, retry))
+	j := time.Duration(float64(d) * 0.5 * jitterFraction(id, retry))
+	if sum := d + j; sum >= d {
+		return sum
+	}
+	return d // jitter pushed past the int64 edge; saturate, don't wrap
 }
 
 // jitterFraction hashes (id, retry) into [0, 1).

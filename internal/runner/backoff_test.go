@@ -49,6 +49,39 @@ func TestJitterFractionRange(t *testing.T) {
 	}
 }
 
+func TestBackoffEdges(t *testing.T) {
+	big := time.Duration(1<<62 - 1)
+	cases := []struct {
+		name      string
+		base, max time.Duration
+		retry     int
+		min, max2 time.Duration // inclusive envelope for the result
+	}{
+		// Attempt zero (and a negative caller bug) must never produce a
+		// zero or negative delay: a zero delay turns every retry loop that
+		// sleeps on it into a hot loop.
+		{"attempt zero", 100 * time.Millisecond, time.Second, 0, 100 * time.Millisecond, 150 * time.Millisecond},
+		{"negative retry", 100 * time.Millisecond, time.Second, -3, 100 * time.Millisecond, 150 * time.Millisecond},
+		// Growth must saturate at max instead of overflowing: with max near
+		// the top of the int64 range, repeated doubling used to wrap
+		// negative.
+		{"huge retry saturates", time.Second, big, 400, big, big},
+		{"cap applies", time.Second, 4 * time.Second, 10, 4 * time.Second, 6 * time.Second},
+		{"base above max", 10 * time.Second, time.Second, 1, time.Second, 1500 * time.Millisecond},
+	}
+	for _, c := range cases {
+		d := BackoffDelay(c.base, c.max, "edge/"+c.name, c.retry)
+		if d <= 0 {
+			t.Errorf("%s: non-positive delay %v", c.name, d)
+		}
+		// Jitter adds up to 50% of the capped value but must stay within
+		// the envelope (saturated cases allow equality at max).
+		if d < c.min || (c.max2 != big && d > c.max2) {
+			t.Errorf("%s: delay %v outside [%v, %v]", c.name, d, c.min, c.max2)
+		}
+	}
+}
+
 func TestBackoffZeroValuesUseDefaults(t *testing.T) {
 	d := BackoffDelay(0, 0, "x", 1)
 	if d < DefaultBackoffBase || d > DefaultBackoffBase+DefaultBackoffBase/2 {

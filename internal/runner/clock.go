@@ -16,6 +16,10 @@ type Clock interface {
 	Sleep(ctx context.Context, d time.Duration) error
 }
 
+// WallClock is the real time source, exported so other daemons (the
+// sweep worker's heartbeat loop) default to it while staying injectable.
+var WallClock Clock = realClock{}
+
 // realClock is the wall-clock implementation.
 type realClock struct{}
 

@@ -2,11 +2,13 @@ package runner
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
+
+	"fcdpm/internal/vfs"
 )
 
 // journalRecord is one completed run, keyed by its deterministic ID. The
@@ -82,9 +84,13 @@ func (j *journal) lookup(id string) (journalRecord, bool) {
 // len reports the number of checkpointed runs.
 func (j *journal) len() int { return len(j.records) }
 
-// append checkpoints one completed run: marshal, write the whole journal
-// to a temp file, fsync, rename over the live path, fsync the directory.
-// After append returns, the record survives a crash at any instant.
+// append checkpoints one completed run: marshal, then publish the whole
+// journal through vfs's write-fsync-rename cycle. After append returns
+// nil, the record survives a crash at any instant. A write failure
+// surfaces as a typed *vfs.WriteError (counted on
+// fcdpm_io_write_failures_total) and leaves the record in memory, so
+// the next successful append re-publishes it — a transient disk fault
+// costs durability only until the next checkpoint lands.
 func (j *journal) append(rec journalRecord) error {
 	if _, dup := j.byID[rec.ID]; dup {
 		return nil
@@ -92,39 +98,17 @@ func (j *journal) append(rec journalRecord) error {
 	j.byID[rec.ID] = len(j.records)
 	j.records = append(j.records, rec)
 
-	dir := filepath.Dir(j.path)
-	tmp, err := os.CreateTemp(dir, ".journal-*")
-	if err != nil {
-		return fmt.Errorf("runner: journal temp: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	w := bufio.NewWriter(tmp)
+	var buf bytes.Buffer
 	for _, r := range j.records {
 		b, err := json.Marshal(r)
 		if err != nil {
-			tmp.Close()
 			return fmt.Errorf("runner: journal marshal %s: %w", r.ID, err)
 		}
-		w.Write(b)
-		w.WriteByte('\n')
+		buf.Write(b)
+		buf.WriteByte('\n')
 	}
-	if err := w.Flush(); err != nil {
-		tmp.Close()
+	if err := vfs.Default.WriteFileAtomic(j.path, buf.Bytes()); err != nil {
 		return fmt.Errorf("runner: journal write: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("runner: journal fsync: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("runner: journal close: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), j.path); err != nil {
-		return fmt.Errorf("runner: journal rename: %w", err)
-	}
-	if d, err := os.Open(dir); err == nil {
-		d.Sync() // best-effort: persist the rename itself
-		d.Close()
 	}
 	return nil
 }

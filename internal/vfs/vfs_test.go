@@ -1,0 +1,110 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"fcdpm/internal/obs"
+)
+
+func TestIsDiskFull(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{ErrDiskFull, true},
+		{fmt.Errorf("put: %w", ErrDiskFull), true},
+		{&WriteError{Op: "append", Path: "x", Err: ErrDiskFull}, true},
+		{syscall.ENOSPC, true},
+		{&WriteError{Op: "write", Path: "x", Err: syscall.ENOSPC}, true},
+		{syscall.EDQUOT, true},
+		{os.ErrPermission, false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := IsDiskFull(c.err); got != c.want {
+			t.Errorf("IsDiskFull(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestWriteErrorWrapping(t *testing.T) {
+	we := &WriteError{Op: "append", Path: "/tmp/x", Err: ErrDiskFull}
+	if !errors.Is(we, ErrDiskFull) {
+		t.Fatal("WriteError does not unwrap to its cause")
+	}
+	msg := we.Error()
+	if !strings.Contains(msg, "append") || !strings.Contains(msg, "/tmp/x") {
+		t.Fatalf("WriteError message %q lacks op or path", msg)
+	}
+}
+
+func TestWriteFileAtomicReplacesAndLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.json")
+	for _, content := range []string{"first", "second longer content"} {
+		if err := Default.WriteFileAtomic(path, []byte(content)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != content {
+			t.Fatalf("read %q, want %q", got, content)
+		}
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries, want 1 (temp files must not leak)", len(entries))
+	}
+}
+
+func TestAppendTruncateRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	f, err := Default.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append([]byte("one\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append([]byte("garbage-tail")); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate back to the durable prefix, then keep appending: this is
+	// the journal's torn-tail repair sequence.
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append([]byte("two\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "one\ntwo\n" {
+		t.Fatalf("journal holds %q, want %q", got, "one\ntwo\n")
+	}
+}
+
+func TestWriteFailureCountsOnGlobalCounter(t *testing.T) {
+	before := obs.IOWriteFailures().Value()
+	err := Default.WriteFileAtomic(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"))
+	if err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+	var we *WriteError
+	if !errors.As(err, &we) {
+		t.Fatalf("error %T is not a *WriteError", err)
+	}
+	if obs.IOWriteFailures().Value() <= before {
+		t.Fatal("failed write did not increment fcdpm_io_write_failures_total")
+	}
+}
