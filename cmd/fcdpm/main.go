@@ -14,6 +14,7 @@
 //	fcdpm faults   [-seed N] [-list] [-workers N] [-timeout S] [-retries N] [-journal FILE]
 //	fcdpm batch    [-workers N] [-timeout S] [-retries N] [-journal FILE] <scenario.json>...
 //	fcdpm serve    [-addr HOST:PORT] [-workers N] [-queue N] [-timeout S] [-retries N] [-cache-mb N] [-cache-dir DIR] [-drain S] [-pprof]
+//	fcdpm devicesim [-count N] [-stop-after S] [-target URL] [-cadence S] [-seed N] [-metrics HOST:PORT] [-config FILE] [-plan] [-json FILE]
 //	fcdpm dispatchd [-addr HOST:PORT] [-state DIR] [-lease S] [-cache-mb N]
 //	fcdpm workd    [-dispatcher URL] [-name NAME] [-workers N] [-timeout S] [-spool DIR] [-addr HOST:PORT]
 //	fcdpm bench    [-out DIR] [-repeat N] [-short] [-compare] [-threshold F]
@@ -122,6 +123,8 @@ func run(ctx context.Context, args []string) error {
 		return cmdBatch(ctx, rest)
 	case "serve":
 		return cmdServe(ctx, rest)
+	case "devicesim":
+		return cmdDeviceSim(ctx, rest)
 	case "dispatchd":
 		return cmdDispatchd(ctx, rest)
 	case "workd":
@@ -177,6 +180,13 @@ subcommands:
            scenario specs on a shared bounded pool, streams progress as
            NDJSON, and answers repeated scenarios byte-identically from
            a content-addressed result cache (see README "Serving")
+  devicesim drive a fleet of virtual devices against a serve target:
+           -count concurrent device agents with deterministic identities
+           submit scenario runs on a jittered cadence, honor 429/503 +
+           Retry-After, tail async runs to resolution, export their own
+           /metrics, and print a client-side latency/shed/coalesce/
+           cache-hit report; -plan prints the seed-reproducible
+           population and schedule without contacting the server
   dispatchd run the sweep dispatcher: a durable shard queue that leases
            work to workd daemons, reclaims expired leases, journals
            every transition, and survives restarts mid-sweep

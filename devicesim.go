@@ -1,0 +1,38 @@
+package fcdpm
+
+import (
+	"context"
+
+	"fcdpm/internal/devicesim"
+)
+
+// This file exposes the fleet-scale load harness behind `fcdpm
+// devicesim` (see DESIGN.md §13): thousands of deterministic virtual
+// devices driving a serve target through every serving-path behavior
+// at once — cache hits, coalescing, shedding, Retry-After backoff.
+
+// FleetOptions tunes a device-fleet run: target URL, device count,
+// jittered cadence, scheduling window, the fleet seed (which fixes the
+// population and submission schedule byte-for-byte), and the scenario
+// template devices mutate.
+type FleetOptions = devicesim.Options
+
+// FleetTemplate is the shared scenario template a fleet's variants are
+// derived from (scenarios/devicesim.json is the stock one).
+type FleetTemplate = devicesim.Template
+
+// FleetReport is the harness's final client-side accounting: latency
+// quantiles, shed/coalesce/cache-hit rates, and counters that mirror
+// the server's /v1/stats taxonomy one-to-one.
+type FleetReport = devicesim.Report
+
+// DefaultFleetTemplate returns the built-in fleet mix: all five
+// workload families, 16 scenario variants, an even sync/async split.
+func DefaultFleetTemplate() FleetTemplate { return devicesim.DefaultTemplate() }
+
+// RunFleet drives the device fleet until its schedule drains or ctx
+// cancels. Sheds are counted, not fatal; a canceled run returns an
+// error wrapping ErrSweepInterrupted.
+func RunFleet(ctx context.Context, opts FleetOptions) (FleetReport, error) {
+	return devicesim.Run(ctx, opts)
+}

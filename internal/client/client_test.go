@@ -1,0 +1,196 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fcdpm/internal/httpx"
+	"fcdpm/internal/runner"
+)
+
+func TestPostJSONTypedError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		httpx.WriteUnavailable(w, 7*time.Second, "draining")
+	}))
+	defer ts.Close()
+
+	err := PostJSON(context.Background(), ts.Client(), ts.URL, map[string]int{"x": 1}, nil)
+	var he *Error
+	if !errors.As(err, &he) {
+		t.Fatalf("err = %v, want *Error", err)
+	}
+	if he.Code != 503 || he.Msg != "draining" || he.RetryAfter != 7*time.Second {
+		t.Fatalf("Error = %+v, want 503/draining/7s", he)
+	}
+	if !he.Retryable() {
+		t.Fatal("503 must be retryable")
+	}
+}
+
+func TestPostJSONRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	start := time.Now()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// A hint longer than the first backoff step: the client must
+			// stretch its delay to it.
+			httpx.WriteUnavailable(w, 1*time.Second, "shed")
+			return
+		}
+		httpx.WriteJSON(w, 200, map[string]string{"ok": "yes"})
+	}))
+	defer ts.Close()
+
+	var out map[string]string
+	err := PostJSONRetry(context.Background(), ts.Client(), ts.URL, nil, &out,
+		Retry{Attempts: 3, Base: time.Millisecond, Max: 10 * time.Millisecond, ID: "t"})
+	if err != nil {
+		t.Fatalf("PostJSONRetry: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2", calls.Load())
+	}
+	if d := time.Since(start); d < 1*time.Second {
+		t.Fatalf("retried after %v, before the 1s Retry-After hint", d)
+	}
+	if out["ok"] != "yes" {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestPostJSONRetryPermanentErrorFailsFast(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		httpx.WriteErr(w, 400, "malformed")
+	}))
+	defer ts.Close()
+
+	err := PostJSONRetry(context.Background(), ts.Client(), ts.URL, nil, nil, Retry{ID: "t"})
+	var he *Error
+	if !errors.As(err, &he) || he.Code != 400 {
+		t.Fatalf("err = %v, want http 400", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want exactly 1 (no retry on 400)", calls.Load())
+	}
+}
+
+func TestPostJSONRetryInterrupted(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		httpx.WriteUnavailable(w, 30*time.Second, "shed")
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := PostJSONRetry(ctx, ts.Client(), ts.URL, nil, nil, Retry{ID: "t"})
+	if !errors.Is(err, runner.ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+}
+
+func TestTailNDJSON(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for i := 0; i < 3; i++ {
+			fmt.Fprintf(w, `{"n":%d}`+"\n", i)
+		}
+	}))
+	defer ts.Close()
+
+	var lines []string
+	if err := TailNDJSON(context.Background(), ts.Client(), ts.URL, func(l string) {
+		lines = append(lines, l)
+	}); err != nil {
+		t.Fatalf("TailNDJSON: %v", err)
+	}
+	if len(lines) != 3 || lines[2] != `{"n":2}` {
+		t.Fatalf("lines = %q", lines)
+	}
+}
+
+// TestFollowSurvivesStreamDrops simulates a server restart: the first
+// two event streams drop before the job resolves, the status poll says
+// "not done", and the third tail sees resolution.
+func TestFollowSurvivesStreamDrops(t *testing.T) {
+	var tails, polls atomic.Int64
+	err := Follow{
+		Tail: func(ctx context.Context) error {
+			tails.Add(1)
+			return nil // stream closed without resolution
+		},
+		Poll: func(ctx context.Context) (bool, error) {
+			return polls.Add(1) >= 3, nil
+		},
+		ID:   "t",
+		Base: time.Millisecond, Max: 2 * time.Millisecond,
+	}.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Follow: %v", err)
+	}
+	if tails.Load() != 3 || polls.Load() != 3 {
+		t.Fatalf("tails = %d, polls = %d, want 3 each", tails.Load(), polls.Load())
+	}
+}
+
+// TestFollowTypedRefusalStops verifies that a server that answers but
+// refuses (unknown job after a stateless restart) ends the loop instead
+// of retrying forever.
+func TestFollowTypedRefusalStops(t *testing.T) {
+	refusal := &Error{Code: 404, Msg: "unknown job"}
+	err := Follow{
+		Tail: func(ctx context.Context) error { return nil },
+		Poll: func(ctx context.Context) (bool, error) { return false, refusal },
+		ID:   "t",
+		Base: time.Millisecond, Max: 2 * time.Millisecond,
+	}.Run(context.Background())
+	var he *Error
+	if !errors.As(err, &he) || he.Code != 404 {
+		t.Fatalf("err = %v, want the typed 404", err)
+	}
+}
+
+// TestFollowTransportFailureRetries verifies that transport failures
+// (no response at all) keep the loop alive with the OnRetry hook fired
+// exactly once.
+func TestFollowTransportFailureRetries(t *testing.T) {
+	var polls, retries atomic.Int64
+	err := Follow{
+		Tail: func(ctx context.Context) error { return errors.New("conn refused") },
+		Poll: func(ctx context.Context) (bool, error) {
+			if polls.Add(1) >= 3 {
+				return true, nil
+			}
+			return false, errors.New("conn refused")
+		},
+		ID:   "t",
+		Base: time.Millisecond, Max: 2 * time.Millisecond,
+		OnRetry: func(error) { retries.Add(1) },
+	}.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Follow: %v", err)
+	}
+	if retries.Load() != 1 {
+		t.Fatalf("OnRetry fired %d times, want once", retries.Load())
+	}
+}
+
+func TestFollowInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Follow{
+		Tail: func(ctx context.Context) error { return nil },
+		Poll: func(ctx context.Context) (bool, error) { return false, nil },
+		ID:   "t",
+	}.Run(ctx)
+	if !errors.Is(err, runner.ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+}

@@ -79,9 +79,30 @@ func (s *Scenario) Normalized() (*Scenario, error) {
 			n.Trace.Seed = 2
 		}
 		n.Trace.Duration = defaultF(n.Trace.Duration, 28*60)
+	case "bursty":
+		n.Trace.File = ""
+		if n.Trace.Seed == 0 {
+			n.Trace.Seed = 4
+		}
+		n.Trace.Duration = defaultF(n.Trace.Duration, 28*60)
+	case "heavytail":
+		n.Trace.File = ""
+		if n.Trace.Seed == 0 {
+			n.Trace.Seed = 3
+		}
+		n.Trace.Duration = defaultF(n.Trace.Duration, 28*60)
+	case "dvs":
+		// The DVS trace is deterministic: only duration and level matter.
+		n.Trace.File = ""
+		n.Trace.Seed = 0
+		n.Trace.Duration = defaultF(n.Trace.Duration, 28*60)
 	case "file":
 		n.Trace.Seed = 0
 		n.Trace.Duration = 0
+	}
+	// Only "dvs" reads the operating-point index.
+	if n.Trace.Kind != "dvs" {
+		n.Trace.Level = 0
 	}
 
 	// Policy: parameters beyond the selected kind are inert.

@@ -116,3 +116,31 @@ func TestNormalizedDoesNotMutateReceiver(t *testing.T) {
 		t.Fatalf("synthetic default seed not resolved: %d", n.Trace.Seed)
 	}
 }
+
+// TestCacheKeyNewTraceKinds: generator defaults resolve per kind, and the
+// DVS level knob is inert everywhere else.
+func TestCacheKeyNewTraceKinds(t *testing.T) {
+	// Bursty and heavy-tail resolve their generators' default seeds.
+	if a, b := mustKey(t, `{"trace":{"kind":"bursty"}}`),
+		mustKey(t, `{"trace":{"kind":"bursty","seed":4,"duration":1680}}`); a != b {
+		t.Fatal("bursty defaults did not normalize")
+	}
+	if a, b := mustKey(t, `{"trace":{"kind":"heavytail"}}`),
+		mustKey(t, `{"trace":{"kind":"heavytail","seed":3,"duration":1680}}`); a != b {
+		t.Fatal("heavytail defaults did not normalize")
+	}
+	// The DVS trace is deterministic: its seed is inert, its level is not.
+	if a, b := mustKey(t, `{"trace":{"kind":"dvs"}}`),
+		mustKey(t, `{"trace":{"kind":"dvs","seed":99}}`); a != b {
+		t.Fatal("inert DVS seed leaked into the cache key")
+	}
+	if a, b := mustKey(t, `{"trace":{"kind":"dvs","level":0}}`),
+		mustKey(t, `{"trace":{"kind":"dvs","level":3}}`); a == b {
+		t.Fatal("DVS level did not move the cache key")
+	}
+	// Level is inert for every other kind.
+	if a, b := mustKey(t, `{"trace":{"kind":"synthetic"}}`),
+		mustKey(t, `{"trace":{"kind":"synthetic","level":3}}`); a != b {
+		t.Fatal("inert level leaked into a non-DVS cache key")
+	}
+}

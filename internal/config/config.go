@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"fcdpm/internal/device"
+	"fcdpm/internal/dvs"
 	"fcdpm/internal/fault"
 	"fcdpm/internal/fcopt"
 	"fcdpm/internal/fuelcell"
@@ -145,15 +146,22 @@ type StorageSpec struct {
 
 // TraceSpec selects the workload.
 type TraceSpec struct {
-	// Kind is "camcorder" (default), "synthetic", or "file".
+	// Kind is "camcorder" (default), "synthetic", "bursty", "heavytail",
+	// "dvs", or "file".
 	Kind string `json:"kind"`
-	// Seed drives the generators (default 1).
+	// Seed drives the generators (defaults per kind; "dvs" and "file" are
+	// deterministic and ignore it).
 	Seed uint64 `json:"seed"`
 	// Duration overrides the generator's default length, seconds.
 	Duration float64 `json:"duration"`
 	// File is a CSV or JSON trace path for kind "file" (format inferred
 	// from the extension).
 	File string `json:"file"`
+	// Level selects the DVS operating point for kind "dvs": an index into
+	// the xscale-class processor's table (0 = 150 MHz .. 4 = 600 MHz). The
+	// reference task (1e8 cycles per 1 s period) is feasible at every
+	// level. Other kinds ignore it.
+	Level int `json:"level"`
 }
 
 // PolicySpec selects the source policy.
@@ -269,6 +277,9 @@ func (s *Scenario) Validate() error {
 	}
 	if s.Runner.Retries < 0 {
 		return &ValidationError{Field: "runner.retries", Detail: fmt.Sprintf("negative retry count %d", s.Runner.Retries)}
+	}
+	if s.Trace.Level < 0 {
+		return &ValidationError{Field: "trace.level", Detail: fmt.Sprintf("negative DVS level %d", s.Trace.Level)}
 	}
 	return nil
 }
@@ -414,6 +425,39 @@ func (s *Scenario) buildTrace() (*workload.Trace, error) {
 			cfg.Duration = s.Trace.Duration
 		}
 		return workload.Synthetic(cfg)
+	case "bursty":
+		cfg := workload.DefaultBurstyConfig()
+		if s.Trace.Seed != 0 {
+			cfg.Seed = s.Trace.Seed
+		}
+		if s.Trace.Duration > 0 {
+			cfg.Duration = s.Trace.Duration
+		}
+		return workload.Bursty(cfg)
+	case "heavytail":
+		cfg := workload.DefaultHeavyTailConfig()
+		if s.Trace.Seed != 0 {
+			cfg.Seed = s.Trace.Seed
+		}
+		if s.Trace.Duration > 0 {
+			cfg.Duration = s.Trace.Duration
+		}
+		return workload.HeavyTail(cfg)
+	case "dvs":
+		proc := dvs.XScale600()
+		if s.Trace.Level < 0 || s.Trace.Level >= len(proc.Levels) {
+			return nil, &ValidationError{Field: "trace.level",
+				Detail: fmt.Sprintf("DVS level %d outside [0, %d]", s.Trace.Level, len(proc.Levels)-1)}
+		}
+		dur := s.Trace.Duration
+		if dur <= 0 {
+			dur = 28 * 60
+		}
+		// One 1e8-cycle job per 1 s period: feasible at every operating
+		// point (worst case 0.67 s at 150 MHz), so the level knob only
+		// moves the duty cycle and rail current, never the deadline.
+		task := dvs.Task{Cycles: 1e8, Period: 1, Jobs: int(math.Ceil(dur))}
+		return proc.Trace(task, s.Trace.Level)
 	case "file":
 		if s.Trace.File == "" {
 			return nil, fmt.Errorf("config: trace kind \"file\" needs a file path")

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"fcdpm/internal/sim"
+	"fcdpm/internal/workload"
 )
 
 func TestMinimalScenarioUsesPaperDefaults(t *testing.T) {
@@ -290,5 +291,80 @@ func TestFaultSpecBuilds(t *testing.T) {
 	}
 	if !reflect.DeepEqual(res, res2) {
 		t.Fatal("rebuilt scenario produced different results")
+	}
+}
+
+// TestTraceKindFamilies: every generator family reachable from a scenario
+// builds a runnable, non-degenerate trace.
+func TestTraceKindFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		js   string
+	}{
+		{"bursty", `{"trace":{"kind":"bursty","seed":11,"duration":300}}`},
+		{"heavytail", `{"trace":{"kind":"heavytail","seed":12,"duration":300}}`},
+		{"dvs-default-level", `{"trace":{"kind":"dvs","duration":120}}`},
+		{"dvs-top-level", `{"trace":{"kind":"dvs","duration":120,"level":4}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Load(strings.NewReader(tc.js))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := s.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cfg.Trace.Slots) == 0 {
+				t.Fatal("empty trace")
+			}
+			res, err := sim.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Fuel <= 0 {
+				t.Fatal("degenerate run")
+			}
+		})
+	}
+}
+
+// TestTraceDVSLevelValidation: out-of-range operating points fail as
+// typed validation errors before any model is built.
+func TestTraceDVSLevelValidation(t *testing.T) {
+	for _, js := range []string{
+		`{"trace":{"kind":"dvs","level":-1}}`,
+		`{"trace":{"kind":"dvs","level":5}}`,
+	} {
+		s, err := Load(strings.NewReader(js))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = s.Build()
+		var ve *ValidationError
+		if !errors.As(err, &ve) || ve.Field != "trace.level" {
+			t.Fatalf("%s: err = %v, want trace.level validation error", js, err)
+		}
+	}
+}
+
+// TestTraceDVSDeterministic: the DVS generator has no randomness, so two
+// builds at the same level produce identical slot sequences.
+func TestTraceDVSDeterministic(t *testing.T) {
+	build := func() *workload.Trace {
+		s, err := Load(strings.NewReader(`{"trace":{"kind":"dvs","duration":60,"level":1}}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := s.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cfg.Trace
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a.Slots, b.Slots) {
+		t.Fatal("DVS trace not deterministic")
 	}
 }

@@ -1,0 +1,222 @@
+package devicesim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fcdpm/internal/runner"
+	"fcdpm/internal/server"
+)
+
+// fleetTestServer starts a real serving stack for the fleet to hit.
+func fleetTestServer(t *testing.T, opts server.Options) *httptest.Server {
+	t.Helper()
+	if opts.Workers == 0 {
+		opts.Workers = 4
+	}
+	s, err := server.New(opts)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts
+}
+
+// quickTemplate keeps simulated traces tiny so a fleet run finishes in
+// test time.
+func quickTemplate() Template {
+	return Template{
+		Families: []FamilyWeight{
+			{Kind: "synthetic", Weight: 2},
+			{Kind: "bursty", Weight: 1},
+			{Kind: "dvs", Weight: 1},
+		},
+		DurationMin:   60,
+		DurationMax:   120,
+		Variants:      4,
+		AsyncFraction: 0.5,
+		SeedBase:      500,
+		Policy:        "fcdpm",
+	}
+}
+
+// TestFleetCrossCheck is the tentpole acceptance test: the fleet's
+// client-side accounting must agree with the server's /v1/stats — an
+// independent observer confirming the server's cache, coalescing, and
+// shed counters.
+func TestFleetCrossCheck(t *testing.T) {
+	ts := fleetTestServer(t, server.Options{Workers: 4, Queue: 64})
+	var logBuf bytes.Buffer
+	rep, err := Run(context.Background(), Options{
+		Target:    ts.URL,
+		Count:     24,
+		Cadence:   150 * time.Millisecond,
+		StopAfter: 1200 * time.Millisecond,
+		Seed:      11,
+		Template:  quickTemplate(),
+		Out:       &logBuf,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Submitted == 0 {
+		t.Fatal("fleet submitted nothing")
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("harness-side failures: %d\n%s", rep.Failed, logBuf.String())
+	}
+	// Every submission resolves into exactly one cache class.
+	if got := rep.CacheHits + rep.CacheMisses + rep.Coalesced + rep.Shed; got != rep.Submitted {
+		t.Fatalf("cache classes (%d) != submitted (%d): %+v", got, rep.Submitted, rep)
+	}
+	if rep.Completed+rep.Shed != rep.Submitted {
+		t.Fatalf("completions (%d) + sheds (%d) != submitted (%d)", rep.Completed, rep.Shed, rep.Submitted)
+	}
+	// With 4 variants over 24 devices the cache and coalescer must both
+	// have fired — that's the load pattern the harness exists to create.
+	if rep.CacheHits == 0 {
+		t.Fatalf("no cache hits across the fleet: %+v", rep)
+	}
+	// The latency quantiles must be populated and ordered.
+	if rep.P50Ms <= 0 || rep.P50Ms > rep.P95Ms || rep.P95Ms > rep.P99Ms {
+		t.Fatalf("latency quantiles not positive/monotone: %+v", rep)
+	}
+
+	// Cross-check against the server's own books. The queue was sized so
+	// nothing shed; with that, the per-class counters must match 1:1.
+	var st struct {
+		Runs struct {
+			Submitted, Done, Failed, Shed, Coalesced int64
+		} `json:"runs"`
+		Cache struct {
+			Hits int64 `json:"hits"`
+		} `json:"cache"`
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs.Shed != rep.Shed {
+		t.Fatalf("shed: server %d, fleet %d", st.Runs.Shed, rep.Shed)
+	}
+	if st.Runs.Submitted != rep.CacheMisses {
+		t.Fatalf("fresh submissions: server %d, fleet misses %d", st.Runs.Submitted, rep.CacheMisses)
+	}
+	if st.Runs.Coalesced != rep.Coalesced {
+		t.Fatalf("coalesced: server %d, fleet %d", st.Runs.Coalesced, rep.Coalesced)
+	}
+	if st.Cache.Hits != rep.CacheHits {
+		t.Fatalf("cache hits: server %d, fleet %d", st.Cache.Hits, rep.CacheHits)
+	}
+
+	// The human report mentions its headline numbers.
+	out := logBuf.String()
+	for _, want := range []string{"latency p50", "latency p99", "cache hits", "coalesced"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFleetShedsAreNotFatal: a starved server sheds most of the fleet;
+// the harness counts the sheds and still exits cleanly.
+func TestFleetShedsAreNotFatal(t *testing.T) {
+	ts := fleetTestServer(t, server.Options{Workers: 1, Queue: 1})
+	tmpl := quickTemplate()
+	// Unique long-ish scenarios: no variant sharing, so no cache relief.
+	tmpl.Variants = 0
+	tmpl.DurationMin, tmpl.DurationMax = 2e6, 4e6
+	tmpl.AsyncFraction = 0 // sync 503s exercise the Retry-After path
+	// Two slots per device: each shed costs a full 1 s Retry-After wait,
+	// so a deeper schedule would stretch the test into many seconds.
+	rep, err := Run(context.Background(), Options{
+		Target:    ts.URL,
+		Count:     16,
+		Cadence:   300 * time.Millisecond,
+		StopAfter: 600 * time.Millisecond,
+		Seed:      5,
+		Template:  tmpl,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Shed == 0 {
+		t.Fatalf("starved server shed nothing: %+v", rep)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("sheds were misclassified as failures: %+v", rep)
+	}
+	if rep.RetryWaits == 0 {
+		t.Fatalf("no Retry-After hints honored: %+v", rep)
+	}
+}
+
+// TestFleetMetricsEndpoint: the harness serves its own Prometheus
+// surface while running.
+func TestFleetMetricsEndpoint(t *testing.T) {
+	m := newFleetMetrics()
+	addr, stop, err := m.serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	m.submitted.Inc()
+	m.latency.Observe(0.02)
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"fcdpm_devicesim_submitted_total 1",
+		"fcdpm_devicesim_latency_seconds_bucket",
+		"fcdpm_devicesim_inflight",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestFleetInterrupted: cancellation mid-run returns the interruption
+// error discipline without counting phantom failures.
+func TestFleetInterrupted(t *testing.T) {
+	ts := fleetTestServer(t, server.Options{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	rep, err := Run(ctx, Options{
+		Target:    ts.URL,
+		Count:     8,
+		Cadence:   100 * time.Millisecond,
+		StopAfter: 30 * time.Second,
+		Seed:      2,
+		Template:  quickTemplate(),
+	})
+	if !errors.Is(err, runner.ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("cancellation counted as failures: %+v", rep)
+	}
+}

@@ -1,0 +1,76 @@
+package devicesim
+
+import (
+	"net"
+	"net/http"
+
+	"fcdpm/internal/obs"
+)
+
+// fleetMetrics is the harness's own observability surface — the
+// client-side mirror of the server's counters, measured independently
+// so the two can be cross-checked.
+type fleetMetrics struct {
+	reg      *obs.Registry
+	inflight *obs.Gauge
+
+	submitted *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	shed      *obs.Counter
+	retries   *obs.Counter
+
+	cacheHits *obs.Counter
+	misses    *obs.Counter
+	coalesced *obs.Counter
+
+	// latency is the client-observed submit-to-resolution time.
+	latency *obs.Histogram
+}
+
+func newFleetMetrics() *fleetMetrics {
+	reg := obs.NewRegistry()
+	return &fleetMetrics{
+		reg:      reg,
+		inflight: reg.Gauge("fcdpm_devicesim_inflight", "Submissions currently awaiting resolution."),
+		submitted: reg.Counter("fcdpm_devicesim_submitted_total",
+			"Runs submitted by the fleet."),
+		completed: reg.Counter("fcdpm_devicesim_completed_total",
+			"Runs the fleet saw resolve successfully."),
+		failed: reg.Counter("fcdpm_devicesim_failed_total",
+			"Runs that failed for a non-shed reason (harness-side errors)."),
+		shed: reg.Counter("fcdpm_devicesim_shed_total",
+			"Submissions the server shed (503/429)."),
+		retries: reg.Counter("fcdpm_devicesim_retry_waits_total",
+			"Retry-After backoff waits honored."),
+		cacheHits: reg.Counter("fcdpm_devicesim_cache_hits_total",
+			"Submissions answered from the server's result cache."),
+		misses: reg.Counter("fcdpm_devicesim_cache_misses_total",
+			"Submissions that caused a fresh simulation."),
+		coalesced: reg.Counter("fcdpm_devicesim_coalesced_total",
+			"Submissions coalesced onto an identical in-flight run."),
+		latency: reg.Histogram("fcdpm_devicesim_latency_seconds",
+			"Client-observed submit-to-resolution latency.", obs.DurationBuckets),
+	}
+}
+
+// serveMetrics exposes the fleet registry at addr (/metrics, /healthz)
+// for the duration of the run. Returns the bound address and a stop
+// function, or an error if the listener could not bind.
+func (m *fleetMetrics) serve(addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		m.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

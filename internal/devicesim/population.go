@@ -1,0 +1,191 @@
+package devicesim
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"time"
+
+	"fcdpm/internal/config"
+	"fcdpm/internal/dvs"
+)
+
+// fraction hashes (seed, surface, op, n) into [0, 1) — the population
+// and schedule's only source of randomness, fully determined by the
+// seed (the same idiom internal/chaos uses for its fault schedule).
+func fraction(seed uint64, surface, op string, n uint64) float64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], seed)
+	h.Write(b[:])
+	h.Write([]byte(surface))
+	h.Write([]byte{0})
+	h.Write([]byte(op))
+	binary.LittleEndian.PutUint64(b[:], n)
+	h.Write(b[:])
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// Device is one virtual device's immutable identity: which scenario
+// variant it submits, how it submits (sync or async), and the jitter
+// phase of its cadence. Everything here is a pure function of
+// (template, fleet seed, index).
+type Device struct {
+	// Index is the device's position in the population, ID its name.
+	Index int    `json:"index"`
+	ID    string `json:"id"`
+	// Variant is the scenario-variant index this device submits.
+	Variant int `json:"variant"`
+	// Family, Seed, Duration, and Level describe the variant's trace
+	// (Level only for family "dvs").
+	Family   string  `json:"family"`
+	Seed     uint64  `json:"seed"`
+	Duration float64 `json:"duration"`
+	Level    int     `json:"level,omitempty"`
+	// Async devices submit with ?async=1 and tail the event stream.
+	Async bool `json:"async"`
+}
+
+// Scenario renders the device's submission spec. Devices of the same
+// variant produce byte-identical specs (the name is variant-keyed), so
+// they share a cache key — the collision that exercises the server's
+// cache and coalescing paths.
+func (d Device) Scenario(policy string) *config.Scenario {
+	s := &config.Scenario{Name: fmt.Sprintf("fleet-v%03d", d.Variant)}
+	s.Trace.Kind = d.Family
+	s.Trace.Seed = d.Seed
+	s.Trace.Duration = d.Duration
+	s.Trace.Level = d.Level
+	s.Policy.Kind = policy
+	return s
+}
+
+// BuildPopulation derives count devices from the template and fleet
+// seed. Deterministic: equal inputs give an identical population.
+func BuildPopulation(tmpl Template, count int, seed uint64) []Device {
+	total := 0.0
+	for _, f := range tmpl.Families {
+		total += f.Weight
+	}
+	levels := len(dvs.XScale600().Levels)
+	devices := make([]Device, count)
+	for i := range devices {
+		variant := i
+		if tmpl.Variants > 0 {
+			variant = i % tmpl.Variants
+		}
+		v := uint64(variant)
+		// Family: a weighted draw keyed on the variant, so every member
+		// of a variant asks for the same trace.
+		pick := fraction(seed, "variant", "family", v) * total
+		family := tmpl.Families[len(tmpl.Families)-1].Kind
+		for _, f := range tmpl.Families {
+			if pick < f.Weight {
+				family = f.Kind
+				break
+			}
+			pick -= f.Weight
+		}
+		// Trace-length jitter, rounded to whole seconds so the variant's
+		// canonical spec stays tidy.
+		dur := tmpl.DurationMin +
+			fraction(seed, "variant", "duration", v)*(tmpl.DurationMax-tmpl.DurationMin)
+		d := Device{
+			Index:    i,
+			ID:       fmt.Sprintf("dev-%05d", i),
+			Variant:  variant,
+			Family:   family,
+			Seed:     tmpl.SeedBase + v + 1,
+			Duration: float64(int(dur)),
+			Async:    fraction(seed, "device", "async", uint64(i)) < tmpl.AsyncFraction,
+		}
+		if family == "dvs" {
+			// The DVS trace is deterministic; its seed is inert and the
+			// operating point carries the variant's identity instead.
+			d.Level = int(fraction(seed, "variant", "level", v) * float64(levels))
+			if d.Level >= levels {
+				d.Level = levels - 1
+			}
+			d.Seed = 0
+		}
+		devices[i] = d
+	}
+	return devices
+}
+
+// Submission is one scheduled submit: device dev's seq'th run, due At
+// after harness start.
+type Submission struct {
+	At     time.Duration
+	Device int
+	Seq    int
+}
+
+// Schedule lays out every device's submission times across the run
+// window: each device starts at a seed-determined phase within its
+// first cadence interval, then repeats with per-interval jitter in
+// [0.5, 1.5) × cadence. The merged schedule is sorted by (At, Device)
+// — a total order, so fixed inputs give identical bytes.
+func Schedule(devices []Device, cadence, window time.Duration, seed uint64) []Submission {
+	var subs []Submission
+	for _, d := range devices {
+		n := uint64(d.Index)
+		at := time.Duration(fraction(seed, "sched", "phase", n) * float64(cadence))
+		for seq := 0; at < window; seq++ {
+			subs = append(subs, Submission{At: at, Device: d.Index, Seq: seq})
+			step := 0.5 + fraction(seed, "sched", d.ID, uint64(seq))
+			at += time.Duration(step * float64(cadence))
+		}
+	}
+	sort.Slice(subs, func(i, j int) bool {
+		if subs[i].At != subs[j].At {
+			return subs[i].At < subs[j].At
+		}
+		return subs[i].Device < subs[j].Device
+	})
+	return subs
+}
+
+// WritePlan renders the deterministic population + schedule as NDJSON:
+// a header line, one line per device (with its rendered spec), one per
+// scheduled submission. Byte-reproducible for fixed inputs — the
+// harness's dry-run surface and the determinism acceptance check.
+func (o Options) WritePlan(w io.Writer) error {
+	o = o.withDefaults()
+	if err := o.Template.Validate(); err != nil {
+		return err
+	}
+	devices := BuildPopulation(o.Template, o.Count, o.Seed)
+	subs := Schedule(devices, o.Cadence, o.StopAfter, o.Seed)
+	enc := json.NewEncoder(w)
+	header := map[string]any{
+		"plan": "devicesim", "count": o.Count, "seed": o.Seed,
+		"cadenceMs": o.Cadence.Milliseconds(), "windowMs": o.StopAfter.Milliseconds(),
+		"variants": o.Template.Variants, "submissions": len(subs),
+	}
+	if err := enc.Encode(header); err != nil {
+		return err
+	}
+	for _, d := range devices {
+		spec, err := json.Marshal(d.Scenario(o.Template.Policy))
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(map[string]any{
+			"device": d, "spec": json.RawMessage(spec),
+		}); err != nil {
+			return err
+		}
+	}
+	for _, s := range subs {
+		if err := enc.Encode(map[string]any{
+			"at": s.At.Milliseconds(), "device": s.Device, "seq": s.Seq,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package devicesim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func planOpts(seed uint64) Options {
+	return Options{
+		Count:     50,
+		Cadence:   500 * time.Millisecond,
+		StopAfter: 5 * time.Second,
+		Seed:      seed,
+		Template:  DefaultTemplate(),
+	}
+}
+
+// TestPlanByteReproducible is the determinism acceptance check: a fixed
+// seed reproduces the exact population and submission schedule, byte
+// for byte, and a different seed does not.
+func TestPlanByteReproducible(t *testing.T) {
+	var a, b, c bytes.Buffer
+	if err := planOpts(42).WritePlan(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := planOpts(42).WritePlan(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := planOpts(43).WritePlan(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same seed produced different plans")
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	if a.Len() == 0 {
+		t.Fatal("empty plan")
+	}
+}
+
+// TestPopulationVariants: devices of the same variant render
+// byte-identical specs (the cache/coalescing collision devicesim
+// exists to exercise), and every spec is valid and content-addressable.
+func TestPopulationVariants(t *testing.T) {
+	tmpl := DefaultTemplate()
+	tmpl.Variants = 8
+	devices := BuildPopulation(tmpl, 64, 7)
+	if len(devices) != 64 {
+		t.Fatalf("population size %d", len(devices))
+	}
+	keys := map[int]string{}
+	for _, d := range devices {
+		key, err := d.Scenario(tmpl.Policy).CacheKey("engine")
+		if err != nil {
+			t.Fatalf("%s: invalid spec: %v", d.ID, err)
+		}
+		if prev, ok := keys[d.Variant]; ok && prev != key {
+			t.Fatalf("variant %d renders two cache keys", d.Variant)
+		}
+		keys[d.Variant] = key
+	}
+	if len(keys) != 8 {
+		t.Fatalf("got %d variants, want 8", len(keys))
+	}
+	// Distinct variants must not collide onto one scenario.
+	seen := map[string]bool{}
+	for _, k := range keys {
+		seen[k] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("all variants share a cache key")
+	}
+}
+
+// TestPopulationMixesModes: the default template yields both sync and
+// async devices, and at least two workload families.
+func TestPopulationMixesModes(t *testing.T) {
+	devices := BuildPopulation(DefaultTemplate(), 200, 1)
+	families := map[string]int{}
+	asyncs := 0
+	for _, d := range devices {
+		families[d.Family]++
+		if d.Async {
+			asyncs++
+		}
+	}
+	if len(families) < 2 {
+		t.Fatalf("families = %v, want a mix", families)
+	}
+	if asyncs == 0 || asyncs == len(devices) {
+		t.Fatalf("async count %d of %d, want a mix", asyncs, len(devices))
+	}
+}
+
+// TestScheduleShape: sorted, inside the window, jitter within the
+// documented [0.5, 1.5) x cadence envelope per device.
+func TestScheduleShape(t *testing.T) {
+	devices := BuildPopulation(DefaultTemplate(), 20, 3)
+	cadence := 200 * time.Millisecond
+	window := 2 * time.Second
+	subs := Schedule(devices, cadence, window, 3)
+	if len(subs) == 0 {
+		t.Fatal("empty schedule")
+	}
+	last := map[int]time.Duration{}
+	for i, s := range subs {
+		if s.At < 0 || s.At >= window {
+			t.Fatalf("submission %d outside window: %v", i, s.At)
+		}
+		if i > 0 && subs[i].At < subs[i-1].At {
+			t.Fatal("schedule not sorted")
+		}
+		if prev, ok := last[s.Device]; ok {
+			gap := s.At - prev
+			if gap < cadence/2 || gap >= cadence*3/2 {
+				t.Fatalf("device %d gap %v outside [%v, %v)", s.Device, gap, cadence/2, cadence*3/2)
+			}
+		}
+		last[s.Device] = s.At
+	}
+}

@@ -1,0 +1,95 @@
+package devicesim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Report is the harness's final accounting: what the fleet submitted,
+// what came back, and what the client side observed about latency. The
+// counter fields mirror the server's /v1/stats taxonomy one-to-one so
+// the two can be diffed (see TestFleetCrossCheck).
+type Report struct {
+	Devices     int   `json:"devices"`
+	Submissions int   `json:"submissions"`
+	Submitted   int64 `json:"submitted"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	Shed        int64 `json:"shed"`
+	RetryWaits  int64 `json:"retryWaits"`
+
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+	Coalesced   int64 `json:"coalesced"`
+
+	// Client-observed submit-to-resolution latency, milliseconds.
+	P50Ms float64 `json:"p50Ms"`
+	P95Ms float64 `json:"p95Ms"`
+	P99Ms float64 `json:"p99Ms"`
+
+	// Rates are fractions of Submitted (0 when nothing was submitted).
+	ShedRate     float64 `json:"shedRate"`
+	CoalesceRate float64 `json:"coalesceRate"`
+	CacheHitRate float64 `json:"cacheHitRate"`
+
+	ElapsedSeconds float64 `json:"elapsedSeconds"`
+}
+
+// buildReport snapshots the fleet metrics into a Report.
+func buildReport(m *fleetMetrics, devices, submissions int, elapsed float64) Report {
+	r := Report{
+		Devices:        devices,
+		Submissions:    submissions,
+		Submitted:      int64(m.submitted.Value()),
+		Completed:      int64(m.completed.Value()),
+		Failed:         int64(m.failed.Value()),
+		Shed:           int64(m.shed.Value()),
+		RetryWaits:     int64(m.retries.Value()),
+		CacheHits:      int64(m.cacheHits.Value()),
+		CacheMisses:    int64(m.misses.Value()),
+		Coalesced:      int64(m.coalesced.Value()),
+		ElapsedSeconds: elapsed,
+	}
+	qs := m.latency.Quantiles(0.5, 0.95, 0.99)
+	r.P50Ms, r.P95Ms, r.P99Ms = qs[0]*1e3, qs[1]*1e3, qs[2]*1e3
+	if r.Submitted > 0 {
+		n := float64(r.Submitted)
+		r.ShedRate = float64(r.Shed) / n
+		r.CoalesceRate = float64(r.Coalesced) / n
+		r.CacheHitRate = float64(r.CacheHits) / n
+	}
+	return r
+}
+
+// Write renders the human-readable report.
+func (r Report) Write(w io.Writer) error {
+	_, err := fmt.Fprintf(w, `devicesim report
+  devices       %d
+  submitted     %d (of %d scheduled)
+  completed     %d
+  failed        %d
+  shed          %d (rate %.3f)
+  retry waits   %d
+  cache hits    %d (rate %.3f)
+  cache misses  %d
+  coalesced     %d (rate %.3f)
+  latency p50   %.1f ms
+  latency p95   %.1f ms
+  latency p99   %.1f ms
+  elapsed       %.1f s
+`,
+		r.Devices, r.Submitted, r.Submissions, r.Completed, r.Failed,
+		r.Shed, r.ShedRate, r.RetryWaits,
+		r.CacheHits, r.CacheHitRate, r.CacheMisses,
+		r.Coalesced, r.CoalesceRate,
+		r.P50Ms, r.P95Ms, r.P99Ms, r.ElapsedSeconds)
+	return err
+}
+
+// WriteJSON renders the report as one JSON document (the CI artifact).
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

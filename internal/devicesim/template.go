@@ -1,0 +1,141 @@
+// Package devicesim is the fleet-scale load harness: thousands of
+// virtual devices, each an independent agent with a deterministic
+// identity, submitting scenario runs to `fcdpm serve` and following
+// them to resolution. The fleet exercises every serving-path behavior
+// at once — cache hits, in-flight coalescing, admission shedding,
+// Retry-After backoff — while exporting its own client-side metrics,
+// so a single harness run cross-checks the server's accounting against
+// an independent observer.
+//
+// Determinism is the design invariant: a fixed seed reproduces the
+// exact same device population and submission schedule, byte for byte
+// (the FNV-hash schedule idiom shared with internal/chaos). Wall-clock
+// outcomes (which submissions shed, what latency they saw) depend on
+// the server, but *what* the fleet asks for never does.
+package devicesim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// FamilyWeight weights one workload family in the population draw.
+type FamilyWeight struct {
+	// Kind is a trace kind: "camcorder", "synthetic", "bursty",
+	// "heavytail", or "dvs".
+	Kind string `json:"kind"`
+	// Weight is the relative draw weight (> 0).
+	Weight float64 `json:"weight"`
+}
+
+// Template is the shared scenario template every variant mutates
+// deterministically (scenarios/devicesim.json). Devices collapse onto
+// Variants distinct scenarios; members of a variant submit
+// byte-identical specs, which is what drives cache hits and in-flight
+// coalescing under load.
+type Template struct {
+	// Families weights the workload families devices draw from.
+	Families []FamilyWeight `json:"families"`
+	// DurationMin and DurationMax bound the per-variant trace-length
+	// jitter, in simulated seconds (drawn uniformly, rounded to whole
+	// seconds so variant specs stay canonical).
+	DurationMin float64 `json:"durationMin"`
+	DurationMax float64 `json:"durationMax"`
+	// Variants is how many distinct scenarios the population collapses
+	// to. 0 means every device gets its own (no sharing, so no cache
+	// hits — useful for pure-throughput runs).
+	Variants int `json:"variants"`
+	// AsyncFraction of submissions use ?async=1 + event tailing instead
+	// of a blocking POST (drawn per device).
+	AsyncFraction float64 `json:"asyncFraction"`
+	// SeedBase offsets the per-variant trace seeds, so two fleets with
+	// different bases never share cache keys.
+	SeedBase uint64 `json:"seedBase"`
+	// Policy is the policy kind every scenario runs (default "fcdpm").
+	Policy string `json:"policy"`
+}
+
+// DefaultTemplate is the fleet mix used when no config file is given:
+// all five families, half-minute-scale traces, 16 variants, an even
+// sync/async split.
+func DefaultTemplate() Template {
+	return Template{
+		Families: []FamilyWeight{
+			{Kind: "camcorder", Weight: 2},
+			{Kind: "synthetic", Weight: 2},
+			{Kind: "bursty", Weight: 1},
+			{Kind: "heavytail", Weight: 1},
+			{Kind: "dvs", Weight: 1},
+		},
+		DurationMin:   120,
+		DurationMax:   600,
+		Variants:      16,
+		AsyncFraction: 0.5,
+		SeedBase:      1000,
+		Policy:        "fcdpm",
+	}
+}
+
+// knownFamilies are the trace kinds a template may weight.
+var knownFamilies = map[string]bool{
+	"camcorder": true, "synthetic": true, "bursty": true,
+	"heavytail": true, "dvs": true,
+}
+
+// Validate rejects templates that would build unusable populations.
+func (t Template) Validate() error {
+	if len(t.Families) == 0 {
+		return fmt.Errorf("devicesim: template needs at least one family")
+	}
+	total := 0.0
+	for i, f := range t.Families {
+		if !knownFamilies[f.Kind] {
+			return fmt.Errorf("devicesim: families[%d]: unknown kind %q", i, f.Kind)
+		}
+		if math.IsNaN(f.Weight) || f.Weight <= 0 {
+			return fmt.Errorf("devicesim: families[%d] (%s): non-positive weight %v", i, f.Kind, f.Weight)
+		}
+		total += f.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("devicesim: family weights sum to %v", total)
+	}
+	if t.DurationMin < 1 || t.DurationMax < t.DurationMin {
+		return fmt.Errorf("devicesim: bad duration bounds [%v, %v]", t.DurationMin, t.DurationMax)
+	}
+	if t.Variants < 0 {
+		return fmt.Errorf("devicesim: negative variant count %d", t.Variants)
+	}
+	if math.IsNaN(t.AsyncFraction) || t.AsyncFraction < 0 || t.AsyncFraction > 1 {
+		return fmt.Errorf("devicesim: async fraction %v outside [0, 1]", t.AsyncFraction)
+	}
+	return nil
+}
+
+// LoadTemplate reads a template from JSON; unknown fields are rejected
+// so typos in a knob name fail loudly instead of silently defaulting.
+func LoadTemplate(r io.Reader) (Template, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var t Template
+	if err := dec.Decode(&t); err != nil {
+		return Template{}, fmt.Errorf("devicesim: %w", err)
+	}
+	if t.Policy == "" {
+		t.Policy = "fcdpm"
+	}
+	return t, t.Validate()
+}
+
+// LoadTemplateFile reads a template from a file.
+func LoadTemplateFile(path string) (Template, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Template{}, fmt.Errorf("devicesim: %w", err)
+	}
+	defer f.Close()
+	return LoadTemplate(f)
+}

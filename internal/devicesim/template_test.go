@@ -1,0 +1,63 @@
+package devicesim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultTemplateValid(t *testing.T) {
+	if err := DefaultTemplate().Validate(); err != nil {
+		t.Fatalf("default template invalid: %v", err)
+	}
+}
+
+func TestLoadTemplate(t *testing.T) {
+	js := `{
+		"families": [{"kind": "synthetic", "weight": 3}, {"kind": "dvs", "weight": 1}],
+		"durationMin": 60, "durationMax": 120,
+		"variants": 4, "asyncFraction": 0.25, "seedBase": 7
+	}`
+	tmpl, err := LoadTemplate(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmpl.Families) != 2 || tmpl.Variants != 4 || tmpl.SeedBase != 7 {
+		t.Fatalf("template = %+v", tmpl)
+	}
+	if tmpl.Policy != "fcdpm" {
+		t.Fatalf("policy default = %q, want fcdpm", tmpl.Policy)
+	}
+}
+
+func TestLoadTemplateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		js   string
+	}{
+		{"unknown-field", `{"families":[{"kind":"synthetic","weight":1}],"durationMin":60,"durationMax":120,"typo":1}`},
+		{"no-families", `{"durationMin":60,"durationMax":120}`},
+		{"unknown-kind", `{"families":[{"kind":"quantum","weight":1}],"durationMin":60,"durationMax":120}`},
+		{"zero-weight", `{"families":[{"kind":"synthetic","weight":0}],"durationMin":60,"durationMax":120}`},
+		{"inverted-bounds", `{"families":[{"kind":"synthetic","weight":1}],"durationMin":120,"durationMax":60}`},
+		{"tiny-duration", `{"families":[{"kind":"synthetic","weight":1}],"durationMin":0,"durationMax":60}`},
+		{"negative-variants", `{"families":[{"kind":"synthetic","weight":1}],"durationMin":60,"durationMax":120,"variants":-1}`},
+		{"async-over-one", `{"families":[{"kind":"synthetic","weight":1}],"durationMin":60,"durationMax":120,"asyncFraction":1.5}`},
+	}
+	for _, tc := range cases {
+		if _, err := LoadTemplate(strings.NewReader(tc.js)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestStockTemplateFile: the checked-in scenarios/devicesim.json loads
+// and validates — the file the CLI and CI smoke job point at.
+func TestStockTemplateFile(t *testing.T) {
+	tmpl, err := LoadTemplateFile("../../scenarios/devicesim.json")
+	if err != nil {
+		t.Fatalf("stock template: %v", err)
+	}
+	if len(tmpl.Families) != 5 || tmpl.Variants != 16 {
+		t.Fatalf("stock template drifted from the documented mix: %+v", tmpl)
+	}
+}

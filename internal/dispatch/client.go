@@ -1,7 +1,6 @@
 package dispatch
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -12,7 +11,7 @@ import (
 	"time"
 
 	"fcdpm/internal/cache"
-	"fcdpm/internal/runner"
+	"fcdpm/internal/client"
 )
 
 // ClientOptions tunes a remote sweep submission.
@@ -59,25 +58,10 @@ func SubmitSweep(ctx context.Context, opts ClientOptions, req SweepRequest) erro
 
 	// Submit, retrying transient refusals (draining, unreachable).
 	var acc SweepAccepted
-	for attempt := 1; ; attempt++ {
-		err := postJSON(ctx, opts.Client, opts.Base+"/v1/sweeps", req, &acc)
-		if err == nil {
-			break
-		}
-		var he *httpError
-		if errors.As(err, &he) && he.code != http.StatusServiceUnavailable {
-			return fmt.Errorf("dispatch: submit: %w", err)
-		}
-		if attempt >= 5 {
-			return fmt.Errorf("dispatch: submit: %w", err)
-		}
-		delay := runner.BackoffDelay(250*time.Millisecond, 5*time.Second, "submit", attempt)
-		if errors.As(err, &he) && he.retryAfter > delay {
-			delay = he.retryAfter
-		}
-		if !sleepCtx(ctx, delay) {
-			return fmt.Errorf("dispatch: submit: %w", runner.ErrInterrupted)
-		}
+	err := client.PostJSONRetry(ctx, opts.Client, opts.Base+"/v1/sweeps", req, &acc,
+		client.Retry{Attempts: 5, Base: 250 * time.Millisecond, Max: 5 * time.Second, ID: "submit"})
+	if err != nil {
+		return fmt.Errorf("dispatch: submit: %w", err)
 	}
 	opts.Logf("fcdpm sweep: accepted as %s (%d shards)", acc.ID, acc.Shards)
 
@@ -97,78 +81,42 @@ func SubmitSweep(ctx context.Context, opts ClientOptions, req SweepRequest) erro
 }
 
 // waitForSweep tails events until the sweep resolves, re-tailing across
-// disconnects (dispatcher restarts included).
+// disconnects (dispatcher restarts included). A typed refusal from the
+// status poll — the dispatcher answered but doesn't know the sweep,
+// i.e. a restart without the sweep's state dir — is unrecoverable.
 func waitForSweep(ctx context.Context, opts ClientOptions, id string) (*SweepStatus, error) {
-	tailFails := 0
-	for {
-		if ctx.Err() != nil {
-			return nil, fmt.Errorf("dispatch: sweep %s still running: %w", id, runner.ErrInterrupted)
-		}
-		tailErr := tailEvents(ctx, opts, id)
-		st, err := sweepStatus(ctx, opts, id)
-		if err == nil {
-			if st.Done() {
-				return st, nil
+	var st *SweepStatus
+	err := client.Follow{
+		Tail: func(ctx context.Context) error {
+			return client.TailNDJSON(ctx, opts.Client, opts.Base+"/v1/sweeps/"+id+"/events",
+				func(line string) {
+					if opts.Events != nil {
+						fmt.Fprintln(opts.Events, line)
+					}
+				})
+		},
+		Poll: func(ctx context.Context) (bool, error) {
+			cur, err := sweepStatus(ctx, opts, id)
+			if err != nil {
+				return false, err
 			}
-			// Stream dropped mid-flight (restart, proxy timeout): back off
-			// briefly and re-tail from the fresh stream.
-			tailFails++
-		} else {
-			var he *httpError
-			if errors.As(err, &he) {
-				// The dispatcher answered but doesn't know the sweep — a
-				// restart without the sweep's state dir. Unrecoverable.
-				return nil, fmt.Errorf("dispatch: sweep %s: %w", id, err)
-			}
-			tailFails++
-			if tailFails == 1 {
-				opts.Logf("fcdpm sweep: dispatcher unreachable, retrying: %v", firstErr(tailErr, err))
-			}
-		}
-		if !sleepCtx(ctx, runner.BackoffDelay(250*time.Millisecond, 10*time.Second, id+"/tail", tailFails)) {
-			return nil, fmt.Errorf("dispatch: sweep %s still running: %w", id, runner.ErrInterrupted)
-		}
-	}
-}
-
-func firstErr(errs ...error) error {
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// tailEvents streams the sweep's NDJSON progress to opts.Events until
-// the stream closes (sweep resolved or connection lost).
-func tailEvents(ctx context.Context, opts ClientOptions, id string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, opts.Base+"/v1/sweeps/"+id+"/events", nil)
+			st = cur
+			return cur.Done(), nil
+		},
+		ID: id,
+		OnRetry: func(err error) {
+			opts.Logf("fcdpm sweep: dispatcher unreachable, retrying: %v", err)
+		},
+	}.Run(ctx)
 	if err != nil {
-		return err
+		return nil, fmt.Errorf("dispatch: sweep %s: %w", id, err)
 	}
-	resp, err := opts.Client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != 200 {
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("events: http %d", resp.StatusCode)
-	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
-	for sc.Scan() {
-		if opts.Events != nil {
-			fmt.Fprintln(opts.Events, sc.Text())
-		}
-	}
-	return sc.Err()
+	return st, nil
 }
 
 func sweepStatus(ctx context.Context, opts ClientOptions, id string) (*SweepStatus, error) {
 	var st SweepStatus
-	if err := getJSON(ctx, opts.Client, opts.Base+"/v1/sweeps/"+id, &st); err != nil {
+	if err := client.GetJSON(ctx, opts.Client, opts.Base+"/v1/sweeps/"+id, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"fcdpm/internal/client"
 	"fcdpm/internal/config"
 	"fcdpm/internal/runreport"
 	"fcdpm/internal/sim"
@@ -191,14 +192,14 @@ func TestLeaseExpiryReclaim(t *testing.T) {
 
 	spec := scenarioJSON("reclaim-me", 7)
 	var acc SweepAccepted
-	if err := postJSON(context.Background(), ts.Client(), ts.URL+"/v1/sweeps",
+	if err := client.PostJSON(context.Background(), ts.Client(), ts.URL+"/v1/sweeps",
 		SweepRequest{Name: "chaos", Scenarios: []json.RawMessage{spec}}, &acc); err != nil {
 		t.Fatal(err)
 	}
 
 	lease := func(worker string) LeaseResponse {
 		var resp LeaseResponse
-		if err := postJSON(context.Background(), ts.Client(), ts.URL+"/v1/lease",
+		if err := client.PostJSON(context.Background(), ts.Client(), ts.URL+"/v1/lease",
 			LeaseRequest{Worker: worker, Engine: version.Engine(), Max: 1}, &resp); err != nil {
 			t.Fatal(err)
 		}
@@ -225,7 +226,7 @@ func TestLeaseExpiryReclaim(t *testing.T) {
 	// The ghost's late FAILURE verdict must not fail the shard: the
 	// lease was reclaimed, the verdict belongs to the next holder.
 	var cresp CompleteResponse
-	err := postJSON(context.Background(), ts.Client(), ts.URL+"/v1/complete", CompleteRequest{
+	err := client.PostJSON(context.Background(), ts.Client(), ts.URL+"/v1/complete", CompleteRequest{
 		Worker: "ghost", Lease: ghost.Shards[0].Lease, RunID: ghost.Shards[0].RunID,
 		Key: ghost.Shards[0].Key, OK: false, Error: "killed mid-shard",
 	}, &cresp)
@@ -246,7 +247,7 @@ func TestLeaseExpiryReclaim(t *testing.T) {
 		t.Fatal("re-dispatch changed the shard's RunID")
 	}
 	body := renderLocally(t, spec)
-	err = postJSON(context.Background(), ts.Client(), ts.URL+"/v1/complete", CompleteRequest{
+	err = client.PostJSON(context.Background(), ts.Client(), ts.URL+"/v1/complete", CompleteRequest{
 		Worker: "w2", Lease: second.Shards[0].Lease, RunID: second.Shards[0].RunID,
 		Key: second.Shards[0].Key, OK: true, Body: body,
 	}, &cresp)
@@ -256,7 +257,7 @@ func TestLeaseExpiryReclaim(t *testing.T) {
 
 	// The ghost resurfaces and pushes its own success (the at-least-once
 	// path): deduplicated, not double-counted.
-	err = postJSON(context.Background(), ts.Client(), ts.URL+"/v1/complete", CompleteRequest{
+	err = client.PostJSON(context.Background(), ts.Client(), ts.URL+"/v1/complete", CompleteRequest{
 		Worker: "ghost", Lease: ghost.Shards[0].Lease, RunID: ghost.Shards[0].RunID,
 		Key: ghost.Shards[0].Key, OK: true, Body: body,
 	}, &cresp)
@@ -268,7 +269,7 @@ func TestLeaseExpiryReclaim(t *testing.T) {
 	}
 
 	var st SweepStatus
-	if err := getJSON(context.Background(), ts.Client(), ts.URL+"/v1/sweeps/"+acc.ID, &st); err != nil {
+	if err := client.GetJSON(context.Background(), ts.Client(), ts.URL+"/v1/sweeps/"+acc.ID, &st); err != nil {
 		t.Fatal(err)
 	}
 	if st.Status != "done" || st.Completed != 1 || st.Failed != 0 {
@@ -300,12 +301,12 @@ func TestStaleSuccessAccepted(t *testing.T) {
 
 	spec := scenarioJSON("stale-win", 9)
 	var acc SweepAccepted
-	if err := postJSON(context.Background(), ts.Client(), ts.URL+"/v1/sweeps",
+	if err := client.PostJSON(context.Background(), ts.Client(), ts.URL+"/v1/sweeps",
 		SweepRequest{Scenarios: []json.RawMessage{spec}}, &acc); err != nil {
 		t.Fatal(err)
 	}
 	var first LeaseResponse
-	if err := postJSON(context.Background(), ts.Client(), ts.URL+"/v1/lease",
+	if err := client.PostJSON(context.Background(), ts.Client(), ts.URL+"/v1/lease",
 		LeaseRequest{Worker: "slow", Engine: version.Engine(), Max: 1}, &first); err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +320,7 @@ func TestStaleSuccessAccepted(t *testing.T) {
 	// The slow worker finishes anyway and delivers under its stale lease.
 	body := renderLocally(t, spec)
 	var cresp CompleteResponse
-	err := postJSON(context.Background(), ts.Client(), ts.URL+"/v1/complete", CompleteRequest{
+	err := client.PostJSON(context.Background(), ts.Client(), ts.URL+"/v1/complete", CompleteRequest{
 		Worker: "slow", Lease: first.Shards[0].Lease, RunID: first.Shards[0].RunID,
 		Key: first.Shards[0].Key, OK: true, Body: body,
 	}, &cresp)
@@ -327,7 +328,7 @@ func TestStaleSuccessAccepted(t *testing.T) {
 		t.Fatalf("stale success: err=%v duplicate=%v, want accepted", err, cresp.Duplicate)
 	}
 	var st SweepStatus
-	if err := getJSON(context.Background(), ts.Client(), ts.URL+"/v1/sweeps/"+acc.ID, &st); err != nil {
+	if err := client.GetJSON(context.Background(), ts.Client(), ts.URL+"/v1/sweeps/"+acc.ID, &st); err != nil {
 		t.Fatal(err)
 	}
 	if st.Status != "done" || st.Completed != 1 {
@@ -364,12 +365,12 @@ func TestKillAndResumeSweep(t *testing.T) {
 	// warm shards resolve from cache instantly, two stay queued — then
 	// kill the dispatcher mid-sweep.
 	var acc SweepAccepted
-	if err := postJSON(context.Background(), ts1.Client(), ts1.URL+"/v1/sweeps",
+	if err := client.PostJSON(context.Background(), ts1.Client(), ts1.URL+"/v1/sweeps",
 		SweepRequest{Name: "resume", Scenarios: specs}, &acc); err != nil {
 		t.Fatal(err)
 	}
 	var st SweepStatus
-	if err := getJSON(context.Background(), ts1.Client(), ts1.URL+"/v1/sweeps/"+acc.ID, &st); err != nil {
+	if err := client.GetJSON(context.Background(), ts1.Client(), ts1.URL+"/v1/sweeps/"+acc.ID, &st); err != nil {
 		t.Fatal(err)
 	}
 	if st.Cached != 2 || st.Remaining != 2 {
@@ -381,7 +382,7 @@ func TestKillAndResumeSweep(t *testing.T) {
 	// Phase 3: restart on the same state dir. The sweep must come back
 	// mid-flight with its cache hits intact.
 	d2, ts2 := newTestDispatcher(t, Options{StateDir: state, LeaseTTL: time.Second})
-	if err := getJSON(context.Background(), ts2.Client(), ts2.URL+"/v1/sweeps/"+acc.ID, &st); err != nil {
+	if err := client.GetJSON(context.Background(), ts2.Client(), ts2.URL+"/v1/sweeps/"+acc.ID, &st); err != nil {
 		t.Fatalf("sweep lost across restart: %v", err)
 	}
 	if st.Status != "running" || st.Completed != 2 || st.Cached != 2 || st.Remaining != 2 {
@@ -423,7 +424,7 @@ func waitSweepDone(t *testing.T, ts *httptest.Server, id string, timeout time.Du
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
 		var st SweepStatus
-		if err := getJSON(context.Background(), ts.Client(), ts.URL+"/v1/sweeps/"+id, &st); err != nil {
+		if err := client.GetJSON(context.Background(), ts.Client(), ts.URL+"/v1/sweeps/"+id, &st); err != nil {
 			t.Fatal(err)
 		}
 		if st.Done() {
@@ -442,7 +443,7 @@ func waitSweepDone(t *testing.T, ts *httptest.Server, id string, timeout time.Du
 func TestResultsConflictWhileRunning(t *testing.T) {
 	_, ts := newTestDispatcher(t, Options{LeaseTTL: time.Second})
 	var acc SweepAccepted
-	if err := postJSON(context.Background(), ts.Client(), ts.URL+"/v1/sweeps",
+	if err := client.PostJSON(context.Background(), ts.Client(), ts.URL+"/v1/sweeps",
 		SweepRequest{Scenarios: []json.RawMessage{scenarioJSON("pending", 3)}}, &acc); err != nil {
 		t.Fatal(err)
 	}
@@ -461,13 +462,13 @@ func TestResultsConflictWhileRunning(t *testing.T) {
 func TestEngineMismatchRejected(t *testing.T) {
 	_, ts := newTestDispatcher(t, Options{LeaseTTL: time.Second})
 	var resp LeaseResponse
-	err := postJSON(context.Background(), ts.Client(), ts.URL+"/v1/lease",
+	err := client.PostJSON(context.Background(), ts.Client(), ts.URL+"/v1/lease",
 		LeaseRequest{Worker: "other", Engine: "fcdpm-other-build", Max: 1}, &resp)
-	var he *httpError
+	var he *client.Error
 	if err == nil || !strings.Contains(err.Error(), "engine mismatch") {
 		t.Fatalf("err = %v, want engine mismatch", err)
 	}
-	if !errors.As(err, &he) || he.code != http.StatusConflict {
+	if !errors.As(err, &he) || he.Code != http.StatusConflict {
 		t.Fatalf("err = %v, want 409", err)
 	}
 }
@@ -579,12 +580,12 @@ func TestWorkerLostLeaseCancelsRun(t *testing.T) {
 	defer w.poolStop()
 
 	var acc SweepAccepted
-	if err := postJSON(context.Background(), ts.Client(), ts.URL+"/v1/sweeps",
+	if err := client.PostJSON(context.Background(), ts.Client(), ts.URL+"/v1/sweeps",
 		SweepRequest{Scenarios: []json.RawMessage{scenarioJSON("lost", 21)}}, &acc); err != nil {
 		t.Fatal(err)
 	}
 	var lr LeaseResponse
-	if err := postJSON(context.Background(), ts.Client(), ts.URL+"/v1/lease",
+	if err := client.PostJSON(context.Background(), ts.Client(), ts.URL+"/v1/lease",
 		LeaseRequest{Worker: "loser", Engine: version.Engine(), Max: 1}, &lr); err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"fcdpm/internal/client"
 	"fcdpm/internal/config"
 	"fcdpm/internal/obs"
 	"fcdpm/internal/runner"
@@ -235,9 +236,9 @@ func (w *Worker) leaseLoop(ctx context.Context) error {
 			continue
 		}
 		var resp LeaseResponse
-		err := postJSON(ctx, w.hc, w.opts.Dispatcher+"/v1/lease",
+		err := client.PostJSON(ctx, w.hc, w.opts.Dispatcher+"/v1/lease",
 			LeaseRequest{Worker: w.opts.Name, Engine: w.engine, Max: free}, &resp)
-		var he *httpError
+		var he *client.Error
 		switch {
 		case err == nil:
 			netFails = 0
@@ -254,11 +255,11 @@ func (w *Worker) leaseLoop(ctx context.Context) error {
 			}
 		case errors.As(err, &he):
 			netFails = 0
-			if he.code == http.StatusConflict {
+			if he.Code == http.StatusConflict {
 				// Engine mismatch can never heal without a rebuild.
-				return fmt.Errorf("dispatch: %s", he.msg)
+				return fmt.Errorf("dispatch: %s", he.Msg)
 			}
-			delay := he.retryAfter
+			delay := he.RetryAfter
 			if delay <= 0 {
 				idle++
 				delay = runner.BackoffDelay(w.opts.PollMin, w.opts.PollMax, w.opts.Name+"/http", idle)
@@ -391,7 +392,7 @@ func (w *Worker) deliver(act *activeShard, body []byte, execErr error) {
 func (w *Worker) pushComplete(ctx context.Context, req CompleteRequest, attempts int) bool {
 	for attempt := 1; ; attempt++ {
 		var resp CompleteResponse
-		err := postJSON(ctx, w.hc, w.opts.Dispatcher+"/v1/complete", req, &resp)
+		err := client.PostJSON(ctx, w.hc, w.opts.Dispatcher+"/v1/complete", req, &resp)
 		if err == nil {
 			w.metrics.pushed.Inc()
 			if resp.Duplicate {
@@ -399,8 +400,8 @@ func (w *Worker) pushComplete(ctx context.Context, req CompleteRequest, attempts
 			}
 			return true
 		}
-		var he *httpError
-		if errors.As(err, &he) && he.code/100 == 4 {
+		var he *client.Error
+		if errors.As(err, &he) && he.Code/100 == 4 {
 			// Permanent rejection (stale sweep, malformed): nothing to
 			// retry, nothing to spool.
 			w.opts.Logf("fcdpm workd: completion for %s rejected: %v", req.RunID, err)
@@ -411,8 +412,8 @@ func (w *Worker) pushComplete(ctx context.Context, req CompleteRequest, attempts
 			return false
 		}
 		delay := runner.BackoffDelay(w.opts.PollMin, w.opts.PollMax, req.Lease, attempt)
-		if errors.As(err, &he) && he.retryAfter > delay {
-			delay = he.retryAfter
+		if errors.As(err, &he) && he.RetryAfter > delay {
+			delay = he.RetryAfter
 		}
 		if !w.sleep(ctx, delay) {
 			return false
@@ -457,7 +458,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 			continue
 		}
 		var resp HeartbeatResponse
-		err := postJSON(ctx, w.hc, w.opts.Dispatcher+"/v1/heartbeat",
+		err := client.PostJSON(ctx, w.hc, w.opts.Dispatcher+"/v1/heartbeat",
 			HeartbeatRequest{Worker: w.opts.Name, Leases: tokens}, &resp)
 		if err != nil {
 			continue // unreachable: keep executing, leases may expire

@@ -162,6 +162,80 @@ func (h *Histogram) Count() uint64 {
 	return n
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution by linear interpolation inside the owning bucket — the
+// classic bounded-bucket estimator: find the bucket holding the q·count
+// rank, then interpolate between its bounds by the rank's position
+// within the bucket's count. The first bucket interpolates up from 0
+// (every repo histogram observes non-negative quantities); the +Inf
+// overflow bucket has no upper edge to interpolate toward, so ranks
+// landing there clamp to the highest finite bound. An empty histogram
+// reports 0; q outside [0, 1] clamps.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts, count, _ := h.Snapshot()
+	return quantileFromCounts(h.bounds, counts, count, q)
+}
+
+// Quantiles estimates several quantiles from one consistent snapshot,
+// so p50/p95/p99 in a report cannot straddle concurrent observations.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if h == nil {
+		return out
+	}
+	counts, count, _ := h.Snapshot()
+	for i, q := range qs {
+		out[i] = quantileFromCounts(h.bounds, counts, count, q)
+	}
+	return out
+}
+
+// quantileFromCounts runs the interpolation over a snapshot.
+func quantileFromCounts(bounds []float64, counts []uint64, count uint64, q float64) float64 {
+	if count == 0 || math.IsNaN(q) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(count)
+	cum := 0.0
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if rank > cum {
+			continue
+		}
+		if i >= len(bounds) {
+			// Overflow bucket: clamp to the top finite bound.
+			if len(bounds) == 0 {
+				return 0
+			}
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	// Unreachable (rank <= total cum by construction); defensive clamp.
+	if len(bounds) == 0 {
+		return 0
+	}
+	return bounds[len(bounds)-1]
+}
+
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 {
 	if h == nil {

@@ -276,9 +276,17 @@ func (s *Server) handleRunPost(w http.ResponseWriter, r *http.Request) {
 		s.submitRun(j, taskRef{job: j, cell: -1}, spec, key, name)
 	}
 	if isAsync(r) {
+		// Mirror the sync path's X-Fcdpm-Cache taxonomy so async clients
+		// (devicesim) can count coalesced admissions without waiting.
+		tag := "miss"
+		if coalesced {
+			tag = "coalesced"
+		}
+		w.Header().Set("X-Fcdpm-Cache", tag)
 		writeJSON(w, 202, map[string]string{
 			"id": j.id, "key": key, "status": string(jobQueued),
 			"events": "/v1/runs/" + j.id + "/events",
+			"cache":  tag,
 		})
 		return
 	}
@@ -511,6 +519,12 @@ type perfStatsDoc struct {
 	AvgRunMs float64 `json:"avgRunMs"`
 	// SlotsPerSec is the aggregate simulated-slot throughput.
 	SlotsPerSec float64 `json:"slotsPerSec"`
+	// RunP50Ms/P95Ms/P99Ms are bounded-bucket quantile estimates of the
+	// per-run simulation wall time (obs.Histogram.Quantiles over the
+	// same fcdpm_sim_run_seconds series /metrics exports).
+	RunP50Ms float64 `json:"runP50Ms"`
+	RunP95Ms float64 `json:"runP95Ms"`
+	RunP99Ms float64 `json:"runP99Ms"`
 }
 
 type poolStatsDoc struct {
@@ -573,6 +587,8 @@ func (s *Server) perfStats() perfStatsDoc {
 	if doc.WallSeconds > 0 {
 		doc.SlotsPerSec = float64(doc.Slots) / doc.WallSeconds
 	}
+	qs := sim.RunSeconds.Quantiles(0.5, 0.95, 0.99)
+	doc.RunP50Ms, doc.RunP95Ms, doc.RunP99Ms = qs[0]*1e3, qs[1]*1e3, qs[2]*1e3
 	return doc
 }
 

@@ -479,11 +479,17 @@ func TestStatsPerfSection(t *testing.T) {
 			WallSeconds float64 `json:"wallSeconds"`
 			AvgRunMs    float64 `json:"avgRunMs"`
 			SlotsPerSec float64 `json:"slotsPerSec"`
+			RunP50Ms    float64 `json:"runP50Ms"`
+			RunP95Ms    float64 `json:"runP95Ms"`
+			RunP99Ms    float64 `json:"runP99Ms"`
 		} `json:"perf"`
 	}
 	getJSON(t, ts, "/v1/stats", &st)
 	if st.Perf.Runs != 1 || st.Perf.Slots <= 0 || st.Perf.WallSeconds <= 0 || st.Perf.SlotsPerSec <= 0 {
 		t.Fatalf("perf after one run: %+v", st.Perf)
+	}
+	if st.Perf.RunP50Ms <= 0 || st.Perf.RunP50Ms > st.Perf.RunP95Ms || st.Perf.RunP95Ms > st.Perf.RunP99Ms {
+		t.Fatalf("run latency quantiles not positive/monotone: %+v", st.Perf)
 	}
 	// A repeat is served from the cache: no new simulation is measured.
 	if r, _ := postRun(t, ts, quickSpec); r.Header.Get("X-Fcdpm-Cache") != "hit" {
@@ -492,5 +498,99 @@ func TestStatsPerfSection(t *testing.T) {
 	getJSON(t, ts, "/v1/stats", &st)
 	if st.Perf.Runs != 1 {
 		t.Fatalf("cache hit incremented perf runs: %+v", st.Perf)
+	}
+}
+
+// postRunAsync submits a run with ?async=1 and returns the response.
+func postRunAsync(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/runs?async=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/runs?async=1: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestAdmissionShedContract: with the worker and queue saturated, a sync
+// submission sheds as a 503 whose Retry-After header parses to the
+// documented hint, and the shed counter reaches /metrics.
+func TestAdmissionShedContract(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, Queue: 1})
+	// A long run occupies the single worker...
+	long := `{"trace":{"kind":"synthetic","seed":101,"duration":10000000}}`
+	if r, b := postRunAsync(t, ts, long); r.StatusCode != 202 {
+		t.Fatalf("occupy worker: %d %s", r.StatusCode, b)
+	}
+	// ...give the worker a moment to dequeue it, then fill the queue.
+	time.Sleep(50 * time.Millisecond)
+	if r, b := postRunAsync(t, ts, `{"trace":{"kind":"synthetic","seed":102,"duration":10000000}}`); r.StatusCode != 202 {
+		t.Fatalf("fill queue: %d %s", r.StatusCode, b)
+	}
+	// The next sync submission must shed deterministically.
+	resp, body := postRun(t, ts, `{"trace":{"kind":"synthetic","seed":103,"duration":10000000}}`)
+	if resp.StatusCode != 503 {
+		t.Fatalf("saturated admission: %d %s, want 503", resp.StatusCode, body)
+	}
+	d, ok := httpx.RetryAfter(resp)
+	if !ok {
+		t.Fatalf("shed 503 missing a parseable Retry-After header: %v", resp.Header)
+	}
+	if d != shedRetryAfter {
+		t.Fatalf("shed Retry-After = %v, want %v", d, shedRetryAfter)
+	}
+	// The shed is visible on both observability surfaces.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer mresp.Body.Close()
+	var mbuf bytes.Buffer
+	if _, err := mbuf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mbuf.String(), "fcdpm_server_runs_shed_total 1") {
+		t.Fatalf("/metrics does not count the shed:\n%s", mbuf.String())
+	}
+	var st statsPayload
+	getJSON(t, ts, "/v1/stats", &st)
+	if st.Runs.Shed != 1 {
+		t.Fatalf("stats shed = %d, want 1", st.Runs.Shed)
+	}
+}
+
+// TestAsyncCacheTag: the async 202 carries the same cache taxonomy the
+// sync path exposes, in both the X-Fcdpm-Cache header and the body.
+func TestAsyncCacheTag(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	long := `{"trace":{"kind":"synthetic","seed":201,"duration":10000000}}`
+	r1, b1 := postRunAsync(t, ts, long)
+	if r1.StatusCode != 202 || r1.Header.Get("X-Fcdpm-Cache") != "miss" {
+		t.Fatalf("first async: %d cache=%q %s", r1.StatusCode, r1.Header.Get("X-Fcdpm-Cache"), b1)
+	}
+	// The identical spec while the first is in flight coalesces.
+	r2, b2 := postRunAsync(t, ts, long)
+	if r2.StatusCode != 202 || r2.Header.Get("X-Fcdpm-Cache") != "coalesced" {
+		t.Fatalf("second async: %d cache=%q %s", r2.StatusCode, r2.Header.Get("X-Fcdpm-Cache"), b2)
+	}
+	var doc1, doc2 struct {
+		ID    string `json:"id"`
+		Cache string `json:"cache"`
+	}
+	if err := json.Unmarshal(b1, &doc1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b2, &doc2); err != nil {
+		t.Fatal(err)
+	}
+	if doc1.Cache != "miss" || doc2.Cache != "coalesced" {
+		t.Fatalf("body cache tags = %q/%q, want miss/coalesced", doc1.Cache, doc2.Cache)
+	}
+	if doc1.ID != doc2.ID {
+		t.Fatalf("coalesced submission got its own job: %q vs %q", doc1.ID, doc2.ID)
 	}
 }
