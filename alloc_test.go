@@ -105,6 +105,52 @@ func TestSimRunnerResultsStayIdentical(t *testing.T) {
 	}
 }
 
+// newThroughputBatch builds a fault-free multi-lane batch over the
+// camcorder trace: three identical-dynamics FC-DPM lanes (one group)
+// plus a Conv lane and an ASAP lane, instrumented with a BatchMetrics
+// bundle.
+func newThroughputBatch(t testing.TB) *BatchRunner {
+	sys := PaperSystem()
+	dev := Camcorder()
+	trace, err := CamcorderTrace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(p Policy, rec RecordLevel) SimLane {
+		return SimLane{Cfg: SimConfig{
+			Sys: sys, Dev: dev, Store: MustSuperCap(6, 1),
+			Trace: trace, Policy: p, Record: rec,
+		}}
+	}
+	b, err := NewBatchRunner([]SimLane{
+		mk(NewFCDPM(sys, dev), RecordFuelOnly),
+		mk(NewFCDPM(sys, dev), RecordFuelOnly),
+		mk(NewFCDPM(sys, dev), RecordFuelOnly),
+		mk(NewConv(sys), RecordFuelOnly),
+		mk(NewASAP(sys), RecordFuelOnly),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Metrics = NewBatchMetrics(NewMetricsRegistry())
+	return b
+}
+
+func TestBatchRunnerZeroAllocs(t *testing.T) {
+	b := newThroughputBatch(t)
+	if _, err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := b.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("BatchRunner.Run allocates %v times per steady-state run at RecordFuelOnly, want 0", allocs)
+	}
+}
+
 func TestOptimizeSlotZeroAllocs(t *testing.T) {
 	sys := PaperSystem()
 	slot := OptSlot{

@@ -402,6 +402,114 @@ func BenchmarkSimulateSlotThroughput(b *testing.B) {
 	b.ReportMetric(float64(trace.Len()), "slots/op")
 }
 
+// batchVariantLanes builds K scenario-variant lanes over the Experiment 1
+// camcorder trace for the batched core: 8 distinct dynamics (Conv, ASAP,
+// FC-DPM, and quantized FC-DPM at 5 level counts) replicated round-robin,
+// so at K=64 each dynamics fingerprint carries 8 identical lanes and the
+// run-grouping collapses them onto one executing leader.
+func batchVariantLanes(b *testing.B, k int) []SimLane {
+	b.Helper()
+	sys := PaperSystem()
+	dev := Camcorder()
+	trace, err := CamcorderTrace(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	quant := func(n int) Policy {
+		p, err := NewFCDPMQuantized(sys, dev, UniformLevels(sys, n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	variants := []func() Policy{
+		func() Policy { return NewConv(sys) },
+		func() Policy { return NewASAP(sys) },
+		func() Policy { return NewFCDPM(sys, dev) },
+		func() Policy { return quant(3) },
+		func() Policy { return quant(4) },
+		func() Policy { return quant(6) },
+		func() Policy { return quant(8) },
+		func() Policy { return quant(12) },
+	}
+	lanes := make([]SimLane, k)
+	for i := range lanes {
+		lanes[i] = SimLane{Cfg: SimConfig{
+			Sys: sys, Dev: dev, Store: MustSuperCap(6, 1),
+			Trace: trace, Policy: variants[i%len(variants)](),
+			Record: RecordFuelOnly,
+		}}
+	}
+	return lanes
+}
+
+// BenchmarkBatchSlotThroughput measures the batched core's aggregate
+// slot throughput at lane widths 1, 8, and 64 over the Experiment 1
+// trace. slots/op counts lane-slots (trace length × K), so ns/op ÷
+// slots/op is the per-lane-slot cost — the number that must fall ≥3×
+// below the K=1 scalar baseline at K=64, where the 8 recording copies
+// per dynamics fingerprint collapse onto 8 executing leaders.
+func BenchmarkBatchSlotThroughput(b *testing.B) {
+	for _, k := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			lanes := batchVariantLanes(b, k)
+			slots := lanes[0].Cfg.Trace.Len() * k
+			r, err := NewBatchRunner(lanes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm-up: lazily grown buffers settle on the first pass.
+			if _, err := r.Run(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := r.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, lr := range out {
+					if lr.Err != nil {
+						b.Fatal(lr.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(slots), "slots/op")
+		})
+	}
+}
+
+// BenchmarkBatchSequentialBaseline is the before picture for
+// BenchmarkBatchSlotThroughput/K=64: the same 64 variant lanes executed
+// one scalar SimRunner at a time. The acceptance bar is the batched
+// ns/op landing at least 3× below this number.
+func BenchmarkBatchSequentialBaseline(b *testing.B) {
+	lanes := batchVariantLanes(b, 64)
+	slots := lanes[0].Cfg.Trace.Len() * len(lanes)
+	runners := make([]*SimRunner, len(lanes))
+	for i, ln := range lanes {
+		r, err := NewSimRunner(ln.Cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+		runners[i] = r
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range runners {
+			if _, err := r.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(slots), "slots/op")
+}
+
 // BenchmarkStackCurrent measures the Eq 4 fuel map.
 func BenchmarkStackCurrent(b *testing.B) {
 	b.ReportAllocs()

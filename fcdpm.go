@@ -148,6 +148,23 @@ type (
 	SimRunner = sim.Runner
 	// RecordLevel selects how much per-run detail a simulation records.
 	RecordLevel = sim.RecordLevel
+	// SimLane is one scenario variant of a batched run: a SimConfig plus
+	// an optional grouping key asserting "same simulation as any lane
+	// with an equal key".
+	SimLane = sim.Lane
+	// LaneResult is one lane's outcome from a BatchRunner run. Res
+	// aliases the batch runner's internal buffers (same caution as
+	// SimRunner results).
+	LaneResult = sim.LaneResult
+	// BatchRunner executes K scenario variants in lockstep over one
+	// trace walk, collapsing identical-dynamics lanes to a single
+	// simulation while guaranteeing every lane's Result is bit-identical
+	// to a sequential run. Allocate once with NewBatchRunner; Run is
+	// allocation-free at steady state on fault-free lanes.
+	BatchRunner = sim.BatchRunner
+	// BatchKeyer is the optional grouping identity a policy, predictor,
+	// or storage element can expose to let BatchRunner group lanes.
+	BatchKeyer = sim.BatchKeyer
 )
 
 // Recording levels for SimConfig.Record.
@@ -341,6 +358,11 @@ func RunContext(ctx context.Context, cfg SimConfig) (*Result, error) {
 // runner's internal buffers and is INVALID after the next Run call —
 // copy anything that must survive (see the SimRunner type note).
 func NewSimRunner(cfg SimConfig) (*SimRunner, error) { return sim.NewRunner(cfg) }
+
+// NewBatchRunner validates the lanes (which must share one trace), groups
+// identical-dynamics lanes, and allocates a reusable batched arena. See
+// the BatchRunner type note for the aliasing caution.
+func NewBatchRunner(lanes []SimLane) (*BatchRunner, error) { return sim.NewBatchRunner(lanes) }
 
 // Fault-injection types (the robustness subsystem).
 type (

@@ -30,18 +30,10 @@ func CapacitySweep(seed uint64, capacities []float64) ([]SweepPoint, error) {
 // CapacitySweepContext is CapacitySweep under a context.
 func CapacitySweepContext(ctx context.Context, seed uint64, capacities []float64) ([]SweepPoint, error) {
 	return sweepParallel(ctx, capacities, func(ctx context.Context, cmax float64) (SweepPoint, error) {
-		sc, err := Experiment1Scenario(seed)
+		sc, err := capacityScenario(seed, cmax)
 		if err != nil {
 			return SweepPoint{}, err
 		}
-		// Start (and target) at the reserve operating point so FC-DPM has
-		// idle-charging headroom at every capacity; see ReserveCharge.
-		// A non-positive capacity surfaces as the storage ConfigError.
-		store, err := storage.NewSuperCap(cmax, math.Min(ReserveCharge, cmax/2))
-		if err != nil {
-			return SweepPoint{}, err
-		}
-		sc.Store = store
 		cmp, err := sc.CompareContext(ctx, sc.Policies())
 		if err != nil {
 			return SweepPoint{}, err
@@ -51,11 +43,97 @@ func CapacitySweepContext(ctx context.Context, seed uint64, capacities []float64
 	})
 }
 
+// CapacitySweepBatched is the capacity sweep on the batched simulation
+// core: all points' policy rows run in lockstep over one trace walk, in
+// chunks of at most laneWidth lanes.
+func CapacitySweepBatched(ctx context.Context, seed uint64, capacities []float64, laneWidth int) ([]SweepPoint, error) {
+	return sweepBatched(ctx, capacities, laneWidth, func(cmax float64) (*Scenario, error) {
+		return capacityScenario(seed, cmax)
+	})
+}
+
+// capacityScenario builds one capacity-sweep point: Experiment 1 with the
+// supercap resized to cmax. Start (and target) at the reserve operating
+// point so FC-DPM has idle-charging headroom at every capacity; see
+// ReserveCharge. A non-positive capacity surfaces as the storage
+// ConfigError.
+func capacityScenario(seed uint64, cmax float64) (*Scenario, error) {
+	sc, err := Experiment1Scenario(seed)
+	if err != nil {
+		return nil, err
+	}
+	store, err := storage.NewSuperCap(cmax, math.Min(ReserveCharge, cmax/2))
+	if err != nil {
+		return nil, err
+	}
+	sc.Store = store
+	return sc, nil
+}
+
 // sweepParallel evaluates f at each abscissa on the run engine (bounded
 // workers, panic isolation), preserving order. Each evaluation builds its
 // own scenario, so nothing is shared.
 func sweepParallel(ctx context.Context, xs []float64, f func(ctx context.Context, x float64) (SweepPoint, error)) ([]SweepPoint, error) {
 	return fanOut(ctx, "ablation", xs, f)
+}
+
+// sweepBatched evaluates the sweep on the batched simulation core: every
+// point's policy rows become lanes of one trace walk, executed in
+// sim.BatchRunner chunks of at most laneWidth lanes. All points of an
+// ablation share the generated trace (same seed, same generator), so the
+// per-slot decode is shared wherever the lanes' predictors agree and the
+// fuel-map memo is shared across each chunk. scen must build an
+// independent scenario per point — the lanes run interleaved, not
+// serially.
+func sweepBatched(ctx context.Context, xs []float64, laneWidth int, scen func(x float64) (*Scenario, error)) ([]SweepPoint, error) {
+	if laneWidth < 1 {
+		laneWidth = 1
+	}
+	type laneRef struct{ point, row int }
+	var lanes []sim.Lane
+	var refs []laneRef
+	scs := make([]*Scenario, len(xs))
+	results := make([][]*sim.Result, len(xs))
+	for i, x := range xs {
+		sc, err := scen(x)
+		if err != nil {
+			return nil, err
+		}
+		pols := sc.Policies()
+		scs[i] = sc
+		results[i] = make([]*sim.Result, len(pols))
+		for j, p := range pols {
+			lanes = append(lanes, sim.Lane{Cfg: sc.simConfig(p)})
+			refs = append(refs, laneRef{point: i, row: j})
+		}
+	}
+	for start := 0; start < len(lanes); start += laneWidth {
+		end := min(start+laneWidth, len(lanes))
+		b, err := sim.NewBatchRunner(lanes[start:end])
+		if err != nil {
+			return nil, fmt.Errorf("exp: batched sweep: %w", err)
+		}
+		out, err := b.RunContext(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("exp: batched sweep: %w", err)
+		}
+		for k, lr := range out {
+			r := refs[start+k]
+			if lr.Err != nil {
+				return nil, fmt.Errorf("exp: %s: %w", scs[r.point].Name, lr.Err)
+			}
+			// Each chunk's runner is executed exactly once, so the
+			// aliased results stay valid after it is abandoned.
+			results[r.point][r.row] = lr.Res
+		}
+	}
+	pts := make([]SweepPoint, len(xs))
+	for i := range xs {
+		cmp := buildComparison(scs[i].Name, results[i])
+		pts[i] = SweepPoint{X: xs[i], SavingVsASAP: cmp.SavingVsASAP,
+			FCNormalized: cmp.Row("FC-DPM").Normalized}
+	}
+	return pts, nil
 }
 
 // fanOut evaluates f at each input concurrently on the run engine (bounded
@@ -102,18 +180,10 @@ func BetaSweep(seed uint64, betas []float64) ([]SweepPoint, error) {
 // BetaSweepContext is BetaSweep under a context.
 func BetaSweepContext(ctx context.Context, seed uint64, betas []float64) ([]SweepPoint, error) {
 	return sweepParallel(ctx, betas, func(ctx context.Context, beta float64) (SweepPoint, error) {
-		if beta < 0 {
-			return SweepPoint{}, fmt.Errorf("exp: negative beta %v", beta)
-		}
-		sys, err := fuelcell.NewSystem(12, 37.5, 0.1, 1.2, fuelcell.LinearEfficiency{Alpha: 0.45, Beta: beta})
+		sc, err := betaScenario(seed, beta)
 		if err != nil {
 			return SweepPoint{}, err
 		}
-		sc, err := Experiment1Scenario(seed)
-		if err != nil {
-			return SweepPoint{}, err
-		}
-		sc.Sys = sys
 		cmp, err := sc.CompareContext(ctx, sc.Policies())
 		if err != nil {
 			return SweepPoint{}, err
@@ -121,6 +191,32 @@ func BetaSweepContext(ctx context.Context, seed uint64, betas []float64) ([]Swee
 		return SweepPoint{X: beta, SavingVsASAP: cmp.SavingVsASAP,
 			FCNormalized: cmp.Row("FC-DPM").Normalized}, nil
 	})
+}
+
+// BetaSweepBatched is the efficiency-slope sweep on the batched
+// simulation core (see CapacitySweepBatched).
+func BetaSweepBatched(ctx context.Context, seed uint64, betas []float64, laneWidth int) ([]SweepPoint, error) {
+	return sweepBatched(ctx, betas, laneWidth, func(beta float64) (*Scenario, error) {
+		return betaScenario(seed, beta)
+	})
+}
+
+// betaScenario builds one beta-sweep point: Experiment 1 with the
+// efficiency slope replaced (α fixed at the paper's 0.45).
+func betaScenario(seed uint64, beta float64) (*Scenario, error) {
+	if beta < 0 {
+		return nil, fmt.Errorf("exp: negative beta %v", beta)
+	}
+	sys, err := fuelcell.NewSystem(12, 37.5, 0.1, 1.2, fuelcell.LinearEfficiency{Alpha: 0.45, Beta: beta})
+	if err != nil {
+		return nil, err
+	}
+	sc, err := Experiment1Scenario(seed)
+	if err != nil {
+		return nil, err
+	}
+	sc.Sys = sys
+	return sc, nil
 }
 
 // RhoSweep reruns Experiment 1 across idle-prediction factors ρ (Eq 14).
@@ -131,14 +227,10 @@ func RhoSweep(seed uint64, rhos []float64) ([]SweepPoint, error) {
 // RhoSweepContext is RhoSweep under a context.
 func RhoSweepContext(ctx context.Context, seed uint64, rhos []float64) ([]SweepPoint, error) {
 	return sweepParallel(ctx, rhos, func(ctx context.Context, rho float64) (SweepPoint, error) {
-		if rho < 0 || rho > 1 {
-			return SweepPoint{}, fmt.Errorf("exp: rho %v outside [0,1]", rho)
-		}
-		sc, err := Experiment1Scenario(seed)
+		sc, err := rhoScenario(seed, rho)
 		if err != nil {
 			return SweepPoint{}, err
 		}
-		sc.IdlePred = expAvg(rho, 14)
 		cmp, err := sc.CompareContext(ctx, sc.Policies())
 		if err != nil {
 			return SweepPoint{}, err
@@ -146,6 +238,28 @@ func RhoSweepContext(ctx context.Context, seed uint64, rhos []float64) ([]SweepP
 		return SweepPoint{X: rho, SavingVsASAP: cmp.SavingVsASAP,
 			FCNormalized: cmp.Row("FC-DPM").Normalized}, nil
 	})
+}
+
+// RhoSweepBatched is the prediction-factor sweep on the batched
+// simulation core (see CapacitySweepBatched).
+func RhoSweepBatched(ctx context.Context, seed uint64, rhos []float64, laneWidth int) ([]SweepPoint, error) {
+	return sweepBatched(ctx, rhos, laneWidth, func(rho float64) (*Scenario, error) {
+		return rhoScenario(seed, rho)
+	})
+}
+
+// rhoScenario builds one rho-sweep point: Experiment 1 with the idle
+// exponential-average factor replaced.
+func rhoScenario(seed uint64, rho float64) (*Scenario, error) {
+	if rho < 0 || rho > 1 {
+		return nil, fmt.Errorf("exp: rho %v outside [0,1]", rho)
+	}
+	sc, err := Experiment1Scenario(seed)
+	if err != nil {
+		return nil, err
+	}
+	sc.IdlePred = expAvg(rho, 14)
+	return sc, nil
 }
 
 // PredictorRow is one line of the predictor ablation.

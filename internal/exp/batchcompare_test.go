@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"context"
+	"testing"
+
+	"fcdpm/internal/sim"
+	"fcdpm/internal/stochdpm"
+)
+
+// TestCompareBatchesCloneableAdapter pins the fix for the old serial
+// fallback: a scenario with a cloneable timeout adapter now batches with
+// one independent adapter clone per row, so each row's result equals a
+// standalone run with its own fresh adapter — no row sees another row's
+// learned idle history.
+func TestCompareBatchesCloneableAdapter(t *testing.T) {
+	sc, err := Experiment2Scenario(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.DPM = sim.DPMTimeout
+	adapter, err := stochdpm.NewAdaptiveTimeout(sc.Dev, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.TimeoutAdapter = adapter
+
+	policies := sc.Policies()
+	cmp, err := sc.CompareContext(context.Background(), policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range policies {
+		// The oracle: the same row run alone with its own fresh adapter.
+		solo, err := Experiment2Scenario(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo.DPM = sim.DPMTimeout
+		soloAdapter, err := stochdpm.NewAdaptiveTimeout(solo.Dev, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo.TimeoutAdapter = soloAdapter
+		want, err := solo.runOne(solo.Policies()[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := cmp.Results[p.Name()]
+		if got == nil {
+			t.Fatalf("row %s missing from comparison", p.Name())
+		}
+		if got.Fuel != want.Fuel || got.Sleeps != want.Sleeps || got.Deficit != want.Deficit {
+			t.Fatalf("row %s leaked adaptation: fuel %v/%v sleeps %d/%d deficit %v/%v",
+				p.Name(), got.Fuel, want.Fuel, got.Sleeps, want.Sleeps, got.Deficit, want.Deficit)
+		}
+	}
+	// The shared adapter itself must be untouched: only clones ran.
+	if tau := adapter.NextTimeout(); tau != sc.Dev.BreakEven() {
+		t.Fatalf("scenario adapter learned during compare: timeout %v, want pristine break-even %v",
+			tau, sc.Dev.BreakEven())
+	}
+}
+
+// nonCloneableAdapter is a TimeoutAdapter without the cloner face.
+type nonCloneableAdapter struct{ tau float64 }
+
+func (a *nonCloneableAdapter) NextTimeout() float64 { return a.tau }
+func (a *nonCloneableAdapter) Observe(float64)      {}
+
+// TestCompareSerialFallbackNonCloneable keeps the safety net: an adapter
+// that cannot be cloned still forces the serial path and completes.
+func TestCompareSerialFallbackNonCloneable(t *testing.T) {
+	sc, err := Experiment2Scenario(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.DPM = sim.DPMTimeout
+	sc.TimeoutAdapter = &nonCloneableAdapter{tau: sc.Dev.BreakEven()}
+	cmp, err := sc.CompareContext(context.Background(), sc.Policies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(cmp.Rows))
+	}
+}
+
+// TestBatchedSweepMatchesParallel pins the batched sweep engine to the
+// fan-out engine bit for bit, at lane widths that split chunks mid-point
+// and that swallow the whole sweep.
+func TestBatchedSweepMatchesParallel(t *testing.T) {
+	ctx := context.Background()
+	caps := []float64{2, 6, 24}
+	want, err := CapacitySweepContext(ctx, 1, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range []int{1, 4, 64} {
+		got, err := CapacitySweepBatched(ctx, 1, caps, width)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("width %d: %d points, want %d", width, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("width %d point %d: %+v, want %+v", width, i, got[i], want[i])
+			}
+		}
+	}
+}

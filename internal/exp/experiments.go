@@ -12,7 +12,6 @@ import (
 	"fcdpm/internal/fuelcell"
 	"fcdpm/internal/policy"
 	"fcdpm/internal/predict"
-	"fcdpm/internal/runner"
 	"fcdpm/internal/sim"
 	"fcdpm/internal/storage"
 	"fcdpm/internal/workload"
@@ -87,6 +86,12 @@ func (sc *Scenario) runOne(p sim.Policy) (*sim.Result, error) {
 // runOneCtx is runOne under a context: cancellation stops the simulation
 // between slots.
 func (sc *Scenario) runOneCtx(ctx context.Context, p sim.Policy) (*sim.Result, error) {
+	return sim.RunContext(ctx, sc.simConfig(p))
+}
+
+// simConfig assembles the simulation configuration for one policy row.
+// Predictor factories run here, so every call yields fresh per-run state.
+func (sc *Scenario) simConfig(p sim.Policy) sim.Config {
 	cfg := sim.Config{
 		Sys:            sc.Sys,
 		Dev:            sc.Dev,
@@ -111,7 +116,7 @@ func (sc *Scenario) runOneCtx(ctx context.Context, p sim.Policy) (*sim.Result, e
 	if sc.CurrentPred != nil {
 		cfg.CurrentPredictor = sc.CurrentPred()
 	}
-	return sim.RunContext(ctx, cfg)
+	return cfg
 }
 
 // Compare runs the given policies over the scenario and builds the
@@ -129,10 +134,12 @@ func (sc *Scenario) CompareContext(ctx context.Context, policies []sim.Policy) (
 		return nil, fmt.Errorf("exp: no policies to compare")
 	}
 	results := make([]*sim.Result, len(policies))
-	if sc.TimeoutAdapter != nil || len(policies) == 1 {
-		// A timeout adapter is shared mutable state that learns across
-		// runs; keep the rows serial so its adaptation stays
-		// deterministic.
+	cloner, cloneable := sc.TimeoutAdapter.(sim.TimeoutAdapterCloner)
+	if (sc.TimeoutAdapter != nil && !cloneable) || len(policies) == 1 {
+		// A non-cloneable timeout adapter is shared mutable state; the
+		// rows stay serial (and its adaptation leaks from row to row —
+		// implement sim.TimeoutAdapterCloner to batch with independent
+		// per-row adaptation instead).
 		for i, p := range policies {
 			res, err := sc.runOneCtx(ctx, p)
 			if err != nil {
@@ -141,30 +148,43 @@ func (sc *Scenario) CompareContext(ctx context.Context, policies []sim.Policy) (
 			results[i] = res
 		}
 	} else {
-		// Each row owns its policy and the simulator clones the storage,
-		// so the rows fan out on the run engine. Outcomes come back in
-		// submission order, keeping the table rows (and the Conv-DPM
+		// The rows share one trace, so they batch into a single
+		// BatchRunner walk: the per-slot trace decode is shared where the
+		// rows' predictors agree and the fuel-map memo is shared across
+		// all of them. A cloneable timeout adapter gives every row its
+		// own adaptation, started from the same learned state. Lane order
+		// is submission order, keeping the table rows (and the Conv-DPM
 		// normalization base) deterministic.
-		tasks := make([]runner.Task[*sim.Result], len(policies))
+		lanes := make([]sim.Lane, len(policies))
 		for i, p := range policies {
-			p := p
-			tasks[i] = runner.Task[*sim.Result]{
-				ID:  runner.RunID("compare", sc.Name, p.Name()),
-				Run: func(tctx context.Context) (*sim.Result, error) { return sc.runOneCtx(tctx, p) },
+			cfg := sc.simConfig(p)
+			if cloneable {
+				cfg.TimeoutAdapter = cloner.CloneTimeoutAdapter()
 			}
+			lanes[i] = sim.Lane{Cfg: cfg}
 		}
-		rep, err := runner.Run(ctx, runner.Options{Workers: len(tasks)}, tasks)
+		b, err := sim.NewBatchRunner(lanes)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exp: %s: %w", sc.Name, err)
 		}
-		for i, o := range rep.Outcomes {
-			if o.Err != nil {
-				return nil, fmt.Errorf("exp: %s / %s: %w", sc.Name, policies[i].Name(), o.Err)
+		out, err := b.RunContext(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", sc.Name, err)
+		}
+		for i, lr := range out {
+			if lr.Err != nil {
+				return nil, fmt.Errorf("exp: %s / %s: %w", sc.Name, policies[i].Name(), lr.Err)
 			}
-			results[i] = o.Result
+			results[i] = lr.Res
 		}
 	}
-	cmp := &Comparison{Name: sc.Name, Results: make(map[string]*sim.Result)}
+	return buildComparison(sc.Name, results), nil
+}
+
+// buildComparison assembles the comparison table from per-policy results,
+// normalizing against the first row (Conv-DPM by convention).
+func buildComparison(name string, results []*sim.Result) *Comparison {
+	cmp := &Comparison{Name: name, Results: make(map[string]*sim.Result)}
 	base := results[0]
 	for _, res := range results {
 		cmp.Results[res.Policy] = res
@@ -188,7 +208,7 @@ func (sc *Scenario) CompareContext(ctx context.Context, policies []sim.Policy) (
 			cmp.LifetimeRatio = a / f
 		}
 	}
-	return cmp, nil
+	return cmp
 }
 
 // ReserveCharge is the initial (and per-slot target) storage charge used by

@@ -22,12 +22,6 @@ import (
 // pair ending highest is returned (mirroring how the online policy
 // degrades: the next slot's Cini ≠ Cend correction absorbs the shortfall).
 func OptimizeQuantized(sys *fuelcell.System, cmax float64, s Slot, levels []float64) (Setting, error) {
-	if err := s.Validate(); err != nil {
-		return Setting{}, err
-	}
-	if cmax <= 0 {
-		return Setting{}, fmt.Errorf("fcopt: non-positive storage capacity %v", cmax)
-	}
 	if len(levels) == 0 {
 		return Setting{}, fmt.Errorf("fcopt: no output levels")
 	}
@@ -40,6 +34,26 @@ func OptimizeQuantized(sys *fuelcell.System, cmax float64, s Slot, levels []floa
 		lv = append(lv, l)
 	}
 	sort.Float64s(lv)
+	return OptimizeQuantizedSorted(sys, cmax, s, lv)
+}
+
+// OptimizeQuantizedSorted is OptimizeQuantized for callers that have
+// already sorted and range-checked the level grid (a policy validates its
+// grid once at construction, then plans every slot): the per-call copy,
+// sort, and range scan are skipped, keeping repeated planning on the
+// zero-allocation path. levels must be ascending and inside the
+// load-following range; a violated contract degrades the answer, it does
+// not corrupt memory.
+func OptimizeQuantizedSorted(sys *fuelcell.System, cmax float64, s Slot, lv []float64) (Setting, error) {
+	if err := s.Validate(); err != nil {
+		return Setting{}, err
+	}
+	if cmax <= 0 {
+		return Setting{}, fmt.Errorf("fcopt: non-positive storage capacity %v", cmax)
+	}
+	if len(lv) == 0 {
+		return Setting{}, fmt.Errorf("fcopt: no output levels")
+	}
 
 	taEff, activeCharge := s.demand()
 	best := Setting{TaEff: taEff, Fuel: math.Inf(1)}

@@ -44,6 +44,44 @@ func (m *SimMetrics) RecordRun(slots int, fuel float64, memoHits, memoMisses uin
 	m.RunSeconds.Observe(wall.Seconds())
 }
 
+// LaneBuckets is the lane-width layout of the batch-execution histogram:
+// powers of two up to the widest batches the sweep fabric submits.
+var LaneBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// BatchMetrics instruments the batched simulation core (sim.BatchRunner):
+// how wide the batches are and how much per-lane planning the lane
+// grouping amortized away.
+type BatchMetrics struct {
+	// Batches counts completed batch runs; Lanes is the distribution of
+	// their lane widths.
+	Batches *Counter
+	Lanes   *Histogram
+	// PlanGroupHits counts slot executions a follower lane inherited from
+	// its plan group's leader instead of planning and integrating itself —
+	// the work the batch core never had to do.
+	PlanGroupHits *Counter
+}
+
+// NewBatchMetrics registers the batch-execution series on r.
+func NewBatchMetrics(r *Registry) *BatchMetrics {
+	return &BatchMetrics{
+		Batches:       r.Counter("fcdpm_sim_batches_total", "Completed BatchRunner runs."),
+		Lanes:         r.Histogram("fcdpm_sim_batch_lanes", "Lane width per completed batch run.", LaneBuckets),
+		PlanGroupHits: r.Counter("fcdpm_sim_batch_plan_group_hits_total", "Slot executions follower lanes inherited from their plan-group leader."),
+	}
+}
+
+// RecordBatch folds one completed batch run into the set. Nil-safe and
+// allocation-free.
+func (m *BatchMetrics) RecordBatch(lanes int, planGroupHits uint64) {
+	if m == nil {
+		return
+	}
+	m.Batches.Inc()
+	m.Lanes.Observe(float64(lanes))
+	m.PlanGroupHits.Add(float64(planGroupHits))
+}
+
 // PoolMetrics is the run-orchestration engine's instrument set:
 // admission, resolution, retry, and breaker activity of one
 // runner.Pool.

@@ -100,6 +100,32 @@ func Suite(short bool) ([]Benchmark, error) {
 				}
 			},
 		},
+	)
+	for _, k := range []int{1, 8, 64} {
+		br, err := batchRunner(sys, dev, trace, k)
+		if err != nil {
+			return nil, fmt.Errorf("perf: %w", err)
+		}
+		suite = append(suite, Benchmark{
+			Name:  fmt.Sprintf("batch-slot-throughput-k%d", k),
+			Slots: trace.Len() * k,
+			Fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					out, err := br.Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, lr := range out {
+						if lr.Err != nil {
+							b.Fatal(lr.Err)
+						}
+					}
+				}
+			},
+		})
+	}
+	suite = append(suite,
 		Benchmark{
 			Name:  "experiment1",
 			Slots: trace.Len() * 3, // three policy rows per op
@@ -114,6 +140,45 @@ func Suite(short bool) ([]Benchmark, error) {
 		},
 	)
 	return suite, nil
+}
+
+// batchRunner builds the k-lane regression batch over the camcorder
+// trace: eight distinct dynamics (Conv, ASAP, FC-DPM, quantized FC-DPM
+// at five level counts) replicated round-robin, warmed up once so the
+// gated repetitions measure the zero-allocation steady state.
+func batchRunner(sys *fuelcell.System, dev *device.Model, trace *workload.Trace, k int) (*sim.BatchRunner, error) {
+	quant := func(n int) (sim.Policy, error) {
+		return policy.NewFCDPMQuantized(sys, dev, fcopt.UniformLevels(sys, n))
+	}
+	variants := []func() (sim.Policy, error){
+		func() (sim.Policy, error) { return policy.NewConv(sys), nil },
+		func() (sim.Policy, error) { return policy.NewASAP(sys), nil },
+		func() (sim.Policy, error) { return policy.NewFCDPM(sys, dev), nil },
+		func() (sim.Policy, error) { return quant(3) },
+		func() (sim.Policy, error) { return quant(4) },
+		func() (sim.Policy, error) { return quant(6) },
+		func() (sim.Policy, error) { return quant(8) },
+		func() (sim.Policy, error) { return quant(12) },
+	}
+	lanes := make([]sim.Lane, k)
+	for i := range lanes {
+		p, err := variants[i%len(variants)]()
+		if err != nil {
+			return nil, err
+		}
+		lanes[i] = sim.Lane{Cfg: sim.Config{
+			Sys: sys, Dev: dev, Store: storage.MustSuperCap(6, 1),
+			Trace: trace, Policy: p, Record: sim.RecordFuelOnly,
+		}}
+	}
+	br, err := sim.NewBatchRunner(lanes)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := br.Run(); err != nil {
+		return nil, err
+	}
+	return br, nil
 }
 
 // Run executes the suite repeat times per benchmark, keeping each

@@ -19,6 +19,10 @@ type FCDPMQuantized struct {
 	sys    *fuelcell.System
 	dev    *device.Model
 	levels []float64
+	// overhead is the precomputed sleep-transition overhead block, nil
+	// when the device has none; built once so per-slot planning does not
+	// allocate.
+	overhead *fcopt.Overhead
 
 	cmax, chargeTarget float64
 	ifi, ifa           float64
@@ -42,7 +46,14 @@ func NewFCDPMQuantized(sys *fuelcell.System, dev *device.Model, levels []float64
 				Detail: fmt.Sprintf("level %v outside the load-following range", l)}
 		}
 	}
-	return &FCDPMQuantized{sys: sys, dev: dev, levels: lv}, nil
+	f := &FCDPMQuantized{sys: sys, dev: dev, levels: lv}
+	if dev.TauPD != 0 || dev.TauWU != 0 {
+		f.overhead = &fcopt.Overhead{
+			TauWU: dev.TauWU, IWU: dev.IWU,
+			TauPD: dev.TauPD, IPD: dev.IPD,
+		}
+	}
+	return f, nil
 }
 
 // Name implements sim.Policy.
@@ -75,13 +86,6 @@ func (f *FCDPMQuantized) snapUp(x float64) float64 {
 // PlanIdle implements sim.Policy using the quantized slot optimizer on the
 // predicted slot.
 func (f *FCDPMQuantized) PlanIdle(info sim.SlotInfo) {
-	var oh *fcopt.Overhead
-	if f.dev.TauPD != 0 || f.dev.TauWU != 0 {
-		oh = &fcopt.Overhead{
-			TauWU: f.dev.TauWU, IWU: f.dev.IWU,
-			TauPD: f.dev.TauPD, IPD: f.dev.IPD,
-		}
-	}
 	slot := fcopt.Slot{
 		Ti:       info.PredIdle,
 		IldI:     info.IdleLoad,
@@ -90,9 +94,9 @@ func (f *FCDPMQuantized) PlanIdle(info sim.SlotInfo) {
 		Cini:     info.Charge,
 		Cend:     info.ChargeTarget,
 		Sleep:    info.Sleeping,
-		Overhead: oh,
+		Overhead: f.overhead,
 	}
-	set, err := fcopt.OptimizeQuantized(f.sys, f.cmax, slot, f.levels)
+	set, err := fcopt.OptimizeQuantizedSorted(f.sys, f.cmax, slot, f.levels)
 	if err != nil {
 		if f.planErr == nil {
 			f.planErr = err

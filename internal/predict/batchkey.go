@@ -1,0 +1,33 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+)
+
+// BatchKey identities let the batched simulation core (sim.BatchRunner)
+// group lanes whose predictors are guaranteed to evolve identically: the
+// key covers every parameter and the initial state, formatted from exact
+// float bits so lanes group only on true equality. Reset rewinds each
+// predictor to its initial state before every run, so construction-time
+// parameters fully determine the trajectory.
+
+// BatchKey implements sim.BatchKeyer.
+func (e *ExpAverage) BatchKey() string {
+	return fmt.Sprintf("exp-avg|%x|%x", math.Float64bits(e.Rho), math.Float64bits(e.initial))
+}
+
+// BatchKey implements sim.BatchKeyer.
+func (l *LastValue) BatchKey() string {
+	return fmt.Sprintf("last-value|%x", math.Float64bits(l.initial))
+}
+
+// BatchKey implements sim.BatchKeyer.
+func (r *Regression) BatchKey() string {
+	return fmt.Sprintf("regression|%d|%x", r.Window, math.Float64bits(r.initial))
+}
+
+// BatchKey implements sim.BatchKeyer.
+func (m *MovingAverage) BatchKey() string {
+	return fmt.Sprintf("moving-average|%d|%x", m.Window, math.Float64bits(m.initial))
+}

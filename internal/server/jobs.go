@@ -225,6 +225,25 @@ func (r *registry) counts() (active, retained int) {
 type taskRef struct {
 	job  *job
 	cell int // cell index for sweep tasks; -1 for single runs
+	// batch, when non-nil, marks a batched sweep chunk: one pool task
+	// covering several same-trace cells through sim.BatchRunner.
+	batch *batchRef
+}
+
+// laneOutcome is one batched cell's resolution, recorded by the task
+// body and read by the resolve hook.
+type laneOutcome struct {
+	status runner.Status
+	errMsg string
+}
+
+// batchRef carries a batched chunk's cell indices and per-lane outcomes
+// from the task body to onTaskEvent. The outcomes slice is written only
+// by the (single) task goroutine and read only after the pool publishes
+// the task's resolution, so no lock is needed.
+type batchRef struct {
+	cells    []int
+	outcomes []laneOutcome
 }
 
 // runTask builds the pool task body for one scenario: build the sim
@@ -259,6 +278,63 @@ func (s *Server) runTask(j *job, ref taskRef, spec *config.Scenario, key, name s
 			// per-cell status and content address); single runs serve the
 			// body directly.
 			j.setReport(body)
+		}
+		return struct{}{}, nil
+	}
+}
+
+// batchTask builds the pool task body for one batched sweep chunk: all
+// cells share one trace, so they execute as lanes of a single
+// sim.BatchRunner walk — shared decode, shared fuel-map memo, amortized
+// planning — with each lane keyed by its cell's cache key so identical
+// cells collapse onto one executing lane. Per cell the body mirrors the
+// scalar runTask exactly (render, cache.Put, sim-event replay), and a
+// lane failure resolves only its own cell: the rest of the chunk still
+// lands. Results are byte-identical to the scalar path by the
+// BatchRunner oracle guarantee.
+func (s *Server) batchTask(j *job, ref taskRef, specs []*config.Scenario, keys []string) func(context.Context) (struct{}, error) {
+	br := ref.batch
+	return func(ctx context.Context) (struct{}, error) {
+		lanes := make([]sim.Lane, len(br.cells))
+		for li, ci := range br.cells {
+			cfg, err := specs[ci].Build()
+			if err != nil {
+				return struct{}{}, err
+			}
+			cfg.Metrics = s.metrics.sim
+			lanes[li] = sim.Lane{Cfg: cfg, Key: keys[ci]}
+		}
+		b, err := sim.NewBatchRunner(lanes)
+		if err != nil {
+			return struct{}{}, err
+		}
+		b.Metrics = s.metrics.batch
+		out, err := b.RunContext(ctx)
+		if err != nil {
+			// Batch-level failure (cancellation): the pool's resolution
+			// status covers every cell.
+			return struct{}{}, err
+		}
+		for li, lr := range out {
+			ci := br.cells[li]
+			name := cellName(j, ci)
+			if lr.Err != nil {
+				br.outcomes[li] = laneOutcome{status: runner.StatusFailed, errMsg: lr.Err.Error()}
+				continue
+			}
+			body, rerr := runreport.Render(name, keys[ci], s.engine, lr.Res)
+			if rerr != nil {
+				br.outcomes[li] = laneOutcome{status: runner.StatusFailed, errMsg: rerr.Error()}
+				continue
+			}
+			s.cache.Put(keys[ci], body)
+			for _, ev := range lr.Res.Events {
+				j.events.append(Event{
+					Kind: "sim", Job: j.id, Cell: name,
+					T: ev.T, Detail: string(ev.Kind) + ": " + ev.Detail,
+				})
+			}
+			br.outcomes[li] = laneOutcome{status: runner.StatusDone}
 		}
 		return struct{}{}, nil
 	}
@@ -300,6 +376,10 @@ func (s *Server) onTaskEvent(e runner.TaskEvent) {
 		if e.Err != nil {
 			errMsg = e.Err.Error()
 		}
+		if ref.batch != nil {
+			s.batchResolved(j, ref, e.Status, errMsg)
+			return
+		}
 		if ref.cell >= 0 {
 			s.cellResolved(j, ref.cell, e.Status, errMsg)
 			return
@@ -328,6 +408,26 @@ func (s *Server) onTaskEvent(e runner.TaskEvent) {
 			j.finish(jobFailed, nil, errMsg, 500, false)
 		}
 		s.reg.complete(j)
+	}
+}
+
+// batchResolved fans one batched chunk's resolution out to its cells:
+// a completed task resolves each cell with its own lane outcome, while
+// a shed / interrupted / failed task resolves every covered cell with
+// the task's status — the same taxonomy the cells would have seen as
+// individual scalar tasks.
+func (s *Server) batchResolved(j *job, ref taskRef, status runner.Status, errMsg string) {
+	br := ref.batch
+	for li, ci := range br.cells {
+		if status == runner.StatusDone {
+			o := br.outcomes[li]
+			if o.status == "" {
+				o = laneOutcome{status: runner.StatusFailed, errMsg: "lane outcome missing"}
+			}
+			s.cellDone(j, ci, o.status, false, o.errMsg)
+			continue
+		}
+		s.cellDone(j, ci, status, false, errMsg)
 	}
 }
 

@@ -20,6 +20,7 @@ type serverMetrics struct {
 	registry *obs.Registry
 	sim      *obs.SimMetrics
 	pool     *obs.PoolMetrics
+	batch    *obs.BatchMetrics
 
 	runsSubmitted *obs.Counter
 	runsDone      *obs.Counter
@@ -41,6 +42,7 @@ func newServerMetrics(logf func(format string, args ...any)) *serverMetrics {
 		registry:      reg,
 		sim:           obs.NewSimMetrics(reg),
 		pool:          obs.NewPoolMetrics(reg),
+		batch:         obs.NewBatchMetrics(reg),
 		runsSubmitted: reg.Counter("fcdpm_server_runs_submitted_total", "Scenario runs submitted to the pool (cache misses)."),
 		runsDone:      reg.Counter("fcdpm_server_runs_done_total", "Scenario runs that completed."),
 		runsFailed:    reg.Counter("fcdpm_server_runs_failed_total", "Scenario runs that failed or were interrupted."),

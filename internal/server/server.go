@@ -328,6 +328,67 @@ func (s *Server) submitRun(j *job, ref taskRef, spec *config.Scenario, key, name
 	}
 }
 
+// maxBatchLanes caps how many sweep cells one batched pool task holds:
+// wider same-trace groups split so a single task never monopolizes a
+// worker, and lane widths stay inside the obs.LaneBuckets range.
+const maxBatchLanes = 64
+
+// batchChunks partitions cache-miss sweep cells into batch chunks:
+// cells whose normalized trace specs agree share one BatchRunner walk
+// (value-identical traces batch regardless of spelling), chunked to
+// maxBatchLanes. A cell whose spec fails to normalize falls back to a
+// scalar chunk of its own. First-seen order is preserved both across
+// and within groups, so cell resolution order stays deterministic.
+func batchChunks(specs []*config.Scenario, misses []int) [][]int {
+	byTrace := make(map[string][]int)
+	var order []string
+	for _, i := range misses {
+		k := fmt.Sprintf("cell-%d", i) // fallback: private group
+		if n, err := specs[i].Normalized(); err == nil {
+			if tj, err := json.Marshal(n.Trace); err == nil {
+				k = "trace:" + string(tj)
+			}
+		}
+		if _, ok := byTrace[k]; !ok {
+			order = append(order, k)
+		}
+		byTrace[k] = append(byTrace[k], i)
+	}
+	var chunks [][]int
+	for _, k := range order {
+		idxs := byTrace[k]
+		for st := 0; st < len(idxs); st += maxBatchLanes {
+			chunks = append(chunks, idxs[st:min(st+maxBatchLanes, len(idxs))])
+		}
+	}
+	return chunks
+}
+
+// submitBatch hands the pool one batched sweep chunk. The task is
+// routed like any cell task; on a closed pool every covered cell
+// resolves interrupted, mirroring submitRun's drain path.
+func (s *Server) submitBatch(j *job, cells []int, specs []*config.Scenario, keys []string) {
+	ref := taskRef{job: j, cell: -1, batch: &batchRef{
+		cells:    cells,
+		outcomes: make([]laneOutcome, len(cells)),
+	}}
+	id := fmt.Sprintf("%s/batch-%04d", j.id, cells[0])
+	s.taskJobs.Store(id, ref)
+	s.metrics.inflight.Add(1)
+	err := s.pool.Submit(runner.Task[struct{}]{
+		ID:       id,
+		Scenario: keys[cells[0]],
+		Run:      s.batchTask(j, ref, specs, keys),
+	})
+	if errors.Is(err, runner.ErrClosed) {
+		s.taskJobs.Delete(id)
+		s.metrics.inflight.Add(-1)
+		for _, ci := range cells {
+			s.cellDone(j, ci, runner.StatusInterrupted, false, "draining")
+		}
+	}
+}
+
 // writeOutcome renders a resolved run job.
 func (s *Server) writeOutcome(w http.ResponseWriter, j *job, coalesced bool) {
 	status, body, errMsg, code := j.outcome()
@@ -414,13 +475,25 @@ func (s *Server) handleSweepPost(w http.ResponseWriter, r *http.Request) {
 		Kind: "accepted", Job: j.id,
 		Detail: fmt.Sprintf("%d cells", len(specs)),
 	})
-	for i, spec := range specs {
+	misses := make([]int, 0, len(specs))
+	for i := range specs {
 		if _, ok := s.cache.Get(keys[i]); ok {
 			s.cellDone(j, i, runner.StatusDone, true, "")
 			continue
 		}
 		s.metrics.runsSubmitted.Inc()
-		s.submitRun(j, taskRef{job: j, cell: i}, spec, keys[i], j.cells[i].Name)
+		misses = append(misses, i)
+	}
+	// Cache-miss cells that share a workload trace batch into one
+	// BatchRunner pool task each (coalesced siblings collapse via their
+	// lane keys); a cell with a trace of its own keeps the scalar path.
+	for _, chunk := range batchChunks(specs, misses) {
+		if len(chunk) == 1 {
+			i := chunk[0]
+			s.submitRun(j, taskRef{job: j, cell: i}, specs[i], keys[i], j.cells[i].Name)
+			continue
+		}
+		s.submitBatch(j, chunk, specs, keys)
 	}
 	writeJSON(w, 202, map[string]any{
 		"id": j.id, "cells": len(keys), "status": string(jobQueued),
@@ -502,11 +575,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // statsPayload is the /v1/stats document.
 type statsPayload struct {
-	Pool  poolStatsDoc `json:"pool"`
-	Runs  runStatsDoc  `json:"runs"`
-	Cache cache.Stats  `json:"cache"`
-	Jobs  jobStatsDoc  `json:"jobs"`
-	Perf  perfStatsDoc `json:"perf"`
+	Pool  poolStatsDoc  `json:"pool"`
+	Runs  runStatsDoc   `json:"runs"`
+	Cache cache.Stats   `json:"cache"`
+	Jobs  jobStatsDoc   `json:"jobs"`
+	Perf  perfStatsDoc  `json:"perf"`
+	Batch batchStatsDoc `json:"batch"`
+}
+
+// batchStatsDoc snapshots the batched-execution instruments: how many
+// BatchRunner walks served sweep chunks, how wide they were, and how
+// many per-slot plan+integrate executions the lane grouping amortized
+// away (the fcdpm_sim_batch_lanes / _plan_group_hits series /metrics
+// exports).
+type batchStatsDoc struct {
+	Batches       int64   `json:"batches"`
+	LanesTotal    int64   `json:"lanesTotal"`
+	AvgLanes      float64 `json:"avgLanes"`
+	PlanGroupHits int64   `json:"planGroupHits"`
 }
 
 // perfStatsDoc aggregates simulation wall time and slot throughput over
@@ -568,7 +654,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache: s.cache.Stats(),
 		Jobs:  jobStatsDoc{Active: active, Retained: retained},
 		Perf:  s.perfStats(),
+		Batch: s.batchStats(),
 	})
+}
+
+// batchStats snapshots the BatchRunner instrument set.
+func (s *Server) batchStats() batchStatsDoc {
+	b := s.metrics.batch
+	doc := batchStatsDoc{
+		Batches:       int64(b.Batches.Value()),
+		LanesTotal:    int64(b.Lanes.Sum()),
+		PlanGroupHits: int64(b.PlanGroupHits.Value()),
+	}
+	if doc.Batches > 0 {
+		doc.AvgLanes = float64(doc.LanesTotal) / float64(doc.Batches)
+	}
+	return doc
 }
 
 // perfStats snapshots the simulation-perf instruments. The loads are

@@ -594,3 +594,82 @@ func TestAsyncCacheTag(t *testing.T) {
 		t.Fatalf("coalesced submission got its own job: %q vs %q", doc1.ID, doc2.ID)
 	}
 }
+
+// TestSweepBatchesSameTraceCells pins the batched sweep path: cells
+// sharing one trace execute as lanes of a single BatchRunner pool task,
+// duplicate cells collapse onto one executing lane, every cell's cached
+// body is byte-identical to the scalar single-run path, and /v1/stats
+// surfaces the batch instruments.
+func TestSweepBatchesSameTraceCells(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	trace := `{"kind":"synthetic","seed":7,"duration":120}`
+	cellSpecs := []string{
+		fmt.Sprintf(`{"name":"fc","trace":%s,"policy":{"kind":"fcdpm"}}`, trace),
+		fmt.Sprintf(`{"name":"cv","trace":%s,"policy":{"kind":"conv"}}`, trace),
+		fmt.Sprintf(`{"name":"as","trace":%s,"policy":{"kind":"asap"}}`, trace),
+		// Exact duplicate of the first cell: same cache key, so its lane
+		// collapses onto the leader and only projects the result.
+		fmt.Sprintf(`{"name":"fc","trace":%s,"policy":{"kind":"fcdpm"}}`, trace),
+	}
+	sweep := fmt.Sprintf(`{"name":"batched","scenarios":[%s]}`,
+		strings.Join(cellSpecs, ","))
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(sweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 202 {
+		t.Fatalf("sweep accept: %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var sr sweepReport
+		resp := getJSON(t, ts, "/v1/sweeps/"+acc.ID, &sr)
+		if resp.StatusCode == 200 && len(sr.Cells) == 4 {
+			if sr.Done != 4 || sr.Failed != 0 {
+				t.Fatalf("sweep report %+v, want 4 done", sr)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never finished: %+v", sr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Byte-identity oracle: a fresh server runs each cell through the
+	// scalar single-run path; the batched server must serve the very
+	// same bytes from its cache.
+	_, scalar := newTestServer(t, Options{})
+	for i, spec := range cellSpecs {
+		rb, batched := postRun(t, ts, spec)
+		if rb.StatusCode != 200 || rb.Header.Get("X-Fcdpm-Cache") != "hit" {
+			t.Fatalf("cell %d not cached by batched sweep: %d %s", i, rb.StatusCode, rb.Header.Get("X-Fcdpm-Cache"))
+		}
+		rs, want := postRun(t, scalar, spec)
+		if rs.StatusCode != 200 {
+			t.Fatalf("cell %d scalar run: %d %s", i, rs.StatusCode, want)
+		}
+		if !bytes.Equal(batched, want) {
+			t.Fatalf("cell %d batched body diverged from scalar path:\n%s\n!=\n%s", i, batched, want)
+		}
+	}
+
+	// The batch instruments surfaced in /v1/stats.
+	var st statsPayload
+	getJSON(t, ts, "/v1/stats", &st)
+	if st.Batch.Batches < 1 || st.Batch.LanesTotal < 4 {
+		t.Fatalf("batch stats %+v, want >=1 batch of 4 lanes", st.Batch)
+	}
+	if st.Batch.PlanGroupHits == 0 {
+		t.Fatalf("duplicate cell produced no plan-group hits: %+v", st.Batch)
+	}
+}

@@ -1,0 +1,441 @@
+package sim_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fcdpm/internal/device"
+	"fcdpm/internal/fault"
+	"fcdpm/internal/fcopt"
+	"fcdpm/internal/fuelcell"
+	"fcdpm/internal/policy"
+	"fcdpm/internal/predict"
+	"fcdpm/internal/sim"
+	"fcdpm/internal/storage"
+	"fcdpm/internal/workload"
+)
+
+// The batch oracle: every lane of a BatchRunner must produce a Result
+// byte-identical to a sequential sim.Runner run of the same Config —
+// whatever mix of policies, predictors, record levels, DPM modes, and
+// fault schedules the lanes carry. These tests drive that contract
+// directly; the grouping machinery is only allowed to make runs cheaper,
+// never different.
+
+// assertResultEqual compares two results field for field with exact
+// (bit-level) float equality. Slices and the fuel map compare by content
+// so a nil buffer and an emptied-but-allocated one are interchangeable.
+func assertResultEqual(t *testing.T, label string, got, want *sim.Result) {
+	t.Helper()
+	g, w := *got, *want
+	g.FuelByKind, w.FuelByKind = nil, nil
+	g.Events, w.Events = nil, nil
+	g.Profile, w.Profile = nil, nil
+	g.Charges, w.Charges = nil, nil
+	g.SlotLog, w.SlotLog = nil, nil
+	if !reflect.DeepEqual(g, w) {
+		t.Fatalf("%s: scalar fields differ:\n got %+v\nwant %+v", label, g, w)
+	}
+	if len(got.FuelByKind) != len(want.FuelByKind) {
+		t.Fatalf("%s: FuelByKind sizes differ: %v vs %v", label, got.FuelByKind, want.FuelByKind)
+	}
+	for k, v := range want.FuelByKind {
+		if gv, ok := got.FuelByKind[k]; !ok || gv != v {
+			t.Fatalf("%s: FuelByKind[%v] = %v, want %v", label, k, got.FuelByKind[k], v)
+		}
+	}
+	if !slicesEq(got.Events, want.Events) {
+		t.Fatalf("%s: Events differ:\n got %v\nwant %v", label, got.Events, want.Events)
+	}
+	if !slicesEq(got.Profile, want.Profile) {
+		t.Fatalf("%s: Profile differs (%d vs %d points)", label, len(got.Profile), len(want.Profile))
+	}
+	if !slicesEq(got.Charges, want.Charges) {
+		t.Fatalf("%s: Charges differ (%d vs %d points)", label, len(got.Charges), len(want.Charges))
+	}
+	if !slicesEq(got.SlotLog, want.SlotLog) {
+		t.Fatalf("%s: SlotLog differs (%d vs %d records)", label, len(got.SlotLog), len(want.SlotLog))
+	}
+}
+
+func slicesEq[T comparable](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// batchOracleCheck runs the lanes batched and each lane sequentially,
+// and fails unless every lane matches its sequential twin exactly.
+func batchOracleCheck(t *testing.T, lanes []sim.Lane) *sim.BatchRunner {
+	t.Helper()
+	b, err := sim.NewBatchRunner(lanes)
+	if err != nil {
+		t.Fatalf("NewBatchRunner: %v", err)
+	}
+	got, batchErr := b.Run()
+	if batchErr != nil {
+		t.Fatalf("batch run: %v", batchErr)
+	}
+	for i := range lanes {
+		want, seqErr := sim.Run(lanes[i].Cfg)
+		if (got[i].Err == nil) != (seqErr == nil) {
+			t.Fatalf("lane %d: batch err %v, sequential err %v", i, got[i].Err, seqErr)
+		}
+		if seqErr != nil {
+			continue
+		}
+		assertResultEqual(t, labelLane(i, &lanes[i].Cfg), got[i].Res, want)
+	}
+	return b
+}
+
+func labelLane(i int, cfg *sim.Config) string {
+	name := "<nil>"
+	if cfg.Policy != nil {
+		name = cfg.Policy.Name()
+	}
+	return "lane " + string(rune('0'+i%10)) + " (" + name + ")"
+}
+
+// randomLane draws one scenario variant: policy family, storage size,
+// predictors, DPM mode, record level, slew rate, faults, and fallback
+// chain all vary. Shared pointers (sys, dev, schedules) are the same
+// objects across lanes, exactly as sweep and server consumers build them.
+func randomLane(t *testing.T, rng *rand.Rand, sys *fuelcell.System, dev *device.Model,
+	tr *workload.Trace, scheds []*fault.Schedule) sim.Lane {
+	t.Helper()
+	cfg := sim.Config{Sys: sys, Dev: dev, Trace: tr}
+
+	switch rng.Intn(4) {
+	case 0:
+		cfg.Policy = policy.NewConv(sys)
+	case 1:
+		cfg.Policy = policy.NewASAP(sys)
+	case 2:
+		cfg.Policy = policy.NewFCDPM(sys, dev)
+	default:
+		q, err := policy.NewFCDPMQuantized(sys, dev, fcopt.UniformLevels(sys, 4+rng.Intn(3)))
+		if err != nil {
+			t.Fatalf("quantized policy: %v", err)
+		}
+		cfg.Policy = q
+	}
+
+	caps := []float64{6, 8}
+	cmax := caps[rng.Intn(len(caps))]
+	cfg.Store = storage.MustSuperCap(cmax, cmax/2)
+
+	switch rng.Intn(3) {
+	case 0: // defaults
+	case 1:
+		cfg.IdlePredictor = predict.NewExpAverage(0.5, 4)
+		cfg.ActivePredictor = predict.NewExpAverage(0.5, 2)
+	default:
+		cfg.IdlePredictor = predict.NewLastValue(4)
+		cfg.CurrentPredictor = predict.NewExpAverage(0.3, 1)
+	}
+
+	switch rng.Intn(4) {
+	case 0:
+		cfg.DPM = sim.DPMPredictive
+	case 1:
+		cfg.DPM = sim.DPMAlwaysSleep
+	case 2:
+		cfg.DPM = sim.DPMNeverSleep
+	default:
+		cfg.DPM = sim.DPMTimeout
+		if rng.Intn(2) == 0 {
+			cfg.Timeout = 1.5
+		}
+	}
+
+	switch rng.Intn(3) {
+	case 0:
+		cfg.Record = sim.RecordFuelOnly
+	case 1:
+		cfg.Record = sim.RecordFull
+	default:
+		cfg.RecordProfile = rng.Intn(2) == 0
+		cfg.RecordSlots = rng.Intn(2) == 0
+	}
+
+	if rng.Intn(3) == 0 {
+		cfg.SlewRate = 2.0
+	}
+	if rng.Intn(3) == 0 {
+		cfg.Faults = scheds[rng.Intn(len(scheds))]
+		cfg.FaultSeed = uint64(17 + rng.Intn(2)*6)
+		cfg.Fallbacks = []sim.Policy{policy.NewASAP(sys), policy.NewConv(sys)}
+	}
+	return sim.Lane{Cfg: cfg}
+}
+
+// TestBatchRunnerOracleProperty is the property test the issue asks for:
+// random variant sets across policies × seeds × record levels × fault
+// schedules, every lane compared byte-for-byte against a sequential run.
+func TestBatchRunnerOracleProperty(t *testing.T) {
+	sys := fuelcell.PaperSystem()
+	dev := device.Synthetic()
+	tr := faultTrace(80)
+	scheds := []*fault.Schedule{
+		{Events: []fault.Event{
+			{Kind: fault.SensorNoise, Start: 30, Dur: 100, Magnitude: 0.4},
+			{Kind: fault.EfficiencyDegrade, Start: 50, Dur: 60, Magnitude: 0.3},
+		}},
+		{Events: []fault.Event{
+			{Kind: fault.StackDropout, Start: 120, Dur: 40},
+			{Kind: fault.CapacityFade, Start: 40, Dur: 0, Magnitude: 0.2},
+		}},
+	}
+
+	for round := 0; round < 12; round++ {
+		rng := rand.New(rand.NewSource(int64(1000 + round)))
+		lanes := make([]sim.Lane, 1+rng.Intn(8))
+		for i := range lanes {
+			lanes[i] = randomLane(t, rng, sys, dev, tr, scheds)
+		}
+		batchOracleCheck(t, lanes)
+	}
+}
+
+// TestBatchRunnerGroupsDuplicates verifies identical-dynamics lanes
+// collapse to one executing group regardless of record level, and that
+// distinct dynamics stay apart.
+func TestBatchRunnerGroupsDuplicates(t *testing.T) {
+	sys := fuelcell.PaperSystem()
+	dev := device.Synthetic()
+	tr := faultTrace(60)
+	mk := func(cmax float64, rec sim.RecordLevel) sim.Lane {
+		return sim.Lane{Cfg: sim.Config{
+			Sys: sys, Dev: dev, Trace: tr,
+			Store:  storage.MustSuperCap(cmax, cmax/2),
+			Policy: policy.NewFCDPM(sys, dev),
+			Record: rec,
+		}}
+	}
+	lanes := []sim.Lane{
+		mk(6, sim.RecordFuelOnly),
+		mk(6, sim.RecordFull),
+		mk(6, sim.RecordFuelOnly),
+		mk(8, sim.RecordFuelOnly), // different capacity: own group
+	}
+	b := batchOracleCheck(t, lanes)
+	if b.Groups() != 2 {
+		t.Fatalf("want 2 run groups, got %d", b.Groups())
+	}
+	if b.GroupOf(0) != b.GroupOf(1) || b.GroupOf(0) != b.GroupOf(2) {
+		t.Fatalf("identical-dynamics lanes split: groups %d/%d/%d",
+			b.GroupOf(0), b.GroupOf(1), b.GroupOf(2))
+	}
+	if b.GroupOf(3) == b.GroupOf(0) {
+		t.Fatalf("different-capacity lane joined group %d", b.GroupOf(0))
+	}
+}
+
+// unkeyedPolicy hides the inner policy's BatchKey, modelling a policy
+// the fingerprint cannot identify.
+type unkeyedPolicy struct{ sim.Policy }
+
+// TestBatchRunnerLaneKeyGroups verifies an explicit Lane.Key groups
+// lanes the component fingerprint cannot, and that without it unkeyable
+// lanes fall back to singleton (scalar-path) groups.
+func TestBatchRunnerLaneKeyGroups(t *testing.T) {
+	sys := fuelcell.PaperSystem()
+	mk := func(key string) sim.Lane {
+		return sim.Lane{Key: key, Cfg: sim.Config{
+			Sys: sys, Dev: device.Synthetic(), Trace: faultTrace(40),
+			Store:  storage.MustSuperCap(6, 3),
+			Policy: unkeyedPolicy{policy.NewConv(sys)},
+		}}
+	}
+	keyed := []sim.Lane{mk("cell-abc"), mk("cell-abc")}
+	b := batchOracleCheck(t, keyed)
+	if b.Groups() != 1 {
+		t.Fatalf("equal lane keys must group: got %d groups", b.Groups())
+	}
+	unkeyed := []sim.Lane{mk(""), mk("")}
+	b = batchOracleCheck(t, unkeyed)
+	if b.Groups() != 2 {
+		t.Fatalf("unkeyable lanes must stay singleton: got %d groups", b.Groups())
+	}
+}
+
+// TestBatchRunnerSharedCollaboratorRejected verifies one mutable policy
+// object appearing in two executing groups is a construction error, not
+// a silent corruption.
+func TestBatchRunnerSharedCollaboratorRejected(t *testing.T) {
+	sys := fuelcell.PaperSystem()
+	dev := device.Synthetic()
+	tr := faultTrace(40)
+	shared := policy.NewFCDPM(sys, dev)
+	lanes := []sim.Lane{
+		{Cfg: sim.Config{Sys: sys, Dev: dev, Trace: tr,
+			Store: storage.MustSuperCap(6, 3), Policy: shared}},
+		{Cfg: sim.Config{Sys: sys, Dev: dev, Trace: tr,
+			Store: storage.MustSuperCap(8, 4), Policy: shared}},
+	}
+	if _, err := sim.NewBatchRunner(lanes); err == nil {
+		t.Fatal("want shared-collaborator error, got nil")
+	}
+}
+
+// TestBatchRunnerTraceRules: all lanes must walk one trace — pointer
+// identity is not required, slot-for-slot equality is.
+func TestBatchRunnerTraceRules(t *testing.T) {
+	sys := fuelcell.PaperSystem()
+	dev := device.Synthetic()
+	mk := func(tr *workload.Trace) sim.Lane {
+		return sim.Lane{Cfg: sim.Config{
+			Sys: sys, Dev: dev, Trace: tr,
+			Store: storage.MustSuperCap(6, 3), Policy: policy.NewConv(sys),
+		}}
+	}
+	if _, err := sim.NewBatchRunner([]sim.Lane{mk(faultTrace(40)), mk(faultTrace(41))}); err == nil {
+		t.Fatal("want trace-mismatch error, got nil")
+	}
+	// A value-equal copy is the same walk.
+	b, err := sim.NewBatchRunner([]sim.Lane{mk(faultTrace(40)), mk(faultTrace(40))})
+	if err != nil {
+		t.Fatalf("value-equal traces rejected: %v", err)
+	}
+	if b.Groups() != 1 {
+		t.Fatalf("want 1 group across value-equal traces, got %d", b.Groups())
+	}
+}
+
+// TestBatchRunnerLaneErrorIsolation verifies a failing lane carries its
+// own error while its batchmates complete and still match sequential.
+func TestBatchRunnerLaneErrorIsolation(t *testing.T) {
+	sys := fuelcell.PaperSystem()
+	dev := device.Synthetic()
+	tr := faultTrace(60)
+	good := func(p sim.Policy) sim.Lane {
+		return sim.Lane{Cfg: sim.Config{Sys: sys, Dev: dev, Trace: tr,
+			Store: storage.MustSuperCap(8, 4), Policy: p}}
+	}
+	bad := sim.Lane{Cfg: sim.Config{Sys: sys, Dev: dev, Trace: tr,
+		Store:  brokenStore{SuperCap: storage.MustSuperCap(6, 3)},
+		Policy: policy.NewConv(sys)}}
+	lanes := []sim.Lane{good(policy.NewConv(sys)), bad, good(policy.NewFCDPM(sys, dev))}
+
+	b, err := sim.NewBatchRunner(lanes)
+	if err != nil {
+		t.Fatalf("NewBatchRunner: %v", err)
+	}
+	got, batchErr := b.Run()
+	if batchErr != nil {
+		t.Fatalf("lane failures must not abort the batch: %v", batchErr)
+	}
+	var inv *sim.InvariantError
+	if !errors.As(got[1].Err, &inv) {
+		t.Fatalf("broken lane: want *sim.InvariantError, got %v", got[1].Err)
+	}
+	if got[1].Res != nil {
+		t.Fatal("failed lane must carry a nil Result")
+	}
+	for _, i := range []int{0, 2} {
+		if got[i].Err != nil {
+			t.Fatalf("healthy lane %d errored: %v", i, got[i].Err)
+		}
+		want, seqErr := sim.Run(lanes[i].Cfg)
+		if seqErr != nil {
+			t.Fatalf("sequential lane %d: %v", i, seqErr)
+		}
+		assertResultEqual(t, labelLane(i, &lanes[i].Cfg), got[i].Res, want)
+	}
+}
+
+// TestBatchRunnerCancel verifies cancellation lands on every lane as a
+// typed error that unwraps to the context cause.
+func TestBatchRunnerCancel(t *testing.T) {
+	sys := fuelcell.PaperSystem()
+	lanes := []sim.Lane{
+		{Cfg: sim.Config{Sys: sys, Dev: device.Synthetic(), Trace: faultTrace(40),
+			Store: storage.MustSuperCap(6, 3), Policy: policy.NewConv(sys)}},
+		{Cfg: sim.Config{Sys: sys, Dev: device.Synthetic(), Trace: faultTrace(40),
+			Store: storage.MustSuperCap(8, 4), Policy: policy.NewASAP(sys)}},
+	}
+	b, err := sim.NewBatchRunner(lanes)
+	if err != nil {
+		t.Fatalf("NewBatchRunner: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, batchErr := b.RunContext(ctx)
+	if !errors.Is(batchErr, context.Canceled) {
+		t.Fatalf("want context.Canceled batch error, got %v", batchErr)
+	}
+	for i := range got {
+		var ce *sim.CanceledError
+		if !errors.As(got[i].Err, &ce) || !errors.Is(got[i].Err, context.Canceled) {
+			t.Fatalf("lane %d: want *sim.CanceledError wrapping Canceled, got %v", i, got[i].Err)
+		}
+	}
+}
+
+// TestBatchRunnerReuse verifies a BatchRunner is reusable: the second
+// run reuses every buffer yet reproduces the first bit for bit.
+func TestBatchRunnerReuse(t *testing.T) {
+	sys := fuelcell.PaperSystem()
+	dev := device.Synthetic()
+	tr := faultTrace(60)
+	lanes := []sim.Lane{
+		{Cfg: sim.Config{Sys: sys, Dev: dev, Trace: tr,
+			Store: storage.MustSuperCap(6, 3), Policy: policy.NewFCDPM(sys, dev),
+			Record: sim.RecordFull}},
+		{Cfg: sim.Config{Sys: sys, Dev: dev, Trace: tr,
+			Store: storage.MustSuperCap(6, 3), Policy: policy.NewFCDPM(sys, dev),
+			Record: sim.RecordFuelOnly}},
+	}
+	b, err := sim.NewBatchRunner(lanes)
+	if err != nil {
+		t.Fatalf("NewBatchRunner: %v", err)
+	}
+	first, err := b.Run()
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	snap := make([]sim.Result, len(first))
+	for i := range first {
+		snap[i] = cloneResult(first[i].Res)
+	}
+	second, err := b.Run()
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	for i := range second {
+		assertResultEqual(t, labelLane(i, &lanes[i].Cfg), second[i].Res, &snap[i])
+	}
+	// A fuel-only lane's projection must not leak its group leader's
+	// richer recording.
+	if len(second[1].Res.Profile) != 0 || len(second[1].Res.SlotLog) != 0 {
+		t.Fatalf("fuel-only lane kept history: %d profile, %d slots",
+			len(second[1].Res.Profile), len(second[1].Res.SlotLog))
+	}
+	if len(second[0].Res.Profile) == 0 || len(second[0].Res.SlotLog) == 0 {
+		t.Fatal("full-record lane lost history")
+	}
+}
+
+// cloneResult deep-copies a result out of the runner's reusable buffers.
+func cloneResult(r *sim.Result) sim.Result {
+	c := *r
+	c.FuelByKind = make(map[sim.SegmentKind]float64, len(r.FuelByKind))
+	for k, v := range r.FuelByKind {
+		c.FuelByKind[k] = v
+	}
+	c.Events = append([]sim.RunEvent(nil), r.Events...)
+	c.Profile = append([]sim.ProfilePoint(nil), r.Profile...)
+	c.Charges = append([]sim.ChargePoint(nil), r.Charges...)
+	c.SlotLog = append([]sim.SlotRecord(nil), r.SlotLog...)
+	return c
+}

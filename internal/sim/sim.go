@@ -465,12 +465,12 @@ type state struct {
 	fuelKind    [numSegmentKinds]float64
 	fuelSeen    [numSegmentKinds]bool
 
-	// Fixed-size scratch buffers: a slot expands to at most 3 idle and 4
-	// active segments, and policies return at most a handful of pieces
-	// per segment (2 today; the buffer grows transparently if exceeded).
-	idleBuf   [3]Segment
-	activeBuf [4]Segment
-	pieceBuf  [8]Piece
+	// Fixed-size scratch buffers: policies return at most a handful of
+	// pieces per segment (2 today; the buffer grows transparently if
+	// exceeded). dec is the per-slot decode scratch; batch lanes that
+	// share their decode inputs read another state's decode instead.
+	pieceBuf [8]Piece
+	dec      slotDecode
 }
 
 // init performs the one-time setup: every allocation a run needs happens
@@ -561,6 +561,11 @@ func (st *state) run(ctx context.Context) (*Result, error) {
 			return nil, err
 		}
 	}
+	return st.finalize(), nil
+}
+
+// finalize folds the accumulators into the result after the last slot.
+func (st *state) finalize() *Result {
 	st.drainFaults()
 	for k, seen := range st.fuelSeen {
 		if seen {
@@ -576,7 +581,7 @@ func (st *state) run(ctx context.Context) (*Result, error) {
 	if st.fade != nil {
 		st.res.LostCharge = st.fade.Lost
 	}
-	return st.res, nil
+	return st.res
 }
 
 // sleepDecision applies the configured DPM mode at planning time. Under
@@ -598,54 +603,69 @@ func (s *state) sleepDecision(predIdle, actualIdle float64) bool {
 	}
 }
 
-// runSlot simulates one task slot.
-func (s *state) runSlot(k int, slot workload.Slot) error {
+// slotDecode is the trace-side expansion of one slot: the predictor
+// outputs, the sleep decision, the planner's idle-load view, and the
+// segment sequences — everything derived from the trace, the device
+// model, the DPM mode, and the predictors, but nothing that depends on
+// the storage level or the source policy. The scalar path decodes into
+// its own scratch; batch lanes whose decode inputs match share one
+// decode per slot and hand it to every lane before advancing.
+type slotDecode struct {
+	// info carries K, Sleeping (the planning decision), the predictions,
+	// and IdleLoad. The storage-dependent fields (Charge, Cmax,
+	// ChargeTarget) are filled per lane by runDecoded.
+	info       SlotInfo
+	didSleep   bool
+	idleSegs   []Segment
+	activeSegs []Segment
+
+	// Fixed scratch arrays backing the segment slices: a slot expands to
+	// at most 3 idle and 4 active segments, so decoding never allocates.
+	idleArr   [3]Segment
+	activeArr [4]Segment
+}
+
+// decodeSlot expands one slot into d. It reads the predictors and — under
+// DPMTimeout with an adapter — refreshes cfg.Timeout, but leaves the
+// storage, policy, and result untouched.
+func (s *state) decodeSlot(k int, slot workload.Slot, d *slotDecode) {
 	dev := s.cfg.Dev
-	fuelBefore := s.res.Fuel
-	chargeBefore := s.store.Charge()
-	info := SlotInfo{
+	d.info = SlotInfo{
 		K:                 k,
 		PredIdle:          s.predIdle.Predict(),
 		PredActive:        s.predActive.Predict(),
 		PredActiveCurrent: s.predCurrent.Predict(),
-		Cmax:              s.store.Capacity(),
-		ChargeTarget:      s.chargeTarget,
 	}
 	if s.cfg.DPM == DPMTimeout && s.cfg.TimeoutAdapter != nil {
 		s.cfg.Timeout = s.cfg.TimeoutAdapter.NextTimeout()
 	}
-	planSleep := s.sleepDecision(info.PredIdle, slot.Idle)
-	didSleep := planSleep
+	planSleep := s.sleepDecision(d.info.PredIdle, slot.Idle)
+	d.didSleep = planSleep
 	if s.cfg.DPM == DPMTimeout {
 		// Reactive execution: sleep happens only if the idle period
 		// actually outlasts the timeout dwell.
-		didSleep = slot.Idle > s.cfg.Timeout
+		d.didSleep = slot.Idle > s.cfg.Timeout
 	}
-	info.Sleeping = planSleep
-	info.IdleLoad = dev.IdleCurrent(planSleep)
-	if s.cfg.DPM == DPMTimeout && planSleep && info.PredIdle > 0 {
+	d.info.Sleeping = planSleep
+	d.info.IdleLoad = dev.IdleCurrent(planSleep)
+	if s.cfg.DPM == DPMTimeout && planSleep && d.info.PredIdle > 0 {
 		// Timeout idles are a STANDBY dwell followed by SLEEP; give the
 		// planner the charge-equivalent average current.
-		dwell := math.Min(s.cfg.Timeout, info.PredIdle)
-		info.IdleLoad = (dev.Isdb*dwell + dev.Islp*(info.PredIdle-dwell)) / info.PredIdle
+		dwell := math.Min(s.cfg.Timeout, d.info.PredIdle)
+		d.info.IdleLoad = (dev.Isdb*dwell + dev.Islp*(d.info.PredIdle-dwell)) / d.info.PredIdle
 	}
-	info.Charge = s.store.Charge()
-	if didSleep {
-		s.res.Sleeps++
-	}
-	s.pol.PlanIdle(info)
 
 	// Idle phase. The segment slices are backed by fixed scratch arrays
 	// sized for the worst-case slot shape, so building them never
 	// allocates.
-	idleSegs := s.idleBuf[:0]
+	idleSegs := d.idleArr[:0]
 	switch {
 	case s.cfg.DPM == DPMTimeout:
 		dwell := math.Min(s.cfg.Timeout, slot.Idle)
 		if dwell > 0 {
 			idleSegs = append(idleSegs, Segment{SegStandby, dwell, dev.Isdb})
 		}
-		if didSleep {
+		if d.didSleep {
 			pd := math.Min(dev.TauPD, slot.Idle-dwell)
 			if pd > 0 {
 				idleSegs = append(idleSegs, Segment{SegPowerDown, pd, dev.IPD})
@@ -654,7 +674,7 @@ func (s *state) runSlot(k int, slot workload.Slot) error {
 				idleSegs = append(idleSegs, Segment{SegSleep, rest, dev.Islp})
 			}
 		}
-	case didSleep:
+	case d.didSleep:
 		pd := math.Min(dev.TauPD, slot.Idle)
 		if pd > 0 {
 			idleSegs = append(idleSegs, Segment{SegPowerDown, pd, dev.IPD})
@@ -665,24 +685,12 @@ func (s *state) runSlot(k int, slot workload.Slot) error {
 	case slot.Idle > 0:
 		idleSegs = append(idleSegs, Segment{SegStandby, slot.Idle, dev.Isdb})
 	}
-	for _, seg := range idleSegs {
-		if err := s.applySegment(seg); err != nil {
-			return fmt.Errorf("slot %d idle: %w", k, err)
-		}
-	}
+	d.idleSegs = idleSegs
 
-	// Active phase: the arriving task reveals its actual demands. The
-	// Sleeping flag now reflects what actually happened, since the
-	// wake-up transition occurs only after a real sleep.
-	info.Sleeping = didSleep
-	info.ActualIdle = slot.Idle
-	info.ActualActive = slot.Active
-	info.ActualActiveCurrent = slot.ActiveCurrent
-	info.Charge = s.store.Charge()
-	s.pol.PlanActive(info)
-
-	activeSegs := s.activeBuf[:0]
-	if didSleep && dev.TauWU > 0 {
+	// Active phase: wake-up (after a real sleep), startup, the task
+	// itself, shutdown.
+	activeSegs := d.activeArr[:0]
+	if d.didSleep && dev.TauWU > 0 {
 		activeSegs = append(activeSegs, Segment{SegWakeUp, dev.TauWU, dev.IWU})
 	}
 	if dev.TauSR > 0 {
@@ -694,7 +702,43 @@ func (s *state) runSlot(k int, slot workload.Slot) error {
 	if dev.TauRS > 0 {
 		activeSegs = append(activeSegs, Segment{SegShutdown, dev.TauRS, slot.ActiveCurrent})
 	}
-	for _, seg := range activeSegs {
+	d.activeSegs = activeSegs
+}
+
+// runDecoded simulates one task slot from its decode. The decode may come
+// from this lane's own decodeSlot call or from a batch sibling with
+// identical decode inputs; either way the lane trains its own predictors
+// on the realized slot, so every lane of a shared-decode group holds
+// identical predictor state and any of them can produce the next slot's
+// decode — which is what makes the sharing byte-exact even when the
+// producing lane drops out mid-run.
+func (s *state) runDecoded(k int, slot workload.Slot, d *slotDecode) error {
+	fuelBefore := s.res.Fuel
+	chargeBefore := s.store.Charge()
+	info := d.info
+	info.Cmax = s.store.Capacity()
+	info.ChargeTarget = s.chargeTarget
+	info.Charge = s.store.Charge()
+	if d.didSleep {
+		s.res.Sleeps++
+	}
+	s.pol.PlanIdle(info)
+	for _, seg := range d.idleSegs {
+		if err := s.applySegment(seg); err != nil {
+			return fmt.Errorf("slot %d idle: %w", k, err)
+		}
+	}
+
+	// Active phase: the arriving task reveals its actual demands. The
+	// Sleeping flag now reflects what actually happened, since the
+	// wake-up transition occurs only after a real sleep.
+	info.Sleeping = d.didSleep
+	info.ActualIdle = slot.Idle
+	info.ActualActive = slot.Active
+	info.ActualActiveCurrent = slot.ActiveCurrent
+	info.Charge = s.store.Charge()
+	s.pol.PlanActive(info)
+	for _, seg := range d.activeSegs {
 		if err := s.applySegment(seg); err != nil {
 			return fmt.Errorf("slot %d active: %w", k, err)
 		}
@@ -723,8 +767,8 @@ func (s *state) runSlot(k int, slot workload.Slot) error {
 			Idle:          slot.Idle,
 			Active:        slot.Active,
 			ActiveCurrent: slot.ActiveCurrent,
-			Slept:         didSleep,
-			PredIdle:      info.PredIdle,
+			Slept:         d.didSleep,
+			PredIdle:      d.info.PredIdle,
 			ChargeStart:   chargeBefore,
 			ChargeEnd:     s.store.Charge(),
 			Fuel:          s.res.Fuel - fuelBefore,
@@ -732,6 +776,13 @@ func (s *state) runSlot(k int, slot workload.Slot) error {
 	}
 	s.res.Slots++
 	return nil
+}
+
+// runSlot simulates one task slot: decode, then execute. Batch lanes call
+// the two halves separately so fingerprint-equal lanes share one decode.
+func (s *state) runSlot(k int, slot workload.Slot) error {
+	s.decodeSlot(k, slot, &s.dec)
+	return s.runDecoded(k, slot, &s.dec)
 }
 
 // applySegment integrates one segment under the active policy's piece

@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"fcdpm/internal/device"
+	"fcdpm/internal/sim"
 )
 
 // ExpectedCharge returns the mean idle-period charge (A-s) under timeout
@@ -109,6 +110,16 @@ func (a *AdaptiveTimeout) Observe(idle float64) {
 		a.hist = a.hist[1:]
 	}
 	a.dirty = true
+}
+
+// CloneTimeoutAdapter implements sim.TimeoutAdapterCloner: the clone
+// starts from the same learned distribution but adapts independently, so
+// a batched comparison or sweep can give every lane its own adaptation
+// instead of serializing the rows around one shared adapter.
+func (a *AdaptiveTimeout) CloneTimeoutAdapter() sim.TimeoutAdapter {
+	c := *a
+	c.hist = append([]float64(nil), a.hist...)
+	return &c
 }
 
 // Reset clears the learned history.

@@ -125,3 +125,31 @@ func TestAdaptiveTimeoutValidation(t *testing.T) {
 		t.Error("zero window accepted")
 	}
 }
+
+func TestCloneTimeoutAdapterIndependent(t *testing.T) {
+	d := dev()
+	a, err := NewAdaptiveTimeout(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Observe(2)
+	a.Observe(30)
+	before := a.NextTimeout()
+
+	c := a.CloneTimeoutAdapter()
+	if c.NextTimeout() != before {
+		t.Fatalf("clone starts at %v, want the source's learned timeout %v", c.NextTimeout(), before)
+	}
+	// Feeding the clone must not move the source, and vice versa.
+	for i := 0; i < 6; i++ {
+		c.Observe(100)
+	}
+	if got := a.NextTimeout(); got != before {
+		t.Fatalf("source timeout moved to %v after clone observations, want %v", got, before)
+	}
+	a.Observe(0.1)
+	a.Observe(0.1)
+	if cTau, clTau := a.NextTimeout(), c.NextTimeout(); cTau == clTau {
+		t.Fatalf("source and clone converged (%v) despite disjoint observations", cTau)
+	}
+}

@@ -1,0 +1,25 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+)
+
+// BatchKey identities let the batched simulation core (sim.BatchRunner)
+// group lanes whose storage elements start identically: the simulator
+// clones the element at construction and rewinds the clone before every
+// run, so the construction-time state below fully determines a lane's
+// storage trajectory. Keys format exact float bits — lanes group only on
+// true equality.
+
+// BatchKey implements sim.BatchKeyer.
+func (s *SuperCap) BatchKey() string {
+	return fmt.Sprintf("supercap|%x|%x", math.Float64bits(s.cmax), math.Float64bits(s.q))
+}
+
+// BatchKey implements sim.BatchKeyer.
+func (b *LiIon) BatchKey() string {
+	return fmt.Sprintf("liion|%x|%x|%x|%x|%x",
+		math.Float64bits(b.cmax), math.Float64bits(b.c), math.Float64bits(b.k),
+		math.Float64bits(b.y1), math.Float64bits(b.y2))
+}

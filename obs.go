@@ -20,6 +20,9 @@ type (
 	// PoolMetrics is the orchestration pool's instrument set (queue
 	// depth, resolutions, retries, breaker transitions).
 	PoolMetrics = obs.PoolMetrics
+	// BatchMetrics is the batched simulator's instrument set (batch
+	// count, lane-width histogram, plan-group hits).
+	BatchMetrics = obs.BatchMetrics
 	// Tracer is the lightweight span facility: monotonic timestamps,
 	// optional per-span hooks, slow-span threshold logging.
 	Tracer = obs.Tracer
@@ -35,3 +38,7 @@ func NewSimMetrics(r *MetricsRegistry) *SimMetrics { return obs.NewSimMetrics(r)
 // NewPoolMetrics registers the pool series on r and returns the bundle
 // to assign to RunnerOptions.Metrics.
 func NewPoolMetrics(r *MetricsRegistry) *PoolMetrics { return obs.NewPoolMetrics(r) }
+
+// NewBatchMetrics registers the batched-simulation series on r and
+// returns the bundle to assign to BatchRunner.Metrics.
+func NewBatchMetrics(r *MetricsRegistry) *BatchMetrics { return obs.NewBatchMetrics(r) }
