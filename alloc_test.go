@@ -5,7 +5,11 @@ package fcdpm
 // an API guarantee (SimRunner + RecordFuelOnly), and testing.AllocsPerRun
 // catches any accidental per-run allocation the day it is introduced.
 
-import "testing"
+import (
+	"testing"
+
+	"fcdpm/internal/fault"
+)
 
 // newThroughputRunner builds the benchmark configuration: FC-DPM over the
 // camcorder trace at the fuel-only record level.
@@ -165,5 +169,50 @@ func TestOptimizeSlotZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("OptimizeSlot allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestSimFaultedRunZeroAllocs(t *testing.T) {
+	// Fault injection must ride the same arena-reuse path as clean runs:
+	// the injector rewinds its transition list and noise stream in place,
+	// and the fade wrapper restores instead of being rebuilt per run.
+	// The event magnitudes stay zero (class defaults apply) because a
+	// nonzero magnitude formats into the audit log.
+	sys := PaperSystem()
+	dev := Camcorder()
+	trace, err := CamcorderTrace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := &FaultSchedule{Events: []FaultEvent{
+		{Kind: fault.CapacityFade, Start: 200, Dur: 100},
+		{Kind: fault.SensorNoise, Start: 400, Dur: 150},
+	}}
+	r, err := NewSimRunner(SimConfig{
+		Sys: sys, Dev: dev, Store: MustSuperCap(6, 1),
+		Trace: trace, Policy: NewFCDPM(sys, dev),
+		Record: RecordFuelOnly,
+		Faults: sched, FaultSeed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fuel, lost := first.Fuel, first.LostCharge
+	allocs := testing.AllocsPerRun(20, func() {
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Fuel != fuel || res.LostCharge != lost {
+			t.Fatalf("faulted rerun diverged: fuel %v/%v lost %v/%v",
+				res.Fuel, fuel, res.LostCharge, lost)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("faulted SimRunner.Run allocates %v times per steady-state run, want 0", allocs)
 	}
 }

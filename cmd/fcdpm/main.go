@@ -139,6 +139,8 @@ func run(ctx context.Context, args []string) error {
 		return cmdRobust(ctx, rest)
 	case "charge":
 		return cmdCharge(rest)
+	case "multistack":
+		return cmdMultiStack(ctx, rest)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -204,6 +206,11 @@ subcommands:
            a failing seed reproduces with -trials 1 -seed S
   version  print the build identity (module version, VCS revision, Go)
   charge   ASCII plot of the storage charge trajectory under a policy
+  multistack
+           K-stack rack allocation study on the datacenter racksurge
+           workload: equal-split vs water-filling vs health-rotation
+           across rack sizes and surge intensities; -assert fails the
+           process unless water-filling strictly beats equal-split
   faults   list fault classes and run the per-policy fault sweep
            (fuel / survival under each fault class, with graceful
            degradation through the FC-DPM -> ASAP -> Conv -> load-shed

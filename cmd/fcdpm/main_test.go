@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -187,5 +188,120 @@ func TestBatchAndRobust(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"robust", "-trials", "4"}); err != nil {
 		t.Fatalf("robust: %v", err)
+	}
+}
+
+// TestRunFileBadRhoExitsOne is the regression test for the predictor
+// typed-error sweep: a scenario with an out-of-range rho used to reach
+// predict's constructor panic; it must now map to a run failure (exit
+// code 1), not a crash.
+func TestRunFileBadRhoExitsOne(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad-rho.json")
+	js := `{"trace": {"kind": "synthetic", "duration": 60}, "predict": {"rho": 1.5}}`
+	if err := os.WriteFile(path, []byte(js), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	oldOut, oldErr := os.Stdout, os.Stderr
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout, os.Stderr = devNull, devNull
+	defer func() {
+		os.Stdout, os.Stderr = oldOut, oldErr
+		devNull.Close()
+	}()
+	err = run(context.Background(), []string{"runfile", path})
+	if err == nil {
+		t.Fatal("bad-rho scenario accepted")
+	}
+	if got := exitCode(err); got != 1 {
+		t.Fatalf("exitCode = %d, want 1 (err: %v)", got, err)
+	}
+	if !strings.Contains(err.Error(), "predict.rho") {
+		t.Fatalf("error does not name the offending field: %v", err)
+	}
+}
+
+// TestRunFileBadTraceRecordExitsOne is the regression test for crafted
+// trace records reaching the simulator: a scenario pointing at a trace
+// file with a NaN duration must fail cleanly with exit code 1 (it used
+// to pass validation and poison the run), as must a zero-duration slot.
+func TestRunFileBadTraceRecordExitsOne(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "crafted.csv")
+	if err := os.WriteFile(trace, []byte("idle_s,active_s,active_current_a\n10,NaN,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	scen := filepath.Join(dir, "scenario.json")
+	js := fmt.Sprintf(`{"trace": {"kind": "file", "file": %q}}`, trace)
+	if err := os.WriteFile(scen, []byte(js), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	oldOut, oldErr := os.Stdout, os.Stderr
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout, os.Stderr = devNull, devNull
+	defer func() {
+		os.Stdout, os.Stderr = oldOut, oldErr
+		devNull.Close()
+	}()
+	err = run(context.Background(), []string{"runfile", scen})
+	if err == nil {
+		t.Fatal("crafted trace accepted")
+	}
+	if got := exitCode(err); got != 1 {
+		t.Fatalf("exitCode = %d, want 1 (err: %v)", got, err)
+	}
+}
+
+// TestRunMultiStack: the allocation study runs end to end and its
+// -assert gate holds (water-filling strictly below equal-split on the
+// degraded mix); bad list flags are usage errors.
+func TestRunMultiStack(t *testing.T) {
+	old := os.Stdout
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devNull
+	defer func() {
+		os.Stdout = old
+		devNull.Close()
+	}()
+	args := []string{"multistack", "-k", "2", "-intensity", "2", "-duration", "200", "-assert"}
+	if err := run(context.Background(), args); err != nil {
+		t.Errorf("run(%v) = %v", args, err)
+	}
+	for _, bad := range [][]string{
+		{"multistack", "-k", "two"},
+		{"multistack", "-intensity", ""},
+		{"multistack", "extra"},
+	} {
+		if err := run(context.Background(), bad); exitCode(err) != 2 {
+			t.Errorf("run(%v) = %v, want usage error", bad, err)
+		}
+	}
+}
+
+// TestRunFileMultiStackScenario: the shipped multi-stack scenario file
+// builds and runs through the runfile path.
+func TestRunFileMultiStackScenario(t *testing.T) {
+	old := os.Stdout
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devNull
+	defer func() {
+		os.Stdout = old
+		devNull.Close()
+	}()
+	path := filepath.Join("..", "..", "scenarios", "multistack-surge.json")
+	if err := run(context.Background(), []string{"runfile", path}); err != nil {
+		t.Errorf("runfile %s: %v", path, err)
 	}
 }

@@ -26,13 +26,13 @@ func main() {
 		mk   func() fcdpm.Predictor
 	}
 	entries := []entry{
-		{"exp-average ρ=0.25", func() fcdpm.Predictor { return fcdpm.NewExpAverage(0.25, 14) }},
-		{"exp-average ρ=0.50", func() fcdpm.Predictor { return fcdpm.NewExpAverage(0.5, 14) }},
-		{"exp-average ρ=0.75", func() fcdpm.Predictor { return fcdpm.NewExpAverage(0.75, 14) }},
+		{"exp-average ρ=0.25", func() fcdpm.Predictor { return fcdpm.MustExpAverage(0.25, 14) }},
+		{"exp-average ρ=0.50", func() fcdpm.Predictor { return fcdpm.MustExpAverage(0.5, 14) }},
+		{"exp-average ρ=0.75", func() fcdpm.Predictor { return fcdpm.MustExpAverage(0.75, 14) }},
 		{"last-value", func() fcdpm.Predictor { return fcdpm.NewLastValue(14) }},
-		{"regression w=5", func() fcdpm.Predictor { return fcdpm.NewRegressionPredictor(5, 14) }},
-		{"learning tree 8x2", func() fcdpm.Predictor { return fcdpm.NewTreePredictor(8, 2, 8, 20, 14) }},
-		{"markov chain L=8", func() fcdpm.Predictor { return fcdpm.NewMarkovPredictor(8, 8, 20, 14) }},
+		{"regression w=5", func() fcdpm.Predictor { return fcdpm.MustRegressionPredictor(5, 14) }},
+		{"learning tree 8x2", func() fcdpm.Predictor { return fcdpm.MustTreePredictor(8, 2, 8, 20, 14) }},
+		{"markov chain L=8", func() fcdpm.Predictor { return fcdpm.MustMarkovPredictor(8, 8, 20, 14) }},
 	}
 
 	fmt.Println("predictor            MAE(s)  RMSE(s)  over-rate  FC-DPM fuel(A-s)")

@@ -57,7 +57,7 @@ func runSpread(seed uint64, lo, hi float64) (saving, fcNorm float64, err error) 
 		return fcdpm.Run(fcdpm.SimConfig{
 			Sys: sys, Dev: dev,
 			Store: fcdpm.MustSuperCap(6, 1), Trace: trace, Policy: p,
-			CurrentPredictor: fcdpm.NewExpAverage(1, 1.2), // the paper's fixed 1.2 A estimate
+			CurrentPredictor: fcdpm.MustExpAverage(1, 1.2), // the paper's fixed 1.2 A estimate
 		})
 	}
 	conv, err := run(fcdpm.NewConv(sys))

@@ -39,6 +39,7 @@ import (
 	"fcdpm/internal/fault"
 	"fcdpm/internal/fcopt"
 	"fcdpm/internal/fuelcell"
+	"fcdpm/internal/multistack"
 	"fcdpm/internal/policy"
 	"fcdpm/internal/predict"
 	"fcdpm/internal/sim"
@@ -297,27 +298,55 @@ func PeriodicTrace(n int, idle, active, activeCurrent float64) *Trace {
 	return workload.Periodic(n, idle, active, activeCurrent)
 }
 
-// NewExpAverage returns the paper's Eq 14/15 exponential-average predictor.
-func NewExpAverage(rho, initial float64) Predictor { return predict.NewExpAverage(rho, initial) }
+// NewExpAverage returns the paper's Eq 14/15 exponential-average
+// predictor. An out-of-range rho is a *predict.ConfigError; use
+// MustExpAverage for fixed literals.
+func NewExpAverage(rho, initial float64) (Predictor, error) {
+	return predict.NewExpAverage(rho, initial)
+}
+
+// MustExpAverage is NewExpAverage for fixed in-range literals; it panics
+// on a construction error.
+func MustExpAverage(rho, initial float64) Predictor { return predict.MustExpAverage(rho, initial) }
 
 // NewLastValue returns a last-value predictor.
 func NewLastValue(initial float64) Predictor { return predict.NewLastValue(initial) }
 
 // NewRegressionPredictor returns a sliding-window linear-regression
-// predictor [2].
-func NewRegressionPredictor(window int, initial float64) Predictor {
+// predictor [2]. A window below 2 is a *predict.ConfigError.
+func NewRegressionPredictor(window int, initial float64) (Predictor, error) {
 	return predict.NewRegression(window, initial)
 }
 
+// MustRegressionPredictor is NewRegressionPredictor for fixed valid
+// literals; it panics on a construction error.
+func MustRegressionPredictor(window int, initial float64) Predictor {
+	return predict.MustRegression(window, initial)
+}
+
 // NewTreePredictor returns an adaptive-learning-tree predictor [3].
-func NewTreePredictor(levels, depth int, lo, hi, initial float64) Predictor {
+// Out-of-range parameters are a *predict.ConfigError.
+func NewTreePredictor(levels, depth int, lo, hi, initial float64) (Predictor, error) {
 	return predict.NewTree(levels, depth, lo, hi, initial)
+}
+
+// MustTreePredictor is NewTreePredictor for fixed valid literals; it
+// panics on a construction error.
+func MustTreePredictor(levels, depth int, lo, hi, initial float64) Predictor {
+	return predict.MustTree(levels, depth, lo, hi, initial)
 }
 
 // NewMarkovPredictor returns a first-order Markov-chain predictor over
 // quantized levels (the stochastic-control modelling of [4, 5]).
-func NewMarkovPredictor(levels int, lo, hi, initial float64) Predictor {
+// Out-of-range parameters are a *predict.ConfigError.
+func NewMarkovPredictor(levels int, lo, hi, initial float64) (Predictor, error) {
 	return predict.NewMarkov(levels, lo, hi, initial)
+}
+
+// MustMarkovPredictor is NewMarkovPredictor for fixed valid literals; it
+// panics on a construction error.
+func MustMarkovPredictor(levels int, lo, hi, initial float64) Predictor {
+	return predict.MustMarkov(levels, lo, hi, initial)
 }
 
 // EvaluatePredictor streams a series through a predictor and reports
@@ -548,3 +577,60 @@ func TraceFromEvents(name string, events []workload.Event, leadIn float64) (*Tra
 
 // TraceEvent is one task request in an activity log.
 type TraceEvent = workload.Event
+
+// Multi-stack hybrid sources (K stacks behind one storage element).
+
+// Rack is a K-stack hybrid power source aggregated under an allocation
+// policy into a single System (see internal/multistack).
+type Rack = multistack.Rack
+
+// RackStack is one fuel-cell stack of a Rack: its system description,
+// fractional efficiency degradation, and online/offline state.
+type RackStack = multistack.Stack
+
+// RackAllocator is a power-allocation policy splitting rack demand
+// across stacks.
+type RackAllocator = multistack.Allocator
+
+// NewRack validates the stack set and pre-solves the aggregate system.
+func NewRack(stacks []RackStack, alloc RackAllocator) (*Rack, error) {
+	return multistack.New(stacks, alloc)
+}
+
+// UniformRack builds a rack of k identical stacks with a cycled
+// degradation mix (nil means all healthy).
+func UniformRack(sys *System, k int, alloc RackAllocator, degrade []float64) (*Rack, error) {
+	return multistack.Uniform(sys, k, alloc, degrade)
+}
+
+// ParseRackAllocator maps a selector ("equal", "waterfill", "rotation")
+// to an allocation policy.
+func ParseRackAllocator(name string) (RackAllocator, error) {
+	return multistack.ParseAllocator(name)
+}
+
+// RackAllocators returns the built-in allocation policies in comparison
+// order: equal-split, water-filling, health-rotation.
+func RackAllocators() []RackAllocator { return multistack.Allocators() }
+
+// RackSurgeConfig parameterizes the datacenter rack workload generator:
+// steady service work punctuated by power-surge episodes.
+type RackSurgeConfig = workload.RackSurgeConfig
+
+// DefaultRackSurgeConfig returns the surge-study configuration.
+func DefaultRackSurgeConfig() RackSurgeConfig { return workload.DefaultRackSurgeConfig() }
+
+// RackSurgeTrace generates the surge-modulated rack workload.
+func RackSurgeTrace(cfg RackSurgeConfig) (*Trace, error) { return workload.RackSurge(cfg) }
+
+// MultiStackConfig parameterizes the rack-allocation study.
+type MultiStackConfig = exp.MultiStackConfig
+
+// MultiStackRow is one (allocator, rack size, intensity) study cell.
+type MultiStackRow = exp.MultiStackRow
+
+// MultiStackStudy compares rack allocation policies across rack sizes
+// and surge intensities on the racksurge workload.
+func MultiStackStudy(cfg MultiStackConfig) ([]MultiStackRow, error) {
+	return exp.MultiStackStudy(cfg)
+}

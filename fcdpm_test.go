@@ -96,9 +96,9 @@ func TestFacadeExperiments(t *testing.T) {
 func TestFacadePredictors(t *testing.T) {
 	series := []float64{8, 12, 20, 9, 15}
 	for _, p := range []Predictor{
-		NewExpAverage(0.5, 14), NewLastValue(14),
-		NewRegressionPredictor(3, 14), NewTreePredictor(4, 1, 8, 20, 14),
-		NewMarkovPredictor(4, 8, 20, 14),
+		MustExpAverage(0.5, 14), NewLastValue(14),
+		MustRegressionPredictor(3, 14), MustTreePredictor(4, 1, 8, 20, 14),
+		MustMarkovPredictor(4, 8, 20, 14),
 	} {
 		acc, err := EvaluatePredictor(p, series)
 		if err != nil {

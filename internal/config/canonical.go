@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"fcdpm/internal/fault"
+	"fcdpm/internal/multistack"
 )
 
 // This file gives a validated scenario a canonical form, so the serving
@@ -45,6 +46,36 @@ func (s *Scenario) Normalized() (*Scenario, error) {
 		n.System.ConstantEta = 0
 		n.System.Alpha = defaultF(n.System.Alpha, 0.45)
 		n.System.Beta = defaultF(n.System.Beta, 0.13)
+	}
+	// Rack fields: a single-stack system has no allocator or degradation
+	// mix; a rack resolves its allocator's canonical name and expands the
+	// degradation cycle to one entry per stack (so [0, 0.3] on 4 stacks
+	// and [0, 0.3, 0, 0.3] hash identically), dropping an all-healthy mix.
+	if n.System.Stacks < 2 {
+		n.System.Stacks, n.System.Alloc, n.System.Degrade = 0, "", nil
+	} else {
+		alloc, err := multistack.ParseAllocator(n.System.Alloc)
+		if err != nil {
+			return nil, &ValidationError{Field: "system.alloc", Detail: err.Error()}
+		}
+		n.System.Alloc = alloc.Name()
+		if len(n.System.Degrade) > 0 {
+			mix := make([]float64, n.System.Stacks)
+			healthy := true
+			for i := range mix {
+				mix[i] = n.System.Degrade[i%len(n.System.Degrade)]
+				if mix[i] != 0 {
+					healthy = false
+				}
+			}
+			if healthy {
+				n.System.Degrade = nil
+			} else {
+				n.System.Degrade = mix
+			}
+		} else {
+			n.System.Degrade = nil
+		}
 	}
 
 	n.Device.Kind = defaultKind(n.Device.Kind, "camcorder")
@@ -91,6 +122,13 @@ func (s *Scenario) Normalized() (*Scenario, error) {
 			n.Trace.Seed = 3
 		}
 		n.Trace.Duration = defaultF(n.Trace.Duration, 28*60)
+	case "racksurge":
+		n.Trace.File = ""
+		if n.Trace.Seed == 0 {
+			n.Trace.Seed = 5
+		}
+		n.Trace.Duration = defaultF(n.Trace.Duration, 28*60)
+		n.Trace.Intensity = defaultF(n.Trace.Intensity, 2)
 	case "dvs":
 		// The DVS trace is deterministic: only duration and level matter.
 		n.Trace.File = ""
@@ -100,9 +138,13 @@ func (s *Scenario) Normalized() (*Scenario, error) {
 		n.Trace.Seed = 0
 		n.Trace.Duration = 0
 	}
-	// Only "dvs" reads the operating-point index.
+	// Only "dvs" reads the operating-point index; only "racksurge" reads
+	// the surge multiplier.
 	if n.Trace.Kind != "dvs" {
 		n.Trace.Level = 0
+	}
+	if n.Trace.Kind != "racksurge" {
+		n.Trace.Intensity = 0
 	}
 
 	// Policy: parameters beyond the selected kind are inert.
@@ -125,8 +167,28 @@ func (s *Scenario) Normalized() (*Scenario, error) {
 		n.DPM.Timeout = 0
 	}
 
-	n.Predict.Rho = defaultF(n.Predict.Rho, 0.5)
+	// Predictor: the selected kind determines which tuning fields are
+	// live; the rest are inert and must not reach the hash.
+	n.Predict.Kind = defaultKind(n.Predict.Kind, "expavg")
 	n.Predict.Sigma = defaultF(n.Predict.Sigma, 0.5)
+	n.Predict.Rho, n.Predict.Window = 0, 0
+	n.Predict.Levels, n.Predict.Depth = 0, 0
+	n.Predict.Lo, n.Predict.Hi = 0, 0
+	switch n.Predict.Kind {
+	case "expavg":
+		n.Predict.Rho = defaultF(s.Predict.Rho, 0.5)
+	case "movingavg", "regression":
+		n.Predict.Window = defaultI(s.Predict.Window, 5)
+	case "tree":
+		n.Predict.Levels = defaultI(s.Predict.Levels, 8)
+		n.Predict.Depth = defaultI(s.Predict.Depth, 2)
+		n.Predict.Lo = s.Predict.Lo
+		n.Predict.Hi = defaultF(s.Predict.Hi, 60)
+	case "markov":
+		n.Predict.Levels = defaultI(s.Predict.Levels, 8)
+		n.Predict.Lo = s.Predict.Lo
+		n.Predict.Hi = defaultF(s.Predict.Hi, 60)
+	}
 
 	// Faults: canonical class spelling; an empty schedule is the zero
 	// spec, so its seed and class filter cannot leak into the hash.

@@ -144,3 +144,70 @@ func TestCacheKeyNewTraceKinds(t *testing.T) {
 		t.Fatal("inert level leaked into a non-DVS cache key")
 	}
 }
+
+func TestCacheKeyPredictorKinds(t *testing.T) {
+	// Tuning fields for unselected predictor kinds are inert: rho only
+	// parameterizes expavg, window only movingavg/regression, and the
+	// quantizer bounds only tree/markov.
+	a := mustKey(t, `{"predict":{"kind":"tree"}}`)
+	b := mustKey(t, `{"predict":{"kind":"tree","rho":0.9,"window":7}}`)
+	if a != b {
+		t.Fatal("inert predictor tuning leaked into the cache key")
+	}
+	c := mustKey(t, `{"predict":{"kind":"expavg"}}`)
+	d := mustKey(t, `{"predict":{"kind":"expavg","window":9,"levels":3,"depth":4,"hi":10}}`)
+	if c != d {
+		t.Fatal("inert quantizer fields leaked into the expavg cache key")
+	}
+	// Explicit defaults normalize to the omitted spelling.
+	e := mustKey(t, `{"predict":{"kind":"movingavg"}}`)
+	f := mustKey(t, `{"predict":{"kind":"movingavg","window":5}}`)
+	if e != f {
+		t.Fatal("explicit default window diverged from omitted")
+	}
+	// Live fields must still distinguish simulations.
+	g := mustKey(t, `{"predict":{"kind":"tree","levels":16}}`)
+	if a == g {
+		t.Fatal("tree levels did not reach the cache key")
+	}
+	if c == a || c == e {
+		t.Fatal("predictor kind did not reach the cache key")
+	}
+}
+
+func TestCacheKeyMultiStack(t *testing.T) {
+	// Racksurge resolves its generator defaults (seed 5, 28 min, x2).
+	if a, b := mustKey(t, `{"trace":{"kind":"racksurge"}}`),
+		mustKey(t, `{"trace":{"kind":"racksurge","seed":5,"duration":1680,"intensity":2}}`); a != b {
+		t.Fatal("racksurge defaults did not normalize")
+	}
+	// Intensity is inert for every other kind.
+	if a, b := mustKey(t, `{"trace":{"kind":"synthetic"}}`),
+		mustKey(t, `{"trace":{"kind":"synthetic","intensity":3}}`); a != b {
+		t.Fatal("inert intensity leaked into a non-racksurge cache key")
+	}
+	if a, b := mustKey(t, `{"trace":{"kind":"racksurge","intensity":2}}`),
+		mustKey(t, `{"trace":{"kind":"racksurge","intensity":3}}`); a == b {
+		t.Fatal("racksurge intensity did not move the cache key")
+	}
+	// Allocator selector aliases collapse; the degradation cycle expands
+	// to per-stack entries.
+	if a, b := mustKey(t, `{"system":{"stacks":4,"alloc":"waterfill","degrade":[0,0.3]}}`),
+		mustKey(t, `{"system":{"stacks":4,"alloc":"Water-Filling","degrade":[0,0.3,0,0.3]}}`); a != b {
+		t.Fatal("equivalent rack specs keyed apart")
+	}
+	if a, b := mustKey(t, `{"system":{"stacks":4}}`),
+		mustKey(t, `{"system":{"stacks":4,"alloc":"waterfill"}}`); a == b {
+		t.Fatal("allocator did not move the cache key")
+	}
+	// Rack fields are inert on a single-stack system; an all-healthy
+	// degrade list is the empty list.
+	if a, b := mustKey(t, `{}`),
+		mustKey(t, `{"system":{"stacks":1,"degrade":[0.2]}}`); a != b {
+		t.Fatal("inert rack fields leaked into a single-stack cache key")
+	}
+	if a, b := mustKey(t, `{"system":{"stacks":2}}`),
+		mustKey(t, `{"system":{"stacks":2,"degrade":[0,0]}}`); a != b {
+		t.Fatal("all-healthy degrade list keyed apart from none")
+	}
+}

@@ -8,6 +8,7 @@
 package config
 
 import (
+	"errors"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -20,6 +21,7 @@ import (
 	"fcdpm/internal/fault"
 	"fcdpm/internal/fcopt"
 	"fcdpm/internal/fuelcell"
+	"fcdpm/internal/multistack"
 	"fcdpm/internal/policy"
 	"fcdpm/internal/predict"
 	"fcdpm/internal/sim"
@@ -112,6 +114,8 @@ type FaultEventSpec struct {
 }
 
 // SystemSpec describes the FC system; zero values mean "paper defaults".
+// With Stacks >= 2 the electrical fields describe one stack of a K-stack
+// rack aggregated under the Alloc power-allocation policy.
 type SystemSpec struct {
 	VF        float64 `json:"vf"`
 	Zeta      float64 `json:"zeta"`
@@ -122,6 +126,16 @@ type SystemSpec struct {
 	// ConstantEta, when positive, replaces the linear model with a flat
 	// efficiency (the [10, 11] configuration).
 	ConstantEta float64 `json:"constantEta"`
+	// Stacks, when >= 2, replicates the system into a K-stack rack
+	// (multistack.Uniform) aggregated behind the shared storage element.
+	Stacks int `json:"stacks"`
+	// Alloc selects the rack's power-allocation policy: "equal" (default),
+	// "waterfill", or "rotation". Ignored when Stacks <= 1.
+	Alloc string `json:"alloc"`
+	// Degrade lists per-stack fractional efficiency losses in [0, 1),
+	// cycled across the rack ([0, 0.3] on 4 stacks degrades stacks 1 and
+	// 3). Empty means all healthy. Ignored when Stacks <= 1.
+	Degrade []float64 `json:"degrade"`
 }
 
 // DeviceSpec selects a device preset or overrides its parameters.
@@ -147,7 +161,7 @@ type StorageSpec struct {
 // TraceSpec selects the workload.
 type TraceSpec struct {
 	// Kind is "camcorder" (default), "synthetic", "bursty", "heavytail",
-	// "dvs", or "file".
+	// "racksurge", "dvs", or "file".
 	Kind string `json:"kind"`
 	// Seed drives the generators (defaults per kind; "dvs" and "file" are
 	// deterministic and ignore it).
@@ -162,6 +176,9 @@ type TraceSpec struct {
 	// reference task (1e8 cycles per 1 s period) is feasible at every
 	// level. Other kinds ignore it.
 	Level int `json:"level"`
+	// Intensity is the surge multiplier for kind "racksurge" (default 2;
+	// must be >= 1). Other kinds ignore it.
+	Intensity float64 `json:"intensity"`
 }
 
 // PolicySpec selects the source policy.
@@ -184,11 +201,28 @@ type DPMSpec struct {
 	Timeout float64 `json:"timeout"`
 }
 
-// PredictorSpec sets the prediction factors (paper: ρ = σ = 0.5).
+// PredictorSpec selects and tunes the idle-period predictor and sets the
+// prediction factors (paper: ρ = σ = 0.5).
 type PredictorSpec struct {
+	// Kind selects the idle-period predictor: "expavg" (default),
+	// "lastvalue", "movingavg", "regression", "tree", or "markov". The
+	// active-period and active-current predictors always use the paper's
+	// exponential average with factor Sigma.
+	Kind        string  `json:"kind"`
 	Rho         float64 `json:"rho"`
 	Sigma       float64 `json:"sigma"`
 	IdleInitial float64 `json:"idleInitial"`
+	// Window sizes the sliding history for "movingavg" and "regression"
+	// (default 5).
+	Window int `json:"window"`
+	// Levels is the quantizer size for "tree" and "markov" (default 8).
+	Levels int `json:"levels"`
+	// Depth is the context length for "tree" (default 2).
+	Depth int `json:"depth"`
+	// Lo and Hi bound the quantizer input range for "tree" and "markov"
+	// (defaults 0 and 60 s of idle time).
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
 }
 
 // Load parses a scenario from JSON. Unknown fields are rejected so typos
@@ -229,13 +263,18 @@ func (s *Scenario) Validate() error {
 		}
 		return nil
 	}
-	if err := checkUnit("predict.rho", s.Predict.Rho); err != nil {
-		return err
-	}
 	if err := checkUnit("predict.sigma", s.Predict.Sigma); err != nil {
 		return err
 	}
 	if err := checkNonNeg("predict.idleInitial", s.Predict.IdleInitial); err != nil {
+		return err
+	}
+	// The predictor parameters (rho, window, levels, depth, bounds) are
+	// validated by the predict constructors themselves: a dry-run
+	// construction surfaces their *predict.ConfigError as the
+	// *ValidationError naming the scenario field, so no predictor
+	// parameter reachable from a scenario file panics.
+	if _, err := buildIdlePredictor(s.Predict, defaultF(s.Predict.IdleInitial, 1)); err != nil {
 		return err
 	}
 	if err := checkNonNeg("slewRate", s.SlewRate); err != nil {
@@ -280,6 +319,23 @@ func (s *Scenario) Validate() error {
 	}
 	if s.Trace.Level < 0 {
 		return &ValidationError{Field: "trace.level", Detail: fmt.Sprintf("negative DVS level %d", s.Trace.Level)}
+	}
+	if v := s.Trace.Intensity; v != 0 && (math.IsNaN(v) || math.IsInf(v, 0) || v < 1) {
+		return &ValidationError{Field: "trace.intensity", Detail: fmt.Sprintf("surge intensity %v must be >= 1", v)}
+	}
+	if s.System.Stacks < 0 {
+		return &ValidationError{Field: "system.stacks", Detail: fmt.Sprintf("negative stack count %d", s.System.Stacks)}
+	}
+	if s.System.Stacks >= 2 || s.System.Alloc != "" {
+		if _, err := multistack.ParseAllocator(s.System.Alloc); err != nil {
+			return &ValidationError{Field: "system.alloc", Detail: err.Error()}
+		}
+	}
+	for i, d := range s.System.Degrade {
+		if math.IsNaN(d) || d < 0 || d >= 1 {
+			return &ValidationError{Field: "system.degrade",
+				Detail: fmt.Sprintf("degradation [%d] = %v outside [0, 1)", i, d)}
+		}
 	}
 	return nil
 }
@@ -333,15 +389,70 @@ func (s *Scenario) Build() (sim.Config, error) {
 		Fallbacks:     fallbacks,
 		Supervisor:    sim.SupervisorConfig{DeficitLimit: s.DeficitLimit},
 	}
-	rho := defaultF(s.Predict.Rho, 0.5)
 	sigma := defaultF(s.Predict.Sigma, 0.5)
 	idleInit := defaultF(s.Predict.IdleInitial, dev.BreakEven())
-	cfg.IdlePredictor = predict.NewExpAverage(rho, idleInit)
+	cfg.IdlePredictor, err = buildIdlePredictor(s.Predict, idleInit)
+	if err != nil {
+		return cfg, err
+	}
 	if len(trace.Slots) > 0 {
-		cfg.ActivePredictor = predict.NewExpAverage(sigma, trace.Slots[0].Active)
-		cfg.CurrentPredictor = predict.NewExpAverage(sigma, trace.Slots[0].ActiveCurrent)
+		// Sigma passed Validate's unit check, so these cannot fail.
+		cfg.ActivePredictor = predict.MustExpAverage(sigma, trace.Slots[0].Active)
+		cfg.CurrentPredictor = predict.MustExpAverage(sigma, trace.Slots[0].ActiveCurrent)
 	}
 	return cfg, nil
+}
+
+// buildIdlePredictor constructs the idle-period predictor the spec
+// selects. Constructor *predict.ConfigError values surface as
+// *ValidationError naming the scenario field.
+func buildIdlePredictor(spec PredictorSpec, idleInit float64) (predict.Predictor, error) {
+	window := defaultI(spec.Window, 5)
+	levels := defaultI(spec.Levels, 8)
+	depth := defaultI(spec.Depth, 2)
+	hi := defaultF(spec.Hi, 60)
+	switch defaultKind(spec.Kind, "expavg") {
+	case "expavg":
+		p, err := predict.NewExpAverage(defaultF(spec.Rho, 0.5), idleInit)
+		return wrapPredictor(p, err)
+	case "lastvalue":
+		return predict.NewLastValue(idleInit), nil
+	case "movingavg":
+		p, err := predict.NewMovingAverage(window, idleInit)
+		return wrapPredictor(p, err)
+	case "regression":
+		p, err := predict.NewRegression(window, idleInit)
+		return wrapPredictor(p, err)
+	case "tree":
+		p, err := predict.NewTree(levels, depth, spec.Lo, hi, idleInit)
+		return wrapPredictor(p, err)
+	case "markov":
+		p, err := predict.NewMarkov(levels, spec.Lo, hi, idleInit)
+		return wrapPredictor(p, err)
+	default:
+		return nil, &ValidationError{Field: "predict.kind",
+			Detail: fmt.Sprintf("unknown predictor kind %q", spec.Kind)}
+	}
+}
+
+// wrapPredictor converts a predict constructor result to the Predictor
+// interface, mapping its *ConfigError onto the scenario field.
+func wrapPredictor[P predict.Predictor](p P, err error) (predict.Predictor, error) {
+	if err != nil {
+		var ce *predict.ConfigError
+		if errors.As(err, &ce) {
+			return nil, &ValidationError{Field: "predict." + ce.Param, Detail: ce.Detail}
+		}
+		return nil, err
+	}
+	return p, nil
+}
+
+func defaultI(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
 }
 
 func defaultF(v, def float64) float64 {
@@ -365,7 +476,22 @@ func (s *Scenario) buildSystem() (*fuelcell.System, error) {
 			Beta:  defaultF(s.System.Beta, 0.13),
 		}
 	}
-	return fuelcell.NewSystem(vf, zeta, lo, hi, eff)
+	sys, err := fuelcell.NewSystem(vf, zeta, lo, hi, eff)
+	if err != nil || s.System.Stacks < 2 {
+		return sys, err
+	}
+	// K-stack rack: the spec's electrical fields describe one stack; the
+	// aggregate System (pre-solved under the allocation policy) plugs into
+	// the simulation in its place.
+	alloc, err := multistack.ParseAllocator(s.System.Alloc)
+	if err != nil {
+		return nil, &ValidationError{Field: "system.alloc", Detail: err.Error()}
+	}
+	rack, err := multistack.Uniform(sys, s.System.Stacks, alloc, s.System.Degrade)
+	if err != nil {
+		return nil, &ValidationError{Field: "system.stacks", Detail: err.Error()}
+	}
+	return rack.System(), nil
 }
 
 func (s *Scenario) buildDevice() (*device.Model, error) {
@@ -443,6 +569,18 @@ func (s *Scenario) buildTrace() (*workload.Trace, error) {
 			cfg.Duration = s.Trace.Duration
 		}
 		return workload.HeavyTail(cfg)
+	case "racksurge":
+		cfg := workload.DefaultRackSurgeConfig()
+		if s.Trace.Seed != 0 {
+			cfg.Seed = s.Trace.Seed
+		}
+		if s.Trace.Duration > 0 {
+			cfg.Duration = s.Trace.Duration
+		}
+		if s.Trace.Intensity != 0 {
+			cfg.Intensity = s.Trace.Intensity
+		}
+		return workload.RackSurge(cfg)
 	case "dvs":
 		proc := dvs.XScale600()
 		if s.Trace.Level < 0 || s.Trace.Level >= len(proc.Levels) {

@@ -368,3 +368,115 @@ func TestTraceDVSDeterministic(t *testing.T) {
 		t.Fatal("DVS trace not deterministic")
 	}
 }
+
+// TestLoadValidatedBadRhoTypedError pins the PR 2 typed-error sweep end
+// to end: a bad rho must surface from predict's own constructor as a
+// *ValidationError through LoadValidated — not a panic, and not a
+// generic string error.
+func TestLoadValidatedBadRhoTypedError(t *testing.T) {
+	for _, js := range []string{
+		`{"predict": {"rho": 1.5}}`,
+		`{"predict": {"rho": -0.1}}`,
+	} {
+		_, err := LoadValidated(strings.NewReader(js))
+		var ve *ValidationError
+		if !errors.As(err, &ve) {
+			t.Fatalf("LoadValidated(%s): want *ValidationError, got %v", js, err)
+		}
+		if ve.Field != "predict.rho" {
+			t.Fatalf("LoadValidated(%s): field = %q, want predict.rho", js, ve.Field)
+		}
+	}
+}
+
+// TestPredictorKindsBuild exercises every predictor kind through the
+// spec layer and pins the field each bad parameter is reported under.
+func TestPredictorKindsBuild(t *testing.T) {
+	good := []string{
+		`{"predict": {"kind": "expavg", "rho": 0.3}}`,
+		`{"predict": {"kind": "lastvalue"}}`,
+		`{"predict": {"kind": "movingavg", "window": 3}}`,
+		`{"predict": {"kind": "regression", "window": 4}}`,
+		`{"predict": {"kind": "tree", "levels": 4, "depth": 2, "hi": 30}}`,
+		`{"predict": {"kind": "markov", "levels": 4, "hi": 30}}`,
+	}
+	for _, js := range good {
+		s, err := Load(strings.NewReader(js))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Build(); err != nil {
+			t.Errorf("Build(%s): %v", js, err)
+		}
+	}
+	bad := map[string]string{
+		`{"predict": {"kind": "movingavg", "window": -2}}`:  "predict.window",
+		`{"predict": {"kind": "regression", "window": -1}}`: "predict.window",
+		`{"predict": {"kind": "tree", "levels": -3}}`:       "predict.levels",
+		`{"predict": {"kind": "tree", "depth": -1}}`:        "predict.depth",
+		`{"predict": {"kind": "tree", "lo": 9, "hi": 1}}`:   "predict.hi",
+		`{"predict": {"kind": "markov", "lo": 9, "hi": 1}}`: "predict.hi",
+		`{"predict": {"kind": "psychic"}}`:                  "predict.kind",
+	}
+	for js, field := range bad {
+		s, err := Load(strings.NewReader(js))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ve *ValidationError
+		if err := s.Validate(); !errors.As(err, &ve) || ve.Field != field {
+			t.Errorf("Validate(%s): got %v, want *ValidationError on %s", js, err, field)
+		}
+	}
+}
+
+// TestMultiStackSystemBuilds: a K-stack spec builds an aggregate system
+// whose range is the sum of the per-stack ceilings, and runs end to end
+// on the racksurge workload.
+func TestMultiStackSystemBuilds(t *testing.T) {
+	js := `{
+		"system": {"stacks": 4, "alloc": "waterfill", "degrade": [0, 0.3]},
+		"storage": {"capacityAs": 24, "initialAs": 4},
+		"trace": {"kind": "racksurge", "duration": 300, "intensity": 2},
+		"policy": {"kind": "asap"}
+	}`
+	s, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Sys.MaxOutput != 4*1.2 {
+		t.Fatalf("aggregate max = %v, want 4.8", cfg.Sys.MaxOutput)
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fuel <= 0 {
+		t.Fatal("degenerate run")
+	}
+}
+
+func TestMultiStackValidation(t *testing.T) {
+	bad := map[string]string{
+		`{"system": {"stacks": -1}}`:                         "system.stacks",
+		`{"system": {"stacks": 4, "alloc": "psychic"}}`:      "system.alloc",
+		`{"system": {"alloc": "psychic"}}`:                   "system.alloc",
+		`{"system": {"stacks": 2, "degrade": [0.2, 1.5]}}`:   "system.degrade",
+		`{"system": {"stacks": 2, "degrade": [-0.1]}}`:       "system.degrade",
+		`{"trace": {"kind": "racksurge", "intensity": 0.5}}`: "trace.intensity",
+	}
+	for js, field := range bad {
+		s, err := Load(strings.NewReader(js))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ve *ValidationError
+		if err := s.Validate(); !errors.As(err, &ve) || ve.Field != field {
+			t.Errorf("Validate(%s): got %v, want *ValidationError on %s", js, err, field)
+		}
+	}
+}

@@ -251,7 +251,7 @@ func RhoSweepBatched(ctx context.Context, seed uint64, rhos []float64, laneWidth
 // rhoScenario builds one rho-sweep point: Experiment 1 with the idle
 // exponential-average factor replaced.
 func rhoScenario(seed uint64, rho float64) (*Scenario, error) {
-	if rho < 0 || rho > 1 {
+	if math.IsNaN(rho) || rho < 0 || rho > 1 {
 		return nil, fmt.Errorf("exp: rho %v outside [0,1]", rho)
 	}
 	sc, err := Experiment1Scenario(seed)
@@ -285,10 +285,10 @@ func PredictorAblationContext(ctx context.Context, seed uint64) ([]PredictorRow,
 	preds := []func() predict.Predictor{
 		expAvg(0.5, 14),
 		func() predict.Predictor { return predict.NewLastValue(14) },
-		func() predict.Predictor { return predict.NewMovingAverage(5, 14) },
-		func() predict.Predictor { return predict.NewRegression(5, 14) },
-		func() predict.Predictor { return predict.NewTree(8, 2, 8, 20, 14) },
-		func() predict.Predictor { return predict.NewMarkov(8, 8, 20, 14) },
+		func() predict.Predictor { return predict.MustMovingAverage(5, 14) },
+		func() predict.Predictor { return predict.MustRegression(5, 14) },
+		func() predict.Predictor { return predict.MustTree(8, 2, 8, 20, 14) },
+		func() predict.Predictor { return predict.MustMarkov(8, 8, 20, 14) },
 		func() predict.Predictor { return predict.NewOracle(idle, 14) },
 	}
 	return fanOut(ctx, "predictor", preds, func(ctx context.Context, mk func() predict.Predictor) (PredictorRow, error) {

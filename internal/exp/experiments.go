@@ -232,12 +232,14 @@ func scenarioStore() storage.Storage {
 // prediction necessary" (fixed camcorder active period) and "Ild,a is
 // estimated as 1.2 A" (Exp 2) cases.
 func frozen(v float64) func() predict.Predictor {
-	return func() predict.Predictor { return predict.NewExpAverage(1, v) }
+	return func() predict.Predictor { return predict.MustExpAverage(1, v) }
 }
 
-// expAvg returns an exponential-average predictor factory.
+// expAvg returns an exponential-average predictor factory. Callers pass
+// fixed in-range literals or pre-validated sweep parameters (see
+// rhoScenario), so construction cannot fail.
 func expAvg(rho, initial float64) func() predict.Predictor {
-	return func() predict.Predictor { return predict.NewExpAverage(rho, initial) }
+	return func() predict.Predictor { return predict.MustExpAverage(rho, initial) }
 }
 
 // Experiment1Scenario builds the paper's Experiment 1: the 28-minute MPEG

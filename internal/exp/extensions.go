@@ -676,8 +676,8 @@ func BurstyPredictorStudyContext(ctx context.Context, seed uint64) ([]PredictorR
 	preds := []func() predict.Predictor{
 		expAvg(0.5, 10),
 		func() predict.Predictor { return predict.NewLastValue(10) },
-		func() predict.Predictor { return predict.NewMarkov(8, 2, 40, 10) },
-		func() predict.Predictor { return predict.NewTree(8, 2, 2, 40, 10) },
+		func() predict.Predictor { return predict.MustMarkov(8, 2, 40, 10) },
+		func() predict.Predictor { return predict.MustTree(8, 2, 2, 40, 10) },
 		func() predict.Predictor { return predict.NewOracle(idle, 10) },
 	}
 	return fanOut(ctx, "bursty-predictor", preds, func(ctx context.Context, mk func() predict.Predictor) (PredictorRow, error) {

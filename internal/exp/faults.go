@@ -169,9 +169,9 @@ func FaultSweepOpts(ctx context.Context, seed uint64, opts FaultSweepOptions) (*
 						Faults:           schedules[class],
 						FaultSeed:        seed,
 						Supervisor:       sim.SupervisorConfig{Mode: sim.SuperviseOn},
-						IdlePredictor:    predict.NewExpAverage(0.5, (cfg.IdleMin+cfg.IdleMax)/2),
-						ActivePredictor:  predict.NewExpAverage(0.5, (cfg.ActiveMin+cfg.ActiveMax)/2),
-						CurrentPredictor: predict.NewExpAverage(1, 1.2),
+						IdlePredictor:    predict.MustExpAverage(0.5, (cfg.IdleMin+cfg.IdleMax)/2),
+						ActivePredictor:  predict.MustExpAverage(0.5, (cfg.ActiveMin+cfg.ActiveMax)/2),
+						CurrentPredictor: predict.MustExpAverage(1, 1.2),
 						Metrics:          opts.SimMetrics,
 					})
 					if err != nil {

@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"fcdpm/internal/device"
+	"fcdpm/internal/fuelcell"
+	"fcdpm/internal/multistack"
+	"fcdpm/internal/policy"
+	"fcdpm/internal/sim"
+	"fcdpm/internal/storage"
+	"fcdpm/internal/workload"
+)
+
+// MultiStackConfig parameterizes the multi-stack allocation study.
+// Zero-valued fields take the defaults below.
+type MultiStackConfig struct {
+	// Ks lists the rack sizes to compare (default {2, 4}).
+	Ks []int
+	// Intensities lists the racksurge surge multipliers (default
+	// {1.5, 2, 2.5}).
+	Intensities []float64
+	// DegradedMix is the per-stack efficiency-degradation cycle (default
+	// {0, 0.3}: every second stack 30 % degraded — the heterogeneous
+	// rack where allocation policy matters).
+	DegradedMix []float64
+	// Seed and Duration override the racksurge generator defaults.
+	Seed     uint64
+	Duration float64
+	// Batch bounds the batched-runner lane width (default 16). Results
+	// are identical at every width; the knob only trades memory for
+	// trace-walk sharing.
+	Batch int
+}
+
+func (c MultiStackConfig) withDefaults() MultiStackConfig {
+	if len(c.Ks) == 0 {
+		c.Ks = []int{2, 4}
+	}
+	if len(c.Intensities) == 0 {
+		c.Intensities = []float64{1.5, 2, 2.5}
+	}
+	if c.DegradedMix == nil {
+		c.DegradedMix = []float64{0, 0.3}
+	}
+	if c.Batch < 1 {
+		c.Batch = 16
+	}
+	return c
+}
+
+// MultiStackRow is one (allocation policy, rack size, surge intensity)
+// cell of the study.
+type MultiStackRow struct {
+	Alloc     string  // allocation policy name
+	K         int     // rack size
+	Intensity float64 // surge multiplier
+	Fuel      float64 // fuel-rate integral, A-s
+	Deficit   float64 // unmet load charge, A-s (brownout exposure)
+	Bled      float64 // charge dissipated through the bleeder, A-s
+	// FuelVsEqual is this row's fuel normalized to the equal-split row
+	// of the same (K, intensity) cell; 1 for equal-split itself.
+	FuelVsEqual float64
+}
+
+// MultiStackStudy compares the rack allocation policies (equal-split,
+// water-filling, health-rotation) across rack sizes and surge
+// intensities on the datacenter racksurge workload. Each rack runs the
+// ASAP policy — the source decision then depends only on charge and
+// load, never on the fuel map, so every allocator sees the identical
+// output trajectory and the fuel column isolates pure allocation
+// efficiency: water-filling's pointwise-optimal split strictly
+// dominates equal-split whenever the degradation mix makes the rack
+// heterogeneous.
+func MultiStackStudy(cfg MultiStackConfig) ([]MultiStackRow, error) {
+	return MultiStackStudyContext(context.Background(), cfg)
+}
+
+// MultiStackStudyContext is MultiStackStudy under a context.
+func MultiStackStudyContext(ctx context.Context, cfg MultiStackConfig) ([]MultiStackRow, error) {
+	cfg = cfg.withDefaults()
+	allocs := multistack.Allocators()
+	var rows []MultiStackRow
+	// Lanes are grouped per intensity: a batch walks one trace.
+	for _, intensity := range cfg.Intensities {
+		wcfg := workload.DefaultRackSurgeConfig()
+		if cfg.Seed != 0 {
+			wcfg.Seed = cfg.Seed
+		}
+		if cfg.Duration > 0 {
+			wcfg.Duration = cfg.Duration
+		}
+		wcfg.Intensity = intensity
+		trace, err := workload.RackSurge(wcfg)
+		if err != nil {
+			return nil, err
+		}
+		var lanes []sim.Lane
+		for _, k := range cfg.Ks {
+			for _, alloc := range allocs {
+				rack, err := multistack.Uniform(fuelcell.PaperSystem(), k, alloc, cfg.DegradedMix)
+				if err != nil {
+					return nil, fmt.Errorf("exp: multistack K=%d: %w", k, err)
+				}
+				sys := rack.System()
+				// Storage scales with the rack: the paper's 6 A-s supercap
+				// per stack, started at the per-stack initial charge.
+				store, err := storage.NewSuperCap(6*float64(k), float64(k))
+				if err != nil {
+					return nil, err
+				}
+				lanes = append(lanes, sim.Lane{Cfg: sim.Config{
+					Sys:    sys,
+					Dev:    device.Synthetic(),
+					Store:  store,
+					Trace:  trace,
+					Policy: policy.NewASAP(sys),
+				}})
+			}
+		}
+		results := make([]*sim.Result, len(lanes))
+		for start := 0; start < len(lanes); start += cfg.Batch {
+			end := min(start+cfg.Batch, len(lanes))
+			b, err := sim.NewBatchRunner(lanes[start:end])
+			if err != nil {
+				return nil, fmt.Errorf("exp: multistack: %w", err)
+			}
+			out, err := b.RunContext(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("exp: multistack: %w", err)
+			}
+			for j, lr := range out {
+				if lr.Err != nil {
+					return nil, fmt.Errorf("exp: multistack lane %d: %w", start+j, lr.Err)
+				}
+				results[start+j] = lr.Res
+			}
+		}
+		for ki, k := range cfg.Ks {
+			base := ki * len(allocs)
+			equalFuel := results[base].Fuel
+			for ai, alloc := range allocs {
+				res := results[base+ai]
+				rows = append(rows, MultiStackRow{
+					Alloc:       alloc.Name(),
+					K:           k,
+					Intensity:   intensity,
+					Fuel:        res.Fuel,
+					Deficit:     res.Deficit,
+					Bled:        res.Bled,
+					FuelVsEqual: res.Fuel / equalFuel,
+				})
+			}
+		}
+	}
+	return rows, nil
+}

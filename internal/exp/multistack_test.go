@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestMultiStackStudyWaterFillDominates is the PR's acceptance check:
+// on heterogeneous (degraded-mix) racks, water-filling uses strictly
+// less fuel than equal-split in every (K, intensity) cell, and the row
+// set is byte-stable across batch widths.
+func TestMultiStackStudyWaterFillDominates(t *testing.T) {
+	cfg := MultiStackConfig{
+		Ks:          []int{2, 4},
+		Intensities: []float64{1.5, 2.5},
+		Duration:    400,
+		Batch:       1,
+	}
+	rows, err := MultiStackStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*2*3 {
+		t.Fatalf("got %d rows, want 12", len(rows))
+	}
+	fuel := map[string]float64{}
+	for _, r := range rows {
+		if r.Fuel <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		fuel[fmt.Sprintf("%s/%d/%g", r.Alloc, r.K, r.Intensity)] = r.Fuel
+	}
+	for _, k := range cfg.Ks {
+		for _, x := range cfg.Intensities {
+			eq := fuel[fmt.Sprintf("equal-split/%d/%g", k, x)]
+			wf := fuel[fmt.Sprintf("water-filling/%d/%g", k, x)]
+			if wf >= eq {
+				t.Errorf("K=%d x%g: water-filling %v not strictly below equal-split %v", k, x, wf, eq)
+			}
+		}
+	}
+
+	// Same study at a different lane width must be bit-identical.
+	cfg.Batch = 64
+	wide, err := MultiStackStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != wide[i] {
+			t.Fatalf("row %d differs across batch widths:\n  batch 1:  %+v\n  batch 64: %+v", i, rows[i], wide[i])
+		}
+	}
+}
+
+// TestMultiStackStudyHomogeneousTies: with an all-healthy rack the even
+// split is already optimal, so water-filling matches equal-split to
+// solver tolerance, and no allocator beats it — health-rotation's
+// greedy concentration pays a convexity penalty instead.
+func TestMultiStackStudyHomogeneousTies(t *testing.T) {
+	rows, err := MultiStackStudy(MultiStackConfig{
+		Ks:          []int{2},
+		Intensities: []float64{2},
+		DegradedMix: []float64{0},
+		Duration:    300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.FuelVsEqual < 0.999 {
+			t.Errorf("homogeneous rack: %s below equal-split fuel (%v×)", r.Alloc, r.FuelVsEqual)
+		}
+		if r.Alloc == "water-filling" && r.FuelVsEqual > 1.001 {
+			t.Errorf("homogeneous rack: water-filling at %v× equal-split fuel", r.FuelVsEqual)
+		}
+	}
+}

@@ -206,3 +206,154 @@ func TestParseKind(t *testing.T) {
 		t.Fatal("bad name accepted")
 	}
 }
+
+// TestFadeStoreApplyBoundaries pins the truncation arithmetic at its
+// edges: a zero-length step must be a no-op whatever the current, a
+// full buffer must bleed the entire inflow, a discharge spanning a fade
+// step must see the updated capacity, and Lost must accumulate across
+// repeated fades.
+func TestFadeStoreApplyBoundaries(t *testing.T) {
+	// dt == 0 with positive current: no charge moves, nothing bleeds.
+	fs := NewFadeStore(storage.MustSuperCap(10, 4))
+	fl := fs.Apply(3, 0)
+	if fl.Stored != 0 || fl.Bled != 0 || fl.Deficit != 0 {
+		t.Fatalf("dt=0 flow = %+v, want zero", fl)
+	}
+	if fs.Charge() != 4 {
+		t.Fatalf("dt=0 moved charge: %v", fs.Charge())
+	}
+
+	// room == 0: the full inflow bleeds, the inner element sees a
+	// zero-current step, and charge stays pinned at the faded capacity.
+	fs = NewFadeStore(storage.MustSuperCap(10, 8))
+	fs.SetScale(0.8) // capacity 8, charge already 8 → room 0
+	fl = fs.Apply(2.5, 4)
+	if fl.Stored != 0 || math.Abs(fl.Bled-10) > 1e-12 {
+		t.Fatalf("room=0 flow = %+v, want all 10 A-s bled", fl)
+	}
+	if fs.Charge() != 8 {
+		t.Fatalf("room=0 charge = %v, want 8", fs.Charge())
+	}
+
+	// Discharge across a fade step: the drain obeys the faded capacity
+	// in force at each step, and the charge clamp happens at SetScale.
+	fs = NewFadeStore(storage.MustSuperCap(10, 6))
+	fs.SetScale(0.5) // capacity 5; 1 A-s lost immediately
+	if fs.Lost != 1 || fs.Charge() != 5 {
+		t.Fatalf("fade step: lost %v charge %v", fs.Lost, fs.Charge())
+	}
+	fl = fs.Apply(-2, 2) // drain 4 A-s of the remaining 5
+	if math.Abs(fl.Stored-(-4)) > 1e-12 || fl.Deficit != 0 {
+		t.Fatalf("post-fade discharge flow = %+v", fl)
+	}
+	if math.Abs(fs.Charge()-1) > 1e-12 {
+		t.Fatalf("post-fade charge = %v, want 1", fs.Charge())
+	}
+
+	// Cumulative Lost bookkeeping across repeated fades.
+	fs.SetCharge(5)
+	fs.SetScale(0.3) // capacity 3: +2 lost on top of the earlier 1
+	if math.Abs(fs.Lost-3) > 1e-12 {
+		t.Fatalf("cumulative lost = %v, want 3", fs.Lost)
+	}
+	fs.SetScale(0.1) // capacity 1: +2 more
+	if math.Abs(fs.Lost-5) > 1e-12 {
+		t.Fatalf("cumulative lost = %v, want 5", fs.Lost)
+	}
+}
+
+// TestFadeStoreSetScaleClamps pins the out-of-range behavior: scales at
+// or below zero clamp to a dead-but-positive buffer, scales above one
+// clamp to nominal, and neither produces NaN capacity.
+func TestFadeStoreSetScaleClamps(t *testing.T) {
+	fs := NewFadeStore(storage.MustSuperCap(10, 5))
+	fs.SetScale(0)
+	if fs.Scale() != 1e-9 {
+		t.Fatalf("scale(0) = %v, want 1e-9", fs.Scale())
+	}
+	if c := fs.Capacity(); c != 1e-8 {
+		t.Fatalf("dead capacity = %v, want 1e-8", c)
+	}
+	fs.SetScale(-3)
+	if fs.Scale() != 1e-9 {
+		t.Fatalf("scale(-3) = %v, want 1e-9", fs.Scale())
+	}
+	fs.SetScale(7)
+	if fs.Scale() != 1 {
+		t.Fatalf("scale(7) = %v, want 1", fs.Scale())
+	}
+	if fs.Capacity() != 10 {
+		t.Fatalf("recovered capacity = %v", fs.Capacity())
+	}
+}
+
+// TestFadeStoreRestoreFrom pins the Restorer capability faulted run
+// reuse depends on: scale and Lost must come back along with the inner
+// element's charge, and mismatched shapes must refuse without mutating.
+func TestFadeStoreRestoreFrom(t *testing.T) {
+	work := NewFadeStore(storage.MustSuperCap(10, 8))
+	work.SetScale(0.5)
+	work.Apply(-1, 2)
+	snap := NewFadeStore(storage.MustSuperCap(10, 8))
+	if !work.RestoreFrom(snap) {
+		t.Fatal("RestoreFrom(same-shape snapshot) failed")
+	}
+	if work.Scale() != 1 || work.Lost != 0 || work.Charge() != 8 || work.Capacity() != 10 {
+		t.Fatalf("restored state: scale %v lost %v charge %v cap %v",
+			work.Scale(), work.Lost, work.Charge(), work.Capacity())
+	}
+	// Restoring from a non-FadeStore or a different inner kind refuses.
+	if work.RestoreFrom(storage.MustSuperCap(10, 8)) {
+		t.Fatal("RestoreFrom(bare storage) must refuse")
+	}
+	inner, err := storage.NewLiIon(10, 0.6, 0.05, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liion := NewFadeStore(inner)
+	if work.RestoreFrom(liion) {
+		t.Fatal("RestoreFrom(different inner kind) must refuse")
+	}
+}
+
+// TestFadeStoreBatchKey checks lane-grouping keys: equal fade state over
+// equal inner parameters collapses, any divergence separates.
+func TestFadeStoreBatchKey(t *testing.T) {
+	a := NewFadeStore(storage.MustSuperCap(10, 8))
+	b := NewFadeStore(storage.MustSuperCap(10, 8))
+	if a.BatchKey() != b.BatchKey() {
+		t.Fatal("identical fade stores keyed apart")
+	}
+	b.SetScale(0.5)
+	if a.BatchKey() == b.BatchKey() {
+		t.Fatal("diverged fade state keyed together")
+	}
+	c := NewFadeStore(storage.MustSuperCap(12, 8))
+	if a.BatchKey() == c.BatchKey() {
+		t.Fatal("different inner capacity keyed together")
+	}
+}
+
+// TestInjectorReset pins the in-place rewind: after Reset, the drain
+// sequence and the noise stream must replay exactly as a fresh injector.
+func TestInjectorReset(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: StackDropout, Start: 10, Dur: 5},
+		{Kind: LoadSurge, Start: 2, Dur: 4, Magnitude: 1.5},
+	}}
+	in := NewInjector(s, 42)
+	firstDrain := in.Drain(100)
+	var firstNoise []float64
+	for i := 0; i < 10; i++ {
+		firstNoise = append(firstNoise, in.Noisy(10, 0.3))
+	}
+	in.Reset()
+	if !reflect.DeepEqual(in.Drain(100), firstDrain) {
+		t.Fatal("drain sequence differs after Reset")
+	}
+	for i, want := range firstNoise {
+		if got := in.Noisy(10, 0.3); got != want {
+			t.Fatalf("noise draw %d differs after Reset: %v vs %v", i, got, want)
+		}
+	}
+}

@@ -25,7 +25,11 @@ type Injector struct {
 	sched      *Schedule
 	boundaries []float64
 	rng        *numeric.RNG
-	// pending is the time-ordered transition list not yet drained.
+	seed       uint64
+	// all is the full time-ordered transition list, built once; pending
+	// is the not-yet-drained tail. Drain only re-slices, never mutates,
+	// so Reset can rewind pending to all without rebuilding.
+	all     []Transition
 	pending []Transition
 }
 
@@ -37,22 +41,33 @@ func NewInjector(sched *Schedule, seed uint64) *Injector {
 		sched:      sched,
 		boundaries: sched.Boundaries(),
 		rng:        numeric.NewRNG(seed),
+		seed:       seed,
 	}
 	if sched != nil {
 		for _, e := range sched.Events {
-			in.pending = append(in.pending, Transition{T: e.Start, Event: e, On: true})
+			in.all = append(in.all, Transition{T: e.Start, Event: e, On: true})
 			if end := e.End(); !math.IsInf(end, 1) {
-				in.pending = append(in.pending, Transition{T: end, Event: e, On: false})
+				in.all = append(in.all, Transition{T: end, Event: e, On: false})
 			}
 		}
 		// Stable time order; equal instants keep schedule order.
-		for i := 1; i < len(in.pending); i++ {
-			for j := i; j > 0 && in.pending[j].T < in.pending[j-1].T; j-- {
-				in.pending[j], in.pending[j-1] = in.pending[j-1], in.pending[j]
+		for i := 1; i < len(in.all); i++ {
+			for j := i; j > 0 && in.all[j].T < in.all[j-1].T; j-- {
+				in.all[j], in.all[j-1] = in.all[j-1], in.all[j]
 			}
 		}
 	}
+	in.pending = in.all
 	return in
+}
+
+// Reset rewinds the injector for a fresh run without allocating: the
+// pending list is restored to the full transition sequence and the
+// noise stream reseeded, so a reused injector reproduces a freshly
+// constructed one exactly.
+func (in *Injector) Reset() {
+	in.pending = in.all
+	in.rng.Reseed(in.seed)
 }
 
 // StateAt returns the composed fault state at instant t.

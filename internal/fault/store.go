@@ -1,6 +1,11 @@
 package fault
 
-import "fcdpm/internal/storage"
+import (
+	"fmt"
+	"math"
+
+	"fcdpm/internal/storage"
+)
 
 // FadeStore wraps a storage element with a runtime capacity-fade factor.
 // The visible capacity is the inner capacity times the current scale;
@@ -84,4 +89,54 @@ func (f *FadeStore) Clone() storage.Storage {
 	return &FadeStore{inner: f.inner.Clone(), scale: f.scale, Lost: f.Lost}
 }
 
-var _ storage.Storage = (*FadeStore)(nil)
+// RestoreFrom implements storage.Restorer: it copies the fade factor and
+// loss accounting along with the inner element's state, so a faulted
+// run's working store rewinds in place instead of falling back to a
+// per-run Clone. It reports false — leaving the receiver untouched —
+// when src is not a FadeStore or the inner element cannot restore.
+func (f *FadeStore) RestoreFrom(src storage.Storage) bool {
+	o, ok := src.(*FadeStore)
+	if !ok {
+		return false
+	}
+	r, ok := f.inner.(storage.Restorer)
+	if !ok || !r.RestoreFrom(o.inner) {
+		return false
+	}
+	f.scale = o.scale
+	f.Lost = o.Lost
+	return true
+}
+
+// Reset rewinds the wrapper to nominal capacity over the given inner
+// element, clearing the loss accounting. It is the allocation-free
+// equivalent of NewFadeStore(inner) for run-reuse machinery.
+func (f *FadeStore) Reset(inner storage.Storage) {
+	f.inner = inner
+	f.scale = 1
+	f.Lost = 0
+}
+
+// batchKeyer mirrors the BatchKey capability the sim batch runner probes
+// for; fault cannot import sim, so the interface is restated locally.
+type batchKeyer interface{ BatchKey() string }
+
+// BatchKey implements the batch runner's lane-grouping capability: two
+// FadeStores are interchangeable dynamics when their fade state matches
+// and their inner elements are interchangeable. Without a content key
+// for the inner element the pointer identity keeps distinct stores in
+// distinct groups (an empty or colliding key would merge lanes that
+// diverge).
+func (f *FadeStore) BatchKey() string {
+	inner := fmt.Sprintf("%p", f.inner)
+	if bk, ok := f.inner.(batchKeyer); ok {
+		inner = bk.BatchKey()
+	}
+	return fmt.Sprintf("fade|%x|%x|%s",
+		math.Float64bits(f.scale), math.Float64bits(f.Lost), inner)
+}
+
+var (
+	_ storage.Storage  = (*FadeStore)(nil)
+	_ storage.Restorer = (*FadeStore)(nil)
+)

@@ -21,6 +21,14 @@ type RNG struct {
 // with the same seed produce identical streams.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed rewinds the generator in place to the exact stream NewRNG(seed)
+// would produce, without allocating — the rewind primitive run-reuse
+// machinery needs to restart a deterministic noise stream per run.
+func (r *RNG) Reseed(seed uint64) {
 	// splitmix64 to spread the seed across all 256 bits of state.
 	x := seed
 	for i := range r.s {
@@ -30,7 +38,6 @@ func NewRNG(seed uint64) *RNG {
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 		r.s[i] = z ^ (z >> 31)
 	}
-	return r
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

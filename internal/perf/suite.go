@@ -8,6 +8,7 @@ import (
 	"fcdpm/internal/exp"
 	"fcdpm/internal/fcopt"
 	"fcdpm/internal/fuelcell"
+	"fcdpm/internal/multistack"
 	"fcdpm/internal/policy"
 	"fcdpm/internal/sim"
 	"fcdpm/internal/storage"
@@ -125,6 +126,41 @@ func Suite(short bool) ([]Benchmark, error) {
 			},
 		})
 	}
+	// Multi-stack aggregate source: a K=4 degraded-mix water-filling rack
+	// on the racksurge workload. The rack pre-solves its allocation into
+	// a table, so per-slot cost must match a single-stack run — this
+	// benchmark gates that the aggregate seam stays allocation-free.
+	rsTrace, err := workload.RackSurge(workload.DefaultRackSurgeConfig())
+	if err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+	rack, err := multistack.Uniform(sys, 4, multistack.WaterFill{}, []float64{0, 0.3})
+	if err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+	rsys := rack.System()
+	mr, err := sim.NewRunner(sim.Config{
+		Sys: rsys, Dev: device.Synthetic(), Store: storage.MustSuperCap(24, 4),
+		Trace: rsTrace, Policy: policy.NewASAP(rsys),
+		Record: sim.RecordFuelOnly,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+	suite = append(suite,
+		Benchmark{
+			Name:  "multistack-slot-throughput-k4",
+			Slots: rsTrace.Len(),
+			Fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := mr.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+	)
 	suite = append(suite,
 		Benchmark{
 			Name:  "experiment1",

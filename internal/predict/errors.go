@@ -1,0 +1,22 @@
+package predict
+
+import "fmt"
+
+// ConfigError reports an out-of-range predictor parameter. The predictor
+// constructors return it (wrapped or bare) instead of panicking, so
+// parameters arriving from scenario files surface as ordinary validation
+// failures — the same contract the storage and policy packages adopted in
+// the typed-error sweep.
+type ConfigError struct {
+	// Predictor names the predictor family ("exp-average", "tree", ...).
+	Predictor string
+	// Param is the offending parameter ("rho", "window", "levels", ...).
+	Param string
+	// Detail describes the violation.
+	Detail string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("predict: %s: %s: %s", e.Predictor, e.Param, e.Detail)
+}

@@ -26,16 +26,28 @@ type Markov struct {
 }
 
 // NewMarkov returns a Markov-chain predictor. levels must be at least 2
-// and hi > lo; it panics otherwise (construction errors).
-func NewMarkov(levels int, lo, hi, initial float64) *Markov {
+// and hi > lo; violations are *ConfigError.
+func NewMarkov(levels int, lo, hi, initial float64) (*Markov, error) {
 	if levels < 2 {
-		panic(fmt.Sprintf("predict: markov levels %d < 2", levels))
+		return nil, &ConfigError{Predictor: "markov", Param: "levels",
+			Detail: fmt.Sprintf("%d < 2", levels)}
 	}
-	if hi <= lo {
-		panic(fmt.Sprintf("predict: markov bounds [%v, %v] invalid", lo, hi))
+	if !(hi > lo) {
+		return nil, &ConfigError{Predictor: "markov", Param: "hi",
+			Detail: fmt.Sprintf("bounds [%v, %v] invalid", lo, hi)}
 	}
 	m := &Markov{Levels: levels, Lo: lo, Hi: hi, initial: initial}
 	m.Reset()
+	return m, nil
+}
+
+// MustMarkov is NewMarkov for fixed valid literals; it panics on a
+// construction error.
+func MustMarkov(levels int, lo, hi, initial float64) *Markov {
+	m, err := NewMarkov(levels, lo, hi, initial)
+	if err != nil {
+		panic(err)
+	}
 	return m
 }
 

@@ -10,6 +10,7 @@ package predict
 
 import (
 	"fmt"
+	"math"
 
 	"fcdpm/internal/numeric"
 )
@@ -39,13 +40,24 @@ type ExpAverage struct {
 }
 
 // NewExpAverage returns an exponential-average predictor with factor rho in
-// [0, 1] and the given initial prediction. It panics on an out-of-range
-// rho, which is a construction error.
-func NewExpAverage(rho, initial float64) *ExpAverage {
-	if rho < 0 || rho > 1 {
-		panic(fmt.Sprintf("predict: rho %v outside [0,1]", rho))
+// [0, 1] and the given initial prediction. An out-of-range (or NaN) rho is
+// a *ConfigError — scenario files feed this parameter directly.
+func NewExpAverage(rho, initial float64) (*ExpAverage, error) {
+	if math.IsNaN(rho) || rho < 0 || rho > 1 {
+		return nil, &ConfigError{Predictor: "exp-average", Param: "rho",
+			Detail: fmt.Sprintf("%v outside [0, 1]", rho)}
 	}
-	return &ExpAverage{Rho: rho, initial: initial, pred: initial}
+	return &ExpAverage{Rho: rho, initial: initial, pred: initial}, nil
+}
+
+// MustExpAverage is NewExpAverage for fixed in-range literals; it panics on
+// a construction error.
+func MustExpAverage(rho, initial float64) *ExpAverage {
+	e, err := NewExpAverage(rho, initial)
+	if err != nil {
+		panic(err)
+	}
+	return e
 }
 
 // Predict implements Predictor.
@@ -96,13 +108,24 @@ type Regression struct {
 	hist    []float64
 }
 
-// NewRegression returns a sliding-window regression predictor. Window must
-// be at least 2.
-func NewRegression(window int, initial float64) *Regression {
+// NewRegression returns a sliding-window regression predictor. A window
+// below 2 is a *ConfigError.
+func NewRegression(window int, initial float64) (*Regression, error) {
 	if window < 2 {
-		panic(fmt.Sprintf("predict: regression window %d < 2", window))
+		return nil, &ConfigError{Predictor: "regression", Param: "window",
+			Detail: fmt.Sprintf("%d < 2", window)}
 	}
-	return &Regression{Window: window, initial: initial}
+	return &Regression{Window: window, initial: initial}, nil
+}
+
+// MustRegression is NewRegression for fixed valid literals; it panics on a
+// construction error.
+func MustRegression(window int, initial float64) *Regression {
+	r, err := NewRegression(window, initial)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }
 
 // Predict implements Predictor.
@@ -158,13 +181,24 @@ type MovingAverage struct {
 	hist    []float64
 }
 
-// NewMovingAverage returns a moving-average predictor. Window must be
-// positive.
-func NewMovingAverage(window int, initial float64) *MovingAverage {
+// NewMovingAverage returns a moving-average predictor. A non-positive
+// window is a *ConfigError.
+func NewMovingAverage(window int, initial float64) (*MovingAverage, error) {
 	if window < 1 {
-		panic(fmt.Sprintf("predict: moving-average window %d < 1", window))
+		return nil, &ConfigError{Predictor: "moving-average", Param: "window",
+			Detail: fmt.Sprintf("%d < 1", window)}
 	}
-	return &MovingAverage{Window: window, initial: initial}
+	return &MovingAverage{Window: window, initial: initial}, nil
+}
+
+// MustMovingAverage is NewMovingAverage for fixed valid literals; it panics
+// on a construction error.
+func MustMovingAverage(window int, initial float64) *MovingAverage {
+	m, err := NewMovingAverage(window, initial)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 // Predict implements Predictor.

@@ -1,6 +1,7 @@
 package predict
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -8,7 +9,7 @@ import (
 
 func TestExpAverageEq14(t *testing.T) {
 	// Paper Eq 14 with ρ=0.5: T'(k) = 0.5·T'(k-1) + 0.5·T(k-1).
-	p := NewExpAverage(0.5, 10)
+	p := MustExpAverage(0.5, 10)
 	if p.Predict() != 10 {
 		t.Fatalf("initial prediction = %v", p.Predict())
 	}
@@ -23,12 +24,12 @@ func TestExpAverageEq14(t *testing.T) {
 }
 
 func TestExpAverageRhoExtremes(t *testing.T) {
-	frozen := NewExpAverage(1, 7)
+	frozen := MustExpAverage(1, 7)
 	frozen.Observe(100)
 	if frozen.Predict() != 7 {
 		t.Error("rho=1 should never move")
 	}
-	follower := NewExpAverage(0, 7)
+	follower := MustExpAverage(0, 7)
 	follower.Observe(100)
 	if follower.Predict() != 100 {
 		t.Error("rho=0 should equal last value")
@@ -36,7 +37,7 @@ func TestExpAverageRhoExtremes(t *testing.T) {
 }
 
 func TestExpAverageConvergesToConstant(t *testing.T) {
-	p := NewExpAverage(0.5, 0)
+	p := MustExpAverage(0.5, 0)
 	for i := 0; i < 60; i++ {
 		p.Observe(12)
 	}
@@ -46,7 +47,7 @@ func TestExpAverageConvergesToConstant(t *testing.T) {
 }
 
 func TestExpAverageReset(t *testing.T) {
-	p := NewExpAverage(0.5, 3)
+	p := MustExpAverage(0.5, 3)
 	p.Observe(100)
 	p.Reset()
 	if p.Predict() != 3 {
@@ -54,13 +55,37 @@ func TestExpAverageReset(t *testing.T) {
 	}
 }
 
-func TestExpAveragePanicsOnBadRho(t *testing.T) {
+// TestExpAverageBadRhoIsTypedError is the typed-error regression test for
+// the constructor sweep: an out-of-range rho must come back as a
+// *ConfigError, not a panic (the pre-fix behavior).
+func TestExpAverageBadRhoIsTypedError(t *testing.T) {
+	for _, rho := range []float64{-0.1, 1.5, math.NaN()} {
+		p, err := NewExpAverage(rho, 0)
+		if p != nil || err == nil {
+			t.Fatalf("rho=%v: expected construction error, got (%v, %v)", rho, p, err)
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) || ce.Param != "rho" {
+			t.Fatalf("rho=%v: error %v is not a rho ConfigError", rho, err)
+		}
+	}
+	if _, err := NewMovingAverage(0, 1); err == nil {
+		t.Fatal("moving-average window 0 accepted")
+	}
+	if _, err := NewRegression(1, 1); err == nil {
+		t.Fatal("regression window 1 accepted")
+	}
+}
+
+// TestMustConstructorsPanic pins the Must* contract: construction errors
+// on fixed literals are programmer errors and still panic.
+func TestMustConstructorsPanic(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("rho out of range accepted")
+			t.Fatal("MustExpAverage(1.5) did not panic")
 		}
 	}()
-	NewExpAverage(1.5, 0)
+	MustExpAverage(1.5, 0)
 }
 
 func TestLastValue(t *testing.T) {
@@ -79,7 +104,7 @@ func TestLastValue(t *testing.T) {
 }
 
 func TestRegressionExtrapolatesTrend(t *testing.T) {
-	p := NewRegression(5, 0)
+	p := MustRegression(5, 0)
 	for _, v := range []float64{1, 2, 3, 4, 5} {
 		p.Observe(v)
 	}
@@ -89,7 +114,7 @@ func TestRegressionExtrapolatesTrend(t *testing.T) {
 }
 
 func TestRegressionWindowSlides(t *testing.T) {
-	p := NewRegression(3, 0)
+	p := MustRegression(3, 0)
 	for _, v := range []float64{100, 100, 1, 2, 3} { // old values leave the window
 		p.Observe(v)
 	}
@@ -99,7 +124,7 @@ func TestRegressionWindowSlides(t *testing.T) {
 }
 
 func TestRegressionFewObservations(t *testing.T) {
-	p := NewRegression(4, 7)
+	p := MustRegression(4, 7)
 	if p.Predict() != 7 {
 		t.Fatal("empty history should return initial")
 	}
@@ -110,7 +135,7 @@ func TestRegressionFewObservations(t *testing.T) {
 }
 
 func TestRegressionNeverNegative(t *testing.T) {
-	p := NewRegression(3, 0)
+	p := MustRegression(3, 0)
 	for _, v := range []float64{9, 5, 1} { // steep downward trend
 		p.Observe(v)
 	}
@@ -120,7 +145,7 @@ func TestRegressionNeverNegative(t *testing.T) {
 }
 
 func TestMovingAverage(t *testing.T) {
-	p := NewMovingAverage(3, 2)
+	p := MustMovingAverage(3, 2)
 	if p.Predict() != 2 {
 		t.Fatal("initial")
 	}
@@ -179,7 +204,7 @@ func TestEvaluateOrdering(t *testing.T) {
 		x = x*6364136223846793005 + 1442695040888963407
 		series[i] = 14 + float64(x%600)/100 - 3 // 11..17
 	}
-	expAcc := mustEval(t, NewExpAverage(0.5, 14), series)
+	expAcc := mustEval(t, MustExpAverage(0.5, 14), series)
 	lastAcc := mustEval(t, NewLastValue(14), series)
 	if expAcc.RMSE >= lastAcc.RMSE {
 		t.Errorf("exp-average RMSE %v should beat last-value %v on noise", expAcc.RMSE, lastAcc.RMSE)
@@ -203,9 +228,9 @@ func TestTreeLearnsPeriodicPattern(t *testing.T) {
 			series[i] = 20
 		}
 	}
-	tree := NewTree(8, 2, 5, 25, 14)
+	tree := MustTree(8, 2, 5, 25, 14)
 	treeAcc := mustEval(t, tree, series)
-	expAcc := mustEval(t, NewExpAverage(0.5, 14), series)
+	expAcc := mustEval(t, MustExpAverage(0.5, 14), series)
 	if treeAcc.MAE >= expAcc.MAE {
 		t.Fatalf("tree MAE %v should beat exp-average %v on periodic input",
 			treeAcc.MAE, expAcc.MAE)
@@ -218,7 +243,7 @@ func TestTreeLearnsPeriodicPattern(t *testing.T) {
 }
 
 func TestTreeQuantizeBounds(t *testing.T) {
-	tree := NewTree(4, 1, 0, 8, 0)
+	tree := MustTree(4, 1, 0, 8, 0)
 	if tree.quantize(-5) != 0 {
 		t.Error("below-range value should map to level 0")
 	}
@@ -237,7 +262,7 @@ func TestTreeQuantizeBounds(t *testing.T) {
 }
 
 func TestTreeColdStart(t *testing.T) {
-	tree := NewTree(4, 2, 0, 10, 5)
+	tree := MustTree(4, 2, 0, 10, 5)
 	if tree.Predict() != 5 {
 		t.Fatal("cold tree should return initial")
 	}
@@ -248,7 +273,7 @@ func TestTreeColdStart(t *testing.T) {
 }
 
 func TestTreeReset(t *testing.T) {
-	tree := NewTree(4, 1, 0, 10, 5)
+	tree := MustTree(4, 1, 0, 10, 5)
 	tree.Observe(2)
 	tree.Observe(2)
 	tree.Reset()
@@ -257,28 +282,29 @@ func TestTreeReset(t *testing.T) {
 	}
 }
 
-func TestTreeConstructorPanics(t *testing.T) {
-	cases := []func(){
-		func() { NewTree(1, 1, 0, 10, 5) },
-		func() { NewTree(4, 0, 0, 10, 5) },
-		func() { NewTree(4, 1, 10, 0, 5) },
+func TestTreeConstructorTypedErrors(t *testing.T) {
+	cases := map[string]func() (*Tree, error){
+		"levels": func() (*Tree, error) { return NewTree(1, 1, 0, 10, 5) },
+		"depth":  func() (*Tree, error) { return NewTree(4, 0, 0, 10, 5) },
+		"hi":     func() (*Tree, error) { return NewTree(4, 1, 10, 0, 5) },
 	}
-	for k, f := range cases {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d: invalid tree accepted", k)
-				}
-			}()
-			f()
-		}()
+	for param, f := range cases {
+		tr, err := f()
+		if tr != nil || err == nil {
+			t.Errorf("%s: invalid tree accepted", param)
+			continue
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) || ce.Param != param {
+			t.Errorf("%s: error %v is not the expected ConfigError", param, err)
+		}
 	}
 }
 
 func TestNames(t *testing.T) {
 	for _, p := range []Predictor{
-		NewExpAverage(0.5, 0), NewLastValue(0), NewRegression(3, 0),
-		NewMovingAverage(3, 0), NewOracle(nil, 0), NewTree(4, 1, 0, 10, 5),
+		MustExpAverage(0.5, 0), NewLastValue(0), MustRegression(3, 0),
+		MustMovingAverage(3, 0), NewOracle(nil, 0), MustTree(4, 1, 0, 10, 5),
 	} {
 		if p.Name() == "" {
 			t.Errorf("%T has empty name", p)
@@ -291,7 +317,7 @@ func TestNames(t *testing.T) {
 func TestExpAverageHullProperty(t *testing.T) {
 	f := func(seed uint64) bool {
 		x := seed
-		p := NewExpAverage(0.5, 10)
+		p := MustExpAverage(0.5, 10)
 		lo, hi := 10.0, 10.0
 		for i := 0; i < 50; i++ {
 			x = x*6364136223846793005 + 1442695040888963407
@@ -315,7 +341,7 @@ func TestExpAverageHullProperty(t *testing.T) {
 }
 
 func TestMarkovColdStart(t *testing.T) {
-	m := NewMarkov(4, 0, 20, 7)
+	m := MustMarkov(4, 0, 20, 7)
 	if m.Predict() != 7 {
 		t.Fatalf("cold prediction = %v, want initial", m.Predict())
 	}
@@ -324,7 +350,7 @@ func TestMarkovColdStart(t *testing.T) {
 func TestMarkovLearnsAlternation(t *testing.T) {
 	// Alternating 5, 15: after seeing a 5, predict near 15, and vice
 	// versa.
-	m := NewMarkov(4, 0, 20, 10)
+	m := MustMarkov(4, 0, 20, 10)
 	for i := 0; i < 100; i++ {
 		if i%2 == 0 {
 			m.Observe(5)
@@ -351,15 +377,15 @@ func TestMarkovBeatsExpAverageOnAlternation(t *testing.T) {
 			series[i] = 15
 		}
 	}
-	mAcc := mustEval(t, NewMarkov(8, 0, 20, 10), series)
-	eAcc := mustEval(t, NewExpAverage(0.5, 10), series)
+	mAcc := mustEval(t, MustMarkov(8, 0, 20, 10), series)
+	eAcc := mustEval(t, MustExpAverage(0.5, 10), series)
 	if mAcc.MAE >= eAcc.MAE {
 		t.Fatalf("markov MAE %v should beat exp-average %v on alternation", mAcc.MAE, eAcc.MAE)
 	}
 }
 
 func TestMarkovMarginalFallback(t *testing.T) {
-	m := NewMarkov(4, 0, 20, 10)
+	m := MustMarkov(4, 0, 20, 10)
 	// Train only low values, then land in an unseen state via a high
 	// observation: the unseen row falls back to the marginal.
 	for i := 0; i < 10; i++ {
@@ -374,7 +400,7 @@ func TestMarkovMarginalFallback(t *testing.T) {
 }
 
 func TestMarkovReset(t *testing.T) {
-	m := NewMarkov(4, 0, 20, 10)
+	m := MustMarkov(4, 0, 20, 10)
 	m.Observe(5)
 	m.Observe(15)
 	m.Reset()
@@ -383,18 +409,19 @@ func TestMarkovReset(t *testing.T) {
 	}
 }
 
-func TestMarkovConstructorPanics(t *testing.T) {
-	for name, f := range map[string]func(){
-		"levels": func() { NewMarkov(1, 0, 10, 5) },
-		"bounds": func() { NewMarkov(4, 10, 0, 5) },
+func TestMarkovConstructorTypedErrors(t *testing.T) {
+	for name, f := range map[string]func() (*Markov, error){
+		"levels": func() (*Markov, error) { return NewMarkov(1, 0, 10, 5) },
+		"bounds": func() (*Markov, error) { return NewMarkov(4, 10, 0, 5) },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: invalid markov accepted", name)
-				}
-			}()
-			f()
-		}()
+		m, err := f()
+		if m != nil || err == nil {
+			t.Errorf("%s: invalid markov accepted", name)
+			continue
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error %v is not a ConfigError", name, err)
+		}
 	}
 }

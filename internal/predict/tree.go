@@ -29,17 +29,20 @@ type entry struct {
 	confidence int // saturating 0..3
 }
 
-// NewTree returns an adaptive learning tree predictor. levels and depth
-// must be positive and hi > lo; it panics otherwise (construction errors).
-func NewTree(levels, depth int, lo, hi, initial float64) *Tree {
+// NewTree returns an adaptive learning tree predictor. levels must be at
+// least 2, depth positive, and hi > lo; violations are *ConfigError.
+func NewTree(levels, depth int, lo, hi, initial float64) (*Tree, error) {
 	if levels < 2 {
-		panic(fmt.Sprintf("predict: tree levels %d < 2", levels))
+		return nil, &ConfigError{Predictor: "tree", Param: "levels",
+			Detail: fmt.Sprintf("%d < 2", levels)}
 	}
 	if depth < 1 {
-		panic(fmt.Sprintf("predict: tree depth %d < 1", depth))
+		return nil, &ConfigError{Predictor: "tree", Param: "depth",
+			Detail: fmt.Sprintf("%d < 1", depth)}
 	}
-	if hi <= lo {
-		panic(fmt.Sprintf("predict: tree bounds [%v, %v] invalid", lo, hi))
+	if !(hi > lo) {
+		return nil, &ConfigError{Predictor: "tree", Param: "hi",
+			Detail: fmt.Sprintf("bounds [%v, %v] invalid", lo, hi)}
 	}
 	return &Tree{
 		Levels:  levels,
@@ -48,7 +51,17 @@ func NewTree(levels, depth int, lo, hi, initial float64) *Tree {
 		Hi:      hi,
 		initial: initial,
 		table:   make(map[int]*entry),
+	}, nil
+}
+
+// MustTree is NewTree for fixed valid literals; it panics on a
+// construction error.
+func MustTree(levels, depth int, lo, hi, initial float64) *Tree {
+	t, err := NewTree(levels, depth, lo, hi, initial)
+	if err != nil {
+		panic(err)
 	}
+	return t
 }
 
 // quantize maps a value to a level in [0, Levels).

@@ -2,15 +2,18 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"fcdpm/internal/config"
+	"fcdpm/internal/predict"
 	"fcdpm/internal/report"
 	"fcdpm/internal/runner"
 	"fcdpm/internal/runreport"
 	"fcdpm/internal/sim"
+	"fcdpm/internal/workload"
 )
 
 // jobKind separates single runs from sweeps.
@@ -405,10 +408,27 @@ func (s *Server) onTaskEvent(e runner.TaskEvent) {
 			j.finish(jobFailed, nil, "run interrupted by shutdown", 503, false)
 		default: // StatusFailed (StatusResumed cannot happen: no journal)
 			s.metrics.runsFailed.Inc()
-			j.finish(jobFailed, nil, errMsg, 500, false)
+			code := 500
+			if clientFault(e.Err) {
+				code = 400
+			}
+			j.finish(jobFailed, nil, errMsg, code, false)
 		}
 		s.reg.complete(j)
 	}
+}
+
+// clientFault reports whether a failed run's cause is a defect in the
+// submitted scenario rather than in the engine: spec fields that fail
+// validation only at build time (a trace file with an invalid record, a
+// predictor parameter out of range). These map to HTTP 400 — retrying
+// the identical request cannot succeed — while genuine engine failures
+// keep 500. errors.As traverses the pool's RunError / retry wrappers.
+func clientFault(err error) bool {
+	var cve *config.ValidationError
+	var wve *workload.ValidationError
+	var pce *predict.ConfigError
+	return errors.As(err, &cve) || errors.As(err, &wve) || errors.As(err, &pce)
 }
 
 // batchResolved fans one batched chunk's resolution out to its cells:

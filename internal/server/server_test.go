@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -671,5 +672,29 @@ func TestSweepBatchesSameTraceCells(t *testing.T) {
 	}
 	if st.Batch.PlanGroupHits == 0 {
 		t.Fatalf("duplicate cell produced no plan-group hits: %+v", st.Batch)
+	}
+}
+
+// TestRunBadTraceRecordIs400 pins the client-fault taxonomy for errors
+// that only surface at build time, inside the worker pool: a scenario
+// referencing a trace file with an invalid record (NaN duration, zero
+// total duration) must resolve 400 — the request can never succeed —
+// not 500 as a generic engine failure.
+func TestRunBadTraceRecordIs400(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	dir := t.TempDir()
+	for name, contents := range map[string]string{
+		"nan.csv":  "idle_s,active_s,active_current_a\n10,NaN,1\n",
+		"zero.csv": "idle_s,active_s,active_current_a\n0,0,1\n",
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		spec := fmt.Sprintf(`{"trace":{"kind":"file","file":%q}}`, path)
+		resp, b := postRun(t, ts, spec)
+		if resp.StatusCode != 400 {
+			t.Errorf("POST with trace %s: %d %s, want 400", name, resp.StatusCode, b)
+		}
 	}
 }

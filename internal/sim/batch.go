@@ -507,8 +507,11 @@ func dynamicsKey(cfg *Config) (string, bool) {
 	if cfg.Faults != nil {
 		faults = fmt.Sprintf("%p/%d", cfg.Faults, cfg.FaultSeed)
 	}
-	return fmt.Sprintf("sys=%p|dev=%p|pol=%s|sto=%s|dpm=%d|to=%x|slew=%x|pi=%s|pa=%s|pc=%s|faults=%s|sup=%d/%x/%x|fb=%s",
-		cfg.Sys, cfg.Dev, pol, sto, cfg.DPM, fpBits(cfg.Timeout), fpBits(cfg.SlewRate),
+	// The system is fingerprinted by content, not pointer: distinct
+	// instances with identical parameters (e.g. per-lane multistack racks
+	// built from the same stack mix) still group.
+	return fmt.Sprintf("sys=%s|dev=%p|pol=%s|sto=%s|dpm=%d|to=%x|slew=%x|pi=%s|pa=%s|pc=%s|faults=%s|sup=%d/%x/%x|fb=%s",
+		cfg.Sys.BatchKey(), cfg.Dev, pol, sto, cfg.DPM, fpBits(cfg.Timeout), fpBits(cfg.SlewRate),
 		pi, pa, pc, faults,
 		cfg.Supervisor.Mode, fpBits(cfg.Supervisor.DeficitLimit), fpBits(cfg.Supervisor.Tolerance),
 		fb.String()), true

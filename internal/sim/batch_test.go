@@ -137,11 +137,11 @@ func randomLane(t *testing.T, rng *rand.Rand, sys *fuelcell.System, dev *device.
 	switch rng.Intn(3) {
 	case 0: // defaults
 	case 1:
-		cfg.IdlePredictor = predict.NewExpAverage(0.5, 4)
-		cfg.ActivePredictor = predict.NewExpAverage(0.5, 2)
+		cfg.IdlePredictor = predict.MustExpAverage(0.5, 4)
+		cfg.ActivePredictor = predict.MustExpAverage(0.5, 2)
 	default:
 		cfg.IdlePredictor = predict.NewLastValue(4)
-		cfg.CurrentPredictor = predict.NewExpAverage(0.3, 1)
+		cfg.CurrentPredictor = predict.MustExpAverage(0.3, 1)
 	}
 
 	switch rng.Intn(4) {

@@ -498,26 +498,32 @@ func (st *state) init(cfg Config) {
 	first := cfg.Trace.Slots[0]
 	st.predIdle = cfg.IdlePredictor
 	if st.predIdle == nil {
-		st.predIdle = predict.NewExpAverage(0.5, st.tbe)
+		st.predIdle = predict.MustExpAverage(0.5, st.tbe)
 	}
 	st.predActive = cfg.ActivePredictor
 	if st.predActive == nil {
-		st.predActive = predict.NewExpAverage(0.5, first.Active)
+		st.predActive = predict.MustExpAverage(0.5, first.Active)
 	}
 	st.predCurrent = cfg.CurrentPredictor
 	if st.predCurrent == nil {
-		st.predCurrent = predict.NewExpAverage(0.5, first.ActiveCurrent)
+		st.predCurrent = predict.MustExpAverage(0.5, first.ActiveCurrent)
 	}
 	st.memo = fuelcell.NewMemo(cfg.Sys)
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		// Built once; reset rewinds both in place so faulted runs stay on
+		// the allocation-free reuse path.
+		st.inj = fault.NewInjector(cfg.Faults, cfg.FaultSeed)
+		st.fade = fault.NewFadeStore(st.base)
+	}
 	st.chain = make([]Policy, 0, len(cfg.Fallbacks)+2)
 	st.chain = append(st.chain, cfg.Policy)
 	st.chain = append(st.chain, cfg.Fallbacks...)
 	st.chain = append(st.chain, loadShed{sys: cfg.Sys})
 }
 
-// reset rewinds the state for a fresh run. Allocation-free except under
-// fault injection, where the injector and fade wrapper are rebuilt so the
-// noise stream and fade accounting restart deterministically.
+// reset rewinds the state for a fresh run, allocation-free: under fault
+// injection the injector and fade wrapper rewind in place so the noise
+// stream and fade accounting restart deterministically without rebuilds.
 func (st *state) reset() {
 	st.res.Reset()
 	st.res.Policy = st.polName
@@ -529,10 +535,11 @@ func (st *state) reset() {
 		st.base = st.snap.Clone()
 	}
 	st.store = st.base
-	st.inj, st.fade = nil, nil
-	if st.cfg.Faults != nil && !st.cfg.Faults.Empty() {
-		st.inj = fault.NewInjector(st.cfg.Faults, st.cfg.FaultSeed)
-		st.fade = fault.NewFadeStore(st.base)
+	if st.inj != nil {
+		st.inj.Reset()
+		// st.base may have been replaced by a fresh Clone above (when the
+		// storage kind implements no Restorer), so re-point the wrapper.
+		st.fade.Reset(st.base)
 		st.store = st.fade
 	}
 	st.predIdle.Reset()

@@ -166,7 +166,7 @@ func TestPredictiveSleepUsesPrediction(t *testing.T) {
 	// short idles; the exponential average learns and stops sleeping.
 	cfg := baseConfig(&followPolicy{fuelcell.PaperSystem()})
 	cfg.Trace = workload.Periodic(6, 0.3, 3, 1.2)
-	cfg.IdlePredictor = predict.NewExpAverage(0.5, 10) // optimistic start
+	cfg.IdlePredictor = predict.MustExpAverage(0.5, 10) // optimistic start
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,29 @@
+package workload
+
+import "fmt"
+
+// ValidationError reports a trace record whose timing fields are not
+// physically meaningful. It is a typed error so transport layers can
+// distinguish a malformed trace (client fault) from an engine failure:
+// the CLI maps it to exit code 1 and the server to HTTP 400.
+type ValidationError struct {
+	Slot  int     // slot index within the trace, -1 for a standalone slot
+	Field string  // "idle", "active", "activeCurrent", or "duration"
+	Value float64 // the offending value
+}
+
+func (e *ValidationError) Error() string {
+	where := "slot"
+	if e.Slot >= 0 {
+		where = fmt.Sprintf("slot %d", e.Slot)
+	}
+	return fmt.Sprintf("workload: %s: invalid %s %v", where, e.Field, e.Value)
+}
+
+// at returns a copy of the error pinned to a slot index, so Trace-level
+// validation can reuse Slot-level checks without re-wrapping.
+func (e *ValidationError) at(k int) *ValidationError {
+	c := *e
+	c.Slot = k
+	return &c
+}

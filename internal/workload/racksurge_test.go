@@ -1,0 +1,91 @@
+package workload
+
+import "testing"
+
+func TestRackSurgeEpisodes(t *testing.T) {
+	cfg := DefaultRackSurgeConfig()
+	cfg.Duration = 2 * 3600
+	tr, err := RackSurge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bimodal currents: every slot in the baseline band or the surged
+	// band (Intensity 2 doubles 15–25 W → 30–50 W at 12 V).
+	base, surged := 0, 0
+	baseHi := cfg.PowerMax / cfg.V
+	for _, s := range tr.Slots {
+		switch {
+		case s.ActiveCurrent >= cfg.PowerMin/cfg.V && s.ActiveCurrent <= baseHi:
+			base++
+		case s.ActiveCurrent >= cfg.Intensity*cfg.PowerMin/cfg.V && s.ActiveCurrent <= cfg.Intensity*baseHi:
+			surged++
+		default:
+			t.Fatalf("current %v outside both bands", s.ActiveCurrent)
+		}
+		if s.Idle < cfg.IdleMin || s.Idle > cfg.IdleMax {
+			t.Fatalf("idle %v outside [%v, %v]", s.Idle, cfg.IdleMin, cfg.IdleMax)
+		}
+	}
+	if base == 0 || surged == 0 {
+		t.Fatalf("missing a regime: base=%d surged=%d", base, surged)
+	}
+	// Surges are episodes, not isolated slots: the surged fraction must
+	// exceed the single-slot entry probability by the geometric dwell.
+	frac := float64(surged) / float64(base+surged)
+	if frac < 1.5*cfg.SurgeProb {
+		t.Errorf("surged fraction %v shows no dwell (entry prob %v)", frac, cfg.SurgeProb)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRackSurgeIntensityOneIsFlat(t *testing.T) {
+	cfg := DefaultRackSurgeConfig()
+	cfg.Intensity = 1
+	tr, err := RackSurge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.Slots {
+		if s.ActiveCurrent < cfg.PowerMin/cfg.V-1e-12 || s.ActiveCurrent > cfg.PowerMax/cfg.V+1e-12 {
+			t.Fatalf("intensity 1 produced surged current %v", s.ActiveCurrent)
+		}
+	}
+}
+
+func TestRackSurgeValidation(t *testing.T) {
+	mod := func(f func(*RackSurgeConfig)) RackSurgeConfig {
+		c := DefaultRackSurgeConfig()
+		f(&c)
+		return c
+	}
+	bad := []RackSurgeConfig{
+		mod(func(c *RackSurgeConfig) { c.Duration = 0 }),
+		mod(func(c *RackSurgeConfig) { c.IdleMax = c.IdleMin }),
+		mod(func(c *RackSurgeConfig) { c.ActiveMax = c.ActiveMin }),
+		mod(func(c *RackSurgeConfig) { c.PowerMax = c.PowerMin }),
+		mod(func(c *RackSurgeConfig) { c.Intensity = 0.5 }),
+		mod(func(c *RackSurgeConfig) { c.SurgeProb = 1 }),
+		mod(func(c *RackSurgeConfig) { c.StayProb = 1 }),
+		mod(func(c *RackSurgeConfig) { c.V = 0 }),
+	}
+	for k, c := range bad {
+		if _, err := RackSurge(c); err == nil {
+			t.Errorf("case %d: invalid config accepted", k)
+		}
+	}
+}
+
+func TestRackSurgeDeterminism(t *testing.T) {
+	a, _ := RackSurge(DefaultRackSurgeConfig())
+	b, _ := RackSurge(DefaultRackSurgeConfig())
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for k := range a.Slots {
+		if a.Slots[k] != b.Slots[k] {
+			t.Fatal("not deterministic")
+		}
+	}
+}

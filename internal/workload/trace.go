@@ -5,7 +5,9 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"fcdpm/internal/numeric"
 )
@@ -20,17 +22,32 @@ type Slot struct {
 	ActiveCurrent float64 `json:"activeCurrent"`
 }
 
-// Validate reports whether the slot is physically meaningful.
+// Validate reports whether the slot is physically meaningful: every
+// field must be finite and non-negative, and the slot must span positive
+// time (a zero idle period is legal — back-to-back work — but a slot
+// whose total duration is non-positive would let crafted traces drive
+// negative or NaN timestep arithmetic into the storage integrators,
+// which panic on negative durations). Violations surface as a typed
+// *ValidationError so callers can map them to client faults.
 func (s Slot) Validate() error {
 	switch {
-	case s.Idle < 0:
-		return fmt.Errorf("workload: negative idle length %v", s.Idle)
-	case s.Active < 0:
-		return fmt.Errorf("workload: negative active length %v", s.Active)
-	case s.ActiveCurrent < 0:
-		return fmt.Errorf("workload: negative active current %v", s.ActiveCurrent)
+	case s.Idle < 0 || !isFinite(s.Idle):
+		return &ValidationError{Slot: -1, Field: "idle", Value: s.Idle}
+	case s.Active < 0 || !isFinite(s.Active):
+		return &ValidationError{Slot: -1, Field: "active", Value: s.Active}
+	case s.ActiveCurrent < 0 || !isFinite(s.ActiveCurrent):
+		return &ValidationError{Slot: -1, Field: "activeCurrent", Value: s.ActiveCurrent}
+	case s.Idle+s.Active <= 0:
+		return &ValidationError{Slot: -1, Field: "duration", Value: s.Idle + s.Active}
 	}
 	return nil
+}
+
+// isFinite reports whether v is neither NaN nor an infinity. NaN slips
+// through plain sign checks (NaN < 0 is false), so finiteness must be
+// tested explicitly.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // Trace is a sequence of task slots with a descriptive name.
@@ -39,10 +56,14 @@ type Trace struct {
 	Slots []Slot `json:"slots"`
 }
 
-// Validate checks every slot.
+// Validate checks every slot, pinning errors to their slot index.
 func (t *Trace) Validate() error {
 	for k, s := range t.Slots {
 		if err := s.Validate(); err != nil {
+			var ve *ValidationError
+			if errors.As(err, &ve) {
+				return ve.at(k)
+			}
 			return fmt.Errorf("slot %d: %w", k, err)
 		}
 	}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -459,5 +460,60 @@ func TestBurstyValidation(t *testing.T) {
 		if _, err := Bursty(c); err == nil {
 			t.Errorf("case %d: invalid config accepted", k)
 		}
+	}
+}
+
+// TestSlotValidateRejectsNonFiniteAndZeroDuration is the regression test
+// for crafted trace records: NaN slips past plain sign checks (NaN < 0
+// is false), and a slot with zero total duration used to pass validation
+// and feed degenerate timestep arithmetic into the storage integrators.
+// Both must now be rejected with a typed *ValidationError naming the
+// offending field.
+func TestSlotValidateRejectsNonFiniteAndZeroDuration(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		s     Slot
+		field string
+	}{
+		{Slot{Idle: nan, Active: 1, ActiveCurrent: 1}, "idle"},
+		{Slot{Idle: 1, Active: nan, ActiveCurrent: 1}, "active"},
+		{Slot{Idle: 1, Active: 1, ActiveCurrent: nan}, "activeCurrent"},
+		{Slot{Idle: inf, Active: 1, ActiveCurrent: 1}, "idle"},
+		{Slot{Idle: 1, Active: math.Inf(-1), ActiveCurrent: 1}, "active"},
+		{Slot{Idle: -2, Active: 1, ActiveCurrent: 1}, "idle"},
+		{Slot{Idle: 0, Active: 0, ActiveCurrent: 1}, "duration"},
+	}
+	for k, c := range cases {
+		err := c.s.Validate()
+		var ve *ValidationError
+		if !errors.As(err, &ve) {
+			t.Errorf("case %d: want *ValidationError, got %v", k, err)
+			continue
+		}
+		if ve.Field != c.field {
+			t.Errorf("case %d: field = %q, want %q", k, ve.Field, c.field)
+		}
+	}
+	// Zero idle with positive active is back-to-back work: legal.
+	if err := (Slot{Idle: 0, Active: 1, ActiveCurrent: 1}).Validate(); err != nil {
+		t.Errorf("zero-idle slot rejected: %v", err)
+	}
+}
+
+// TestTraceValidatePinsSlotIndex checks trace-level validation reports
+// which record is bad, and that the CSV reader rejects crafted NaN rows
+// (strconv.ParseFloat accepts the spelling "NaN").
+func TestTraceValidatePinsSlotIndex(t *testing.T) {
+	tr := &Trace{Slots: []Slot{
+		{Idle: 1, Active: 1, ActiveCurrent: 1},
+		{Idle: math.NaN(), Active: 1, ActiveCurrent: 1},
+	}}
+	var ve *ValidationError
+	if err := tr.Validate(); !errors.As(err, &ve) || ve.Slot != 1 || ve.Field != "idle" {
+		t.Fatalf("trace validate = %v, want slot 1 idle", tr.Validate())
+	}
+	csv := "idle_s,active_s,active_current_a\n10,NaN,1\n"
+	if _, err := ReadCSV(strings.NewReader(csv)); !errors.As(err, &ve) || ve.Field != "active" {
+		t.Fatalf("ReadCSV(NaN row) = %v, want *ValidationError on active", err)
 	}
 }
